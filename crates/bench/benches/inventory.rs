@@ -1,0 +1,62 @@
+//! Criterion benchmarks for end-to-end inventory through the relay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rfly_channel::environment::Environment;
+use rfly_channel::geometry::Point2;
+use rfly_protocol::epc::Epc;
+use rfly_reader::config::ReaderConfig;
+use rfly_reader::inventory::InventoryController;
+use rfly_sim::world::{PhasorWorld, RelayModel};
+use rfly_tag::population::TagPopulation;
+use rfly_tag::tag::PassiveTag;
+
+fn world_with(n_tags: usize) -> PhasorWorld {
+    let config = ReaderConfig::usrp_default();
+    let mut tags = TagPopulation::new();
+    for i in 0..n_tags {
+        tags.add(
+            PassiveTag::new(
+                Epc::from_index(i as u64),
+                i as u64,
+                Point2::new(38.0 + (i % 8) as f64 * 0.5, 1.0 + (i / 8) as f64 * 0.5),
+            ),
+            format!("item-{i}"),
+        );
+    }
+    PhasorWorld::new(
+        Environment::free_space(),
+        Point2::ORIGIN,
+        config,
+        tags,
+        RelayModel::prototype(rfly_dsp::units::Hertz::mhz(915.0)),
+        9,
+    )
+}
+
+fn bench_inventory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relayed_inventory_until_quiet");
+    g.sample_size(20);
+    for n in [1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || world_with(n),
+                |mut w| {
+                    let mut ctl = InventoryController::new(
+                        ReaderConfig::usrp_default(),
+                        rand::rngs::StdRng::seed_from_u64(3),
+                    );
+                    let mut medium = w.relayed_medium(Point2::new(39.5, 0.0));
+                    ctl.run_until_quiet(black_box(&mut medium), 10)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inventory);
+criterion_main!(benches);

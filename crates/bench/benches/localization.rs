@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the SAR localization core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rfly_channel::geometry::Point2;
+use rfly_channel::phasor::PathSet;
+use rfly_core::loc::multires::localize_multires;
+use rfly_core::loc::sar::SarLocalizer;
+use rfly_core::loc::trajectory::Trajectory;
+use rfly_dsp::units::Hertz;
+use rfly_dsp::Complex;
+
+const F2: Hertz = Hertz(916e6);
+
+fn setup() -> (SarLocalizer, Trajectory, Vec<Complex>) {
+    let traj = Trajectory::line(Point2::new(0.0, 0.0), Point2::new(2.5, 0.0), 51);
+    let tag = Point2::new(1.3, 1.2);
+    let ch = traj
+        .points()
+        .iter()
+        .map(|p| PathSet::line_of_sight(p.distance(tag), 1.0).round_trip(F2))
+        .collect();
+    let loc = SarLocalizer::new(F2, Point2::new(-0.5, 0.05), Point2::new(3.5, 3.5), 0.02);
+    (loc, traj, ch)
+}
+
+fn bench_score(c: &mut Criterion) {
+    let (loc, traj, ch) = setup();
+    c.bench_function("sar_score_at_one_point", |b| {
+        b.iter(|| loc.score_at(black_box(Point2::new(1.0, 1.0)), &traj, &ch))
+    });
+}
+
+fn bench_heatmap(c: &mut Criterion) {
+    let (loc, traj, ch) = setup();
+    c.bench_function("sar_heatmap_200x175_grid", |b| {
+        b.iter(|| loc.heatmap(black_box(&traj), &ch))
+    });
+}
+
+fn bench_localize(c: &mut Criterion) {
+    let (loc, traj, ch) = setup();
+    c.bench_function("sar_localize_exhaustive", |b| {
+        b.iter(|| loc.localize(black_box(&traj), &ch))
+    });
+    c.bench_function("sar_localize_multires_4x", |b| {
+        b.iter(|| localize_multires(&loc, black_box(&traj), &ch, 4))
+    });
+}
+
+criterion_group!(benches, bench_score, bench_heatmap, bench_localize);
+criterion_main!(benches);

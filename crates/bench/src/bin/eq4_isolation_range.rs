@@ -1,0 +1,41 @@
+//! Eq. 4 — the isolation → communication-range law (§4.1).
+//!
+//! Paper reference points: "an isolation of 30 dB results in a range of
+//! 0.75 m, while an isolation of 80 dB results in a range of 238 m"
+//! (the paper rounds λ ≈ 0.30 m; we evaluate at 915 MHz, λ = 0.3276 m).
+
+use rfly_bench::prelude::*;
+use rfly_channel::pathloss::range_for_isolation;
+use rfly_dsp::units::{Db, Hertz};
+
+fn main() {
+    let f = Hertz::mhz(915.0);
+    let mut table = Table::new(
+        "Eq. 4: maximum reader-relay range vs isolation (915 MHz)",
+        &["isolation", "max range", "paper"],
+    );
+    for iso in (30..=110).step_by(10) {
+        let r = range_for_isolation(Db::new(iso as f64), f);
+        let paper = match iso {
+            30 => "0.75 m",
+            80 => "238 m",
+            _ => "-",
+        };
+        table.row(&[
+            fmt_db(iso as f64),
+            if r < 10.0 {
+                format!("{r:.2} m")
+            } else {
+                format!("{r:.0} m")
+            },
+            paper.to_string(),
+        ]);
+    }
+    table.print(true);
+    println!(
+        "Shape check: every +20 dB of isolation buys 10x of range; the\n\
+         Fig. 9 prototype medians (64-110 dB) support ranges of {:.0}-{:.0} m.",
+        range_for_isolation(Db::new(64.0), f),
+        range_for_isolation(Db::new(110.0), f),
+    );
+}

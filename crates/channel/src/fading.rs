@@ -1,0 +1,141 @@
+//! Small-scale fading models.
+//!
+//! Where the simulator does not track discrete multipath geometry (e.g.
+//! the dense clutter *behind* the modelled reflectors), it draws the
+//! residual channel from Rician or Rayleigh statistics — the standard
+//! abstraction for unresolved scatterers.
+
+use rand::Rng;
+
+use rfly_dsp::osc::standard_normal;
+use rfly_dsp::Complex;
+
+/// Draws a Rayleigh-fading channel coefficient with mean power
+/// `mean_power` (no dominant path; pure scatter).
+pub fn rayleigh<R: Rng>(rng: &mut R, mean_power: f64) -> Complex {
+    assert!(mean_power >= 0.0);
+    let sigma = (mean_power / 2.0).sqrt();
+    Complex::new(sigma * standard_normal(rng), sigma * standard_normal(rng))
+}
+
+/// Draws a Rician-fading coefficient: a fixed line-of-sight component of
+/// power `k·p/(k+1)` plus scatter of power `p/(k+1)`, where `p =
+/// mean_power` and `k` is the (linear) Rician K-factor.
+///
+/// `k → ∞` degenerates to a deterministic LoS channel; `k = 0` is
+/// Rayleigh.
+pub fn rician<R: Rng>(rng: &mut R, mean_power: f64, k_factor: f64, los_phase: f64) -> Complex {
+    assert!(mean_power >= 0.0);
+    assert!(k_factor >= 0.0);
+    let los_power = mean_power * k_factor / (k_factor + 1.0);
+    let scatter_power = mean_power / (k_factor + 1.0);
+    Complex::from_polar(los_power.sqrt(), los_phase) + rayleigh(rng, scatter_power)
+}
+
+/// A block-fading process: the coefficient stays fixed within a
+/// coherence block and redraws between blocks. Models a *static* tag and
+/// environment sampled over time, where only slow changes decorrelate
+/// the channel.
+#[derive(Debug)]
+pub struct BlockFading {
+    mean_power: f64,
+    k_factor: f64,
+    los_phase: f64,
+    block_len: usize,
+    current: Complex,
+    remaining: usize,
+}
+
+impl BlockFading {
+    /// Creates a block-fading source; the first draw happens on first
+    /// use.
+    pub fn new(mean_power: f64, k_factor: f64, los_phase: f64, block_len: usize) -> Self {
+        assert!(block_len > 0, "coherence block must be non-empty");
+        Self {
+            mean_power,
+            k_factor,
+            los_phase,
+            block_len,
+            current: Complex::default(),
+            remaining: 0,
+        }
+    }
+
+    /// The coefficient for the next channel use.
+    pub fn next<R: Rng>(&mut self, rng: &mut R) -> Complex {
+        if self.remaining == 0 {
+            self.current = rician(rng, self.mean_power, self.k_factor, self.los_phase);
+            self.remaining = self.block_len;
+        }
+        self.remaining -= 1;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn rayleigh_mean_power_calibrated() {
+        let mut r = rng();
+        let n = 40_000;
+        let p: f64 = (0..n).map(|_| rayleigh(&mut r, 0.7).norm_sq()).sum::<f64>() / n as f64;
+        assert!((p - 0.7).abs() < 0.03, "p = {p}");
+    }
+
+    #[test]
+    fn rician_mean_power_calibrated() {
+        let mut r = rng();
+        let n = 40_000;
+        let p: f64 = (0..n)
+            .map(|_| rician(&mut r, 1.0, 5.0, 0.3).norm_sq())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 1.0).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn high_k_rician_approaches_los() {
+        let mut r = rng();
+        let h = rician(&mut r, 1.0, 1e9, 0.5);
+        assert!((h.abs() - 1.0).abs() < 1e-3);
+        assert!((h.arg() - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_k_rician_is_rayleigh_like() {
+        let mut r = rng();
+        // With k = 0 the LoS term vanishes; the phase must be uniform —
+        // check the circular mean is near zero.
+        let n = 20_000;
+        let mean: Complex = (0..n)
+            .map(|_| rician(&mut r, 1.0, 0.0, 0.0).normalize())
+            .sum::<Complex>()
+            / n as f64;
+        assert!(mean.abs() < 0.02, "circular mean {}", mean.abs());
+    }
+
+    #[test]
+    fn block_fading_holds_within_block() {
+        let mut r = rng();
+        let mut bf = BlockFading::new(1.0, 2.0, 0.0, 8);
+        let first = bf.next(&mut r);
+        for _ in 1..8 {
+            assert_eq!(bf.next(&mut r), first);
+        }
+        let ninth = bf.next(&mut r);
+        assert_ne!(ninth, first, "new block should redraw");
+    }
+
+    #[test]
+    fn zero_power_is_silent() {
+        let mut r = rng();
+        assert_eq!(rayleigh(&mut r, 0.0), Complex::default());
+    }
+}

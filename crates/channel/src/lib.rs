@@ -1,0 +1,28 @@
+//! # rfly-channel — RF propagation substrate for RFly
+//!
+//! Models everything between antennas: geometry, free-space and
+//! log-distance path loss with shadowing, image-method specular
+//! multipath off walls and shelves, obstruction (NLoS) attenuation,
+//! small-scale fading, antenna gain and polarization, thermal noise, and
+//! link budgets. The paper's evaluation outcomes — read range (Fig. 11),
+//! localization error vs distance (Fig. 14), ghost peaks under multipath
+//! (Fig. 6b) — are all downstream of this crate.
+//!
+//! The central abstraction is the [`phasor::PathSet`]: a set of
+//! propagation paths, each with a length and amplitude, whose channel at
+//! a frequency `f` is `h(f) = Σ_i a_i · e^{−j2πf d_i/c}` — the paper's
+//! Eq. 8 half-link factors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antenna;
+pub mod environment;
+pub mod fading;
+pub mod geometry;
+pub mod link;
+pub mod pathloss;
+pub mod phasor;
+
+pub use geometry::{Point2, Point3};
+pub use phasor::{Path, PathSet};

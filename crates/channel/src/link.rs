@@ -1,0 +1,209 @@
+//! Link budgets and SNR accounting.
+//!
+//! Read range (Fig. 11) is decided by two budgets: the *downlink power
+//! budget* — can the query deliver the tag's −15 dBm power-up threshold?
+//! — and the *uplink SNR budget* — does the backscatter response clear
+//! the reader's decode threshold? This module does that arithmetic on
+//! top of the path-loss and phasor models.
+
+use rfly_dsp::units::{thermal_noise, Db, Dbm, Hertz};
+
+use crate::phasor::PathSet;
+
+/// One direction of a radio link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkBudget {
+    /// Transmit power at the antenna port.
+    pub tx_power: Dbm,
+    /// Transmit antenna gain.
+    pub tx_gain: Db,
+    /// Receive antenna gain.
+    pub rx_gain: Db,
+    /// Receiver noise figure.
+    pub noise_figure: Db,
+    /// Receiver bandwidth (sets the noise floor).
+    pub bandwidth: Hertz,
+}
+
+impl LinkBudget {
+    /// A typical FCC-compliant UHF RFID reader port: 30 dBm conducted,
+    /// 6 dBi antenna (36 dBm EIRP), 8 dB noise figure, 2 MHz bandwidth.
+    pub fn rfid_reader() -> Self {
+        Self {
+            tx_power: Dbm::new(30.0),
+            tx_gain: Db::new(6.0),
+            rx_gain: Db::new(6.0),
+            noise_figure: Db::new(8.0),
+            bandwidth: Hertz::mhz(2.0),
+        }
+    }
+
+    /// Received power over a channel with power gain `|h|²` given as
+    /// `channel_power` (linear).
+    pub fn received_power(&self, channel_power: f64) -> Dbm {
+        assert!(channel_power >= 0.0);
+        self.tx_power + self.tx_gain + self.rx_gain + Db::from_linear(channel_power)
+    }
+
+    /// Received power over a traced path set at frequency `f`.
+    pub fn received_power_over(&self, paths: &PathSet, f: Hertz) -> Dbm {
+        self.received_power(paths.power(f))
+    }
+
+    /// The receiver noise floor (thermal + noise figure).
+    pub fn noise_floor(&self) -> Dbm {
+        thermal_noise(self.bandwidth) + self.noise_figure
+    }
+
+    /// SNR for a given received power.
+    pub fn snr(&self, received: Dbm) -> Db {
+        received - self.noise_floor()
+    }
+
+    /// Equivalent isotropically radiated power.
+    pub fn eirp(&self) -> Dbm {
+        self.tx_power + self.tx_gain
+    }
+}
+
+/// Backscatter conversion: how much of the power illuminating a passive
+/// tag comes back as modulated reflection.
+///
+/// A switching tag reflects a fraction of the incident power into the
+/// modulated sidebands; with a typical modulation depth `m`, the useful
+/// (differential) backscatter gain is about `−5 dB − 20·log10(1/m)`
+/// relative to the incident wave. Off-the-shelf tags land around
+/// −5…−10 dB total.
+#[derive(Debug, Clone, Copy)]
+pub struct Backscatter {
+    /// Modulation depth in (0, 1]: the amplitude swing between the
+    /// reflective and absorptive impedance states.
+    pub modulation_depth: f64,
+    /// Fixed conversion loss of the tag antenna/chip interface, dB.
+    pub conversion_loss: Db,
+}
+
+impl Backscatter {
+    /// An Alien-Squiggle-class passive tag: full-depth switching with
+    /// ~5 dB conversion loss.
+    pub fn passive_tag() -> Self {
+        Self {
+            modulation_depth: 1.0,
+            conversion_loss: Db::new(5.0),
+        }
+    }
+
+    /// The effective power gain (≤ 0 dB) from incident carrier power to
+    /// modulated backscatter power.
+    pub fn gain(&self) -> Db {
+        assert!(
+            self.modulation_depth > 0.0 && self.modulation_depth <= 1.0,
+            "modulation depth must be in (0, 1]"
+        );
+        Db::from_amplitude(self.modulation_depth) - self.conversion_loss
+    }
+}
+
+/// End-to-end monostatic backscatter budget: reader → tag → reader, over
+/// the same channel twice (reciprocity).
+///
+/// Returns `(tag_incident_power, reader_received_power)`.
+pub fn monostatic_backscatter(
+    budget: &LinkBudget,
+    tag_channel_power: f64,
+    backscatter: &Backscatter,
+) -> (Dbm, Dbm) {
+    let incident = budget.received_power(tag_channel_power) - budget.rx_gain;
+    // Tag re-radiates through the same channel back to the reader.
+    let returned = incident + backscatter.gain() + Db::from_linear(tag_channel_power) + budget.rx_gain;
+    (incident, returned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::free_space_db;
+
+    const F: Hertz = Hertz(915e6);
+
+    #[test]
+    fn eirp_is_power_plus_gain() {
+        let b = LinkBudget::rfid_reader();
+        assert_eq!(b.eirp(), Dbm::new(36.0));
+    }
+
+    #[test]
+    fn received_power_friis_sanity() {
+        let b = LinkBudget::rfid_reader();
+        // 10 m free space at 915 MHz: loss ≈ 51.7 dB.
+        let loss = free_space_db(10.0, F);
+        let rx = b.received_power(Db::from_linear(1.0).linear() * (-loss).linear());
+        let expected = 30.0 + 6.0 + 6.0 - loss.value();
+        assert!((rx.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_floor_and_snr() {
+        let b = LinkBudget::rfid_reader();
+        // kTB at 2 MHz ≈ −111 dBm, +8 dB NF ≈ −103 dBm.
+        let nf = b.noise_floor();
+        assert!((nf.value() + 103.0).abs() < 0.5, "nf = {nf}");
+        let snr = b.snr(Dbm::new(-80.0));
+        assert!((snr.value() - (nf.value() * -1.0 - 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_powers_up_within_typical_range() {
+        // The −15 dBm threshold [12] against a 36 dBm EIRP reader should
+        // hold out to a few meters — the 3–6 m of §2.
+        let b = LinkBudget::rfid_reader();
+        let ch_5m = (-free_space_db(5.0, F)).linear();
+        let (incident, _) = monostatic_backscatter(&b, ch_5m, &Backscatter::passive_tag());
+        assert!(incident.value() > -15.0, "tag dead at 5 m: {incident}");
+        let ch_30m = (-free_space_db(30.0, F)).linear();
+        let (incident30, _) = monostatic_backscatter(&b, ch_30m, &Backscatter::passive_tag());
+        assert!(incident30.value() < -15.0, "tag alive at 30 m: {incident30}");
+    }
+
+    #[test]
+    fn backscatter_gain_depends_on_depth() {
+        let full = Backscatter::passive_tag().gain();
+        let shallow = Backscatter {
+            modulation_depth: 0.1,
+            conversion_loss: Db::new(5.0),
+        }
+        .gain();
+        assert!((full.value() + 5.0).abs() < 1e-12);
+        assert!((shallow.value() + 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_is_twice_the_one_way_loss() {
+        let b = LinkBudget::rfid_reader();
+        let ch = (-free_space_db(4.0, F)).linear();
+        let (incident, returned) = monostatic_backscatter(&b, ch, &Backscatter::passive_tag());
+        // returned − incident = backscatter gain + one-way loss + rx gain.
+        let one_way = free_space_db(4.0, F).value();
+        let expected_delta = -5.0 - one_way + 6.0;
+        assert!(((returned - incident).value() - expected_delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn received_power_over_pathset() {
+        let b = LinkBudget::rfid_reader();
+        let ps = PathSet::line_of_sight(10.0, (-free_space_db(10.0, F)).amplitude());
+        let direct = b.received_power_over(&ps, F);
+        let manual = b.received_power((-free_space_db(10.0, F)).linear());
+        assert!((direct.value() - manual.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulation depth")]
+    fn invalid_depth_rejected() {
+        let _ = Backscatter {
+            modulation_depth: 0.0,
+            conversion_loss: Db::new(5.0),
+        }
+        .gain();
+    }
+}

@@ -1,0 +1,185 @@
+//! Large-scale path loss models.
+//!
+//! Eq. 3 of the paper uses the free-space form `L = 20·log10(4πR/λ)`;
+//! the read-range and localization-vs-distance experiments additionally
+//! use a log-distance model with configurable exponent and log-normal
+//! shadowing, the standard indoor abstraction.
+
+use rand::Rng;
+
+use rfly_dsp::noise::lognormal_shadowing;
+use rfly_dsp::units::{Db, Hertz};
+
+/// Free-space path loss `20·log10(4πd/λ)` (Friis, isotropic antennas).
+///
+/// Clamps distance to λ/(4π) (the far-field reference where loss is
+/// 0 dB) to avoid negative loss at unphysically small distances.
+pub fn free_space_db(distance_m: f64, freq: Hertz) -> Db {
+    assert!(distance_m >= 0.0, "distance cannot be negative");
+    let lambda = freq.wavelength();
+    let d = distance_m.max(lambda / (4.0 * std::f64::consts::PI));
+    Db::new(20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10())
+}
+
+/// Inverts Eq. 3/4 of the paper: the maximum range at which path loss
+/// equals a given isolation `I`, i.e. `R = (λ/4π)·10^{I/20}`.
+pub fn range_for_isolation(isolation: Db, freq: Hertz) -> f64 {
+    freq.wavelength() / (4.0 * std::f64::consts::PI) * 10f64.powf(isolation.value() / 20.0)
+}
+
+/// The amplitude attenuation factor (linear, ≤ 1) for free-space
+/// propagation over `distance_m`.
+pub fn free_space_amplitude(distance_m: f64, freq: Hertz) -> f64 {
+    (-free_space_db(distance_m, freq)).amplitude()
+}
+
+/// A log-distance path-loss model with shadowing:
+/// `PL(d) = PL(d0) + 10·n·log10(d/d0) + X_σ`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogDistance {
+    /// Reference distance d0, meters (usually 1 m).
+    pub d0_m: f64,
+    /// Path-loss exponent n. Free space is 2.0; cluttered indoor
+    /// line-of-sight is typically 1.6–2.0, obstructed 2.5–4.
+    pub exponent: f64,
+    /// Standard deviation of log-normal shadowing, dB.
+    pub shadowing_sigma_db: f64,
+    /// Carrier frequency (sets PL(d0) via free space).
+    pub freq: Hertz,
+}
+
+impl LogDistance {
+    /// A free-space-equivalent model (n = 2, no shadowing).
+    pub fn free_space(freq: Hertz) -> Self {
+        Self {
+            d0_m: 1.0,
+            exponent: 2.0,
+            shadowing_sigma_db: 0.0,
+            freq,
+        }
+    }
+
+    /// Indoor line-of-sight defaults for a warehouse (n = 1.8, σ = 3 dB:
+    /// waveguiding between shelves slightly beats free space on average
+    /// but fluctuates).
+    pub fn indoor_los(freq: Hertz) -> Self {
+        Self {
+            d0_m: 1.0,
+            exponent: 1.8,
+            shadowing_sigma_db: 3.0,
+            freq,
+        }
+    }
+
+    /// Indoor non-line-of-sight defaults (n = 3.0, σ = 5 dB).
+    pub fn indoor_nlos(freq: Hertz) -> Self {
+        Self {
+            d0_m: 1.0,
+            exponent: 3.0,
+            shadowing_sigma_db: 5.0,
+            freq,
+        }
+    }
+
+    /// Mean (non-shadowed) path loss at `distance_m`.
+    pub fn mean_loss(&self, distance_m: f64) -> Db {
+        let d = distance_m.max(self.d0_m * 1e-3);
+        free_space_db(self.d0_m, self.freq)
+            + Db::new(10.0 * self.exponent * (d / self.d0_m).log10())
+    }
+
+    /// Path loss with a shadowing draw from `rng`.
+    pub fn sample_loss<R: Rng>(&self, distance_m: f64, rng: &mut R) -> Db {
+        let shadow = if self.shadowing_sigma_db > 0.0 {
+            Db::from_linear(lognormal_shadowing(rng, self.shadowing_sigma_db))
+        } else {
+            Db::new(0.0)
+        };
+        self.mean_loss(distance_m) + shadow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const F: Hertz = Hertz(915e6);
+
+    #[test]
+    fn free_space_reference_values() {
+        // At 915 MHz, 1 m: 20·log10(4π/0.3276) ≈ 31.7 dB.
+        let l1 = free_space_db(1.0, F);
+        assert!((l1.value() - 31.7).abs() < 0.2, "l1 = {l1}");
+        // Doubling distance adds 6 dB.
+        let l2 = free_space_db(2.0, F);
+        assert!((l2.value() - l1.value() - 6.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_eq4_isolation_to_range() {
+        // §4.1: "an isolation of 30 dB results in a range of 0.75 m,
+        // while an isolation of 80 dB results in a range of 238 m."
+        // (the paper's numbers round λ ≈ 0.3 m)
+        let r30 = range_for_isolation(Db::new(30.0), F);
+        assert!((r30 - 0.82).abs() < 0.1, "r30 = {r30}");
+        let r80 = range_for_isolation(Db::new(80.0), F);
+        assert!((r80 - 260.0).abs() < 30.0, "r80 = {r80}");
+    }
+
+    #[test]
+    fn isolation_range_roundtrip() {
+        for iso in [30.0, 50.0, 70.0, 90.0] {
+            let r = range_for_isolation(Db::new(iso), F);
+            let back = free_space_db(r, F);
+            assert!((back.value() - iso).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn amplitude_matches_loss() {
+        let a = free_space_amplitude(10.0, F);
+        let l = free_space_db(10.0, F);
+        assert!((Db::from_amplitude(a).value() + l.value()).abs() < 1e-9);
+        assert!(a < 1.0);
+    }
+
+    #[test]
+    fn tiny_distance_clamps_to_zero_loss() {
+        let l = free_space_db(0.0, F);
+        assert!(l.value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_free_space_matches_friis() {
+        let m = LogDistance::free_space(F);
+        for d in [1.0, 3.0, 10.0, 50.0] {
+            assert!((m.mean_loss(d).value() - free_space_db(d, F).value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nlos_exponent_loses_more() {
+        let los = LogDistance::indoor_los(F);
+        let nlos = LogDistance::indoor_nlos(F);
+        assert!(nlos.mean_loss(20.0).value() > los.mean_loss(20.0).value() + 10.0);
+    }
+
+    #[test]
+    fn shadowing_has_zero_median_and_spread() {
+        let m = LogDistance {
+            d0_m: 1.0,
+            exponent: 2.0,
+            shadowing_sigma_db: 4.0,
+            freq: F,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mean = m.mean_loss(10.0).value();
+        let mut draws: Vec<f64> = (0..4001).map(|_| m.sample_loss(10.0, &mut rng).value()).collect();
+        draws.sort_by(f64::total_cmp);
+        let median = draws[draws.len() / 2];
+        assert!((median - mean).abs() < 0.3, "median {median} vs mean {mean}");
+        let spread = draws[(draws.len() as f64 * 0.84) as usize] - median;
+        assert!((spread - 4.0).abs() < 0.6, "sigma ≈ {spread}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Phasor-level channel representation — the paper's Eq. 7–10.
+//!
+//! A wireless channel between two points, at a single frequency, is a
+//! complex number: `h(f) = Σ_i a_i · e^{−j2πf·d_i/c}` over the
+//! propagation paths `i` with one-way lengths `d_i` and amplitude gains
+//! `a_i`. RFly's through-relay channel is the *product* of two such
+//! half-link channels (reader↔relay at `f`, relay↔tag at `f₂`) — the
+//! phase entanglement of Fig. 2(b) — and the disentanglement algorithm
+//! divides one measured product by another.
+//!
+//! Keeping paths (rather than just the summed coefficient) lets the
+//! localizer's test code reason about ground truth, and lets the
+//! simulator re-evaluate the same geometry at many frequencies.
+
+use rfly_dsp::units::Hertz;
+use rfly_dsp::{Complex, SPEED_OF_LIGHT};
+
+/// One propagation path: a one-way length and a (real, non-negative)
+/// amplitude gain. Phase is derived from length and frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Path {
+    /// One-way path length, meters.
+    pub length_m: f64,
+    /// Amplitude gain along the path (free-space attenuation × antenna
+    /// gains × reflection losses), linear.
+    pub amplitude: f64,
+}
+
+impl Path {
+    /// Creates a path.
+    pub fn new(length_m: f64, amplitude: f64) -> Self {
+        assert!(length_m >= 0.0, "path length cannot be negative");
+        assert!(amplitude >= 0.0, "amplitude gain cannot be negative");
+        Self {
+            length_m,
+            amplitude,
+        }
+    }
+
+    /// The channel contribution of this path at frequency `f`, using
+    /// round-trip phase convention `factor = 1` for one-way links.
+    ///
+    /// RFID phase measurements are round-trip (Eq. 2 uses `2d`), but the
+    /// half-link channels in Eq. 8–10 are written per-direction; the
+    /// paper's `2d_i` appears because each half-link is traversed twice
+    /// (query out, response back). We therefore expose the *one-way*
+    /// coefficient here and let callers square/pair as physics dictates.
+    pub fn coefficient(&self, f: Hertz) -> Complex {
+        Complex::from_polar(
+            self.amplitude,
+            -std::f64::consts::TAU * f.as_hz() * self.length_m / SPEED_OF_LIGHT,
+        )
+    }
+}
+
+/// A set of propagation paths forming one link's channel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathSet {
+    paths: Vec<Path>,
+}
+
+impl PathSet {
+    /// An empty (fully blocked) channel.
+    pub fn blocked() -> Self {
+        Self { paths: Vec::new() }
+    }
+
+    /// A single line-of-sight path.
+    pub fn line_of_sight(length_m: f64, amplitude: f64) -> Self {
+        Self {
+            paths: vec![Path::new(length_m, amplitude)],
+        }
+    }
+
+    /// Builds from an explicit path list.
+    pub fn from_paths(paths: Vec<Path>) -> Self {
+        Self { paths }
+    }
+
+    /// Adds a path.
+    pub fn push(&mut self, path: Path) {
+        self.paths.push(path);
+    }
+
+    /// The constituent paths.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if no energy propagates on this link.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The shortest (direct) path, if any. Under the paper's §5.2
+    /// insight, this is the path whose implied location lies nearest the
+    /// trajectory.
+    pub fn direct(&self) -> Option<&Path> {
+        self.paths
+            .iter()
+            .min_by(|a, b| a.length_m.total_cmp(&b.length_m))
+    }
+
+    /// The strongest path, if any — *not* necessarily the direct one
+    /// when furniture attenuates the direct path (Fig. 5).
+    pub fn strongest(&self) -> Option<&Path> {
+        self.paths
+            .iter()
+            .max_by(|a, b| a.amplitude.total_cmp(&b.amplitude))
+    }
+
+    /// One-way channel coefficient at frequency `f`:
+    /// `h(f) = Σ_i a_i·e^{−j2πf d_i/c}`.
+    pub fn channel(&self, f: Hertz) -> Complex {
+        self.paths.iter().map(|p| p.coefficient(f)).sum()
+    }
+
+    /// Round-trip channel coefficient at `f`: the link traversed out and
+    /// back, i.e. the *product* of the forward and reverse one-way
+    /// channels (reciprocity makes them equal):
+    /// `h_rt(f) = h(f)² = (Σ_i a_i·e^{−j2πf d_i/c})²`.
+    ///
+    /// Note the distinction from `Σ a_i²·e^{−j2πf·2d_i/c}`: the physical
+    /// round trip crosses every *pair* of paths (out on i, back on j),
+    /// which is exactly the double sum the paper re-factors in Eq. 9.
+    pub fn round_trip(&self, f: Hertz) -> Complex {
+        let h = self.channel(f);
+        h * h
+    }
+
+    /// Total received power fraction at `f` (|h|²).
+    pub fn power(&self, f: Hertz) -> f64 {
+        self.channel(f).norm_sq()
+    }
+
+    /// Scales every path's amplitude (e.g. to apply a wall penalty to a
+    /// whole link).
+    pub fn attenuate(&self, factor: f64) -> PathSet {
+        assert!(factor >= 0.0);
+        PathSet {
+            paths: self
+                .paths
+                .iter()
+                .map(|p| Path::new(p.length_m, p.amplitude * factor))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: Hertz = Hertz(915e6);
+
+    #[test]
+    fn single_path_phase_matches_distance() {
+        let d = 3.2;
+        let p = PathSet::line_of_sight(d, 1.0);
+        let h = p.channel(F);
+        let expected = -std::f64::consts::TAU * F.as_hz() * d / SPEED_OF_LIGHT;
+        assert!((rfly_dsp::complex::phase_distance(h.arg(), expected)) < 1e-9);
+        assert!((h.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_periodicity() {
+        let lambda = F.wavelength();
+        let a = PathSet::line_of_sight(5.0, 1.0).channel(F);
+        let b = PathSet::line_of_sight(5.0 + lambda, 1.0).channel(F);
+        assert!((a - b).abs() < 1e-6);
+        let c = PathSet::line_of_sight(5.0 + lambda / 2.0, 1.0).channel(F);
+        assert!((a + c).abs() < 1e-6, "half wavelength flips sign");
+    }
+
+    #[test]
+    fn two_paths_superpose() {
+        let mut ps = PathSet::blocked();
+        ps.push(Path::new(1.0, 0.5));
+        ps.push(Path::new(2.0, 0.25));
+        let h = ps.channel(F);
+        let manual = Path::new(1.0, 0.5).coefficient(F) + Path::new(2.0, 0.25).coefficient(F);
+        assert!((h - manual).abs() < 1e-15);
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn destructive_interference_creates_blind_spot() {
+        // Two equal-amplitude paths differing by λ/2 cancel — the blind
+        // spot phenomenon [31] cited in the paper's intro.
+        let lambda = F.wavelength();
+        let ps = PathSet::from_paths(vec![
+            Path::new(4.0, 1.0),
+            Path::new(4.0 + lambda / 2.0, 1.0),
+        ]);
+        assert!(ps.power(F) < 1e-10);
+    }
+
+    #[test]
+    fn direct_vs_strongest_can_differ() {
+        let ps = PathSet::from_paths(vec![
+            Path::new(2.0, 0.1),  // attenuated direct path (obstacle)
+            Path::new(5.0, 0.8),  // strong reflection
+        ]);
+        assert_eq!(ps.direct().unwrap().length_m, 2.0);
+        assert_eq!(ps.strongest().unwrap().length_m, 5.0);
+    }
+
+    #[test]
+    fn round_trip_is_square_of_one_way() {
+        let ps = PathSet::from_paths(vec![Path::new(1.5, 0.3), Path::new(2.5, 0.2)]);
+        let h = ps.channel(F);
+        assert!((ps.round_trip(F) - h * h).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocked_channel_is_zero() {
+        let ps = PathSet::blocked();
+        assert!(ps.is_empty());
+        assert_eq!(ps.channel(F), Complex::default());
+        assert!(ps.direct().is_none());
+        assert!(ps.strongest().is_none());
+    }
+
+    #[test]
+    fn attenuate_scales_power_by_square() {
+        let ps = PathSet::line_of_sight(3.0, 1.0);
+        let half = ps.attenuate(0.5);
+        assert!((half.power(F) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_length_rejected() {
+        let _ = Path::new(-1.0, 1.0);
+    }
+}

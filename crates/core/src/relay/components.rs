@@ -1,0 +1,162 @@
+//! Component-level parameters and manufacturing tolerances.
+//!
+//! Fig. 9's isolation CDFs spread over tens of dB across 100 trials
+//! because real components vary: filter stopbands wander with part
+//! tolerances and temperature, antenna coupling shifts with the probe
+//! frequency, and board-level feed-through depends on layout parasites.
+//! This module centralizes the nominal values (calibrated once so the
+//! medians land near the paper's 110/92/77/64 dB) and the per-trial
+//! random draws around them.
+
+use rand::Rng;
+
+use rfly_channel::antenna::{mutual_coupling, Polarization};
+use rfly_dsp::osc::standard_normal;
+use rfly_dsp::units::{Db, Hertz};
+
+/// Nominal values and tolerance widths for every analog component of
+/// the relay.
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentTolerances {
+    /// Designed stopband attenuation of the downlink low-pass filter.
+    pub lpf_stopband: Db,
+    /// Designed stopband attenuation of the uplink band-pass filter.
+    pub bpf_stopband: Db,
+    /// σ of the per-trial filter-attenuation deviation, dB.
+    pub filter_sigma_db: f64,
+    /// Board-level same-frequency feed-through of the downlink path
+    /// (input connector to output connector, RF). The downlink layout
+    /// is screened more aggressively (§6.1 optimizes the downlink).
+    pub bypass_downlink: Db,
+    /// Board-level feed-through of the uplink path.
+    pub bypass_uplink: Db,
+    /// σ of the per-trial bypass deviation, dB.
+    pub bypass_sigma_db: f64,
+    /// Antenna separation on the PCB, meters (10 cm in the prototype).
+    pub antenna_separation_m: f64,
+    /// σ of per-trial antenna-coupling deviation, dB (orientation,
+    /// frequency, nearby objects).
+    pub antenna_sigma_db: f64,
+    /// Mixer conversion loss.
+    pub mixer_loss: Db,
+    /// Mixer input→output feed-through (per mixer).
+    pub mixer_feedthrough: Db,
+}
+
+impl ComponentTolerances {
+    /// The calibrated prototype values (see DESIGN.md §4.2): medians of
+    /// the four Fig. 9 isolation CDFs land near 110/92/77/64 dB.
+    pub fn prototype() -> Self {
+        Self {
+            lpf_stopband: Db::new(64.0),
+            bpf_stopband: Db::new(57.0),
+            filter_sigma_db: 4.0,
+            bypass_downlink: Db::new(56.0),
+            bypass_uplink: Db::new(43.0),
+            bypass_sigma_db: 4.0,
+            antenna_separation_m: 0.10,
+            antenna_sigma_db: 3.0,
+            mixer_loss: Db::new(6.0),
+            mixer_feedthrough: Db::new(30.0),
+        }
+    }
+
+    /// Antenna-to-antenna isolation between a path's transmit antenna
+    /// and a receive antenna, for cross-polarized elements at the PCB
+    /// separation (the prototype alternates polarization between
+    /// adjacent antennas).
+    pub fn nominal_antenna_isolation(&self, freq: Hertz) -> Db {
+        mutual_coupling(
+            self.antenna_separation_m,
+            freq,
+            Polarization::Vertical,
+            Polarization::Horizontal,
+        )
+    }
+
+    /// One Monte-Carlo draw of the trial-dependent values.
+    pub fn draw<R: Rng>(&self, rng: &mut R, freq: Hertz) -> DrawnComponents {
+        let jitter = |sigma: f64, rng: &mut R| Db::new(sigma * standard_normal(rng));
+        DrawnComponents {
+            lpf_stopband: (self.lpf_stopband + jitter(self.filter_sigma_db, rng))
+                .max(Db::new(20.0)),
+            bpf_stopband: (self.bpf_stopband + jitter(self.filter_sigma_db, rng))
+                .max(Db::new(20.0)),
+            bypass_downlink: (self.bypass_downlink + jitter(self.bypass_sigma_db, rng))
+                .max(Db::new(10.0)),
+            bypass_uplink: (self.bypass_uplink + jitter(self.bypass_sigma_db, rng))
+                .max(Db::new(10.0)),
+            antenna_isolation: (self.nominal_antenna_isolation(freq)
+                + jitter(self.antenna_sigma_db, rng))
+            .max(Db::new(0.0)),
+        }
+    }
+}
+
+/// The trial-specific component values drawn from the tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct DrawnComponents {
+    /// Achieved LPF stopband attenuation this trial.
+    pub lpf_stopband: Db,
+    /// Achieved BPF stopband attenuation this trial.
+    pub bpf_stopband: Db,
+    /// Achieved downlink bypass isolation this trial.
+    pub bypass_downlink: Db,
+    /// Achieved uplink bypass isolation this trial.
+    pub bypass_uplink: Db,
+    /// Achieved antenna-to-antenna isolation this trial.
+    pub antenna_isolation: Db,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prototype_antenna_isolation_is_cross_pol_at_10cm() {
+        let t = ComponentTolerances::prototype();
+        let iso = t.nominal_antenna_isolation(Hertz::mhz(915.0));
+        // ~1.7 dB Friis-minus-near-field + 20 dB cross-pol.
+        assert!((iso.value() - 21.7).abs() < 1.0, "iso = {iso}");
+    }
+
+    #[test]
+    fn draws_scatter_around_nominals() {
+        let t = ComponentTolerances::prototype();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 2000;
+        let draws: Vec<DrawnComponents> =
+            (0..n).map(|_| t.draw(&mut rng, Hertz::mhz(915.0))).collect();
+        let mean: f64 =
+            draws.iter().map(|d| d.lpf_stopband.value()).sum::<f64>() / n as f64;
+        assert!((mean - 64.0).abs() < 0.5, "mean = {mean}");
+        let sd: f64 = (draws
+            .iter()
+            .map(|d| (d.lpf_stopband.value() - mean).powi(2))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        assert!((sd - 4.0).abs() < 0.5, "sd = {sd}");
+    }
+
+    #[test]
+    fn draws_respect_physical_floors() {
+        let t = ComponentTolerances {
+            filter_sigma_db: 50.0, // absurd tolerance to force clamping
+            ..ComponentTolerances::prototype()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let d = t.draw(&mut rng, Hertz::mhz(915.0));
+            assert!(d.lpf_stopband.value() >= 20.0);
+            assert!(d.bpf_stopband.value() >= 20.0);
+        }
+    }
+
+    #[test]
+    fn downlink_bypass_is_better_screened_than_uplink() {
+        let t = ComponentTolerances::prototype();
+        assert!(t.bypass_downlink.value() > t.bypass_uplink.value());
+    }
+}

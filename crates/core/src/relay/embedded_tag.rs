@@ -1,0 +1,126 @@
+//! The relay-embedded RFID (§5.1).
+//!
+//! A stock Gen2 tag glued onto the relay itself serves three roles:
+//!
+//! 1. its channel, as seen by the reader, is *purely* the reader↔relay
+//!    half-link — the divisor of Eq. 10's disentanglement;
+//! 2. it abides by Gen2 anti-collision, so it coexists with the tags in
+//!    the environment without protocol changes;
+//! 3. decoding it at all tells the reader the drone is in radio range
+//!    (it is always within the relay's own powering range).
+
+use rfly_dsp::Complex;
+use rfly_protocol::commands::Command;
+use rfly_protocol::epc::Epc;
+use rfly_protocol::tag_state::{TagMachine, TagReply};
+
+/// The tag mounted on the relay PCB.
+///
+/// Unlike environment tags it is *always powered* when the relay is on
+/// (it sits centimeters from the relay's transmit antenna), so there is
+/// no harvester model here.
+#[derive(Debug)]
+pub struct EmbeddedRfid {
+    machine: TagMachine,
+    /// The fixed relay-local channel constant: the tiny hardware path
+    /// between the relay antennas and the embedded tag. Constant while
+    /// the drone flies, so it divides out of Eq. 10 (footnote 6).
+    local_constant: Complex,
+}
+
+impl EmbeddedRfid {
+    /// Creates the embedded tag with its (reserved) EPC.
+    pub fn new(epc: Epc, seed: u64) -> Self {
+        Self {
+            machine: TagMachine::new(epc, seed),
+            local_constant: Complex::from_polar(0.31, 1.37),
+        }
+    }
+
+    /// The embedded tag's EPC — the reader stores this to distinguish
+    /// the relay's tag from environment tags.
+    pub fn epc(&self) -> Epc {
+        self.machine.epc()
+    }
+
+    /// The fixed relay-local channel constant.
+    pub fn local_constant(&self) -> Complex {
+        self.local_constant
+    }
+
+    /// Handles a (relay-forwarded) reader command.
+    pub fn handle(&mut self, cmd: &Command) -> Option<TagReply> {
+        self.machine.handle(cmd)
+    }
+
+    /// Resets protocol state (relay power cycle).
+    pub fn power_cycle(&mut self) {
+        self.machine.power_cycle();
+    }
+}
+
+/// Decides whether the relay is within the reader's radio range, from
+/// an inventory's decoded EPCs: true iff the embedded tag was read.
+pub fn relay_in_range(embedded_epc: Epc, read_epcs: &[Epc]) -> bool {
+    read_epcs.contains(&embedded_epc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_protocol::session::{InventoriedFlag, SelFilter, Session};
+    use rfly_protocol::tag_state::TagReply;
+    use rfly_protocol::timing::{DivideRatio, TagEncoding};
+
+    fn query() -> Command {
+        Command::Query {
+            dr: DivideRatio::Dr64over3,
+            m: TagEncoding::Fm0,
+            trext: false,
+            sel: SelFilter::All,
+            session: Session::S0,
+            target: InventoriedFlag::A,
+            q: 0,
+        }
+    }
+
+    #[test]
+    fn embedded_tag_is_a_normal_gen2_citizen() {
+        let mut t = EmbeddedRfid::new(Epc::from_index(0xEE), 1);
+        let reply = t.handle(&query());
+        assert!(matches!(reply, Some(TagReply::Rn16(_))));
+    }
+
+    #[test]
+    fn epc_is_stable_and_distinct() {
+        let t = EmbeddedRfid::new(Epc::from_index(0xEE), 1);
+        assert_eq!(t.epc(), Epc::from_index(0xEE));
+        assert_ne!(t.epc(), Epc::from_index(0));
+    }
+
+    #[test]
+    fn local_constant_is_fixed() {
+        let t = EmbeddedRfid::new(Epc::from_index(0xEE), 1);
+        let c1 = t.local_constant();
+        let c2 = t.local_constant();
+        assert_eq!(c1, c2);
+        assert!(c1.abs() > 0.0);
+    }
+
+    #[test]
+    fn range_detection_from_reads() {
+        let epc = Epc::from_index(0xEE);
+        assert!(relay_in_range(epc, &[Epc::from_index(1), epc]));
+        assert!(!relay_in_range(epc, &[Epc::from_index(1)]));
+        assert!(!relay_in_range(epc, &[]));
+    }
+
+    #[test]
+    fn power_cycle_resets_protocol() {
+        let mut t = EmbeddedRfid::new(Epc::from_index(0xEE), 1);
+        t.handle(&query()).expect("replied");
+        t.power_cycle();
+        // After reset a fresh Q=0 query solicits a reply again.
+        assert!(t.handle(&query()).is_some());
+    }
+}

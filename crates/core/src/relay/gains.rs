@@ -1,0 +1,170 @@
+//! VGA gain allocation (§6.1).
+//!
+//! The paper's programming rules, verbatim:
+//!
+//! 1. each link's gain is independently constrained by its intra-link
+//!    isolation (no positive-feedback resonance),
+//! 2. the **sum** of all gains is constrained by the total achievable
+//!    isolation (the full feedback loop crosses both inter-link
+//!    couplings),
+//! 3. the downlink gain is maximized first (it must power the tag),
+//! 4. the output power amplifier's 1 dB compression point (29 dBm)
+//!    caps the downlink output.
+
+use rfly_dsp::units::{Db, Dbm};
+
+/// The gains chosen for the two paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainPlan {
+    /// Downlink VGA+PA chain gain.
+    pub downlink: Db,
+    /// Uplink VGA chain gain.
+    pub uplink: Db,
+}
+
+/// The isolation figures the allocator works against.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationBudget {
+    /// Intra-downlink isolation (Fig. 9c).
+    pub intra_downlink: Db,
+    /// Intra-uplink isolation (Fig. 9d).
+    pub intra_uplink: Db,
+    /// Inter-link isolation, downlink path vs uplink signal (Fig. 9a).
+    pub inter_downlink: Db,
+    /// Inter-link isolation, uplink path vs downlink signal (Fig. 9b).
+    pub inter_uplink: Db,
+}
+
+/// The PA's 1 dB compression point from §6.1.
+pub const PA_COMPRESSION: Dbm = Dbm(29.0);
+
+/// Allocates gains per the §6.1 policy.
+///
+/// * `budget` — measured isolations of this relay build,
+/// * `margin` — stability margin kept below every constraint (a loop
+///   gain of exactly 0 dB rings; practical designs keep ~10 dB),
+/// * `expected_input` — the strongest reader signal expected at the
+///   downlink input, used for the PA compression cap.
+pub fn allocate(budget: &IsolationBudget, margin: Db, expected_input: Dbm) -> GainPlan {
+    assert!(margin.value() >= 0.0, "margin cannot be negative");
+
+    // Rule 1: per-path caps.
+    let dl_cap_stability = budget.intra_downlink - margin;
+    let ul_cap_stability = budget.intra_uplink - margin;
+
+    // Rule 4: PA compression cap on the downlink.
+    let dl_cap_pa = PA_COMPRESSION - expected_input;
+
+    // Rule 3: maximize the downlink first.
+    let downlink = Db::new(
+        dl_cap_stability
+            .min(dl_cap_pa)
+            .value()
+            .max(0.0),
+    );
+
+    // Rule 2: the loop through both paths crosses both inter-link
+    // couplings; the sum of gains must stay below their sum.
+    let total_cap = budget.inter_downlink + budget.inter_uplink - margin;
+    let uplink = Db::new(
+        ul_cap_stability
+            .min(total_cap - downlink)
+            .value()
+            .max(0.0),
+    );
+
+    GainPlan { downlink, uplink }
+}
+
+/// Checks that a gain plan keeps every feedback loop below unity by at
+/// least `margin` — the stability condition behind Eq. 3.
+pub fn is_stable(plan: &GainPlan, budget: &IsolationBudget, margin: Db) -> bool {
+    plan.downlink.value() + margin.value() <= budget.intra_downlink.value()
+        && plan.uplink.value() + margin.value() <= budget.intra_uplink.value()
+        && plan.downlink.value() + plan.uplink.value() + margin.value()
+            <= budget.inter_downlink.value() + budget.inter_uplink.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_budget() -> IsolationBudget {
+        // The Fig. 9 medians.
+        IsolationBudget {
+            intra_downlink: Db::new(77.0),
+            intra_uplink: Db::new(64.0),
+            inter_downlink: Db::new(110.0),
+            inter_uplink: Db::new(92.0),
+        }
+    }
+
+    #[test]
+    fn allocation_is_stable_by_construction() {
+        let b = paper_budget();
+        let plan = allocate(&b, Db::new(10.0), Dbm::new(-30.0));
+        assert!(is_stable(&plan, &b, Db::new(10.0)));
+    }
+
+    #[test]
+    fn downlink_is_maximized_first() {
+        let b = paper_budget();
+        let plan = allocate(&b, Db::new(10.0), Dbm::new(-40.0));
+        // Downlink cap: min(77−10, 29−(−40)) = min(67, 69) = 67.
+        assert!((plan.downlink.value() - 67.0).abs() < 1e-9);
+        // Uplink: min(64−10, 110+92−10−67) = min(54, 125) = 54.
+        assert!((plan.uplink.value() - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pa_compression_caps_strong_inputs() {
+        let b = paper_budget();
+        // Reader very close: −5 dBm at the relay input.
+        let plan = allocate(&b, Db::new(10.0), Dbm::new(-5.0));
+        assert!((plan.downlink.value() - 34.0).abs() < 1e-9, "29−(−5) = 34");
+    }
+
+    #[test]
+    fn weak_isolation_starves_the_uplink() {
+        let b = IsolationBudget {
+            intra_downlink: Db::new(40.0),
+            intra_uplink: Db::new(40.0),
+            inter_downlink: Db::new(30.0),
+            inter_uplink: Db::new(25.0),
+        };
+        let plan = allocate(&b, Db::new(10.0), Dbm::new(-40.0));
+        // Downlink: min(30, 69) = 30. Total cap: 45. Uplink: min(30, 15).
+        assert!((plan.downlink.value() - 30.0).abs() < 1e-9);
+        assert!((plan.uplink.value() - 15.0).abs() < 1e-9);
+        assert!(is_stable(&plan, &b, Db::new(10.0)));
+    }
+
+    #[test]
+    fn gains_never_negative() {
+        let b = IsolationBudget {
+            intra_downlink: Db::new(5.0),
+            intra_uplink: Db::new(5.0),
+            inter_downlink: Db::new(4.0),
+            inter_uplink: Db::new(4.0),
+        };
+        let plan = allocate(&b, Db::new(10.0), Dbm::new(20.0));
+        assert_eq!(plan.downlink, Db::new(0.0));
+        assert_eq!(plan.uplink, Db::new(0.0));
+    }
+
+    #[test]
+    fn instability_detected() {
+        let b = paper_budget();
+        let hot = GainPlan {
+            downlink: Db::new(75.0),
+            uplink: Db::new(60.0),
+        };
+        assert!(!is_stable(&hot, &b, Db::new(10.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn negative_margin_rejected() {
+        let _ = allocate(&paper_budget(), Db::new(-1.0), Dbm::new(-30.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Point-to-point kinematics: where the vehicle is at time t.
+//!
+//! A trapezoidal speed profile (accelerate, cruise, decelerate) between
+//! waypoints — accurate enough for measurement-position bookkeeping,
+//! which is all the localization algorithms consume.
+
+use rfly_channel::geometry::Point2;
+
+/// Motion limits of a vehicle.
+#[derive(Debug, Clone, Copy)]
+pub struct MotionLimits {
+    /// Maximum speed, m/s.
+    pub max_speed: f64,
+    /// Maximum acceleration magnitude, m/s².
+    pub max_accel: f64,
+}
+
+impl MotionLimits {
+    /// Conservative indoor-survey limits for a Bebop 2 class drone.
+    pub fn indoor_drone() -> Self {
+        Self {
+            max_speed: 1.0,
+            max_accel: 0.5,
+        }
+    }
+
+    /// iRobot Create 2 scan limits.
+    pub fn ground_robot() -> Self {
+        Self {
+            max_speed: 0.3,
+            max_accel: 0.3,
+        }
+    }
+}
+
+/// One straight leg with a trapezoidal (or triangular) speed profile.
+#[derive(Debug, Clone)]
+pub struct Leg {
+    from: Point2,
+    to: Point2,
+    limits: MotionLimits,
+}
+
+impl Leg {
+    /// Creates a leg.
+    pub fn new(from: Point2, to: Point2, limits: MotionLimits) -> Self {
+        assert!(limits.max_speed > 0.0 && limits.max_accel > 0.0);
+        Self { from, to, limits }
+    }
+
+    /// Leg length, meters.
+    pub fn length(&self) -> f64 {
+        self.from.distance(self.to)
+    }
+
+    /// Total traversal time, seconds.
+    pub fn duration(&self) -> f64 {
+        let d = self.length();
+        if d == 0.0 {
+            return 0.0;
+        }
+        let v = self.limits.max_speed;
+        let a = self.limits.max_accel;
+        let d_ramp = v * v / a; // accelerate + decelerate distance
+        if d >= d_ramp {
+            // Trapezoid: two ramps of v/a each plus a cruise.
+            2.0 * v / a + (d - d_ramp) / v
+        } else {
+            // Triangle: never reaches max speed.
+            2.0 * (d / a).sqrt()
+        }
+    }
+
+    /// Distance travelled along the leg at time `t` (clamped to the
+    /// leg's duration).
+    pub fn distance_at(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "time cannot be negative");
+        let d = self.length();
+        if d == 0.0 {
+            return 0.0;
+        }
+        let v = self.limits.max_speed;
+        let a = self.limits.max_accel;
+        let total = self.duration();
+        let t = t.min(total);
+        let d_ramp = v * v / a;
+        if d >= d_ramp {
+            let t_ramp = v / a;
+            if t <= t_ramp {
+                0.5 * a * t * t
+            } else if t <= total - t_ramp {
+                0.5 * v * t_ramp + v * (t - t_ramp)
+            } else {
+                let tr = total - t;
+                d - 0.5 * a * tr * tr
+            }
+        } else {
+            let t_peak = total / 2.0;
+            if t <= t_peak {
+                0.5 * a * t * t
+            } else {
+                let tr = total - t;
+                d - 0.5 * a * tr * tr
+            }
+        }
+    }
+
+    /// Position at time `t` (clamped to the endpoints).
+    pub fn position_at(&self, t: f64) -> Point2 {
+        let d = self.length();
+        if d == 0.0 {
+            return self.from;
+        }
+        self.from.lerp(self.to, self.distance_at(t) / d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> MotionLimits {
+        MotionLimits {
+            max_speed: 1.0,
+            max_accel: 0.5,
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let leg = Leg::new(Point2::new(0.0, 0.0), Point2::new(4.0, 3.0), limits());
+        assert_eq!(leg.position_at(0.0), Point2::new(0.0, 0.0));
+        let end = leg.position_at(leg.duration() + 10.0);
+        assert!(end.distance(Point2::new(4.0, 3.0)) < 1e-9);
+        assert_eq!(leg.length(), 5.0);
+    }
+
+    #[test]
+    fn trapezoid_duration_formula() {
+        // 5 m at v=1, a=0.5: ramps take 2 s each covering 1 m each;
+        // cruise 3 m at 1 m/s → total 7 s.
+        let leg = Leg::new(Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), limits());
+        assert!((leg.duration() - 7.0).abs() < 1e-12);
+        // Midpoint of cruise at t = 3.5: distance = 1 + 1.5 = 2.5.
+        assert!((leg.distance_at(3.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_leg_is_triangular() {
+        // 0.5 m: ramp distance would be 2 m, so triangular profile.
+        let leg = Leg::new(Point2::new(0.0, 0.0), Point2::new(0.5, 0.0), limits());
+        let t = leg.duration();
+        assert!((t - 2.0 * (0.5f64 / 0.5).sqrt()).abs() < 1e-12);
+        // Peak speed stays below the cap.
+        let v_peak = 0.5 * 0.5 * t; // a · t_peak
+        assert!(v_peak <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn distance_is_monotone() {
+        let leg = Leg::new(Point2::new(0.0, 0.0), Point2::new(3.0, 4.0), limits());
+        let mut prev = -1.0;
+        for k in 0..=100 {
+            let d = leg.distance_at(leg.duration() * k as f64 / 100.0);
+            assert!(d >= prev - 1e-12);
+            prev = d;
+        }
+        assert!((prev - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_leg() {
+        let p = Point2::new(1.0, 1.0);
+        let leg = Leg::new(p, p, limits());
+        assert_eq!(leg.duration(), 0.0);
+        assert_eq!(leg.position_at(5.0), p);
+    }
+}

@@ -1,0 +1,128 @@
+//! Automatic gain control.
+//!
+//! The relay's variable-gain amplifiers (§6.1 of the paper) are set by a
+//! gain-allocation policy, but the reader's receive chain still needs a
+//! conventional AGC so that decode thresholds work across the enormous
+//! dynamic range between a tag at 0.5 m and one at 5 m behind a wall.
+
+use crate::complex::Complex;
+use crate::units::Db;
+
+/// A feed-forward block AGC with exponential smoothing of the power
+/// estimate and a hard gain ceiling (real amplifiers run out of gain).
+#[derive(Debug, Clone)]
+pub struct Agc {
+    target_rms: f64,
+    max_gain: f64,
+    /// Smoothing factor in (0, 1]; 1 = no memory.
+    alpha: f64,
+    power_est: f64,
+}
+
+impl Agc {
+    /// Creates an AGC aiming for `target_rms` output amplitude with at
+    /// most `max_gain` of gain and smoothing factor `alpha`.
+    pub fn new(target_rms: f64, max_gain: Db, alpha: f64) -> Self {
+        assert!(target_rms > 0.0, "target must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            target_rms,
+            max_gain: max_gain.amplitude(),
+            alpha,
+            power_est: 0.0,
+        }
+    }
+
+    /// The current linear gain that would be applied.
+    pub fn current_gain(&self) -> f64 {
+        if self.power_est <= 0.0 {
+            self.max_gain
+        } else {
+            (self.target_rms / self.power_est.sqrt()).min(self.max_gain)
+        }
+    }
+
+    /// Processes one block: updates the power estimate, then scales the
+    /// block by a single gain (block-constant gain preserves the *phase*
+    /// and relative amplitude structure within the block, which decode
+    /// and channel estimation rely on).
+    pub fn process(&mut self, input: &[Complex]) -> Vec<Complex> {
+        if input.is_empty() {
+            return Vec::new();
+        }
+        let block_power = crate::buffer::mean_power(input);
+        self.power_est = if self.power_est == 0.0 {
+            block_power
+        } else {
+            (1.0 - self.alpha) * self.power_est + self.alpha * block_power
+        };
+        let g = self.current_gain();
+        input.iter().map(|&x| x * g).collect()
+    }
+
+    /// Resets the power estimate.
+    pub fn reset(&mut self) {
+        self.power_est = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::rms;
+
+    fn block(amp: f64, n: usize) -> Vec<Complex> {
+        vec![Complex::from_re(amp); n]
+    }
+
+    #[test]
+    fn converges_to_target() {
+        let mut agc = Agc::new(1.0, Db::new(60.0), 0.5);
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            out = agc.process(&block(0.01, 64));
+        }
+        assert!((rms(&out) - 1.0).abs() < 0.05, "rms = {}", rms(&out));
+    }
+
+    #[test]
+    fn gain_ceiling_respected() {
+        let mut agc = Agc::new(1.0, Db::new(20.0), 1.0);
+        let out = agc.process(&block(1e-6, 16));
+        // Needs 120 dB of gain but only 20 dB available.
+        assert!((rms(&out) - 1e-6 * 10.0_f64.powi(1)).abs() < 1e-9);
+        assert!((agc.current_gain() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_gain_preserves_phase() {
+        let mut agc = Agc::new(1.0, Db::new(60.0), 1.0);
+        let input: Vec<Complex> = (0..32).map(|i| Complex::cis(i as f64 * 0.2) * 0.01).collect();
+        let out = agc.process(&input);
+        for (x, y) in input.iter().zip(&out) {
+            assert!((x.arg() - y.arg()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn attenuates_loud_input() {
+        let mut agc = Agc::new(0.5, Db::new(60.0), 1.0);
+        let out = agc.process(&block(100.0, 32));
+        assert!((rms(&out) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_block_is_noop() {
+        let mut agc = Agc::new(1.0, Db::new(40.0), 0.3);
+        assert!(agc.process(&[]).is_empty());
+    }
+
+    #[test]
+    fn reset_restores_max_gain() {
+        let mut agc = Agc::new(1.0, Db::new(40.0), 1.0);
+        agc.process(&block(10.0, 8));
+        assert!(agc.current_gain() < 1.0);
+        agc.reset();
+        assert_eq!(agc.current_gain(), Db::new(40.0).amplitude());
+    }
+}

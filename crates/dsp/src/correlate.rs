@@ -1,0 +1,176 @@
+//! Cross-correlation and matched filtering.
+//!
+//! The reader's decoder synchronizes to the tag's FM0 preamble by
+//! sliding-window correlation, and decodes symbols with matched filters.
+//! The SAR localization in the core crate is itself a matched filter over
+//! space; this module provides the time-domain version.
+
+use crate::complex::Complex;
+
+/// Correlates `signal` against `template` at every full-overlap lag.
+///
+/// `out[k] = Σ_n signal[k + n] · conj(template[n])`, for
+/// `k in 0..=signal.len() − template.len()`.
+pub fn cross_correlate(signal: &[Complex], template: &[Complex]) -> Vec<Complex> {
+    assert!(!template.is_empty(), "template must be non-empty");
+    assert!(
+        signal.len() >= template.len(),
+        "signal shorter than template"
+    );
+    let lags = signal.len() - template.len() + 1;
+    (0..lags)
+        .map(|k| {
+            signal[k..k + template.len()]
+                .iter()
+                .zip(template)
+                .map(|(s, t)| *s * t.conj())
+                .sum()
+        })
+        .collect()
+}
+
+/// Normalized correlation magnitude in `[0, 1]` at every full-overlap
+/// lag: the cosine similarity between the template and each signal
+/// window. Robust to amplitude scaling, which matters because backscatter
+/// amplitude varies wildly with range.
+pub fn normalized_correlation(signal: &[Complex], template: &[Complex]) -> Vec<f64> {
+    let raw = cross_correlate(signal, template);
+    let t_energy: f64 = template.iter().map(|t| t.norm_sq()).sum();
+    raw.iter()
+        .enumerate()
+        .map(|(k, c)| {
+            let s_energy: f64 = signal[k..k + template.len()]
+                .iter()
+                .map(|s| s.norm_sq())
+                .sum();
+            let denom = (t_energy * s_energy).sqrt();
+            if denom == 0.0 {
+                0.0
+            } else {
+                c.abs() / denom
+            }
+        })
+        .collect()
+}
+
+/// Finds the lag of the correlation peak, returning `(lag, peak_value)`.
+pub fn peak_lag(correlation: &[f64]) -> Option<(usize, f64)> {
+    correlation
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(k, v)| (k, *v))
+}
+
+/// Locates `template` inside `signal` by normalized correlation and
+/// returns the best lag if the peak exceeds `threshold` (0..1).
+pub fn find_template(
+    signal: &[Complex],
+    template: &[Complex],
+    threshold: f64,
+) -> Option<usize> {
+    if signal.len() < template.len() {
+        return None;
+    }
+    let corr = normalized_correlation(signal, template);
+    match peak_lag(&corr) {
+        Some((lag, v)) if v >= threshold => Some(lag),
+        _ => None,
+    }
+}
+
+/// The complex inner product `Σ a·conj(b)` of two equal-length slices —
+/// a single matched-filter tap, used for symbol decisions.
+pub fn inner_product(a: &[Complex], b: &[Complex]) -> Complex {
+    assert_eq!(a.len(), b.len(), "inner product needs equal lengths");
+    a.iter().zip(b).map(|(x, y)| *x * y.conj()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::add_awgn;
+    use crate::osc::Nco;
+    use crate::units::Hertz;
+    use rand::SeedableRng;
+
+    fn chirp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::cis(0.001 * (i * i) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_zero_lag() {
+        let t = chirp(64);
+        let mut sig = vec![Complex::default(); 32];
+        sig.extend_from_slice(&t);
+        sig.extend(vec![Complex::default(); 32]);
+        let corr = normalized_correlation(&sig, &t);
+        let (lag, v) = peak_lag(&corr).unwrap();
+        assert_eq!(lag, 32);
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_is_amplitude_invariant() {
+        let t = chirp(48);
+        let mut sig = vec![Complex::default(); 10];
+        sig.extend(t.iter().map(|s| *s * 0.01)); // 40 dB weaker
+        sig.extend(vec![Complex::default(); 10]);
+        let lag = find_template(&sig, &t, 0.9).unwrap();
+        assert_eq!(lag, 10);
+    }
+
+    #[test]
+    fn template_found_under_noise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let t = chirp(256);
+        let mut sig = vec![Complex::default(); 100];
+        sig.extend_from_slice(&t);
+        sig.extend(vec![Complex::default(); 100]);
+        add_awgn(&mut rng, &mut sig, 0.5); // SNR = 3 dB inside the template
+        let lag = find_template(&sig, &t, 0.5).unwrap();
+        assert_eq!(lag, 100);
+    }
+
+    #[test]
+    fn threshold_rejects_absent_template() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let t = chirp(128);
+        let mut sig = vec![Complex::default(); 512];
+        add_awgn(&mut rng, &mut sig, 1.0);
+        assert!(find_template(&sig, &t, 0.8).is_none());
+    }
+
+    #[test]
+    fn short_signal_returns_none() {
+        let t = chirp(16);
+        assert!(find_template(&t[..8], &t, 0.5).is_none());
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_tones_is_small() {
+        // Two tones separated by an integer number of cycles over the
+        // window are orthogonal.
+        let a = Nco::new(Hertz::khz(100.0), 1e6).block(1000);
+        let b = Nco::new(Hertz::khz(101.0), 1e6).block(1000);
+        let ip = inner_product(&a, &b);
+        assert!(ip.abs() / 1000.0 < 1e-9);
+        let self_ip = inner_product(&a, &a);
+        assert!((self_ip.re - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_correlate_output_length() {
+        let sig = vec![Complex::default(); 100];
+        let t = vec![Complex::from_re(1.0); 30];
+        assert_eq!(cross_correlate(&sig, &t).len(), 71);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn inner_product_length_mismatch_panics() {
+        let _ = inner_product(&[Complex::default()], &[]);
+    }
+}

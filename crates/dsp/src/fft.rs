@@ -1,0 +1,210 @@
+//! Radix-2 decimation-in-time FFT.
+//!
+//! Used for spectral plots (the Fig. 4 guard-band reproduction) and for
+//! Welch PSD estimation. Implemented iteratively with precomputable
+//! twiddles; sizes must be powers of two, which every caller in this
+//! workspace guarantees by construction.
+
+use std::f64::consts::PI;
+
+use crate::complex::Complex;
+
+/// Returns true if `n` is a power of two (and non-zero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place forward FFT. Panics unless `data.len()` is a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the 1/N normalization).
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x / n;
+    }
+}
+
+/// Out-of-place forward FFT.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut v = input.to_vec();
+    fft_in_place(&mut v);
+    v
+}
+
+/// Out-of-place inverse FFT.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut v = input.to_vec();
+    ifft_in_place(&mut v);
+    v
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    if n == 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::from_re(1.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Shifts the zero-frequency bin to the center of the spectrum
+/// (equivalent of `fftshift`); useful for plotting two-sided spectra.
+pub fn fft_shift<T: Copy>(spectrum: &[T]) -> Vec<T> {
+    let n = spectrum.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&spectrum[half..]);
+    out.extend_from_slice(&spectrum[..half]);
+    out
+}
+
+/// The frequency (Hz) of FFT bin `k` for an `n`-point FFT at `sample_rate`,
+/// mapping bins at or above n/2 to negative frequencies (the Nyquist bin
+/// is assigned −fs/2, matching the `fftshift` convention so shifted
+/// frequency axes are strictly ascending).
+pub fn bin_frequency(k: usize, n: usize, sample_rate: f64) -> f64 {
+    assert!(k < n);
+    let k = k as f64;
+    let n = n as f64;
+    if k < n / 2.0 {
+        k * sample_rate / n
+    } else {
+        (k - n) * sample_rate / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::Nco;
+    use crate::units::Hertz;
+
+    fn cclose(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut v = vec![Complex::default(); 8];
+        v[0] = Complex::from_re(1.0);
+        fft_in_place(&mut v);
+        for x in &v {
+            assert!(cclose(*x, Complex::from_re(1.0)));
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_is_impulse_at_bin_zero() {
+        let mut v = vec![Complex::from_re(1.0); 16];
+        fft_in_place(&mut v);
+        assert!(cclose(v[0], Complex::from_re(16.0)));
+        for x in &v[1..] {
+            assert!(cclose(*x, Complex::default()));
+        }
+    }
+
+    #[test]
+    fn tone_lands_in_expected_bin() {
+        let n = 256;
+        let fs = 1e6;
+        // Bin 32 ↔ 125 kHz at 1 MS/s with 256 points.
+        let x = Nco::new(Hertz::khz(125.0), fs).block(n);
+        let spec = fft(&x);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm_sq().total_cmp(&b.1.norm_sq()))
+            .unwrap()
+            .0;
+        assert_eq!(peak_bin, 32);
+        assert!((bin_frequency(peak_bin, n, fs) - 125e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn negative_frequency_maps_to_high_bins() {
+        let n = 64;
+        let fs = 1e6;
+        let x = Nco::new(Hertz::khz(-125.0), fs).block(n);
+        let spec = fft(&x);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm_sq().total_cmp(&b.1.norm_sq()))
+            .unwrap()
+            .0;
+        assert!(bin_frequency(peak_bin, n, fs) < 0.0);
+        assert!((bin_frequency(peak_bin, n, fs) + 125e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x = Nco::new(Hertz::khz(90.0), 1e6).block(128);
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!(cclose(*a, *b));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x = Nco::new(Hertz::khz(33.0), 1e6).block(512);
+        let time_energy: f64 = x.iter().map(|s| s.norm_sq()).sum();
+        let spec = fft(&x);
+        let freq_energy: f64 = spec.iter().map(|s| s.norm_sq()).sum::<f64>() / 512.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut v = vec![Complex::default(); 12];
+        fft_in_place(&mut v);
+    }
+
+    #[test]
+    fn shift_centers_dc() {
+        let v: Vec<usize> = (0..8).collect();
+        assert_eq!(fft_shift(&v), vec![4, 5, 6, 7, 0, 1, 2, 3]);
+        let odd: Vec<usize> = (0..5).collect();
+        assert_eq!(fft_shift(&odd), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_point_fft_is_identity() {
+        let mut v = vec![Complex::new(2.0, 3.0)];
+        fft_in_place(&mut v);
+        assert!(cclose(v[0], Complex::new(2.0, 3.0)));
+    }
+}

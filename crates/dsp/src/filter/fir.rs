@@ -1,0 +1,335 @@
+//! Windowed-sinc FIR design and streaming FIR filtering.
+//!
+//! The relay's baseband filters are the mechanism behind Fig. 9's
+//! inter-link isolation. We design them as Kaiser-windowed sinc FIRs so
+//! the stopband attenuation is a design *input*; the measured attenuation
+//! at the interfering frequencies is then a genuine output of running
+//! probe tones through [`FirFilter::filter_block`].
+
+use std::f64::consts::PI;
+
+use crate::complex::Complex;
+use crate::units::{Db, Hertz};
+
+use super::window::{kaiser_beta, kaiser_length, Window};
+
+/// A FIR design specification.
+#[derive(Debug, Clone)]
+pub struct FirDesign {
+    /// Sample rate of the stream the filter will run at, Hz.
+    pub sample_rate: f64,
+    /// Target stopband attenuation, dB.
+    pub stopband_atten: Db,
+    /// Transition bandwidth, Hz.
+    pub transition: Hertz,
+}
+
+impl FirDesign {
+    /// Creates a design spec.
+    pub fn new(sample_rate: f64, stopband_atten: Db, transition: Hertz) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        assert!(stopband_atten.value() > 0.0, "attenuation must be positive");
+        assert!(transition.as_hz() > 0.0, "transition width must be positive");
+        Self {
+            sample_rate,
+            stopband_atten,
+            transition,
+        }
+    }
+
+    fn window_and_len(&self) -> (Window, usize) {
+        let a = self.stopband_atten.value();
+        let delta_f = self.transition.as_hz() / self.sample_rate;
+        let mut len = kaiser_length(a, delta_f);
+        if len % 2 == 0 {
+            len += 1; // odd length → integer group delay, symmetric taps
+        }
+        (Window::Kaiser(kaiser_beta(a)), len)
+    }
+
+    /// Designs a low-pass filter with the given cutoff (−6 dB point).
+    pub fn lowpass(&self, cutoff: Hertz) -> FirFilter {
+        let (win, len) = self.window_and_len();
+        let fc = cutoff.as_hz() / self.sample_rate;
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be within (0, fs/2)");
+        let taps = windowed_sinc(fc, len, win);
+        FirFilter::new(taps, self.sample_rate)
+    }
+
+    /// Designs a high-pass filter by spectral inversion of the low-pass.
+    pub fn highpass(&self, cutoff: Hertz) -> FirFilter {
+        let lp = self.lowpass(cutoff);
+        let mut taps = lp.taps().to_vec();
+        for t in taps.iter_mut() {
+            *t = -*t;
+        }
+        let mid = taps.len() / 2;
+        taps[mid] += 1.0;
+        FirFilter::new(taps, self.sample_rate)
+    }
+
+    /// Designs a band-pass filter passing `[center − half_bw, center +
+    /// half_bw]` (and its mirror at negative frequencies, since taps are
+    /// real). This is the uplink filter shape: centered at the tag's
+    /// 500 kHz subcarrier.
+    pub fn bandpass(&self, center: Hertz, half_bw: Hertz) -> FirFilter {
+        let (win, len) = self.window_and_len();
+        let fc = half_bw.as_hz() / self.sample_rate;
+        assert!(fc > 0.0 && fc < 0.5, "half bandwidth out of range");
+        let f0 = center.as_hz() / self.sample_rate;
+        assert!(f0 > 0.0 && f0 < 0.5, "center frequency out of range");
+        let proto = windowed_sinc(fc, len, win);
+        let mid = (len - 1) as f64 / 2.0;
+        let taps: Vec<f64> = proto
+            .iter()
+            .enumerate()
+            // Modulating the low-pass prototype by 2·cos(2πf0·n) shifts its
+            // passband to ±f0.
+            .map(|(n, &h)| h * 2.0 * (2.0 * PI * f0 * (n as f64 - mid)).cos())
+            .collect();
+        FirFilter::new(taps, self.sample_rate)
+    }
+
+    /// Designs a band-stop filter rejecting `[center − half_bw, center +
+    /// half_bw]` by spectral inversion of the band-pass.
+    pub fn bandstop(&self, center: Hertz, half_bw: Hertz) -> FirFilter {
+        let bp = self.bandpass(center, half_bw);
+        let mut taps = bp.taps().to_vec();
+        for t in taps.iter_mut() {
+            *t = -*t;
+        }
+        let mid = taps.len() / 2;
+        taps[mid] += 1.0;
+        FirFilter::new(taps, self.sample_rate)
+    }
+}
+
+fn windowed_sinc(fc: f64, len: usize, win: Window) -> Vec<f64> {
+    let mid = (len - 1) as f64 / 2.0;
+    let mut taps: Vec<f64> = (0..len)
+        .map(|n| {
+            let t = n as f64 - mid;
+            let sinc = if t == 0.0 {
+                2.0 * fc
+            } else {
+                (2.0 * PI * fc * t).sin() / (PI * t)
+            };
+            sinc * win.coefficient(n, len)
+        })
+        .collect();
+    // Normalize DC gain to exactly 1.
+    let dc: f64 = taps.iter().sum();
+    for t in taps.iter_mut() {
+        *t /= dc;
+    }
+    taps
+}
+
+/// A streaming FIR filter over complex samples with real taps.
+///
+/// Carries its delay-line state across calls so a long stream can be
+/// processed in arbitrary block sizes with identical results — the relay
+/// processes 1 ms chunks.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+    /// Circular delay line of past inputs, length = taps.len().
+    state: Vec<Complex>,
+    /// Next write position in the circular delay line.
+    pos: usize,
+    sample_rate: f64,
+}
+
+impl FirFilter {
+    /// Wraps raw taps into a streaming filter.
+    pub fn new(taps: Vec<f64>, sample_rate: f64) -> Self {
+        assert!(!taps.is_empty(), "a filter needs at least one tap");
+        let n = taps.len();
+        Self {
+            taps,
+            state: vec![Complex::default(); n],
+            pos: 0,
+            sample_rate,
+        }
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// True if the filter has no taps (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Group delay in samples ((N−1)/2 for these linear-phase designs).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Resets the delay line to silence.
+    pub fn reset(&mut self) {
+        self.state.fill(Complex::default());
+        self.pos = 0;
+    }
+
+    /// Filters one sample.
+    #[inline]
+    pub fn filter_sample(&mut self, x: Complex) -> Complex {
+        let n = self.taps.len();
+        self.state[self.pos] = x;
+        let mut acc = Complex::default();
+        // taps[0] multiplies the newest sample.
+        let mut idx = self.pos;
+        for &t in &self.taps {
+            acc += self.state[idx] * t;
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Filters a block of samples.
+    pub fn filter_block(&mut self, input: &[Complex]) -> Vec<Complex> {
+        input.iter().map(|&x| self.filter_sample(x)).collect()
+    }
+
+    /// The complex frequency response `H(f)` at frequency `f` for the
+    /// filter's sample rate.
+    pub fn frequency_response(&self, f: Hertz) -> Complex {
+        let w = 2.0 * PI * f.as_hz() / self.sample_rate;
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(n, &t)| Complex::cis(-w * n as f64) * t)
+            .sum()
+    }
+
+    /// Magnitude response in dB at frequency `f`.
+    pub fn magnitude_db(&self, f: Hertz) -> Db {
+        Db::from_linear(self.frequency_response(f).norm_sq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::mean_power;
+    use crate::osc::Nco;
+
+    const FS: f64 = 4e6;
+
+    fn design() -> FirDesign {
+        FirDesign::new(FS, Db::new(60.0), Hertz::khz(100.0))
+    }
+
+    fn tone_power_through(f: Hertz, filt: &mut FirFilter) -> f64 {
+        let x = Nco::new(f, FS).block(8192);
+        let y = filt.filter_block(&x);
+        // Skip the transient (group delay) when measuring.
+        let skip = filt.len();
+        mean_power(&y[skip..])
+    }
+
+    #[test]
+    fn lowpass_passes_passband_and_rejects_stopband() {
+        let mut lp = design().lowpass(Hertz::khz(100.0));
+        let pass = tone_power_through(Hertz::khz(20.0), &mut lp);
+        lp.reset();
+        let stop = tone_power_through(Hertz::khz(500.0), &mut lp);
+        assert!(Db::from_linear(pass).value() > -1.0, "passband droop");
+        assert!(
+            Db::from_linear(stop).value() < -58.0,
+            "stopband only {} dB",
+            Db::from_linear(stop).value()
+        );
+    }
+
+    #[test]
+    fn lowpass_dc_gain_is_unity() {
+        let lp = design().lowpass(Hertz::khz(100.0));
+        let h0 = lp.frequency_response(Hertz::hz(0.0));
+        assert!((h0.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandpass_centered_on_subcarrier() {
+        let mut bp = design().bandpass(Hertz::khz(500.0), Hertz::khz(200.0));
+        let pass = tone_power_through(Hertz::khz(500.0), &mut bp);
+        bp.reset();
+        let stop_dc = tone_power_through(Hertz::khz(20.0), &mut bp);
+        bp.reset();
+        let stop_hi = tone_power_through(Hertz::khz(1200.0), &mut bp);
+        assert!(Db::from_linear(pass).value() > -1.0);
+        assert!(Db::from_linear(stop_dc).value() < -55.0);
+        assert!(Db::from_linear(stop_hi).value() < -55.0);
+        // Real taps → symmetric response: −500 kHz also passes.
+        let neg = bp.magnitude_db(Hertz::khz(-500.0));
+        assert!(neg.value() > -1.0);
+    }
+
+    #[test]
+    fn highpass_and_bandstop_invert_their_prototypes() {
+        let hp = design().highpass(Hertz::khz(100.0));
+        assert!(hp.magnitude_db(Hertz::hz(0.0)).value() < -58.0);
+        assert!(hp.magnitude_db(Hertz::mhz(1.0)).value() > -1.0);
+
+        let bs = design().bandstop(Hertz::khz(500.0), Hertz::khz(200.0));
+        assert!(bs.magnitude_db(Hertz::khz(500.0)).value() < -50.0);
+        assert!(bs.magnitude_db(Hertz::hz(0.0)).value() > -1.0);
+    }
+
+    #[test]
+    fn higher_spec_attenuation_gives_deeper_stopband() {
+        let weak = FirDesign::new(FS, Db::new(40.0), Hertz::khz(100.0)).lowpass(Hertz::khz(100.0));
+        let strong =
+            FirDesign::new(FS, Db::new(90.0), Hertz::khz(100.0)).lowpass(Hertz::khz(100.0));
+        let f = Hertz::khz(500.0);
+        assert!(strong.magnitude_db(f).value() < weak.magnitude_db(f).value() - 30.0);
+    }
+
+    #[test]
+    fn streaming_in_blocks_matches_one_shot() {
+        let mut a = design().lowpass(Hertz::khz(100.0));
+        let mut b = a.clone();
+        let x = Nco::new(Hertz::khz(80.0), FS).block(1000);
+        let whole = a.filter_block(&x);
+        let mut chunked = b.filter_block(&x[..333]);
+        chunked.extend(b.filter_block(&x[333..700]));
+        chunked.extend(b.filter_block(&x[700..]));
+        for (u, v) in whole.iter().zip(&chunked) {
+            assert!((*u - *v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = design().lowpass(Hertz::khz(100.0));
+        f.filter_block(&Nco::new(Hertz::khz(10.0), FS).block(100));
+        f.reset();
+        let y = f.filter_sample(Complex::default());
+        assert_eq!(y, Complex::default());
+    }
+
+    #[test]
+    fn group_delay_is_half_length() {
+        let f = design().lowpass(Hertz::khz(100.0));
+        assert_eq!(f.group_delay(), (f.len() - 1) as f64 / 2.0);
+        assert!(f.len() % 2 == 1, "designer must produce odd length");
+    }
+
+    #[test]
+    fn linear_phase_taps_are_symmetric() {
+        let f = design().lowpass(Hertz::khz(150.0));
+        let t = f.taps();
+        for i in 0..t.len() / 2 {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Window functions for FIR design and spectral estimation.
+
+use std::f64::consts::PI;
+
+/// Window shapes supported by the designer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// Rectangular (no taper): narrowest mainlobe, −13 dB sidelobes.
+    Rectangular,
+    /// Hann: −31 dB sidelobes.
+    Hann,
+    /// Hamming: −41 dB sidelobes.
+    Hamming,
+    /// Blackman: −58 dB sidelobes.
+    Blackman,
+    /// Kaiser with shape parameter β: sidelobe level is tunable, which is
+    /// how the relay's filters hit a *specified* stopband attenuation.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Evaluates the window at tap `n` of an `len`-tap window.
+    pub fn coefficient(self, n: usize, len: usize) -> f64 {
+        assert!(len >= 1 && n < len, "window index out of range");
+        if len == 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64; // 0..=1
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+            }
+            Window::Kaiser(beta) => {
+                let t = 2.0 * x - 1.0; // -1..=1
+                bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
+            }
+        }
+    }
+
+    /// Materializes the window as a vector of length `len`.
+    pub fn build(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.coefficient(n, len)).collect()
+    }
+}
+
+/// Kaiser β for a target stopband attenuation in dB (Kaiser's empirical
+/// formula).
+pub fn kaiser_beta(atten_db: f64) -> f64 {
+    if atten_db > 50.0 {
+        0.1102 * (atten_db - 8.7)
+    } else if atten_db >= 21.0 {
+        0.5842 * (atten_db - 21.0).powf(0.4) + 0.07886 * (atten_db - 21.0)
+    } else {
+        0.0
+    }
+}
+
+/// Estimated Kaiser FIR length for a target attenuation (dB) and
+/// normalized transition width `delta_f` (fraction of the sample rate).
+pub fn kaiser_length(atten_db: f64, delta_f: f64) -> usize {
+    assert!(delta_f > 0.0, "transition width must be positive");
+    let n = ((atten_db - 7.95) / (2.285 * 2.0 * PI * delta_f)).ceil() as usize;
+    n.max(3) + 1
+}
+
+/// Modified Bessel function of the first kind, order zero, via its power
+/// series. Converges quickly for the β values used in filter design
+/// (β ≲ 15).
+pub fn bessel_i0(x: f64) -> f64 {
+    let half_x2 = (x / 2.0) * (x / 2.0);
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..64 {
+        term *= half_x2 / ((k * k) as f64);
+        sum += term;
+        if term < sum * 1e-16 {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bessel_i0_reference_values() {
+        // Reference values from Abramowitz & Stegun tables.
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.2660658).abs() < 1e-6);
+        assert!((bessel_i0(2.0) - 2.2795853).abs() < 1e-6);
+        assert!((bessel_i0(5.0) - 27.239871).abs() < 1e-4);
+    }
+
+    #[test]
+    fn windows_are_symmetric_and_bounded() {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Kaiser(8.0),
+        ] {
+            let v = w.build(33);
+            for i in 0..v.len() {
+                assert!((v[i] - v[v.len() - 1 - i]).abs() < 1e-12, "{w:?} asymmetric");
+                assert!(v[i] <= 1.0 + 1e-12 && v[i] >= -0.1, "{w:?} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn window_peaks_at_center() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(6.0)] {
+            let v = w.build(65);
+            let center = v[32];
+            assert!(v.iter().all(|&x| x <= center + 1e-12), "{w:?}");
+            assert!((center - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kaiser_beta_monotone_in_attenuation() {
+        let mut prev = -1.0;
+        for a in [15.0, 21.0, 30.0, 50.0, 60.0, 80.0, 100.0] {
+            let b = kaiser_beta(a);
+            assert!(b >= prev, "beta not monotone at {a} dB");
+            prev = b;
+        }
+        assert_eq!(kaiser_beta(10.0), 0.0);
+    }
+
+    #[test]
+    fn kaiser_length_shrinks_with_wider_transition() {
+        let narrow = kaiser_length(60.0, 0.01);
+        let wide = kaiser_length(60.0, 0.05);
+        assert!(narrow > wide);
+        assert!(kaiser_length(80.0, 0.02) > kaiser_length(40.0, 0.02));
+    }
+
+    #[test]
+    fn single_tap_window_is_unity() {
+        assert_eq!(Window::Kaiser(9.0).coefficient(0, 1), 1.0);
+    }
+}

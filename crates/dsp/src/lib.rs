@@ -1,0 +1,41 @@
+//! # rfly-dsp — digital signal processing substrate for RFly
+//!
+//! This crate provides every signal-processing primitive the RFly
+//! reproduction needs, implemented from scratch:
+//!
+//! * [`Complex`] baseband IQ arithmetic and [`buffer`] helpers,
+//! * numerically-controlled oscillators and frequency synthesizers with
+//!   phase noise and carrier-frequency offset ([`osc`]),
+//! * up/down-conversion mixers ([`mixer`]),
+//! * FIR filter design (windowed sinc) and biquad IIR cascades ([`filter`]),
+//! * a radix-2 FFT, Goertzel single-bin DFT and Welch spectral estimation
+//!   ([`fft`], [`goertzel`], [`spectrum`]),
+//! * cross-correlation and matched filtering ([`correlate`]),
+//! * additive white Gaussian noise and power conversions ([`noise`]),
+//! * integer-factor resampling ([`resample`]) and automatic gain control
+//!   ([`agc`]),
+//! * decibel/dBm/Hz unit types and physical constants ([`units`]).
+//!
+//! The design follows the smoltcp school: no heap-allocating trait objects
+//! in hot paths, no macros, plain data structures that are easy to audit.
+//! Everything is deterministic given a seeded RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agc;
+pub mod buffer;
+pub mod complex;
+pub mod correlate;
+pub mod fft;
+pub mod filter;
+pub mod goertzel;
+pub mod mixer;
+pub mod noise;
+pub mod osc;
+pub mod resample;
+pub mod spectrum;
+pub mod units;
+
+pub use complex::Complex;
+pub use units::{Db, Dbm, Hertz, SPEED_OF_LIGHT};

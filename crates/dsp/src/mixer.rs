@@ -1,0 +1,196 @@
+//! Frequency-conversion mixers.
+//!
+//! The relay uses two mixers per forwarding path (§6.1): one
+//! downconverting the received passband signal to baseband and one
+//! upconverting the filtered baseband back to (a different) passband.
+//! In this simulation passband signals are themselves represented at
+//! complex baseband around a simulation center frequency, so "mixing"
+//! is multiplication by a complex LO at the *offset* from that center.
+//!
+//! A mixer samples its LO from a [`SharedSynth`], which is what makes the
+//! mirrored architecture work: the uplink's upconverter and the
+//! downlink's downconverter can literally share one synthesizer.
+
+use crate::complex::Complex;
+use crate::osc::SharedSynth;
+use crate::units::Db;
+
+/// Direction of a frequency conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conversion {
+    /// Multiply by `e^{+jφ(t)}` — shifts spectrum up by the LO frequency.
+    Up,
+    /// Multiply by `e^{-jφ(t)}` — shifts spectrum down by the LO frequency.
+    Down,
+}
+
+/// A mixer driven by a (possibly shared) synthesizer.
+///
+/// Real mixers are lossy and leak a little of their input straight to
+/// the output ("feedthrough"); both effects matter when computing the
+/// relay's isolation budget, so they are modelled here.
+#[derive(Debug, Clone)]
+pub struct Mixer {
+    lo: SharedSynth,
+    direction: Conversion,
+    /// Conversion loss applied to the mixed product (positive dB).
+    conversion_loss: Db,
+    /// Input-to-output feedthrough attenuation (positive dB); the input
+    /// signal leaks to the output attenuated by this amount, unmixed.
+    feedthrough: Db,
+}
+
+impl Mixer {
+    /// Creates an ideal mixer (no loss, infinite feedthrough isolation).
+    pub fn ideal(lo: SharedSynth, direction: Conversion) -> Self {
+        Self {
+            lo,
+            direction,
+            conversion_loss: Db::new(0.0),
+            feedthrough: Db::new(f64::INFINITY),
+        }
+    }
+
+    /// Creates a lossy mixer. `conversion_loss` and `feedthrough` are
+    /// positive attenuations in dB; typical RF mixers have ~6 dB
+    /// conversion loss and 30–40 dB LO/RF feedthrough isolation.
+    pub fn with_losses(
+        lo: SharedSynth,
+        direction: Conversion,
+        conversion_loss: Db,
+        feedthrough: Db,
+    ) -> Self {
+        assert!(conversion_loss.value() >= 0.0, "loss must be non-negative");
+        assert!(feedthrough.value() >= 0.0, "feedthrough must be non-negative");
+        Self {
+            lo,
+            direction,
+            conversion_loss,
+            feedthrough,
+        }
+    }
+
+    /// The conversion direction.
+    pub fn direction(&self) -> Conversion {
+        self.direction
+    }
+
+    /// A handle to this mixer's LO synthesizer.
+    pub fn lo(&self) -> &SharedSynth {
+        &self.lo
+    }
+
+    /// Mixes a block of samples whose first sample corresponds to global
+    /// sample index `start`. Using global indices (rather than an
+    /// internal counter) keeps independent signal paths time-aligned,
+    /// which the mirrored phase cancellation requires.
+    pub fn mix_block(&self, input: &[Complex], start: usize) -> Vec<Complex> {
+        let gain = if self.conversion_loss.value() == 0.0 {
+            1.0
+        } else {
+            (-self.conversion_loss).amplitude()
+        };
+        let leak = if self.feedthrough.value().is_infinite() {
+            0.0
+        } else {
+            (-self.feedthrough).amplitude()
+        };
+        let mut lo = self.lo.borrow_mut();
+        input
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let l = lo.lo_at(start + i);
+                let l = match self.direction {
+                    Conversion::Up => l,
+                    Conversion::Down => l.conj(),
+                };
+                x * l * gain + x * leak
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::mean_power;
+    use crate::osc::{share, Nco, Synthesizer};
+    use crate::units::Hertz;
+
+    const FS: f64 = 1e6;
+
+    fn tone(freq: Hertz, n: usize) -> Vec<Complex> {
+        Nco::new(freq, FS).block(n)
+    }
+
+    #[test]
+    fn up_then_down_with_same_lo_is_identity() {
+        let lo = share(Synthesizer::ideal(Hertz::khz(200.0), FS));
+        let up = Mixer::ideal(lo.clone(), Conversion::Up);
+        let down = Mixer::ideal(lo, Conversion::Down);
+        let x = tone(Hertz::khz(10.0), 256);
+        let y = down.mix_block(&up.mix_block(&x, 0), 0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn downconversion_shifts_tone_to_baseband() {
+        let lo = share(Synthesizer::ideal(Hertz::khz(100.0), FS));
+        let down = Mixer::ideal(lo, Conversion::Down);
+        let x = tone(Hertz::khz(100.0), 128);
+        let y = down.mix_block(&x, 0);
+        // 100 kHz tone downconverted by 100 kHz LO → DC.
+        for s in &y {
+            assert!((*s - Complex::new(1.0, 0.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn global_sample_index_keeps_paths_aligned() {
+        let lo = share(Synthesizer::ideal(Hertz::khz(100.0), FS));
+        let down = Mixer::ideal(lo, Conversion::Down);
+        let x = tone(Hertz::khz(100.0), 128);
+        // Process the same tone split across two blocks with correct
+        // start offsets: result must equal one-shot processing.
+        let whole = down.mix_block(&x, 0);
+        let mut split = down.mix_block(&x[..50], 0);
+        split.extend(down.mix_block(&x[50..], 50));
+        for (a, b) in whole.iter().zip(&split) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conversion_loss_reduces_power() {
+        let lo = share(Synthesizer::ideal(Hertz::khz(50.0), FS));
+        let m = Mixer::with_losses(lo, Conversion::Up, Db::new(6.0), Db::new(f64::INFINITY));
+        let x = tone(Hertz::khz(10.0), 512);
+        let y = m.mix_block(&x, 0);
+        let ratio = mean_power(&y) / mean_power(&x);
+        assert!((Db::from_linear(ratio).value() + 6.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn feedthrough_leaks_unmixed_input() {
+        // With a 0 Hz LO the mixed product and the leak coincide; use a
+        // large offset instead and measure the residual at the input
+        // frequency after mixing far away.
+        let lo = share(Synthesizer::ideal(Hertz::khz(400.0), FS));
+        let m = Mixer::with_losses(lo, Conversion::Up, Db::new(0.0), Db::new(40.0));
+        let x = tone(Hertz::khz(10.0), 4096);
+        let y = m.mix_block(&x, 0);
+        // Correlate output against the original tone: the matched power
+        // should sit 40 dB below the input power.
+        let corr: Complex = y
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| *a * b.conj())
+            .sum::<Complex>()
+            / x.len() as f64;
+        let leak_db = Db::from_linear(corr.norm_sq()).value();
+        assert!((leak_db + 40.0).abs() < 1.0, "leak = {leak_db} dB");
+    }
+}

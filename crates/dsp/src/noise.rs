@@ -1,0 +1,124 @@
+//! Additive white Gaussian noise generation and SNR utilities.
+//!
+//! Every receiver in the simulation sees thermal noise; localization
+//! error growing with distance (Fig. 14 of the paper) is entirely an SNR
+//! effect, so noise power bookkeeping must be exact.
+
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::osc::standard_normal;
+use crate::units::Db;
+
+/// Generates `n` samples of circularly-symmetric complex Gaussian noise
+/// with total (two-sided) mean power `power` (linear).
+///
+/// Each of I and Q carries `power/2`, so `E[|x|²] = power`.
+pub fn awgn<R: Rng>(rng: &mut R, n: usize, power: f64) -> Vec<Complex> {
+    assert!(power >= 0.0, "noise power cannot be negative");
+    let sigma = (power / 2.0).sqrt();
+    (0..n)
+        .map(|_| Complex::new(sigma * standard_normal(rng), sigma * standard_normal(rng)))
+        .collect()
+}
+
+/// Adds complex Gaussian noise of mean power `power` to `signal` in
+/// place.
+pub fn add_awgn<R: Rng>(rng: &mut R, signal: &mut [Complex], power: f64) {
+    assert!(power >= 0.0, "noise power cannot be negative");
+    let sigma = (power / 2.0).sqrt();
+    for s in signal.iter_mut() {
+        *s += Complex::new(sigma * standard_normal(rng), sigma * standard_normal(rng));
+    }
+}
+
+/// Adds noise such that the resulting SNR (relative to the current mean
+/// power of `signal`) equals `snr`. Returns the noise power used.
+pub fn add_noise_for_snr<R: Rng>(rng: &mut R, signal: &mut [Complex], snr: Db) -> f64 {
+    let sig_power = crate::buffer::mean_power(signal);
+    let noise_power = sig_power / snr.linear();
+    add_awgn(rng, signal, noise_power);
+    noise_power
+}
+
+/// Draws one circularly-symmetric complex Gaussian sample with mean
+/// power `power`.
+pub fn noise_sample<R: Rng>(rng: &mut R, power: f64) -> Complex {
+    let sigma = (power / 2.0).sqrt();
+    Complex::new(sigma * standard_normal(rng), sigma * standard_normal(rng))
+}
+
+/// Draws a log-normal shadowing factor: a power multiplier whose dB value
+/// is N(0, sigma_db²). Used by the channel crate for large-scale fading.
+pub fn lognormal_shadowing<R: Rng>(rng: &mut R, sigma_db: f64) -> f64 {
+    Db::new(sigma_db * standard_normal(rng)).linear()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::mean_power;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn awgn_power_is_calibrated() {
+        let mut r = rng();
+        let x = awgn(&mut r, 100_000, 0.25);
+        let p = mean_power(&x);
+        assert!((p - 0.25).abs() / 0.25 < 0.03, "p = {p}");
+    }
+
+    #[test]
+    fn awgn_is_circularly_symmetric() {
+        let mut r = rng();
+        let x = awgn(&mut r, 100_000, 1.0);
+        let i_pow: f64 = x.iter().map(|s| s.re * s.re).sum::<f64>() / x.len() as f64;
+        let q_pow: f64 = x.iter().map(|s| s.im * s.im).sum::<f64>() / x.len() as f64;
+        assert!((i_pow - 0.5).abs() < 0.02);
+        assert!((q_pow - 0.5).abs() < 0.02);
+        // I/Q uncorrelated.
+        let cross: f64 = x.iter().map(|s| s.re * s.im).sum::<f64>() / x.len() as f64;
+        assert!(cross.abs() < 0.02);
+    }
+
+    #[test]
+    fn add_noise_for_snr_hits_target() {
+        let mut r = rng();
+        let mut sig = vec![Complex::from_re(1.0); 50_000];
+        add_noise_for_snr(&mut r, &mut sig, Db::new(10.0));
+        let total = mean_power(&sig);
+        // Signal power 1, noise power 0.1 → total ≈ 1.1.
+        assert!((total - 1.1).abs() < 0.02, "total = {total}");
+    }
+
+    #[test]
+    fn zero_power_noise_is_silent() {
+        let mut r = rng();
+        let x = awgn(&mut r, 100, 0.0);
+        assert!(x.iter().all(|s| s.norm_sq() == 0.0));
+    }
+
+    #[test]
+    fn lognormal_shadowing_median_is_unity() {
+        let mut r = rng();
+        let mut v: Vec<f64> = (0..10_001).map(|_| lognormal_shadowing(&mut r, 6.0)).collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[v.len() / 2];
+        assert!((median.ln()).abs() < 0.15, "median = {median}");
+        assert!(v.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn noise_sample_statistics() {
+        let mut r = rng();
+        let p: f64 = (0..50_000)
+            .map(|_| noise_sample(&mut r, 2.0).norm_sq())
+            .sum::<f64>()
+            / 50_000.0;
+        assert!((p - 2.0).abs() < 0.1, "p = {p}");
+    }
+}

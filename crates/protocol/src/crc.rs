@@ -1,0 +1,165 @@
+//! The EPC Gen2 cyclic redundancy checks.
+//!
+//! Gen2 protects the Query command with a CRC-5 (polynomial
+//! x⁵ + x³ + 1, preset 01001₂) and longer frames with the ISO/IEC 13239
+//! CRC-16 (polynomial x¹⁶ + x¹² + x⁵ + 1, preset 0xFFFF, transmitted
+//! ones-complemented). Both operate on bit streams, not bytes — Gen2
+//! frames are not byte-aligned.
+
+use crate::bits::Bits;
+
+/// Computes the Gen2 CRC-5 over a bit sequence.
+///
+/// LFSR form: preset `01001`, polynomial x⁵ + x³ + 1, MSB-first.
+pub fn crc5(bits: &Bits) -> u8 {
+    let mut reg: u8 = 0b01001;
+    for &bit in bits {
+        let fb = ((reg >> 4) & 1 == 1) ^ bit;
+        reg = (reg << 1) & 0b11111;
+        if fb {
+            reg ^= 0b01001; // x³ + 1 taps (x⁵ feeds back implicitly)
+        }
+    }
+    reg
+}
+
+/// Appends the CRC-5 to a command body, producing the transmitted frame.
+pub fn append_crc5(body: &Bits) -> Bits {
+    let mut framed = body.clone();
+    framed.push_uint(crc5(body) as u64, 5);
+    framed
+}
+
+/// Verifies a frame whose last 5 bits are a CRC-5 over the preceding
+/// bits.
+pub fn check_crc5(frame: &Bits) -> bool {
+    if frame.len() < 5 {
+        return false;
+    }
+    let body = frame.slice(0, frame.len() - 5);
+    let rx = frame.uint_at(frame.len() - 5, 5) as u8;
+    crc5(&body) == rx
+}
+
+/// Computes the Gen2 CRC-16 (ISO/IEC 13239) over a bit sequence,
+/// returning the value as transmitted (ones-complement of the register).
+pub fn crc16(bits: &Bits) -> u16 {
+    let mut reg: u16 = 0xFFFF;
+    for &bit in bits {
+        let fb = ((reg >> 15) & 1 == 1) ^ bit;
+        reg <<= 1;
+        if fb {
+            reg ^= 0x1021;
+        }
+    }
+    !reg
+}
+
+/// Appends the CRC-16 to a frame body.
+pub fn append_crc16(body: &Bits) -> Bits {
+    let mut framed = body.clone();
+    framed.push_uint(crc16(body) as u64, 16);
+    framed
+}
+
+/// Verifies a frame whose last 16 bits are a CRC-16 over the preceding
+/// bits.
+pub fn check_crc16(frame: &Bits) -> bool {
+    if frame.len() < 16 {
+        return false;
+    }
+    let body = frame.slice(0, frame.len() - 16);
+    let rx = frame.uint_at(frame.len() - 16, 16) as u16;
+    crc16(&body) == rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // Gen2's CRC-16 is the ISO/IEC 13239 MSB-first serial form with
+        // preset 0xFFFF and complemented output — the parameter set
+        // catalogued as CRC-16/GENIBUS, whose check value over ASCII
+        // "123456789" is 0xD64E.
+        let bytes: Vec<u8> = b"123456789".to_vec();
+        let bits = Bits::from_bytes(&bytes, 72);
+        assert_eq!(crc16(&bits), 0xD64E);
+    }
+
+    #[test]
+    fn crc16_roundtrip_many_frames() {
+        for seed in 0u64..50 {
+            let mut body = Bits::new();
+            // Deterministic pseudo-random contents of varying length.
+            let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let len = 8 + (seed as usize * 7) % 120;
+            for _ in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                body.push(x >> 63 == 1);
+            }
+            let framed = append_crc16(&body);
+            assert!(check_crc16(&framed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flips() {
+        let body = Bits::from_bytes(b"EPC GEN2", 64);
+        let framed = append_crc16(&body);
+        for i in 0..framed.len() {
+            let mut corrupted: Vec<bool> = framed.as_slice().to_vec();
+            corrupted[i] = !corrupted[i];
+            assert!(
+                !check_crc16(&Bits::from_bools(&corrupted)),
+                "flip at {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn crc5_roundtrip() {
+        for v in 0u64..64 {
+            let mut body = Bits::new();
+            body.push_uint(0b1000, 4); // Query command code
+            body.push_uint(v, 6);
+            body.push_uint((v * 31) & 0x7F, 7);
+            let framed = append_crc5(&body);
+            assert!(check_crc5(&framed), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn crc5_detects_single_bit_flips() {
+        let mut body = Bits::new();
+        body.push_uint(0b1000_110101010101, 16);
+        let framed = append_crc5(&body);
+        for i in 0..framed.len() {
+            let mut corrupted: Vec<bool> = framed.as_slice().to_vec();
+            corrupted[i] = !corrupted[i];
+            assert!(
+                !check_crc5(&Bits::from_bools(&corrupted)),
+                "flip at {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn crc5_of_empty_is_preset() {
+        assert_eq!(crc5(&Bits::new()), 0b01001);
+    }
+
+    #[test]
+    fn short_frames_fail_checks() {
+        assert!(!check_crc5(&Bits::from_str01("101")));
+        assert!(!check_crc16(&Bits::from_str01("10101")));
+    }
+
+    #[test]
+    fn crc16_differs_for_different_bodies() {
+        let a = crc16(&Bits::from_str01("1010101010101010"));
+        let b = crc16(&Bits::from_str01("1010101010101011"));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! FM0 (bi-phase space) backscatter encoding — the tag→reader uplink.
+//!
+//! The tag conveys bits by toggling its reflection coefficient between
+//! two states (ON-OFF keying of the backscattered carrier). FM0 inverts
+//! the level at every symbol boundary and additionally mid-symbol for a
+//! data-0; a data-1 holds its level. Each symbol lasts one BLF period,
+//! which is what puts the response's energy near the backscatter link
+//! frequency — 500 kHz in RFly's configuration, creating the guard band
+//! of Fig. 4 that the relay's uplink band-pass filter selects.
+//!
+//! Levels here are `1.0` (reflective) / `0.0` (absorptive); the RF
+//! mapping to complex backscatter happens in `rfly-tag`.
+
+use crate::bits::Bits;
+
+/// The Gen2 FM0 preamble as half-symbol levels (6 symbols: 1 0 1 0 v 1,
+/// where `v` is the coding violation that makes the preamble
+/// unmistakable for data).
+pub const PREAMBLE_HALVES: [bool; 12] = [
+    true, true, false, true, false, false, true, false, false, false, true, true,
+];
+
+/// Number of pilot-tone zero symbols prepended when TRext = 1.
+pub const PILOT_SYMBOLS: usize = 12;
+
+/// Expands half-symbol levels to samples.
+fn halves_to_samples(halves: &[bool], samples_per_symbol: usize) -> Vec<f64> {
+    assert!(
+        samples_per_symbol >= 2 && samples_per_symbol % 2 == 0,
+        "need an even number (≥2) of samples per symbol"
+    );
+    let half = samples_per_symbol / 2;
+    let mut out = Vec::with_capacity(halves.len() * half);
+    for &h in halves {
+        out.extend(std::iter::repeat(if h { 1.0 } else { 0.0 }).take(half));
+    }
+    out
+}
+
+/// Encodes payload bits into FM0 half-symbol levels, *excluding* the
+/// preamble, starting from `last_level` (the level of the half-symbol
+/// immediately preceding the data).
+fn encode_data_halves(payload: &Bits, mut last_level: bool) -> Vec<bool> {
+    let mut halves = Vec::with_capacity(payload.len() * 2 + 2);
+    for &bit in payload {
+        let first = !last_level; // boundary inversion, always
+        let second = if bit { first } else { !first };
+        halves.push(first);
+        halves.push(second);
+        last_level = second;
+    }
+    // Dummy data-1 terminator required by Gen2 at end-of-signaling.
+    let first = !last_level;
+    halves.push(first);
+    halves.push(first);
+    halves
+}
+
+/// Encodes a complete FM0 reply: optional pilot (TRext), preamble,
+/// payload, dummy-1 terminator. Returns amplitude levels at
+/// `samples_per_symbol` samples per bit.
+pub fn encode_reply(payload: &Bits, trext: bool, samples_per_symbol: usize) -> Vec<f64> {
+    let mut halves: Vec<bool> = Vec::new();
+    if trext {
+        // Pilot: 12 data-0 symbols — a square wave at the backscatter
+        // link frequency (each data-0 is one low half and one high half).
+        for _ in 0..PILOT_SYMBOLS {
+            halves.push(false);
+            halves.push(true);
+        }
+    }
+    halves.extend_from_slice(&PREAMBLE_HALVES);
+    let last = *halves.last().expect("preamble non-empty");
+    halves.extend(encode_data_halves(payload, last));
+    halves_to_samples(&halves, samples_per_symbol)
+}
+
+/// The preamble (with optional pilot) as samples — the reader's
+/// correlation template for reply detection.
+pub fn preamble_waveform(trext: bool, samples_per_symbol: usize) -> Vec<f64> {
+    let empty = Bits::new();
+    let full = encode_reply(&empty, trext, samples_per_symbol);
+    // encode_reply(empty) = pilot + preamble + dummy terminator (1 sym).
+    let dummy = samples_per_symbol;
+    full[..full.len() - dummy].to_vec()
+}
+
+/// Decodes FM0 half-symbol levels back to bits.
+///
+/// `levels` must begin exactly at the first data symbol (i.e. after the
+/// preamble); alignment is the demodulator's job (`find_reply` below or
+/// the reader's correlator). Returns `None` if a boundary-inversion rule
+/// is violated (detected corruption), otherwise exactly `n_bits` bits.
+pub fn decode_data(
+    levels: &[f64],
+    samples_per_symbol: usize,
+    last_preamble_level: bool,
+    n_bits: usize,
+) -> Option<Bits> {
+    assert!(samples_per_symbol >= 2 && samples_per_symbol % 2 == 0);
+    let half = samples_per_symbol / 2;
+    if levels.len() < n_bits * samples_per_symbol {
+        return None;
+    }
+    let mean_half = |k: usize| -> f64 {
+        let s = &levels[k * half..(k + 1) * half];
+        s.iter().sum::<f64>() / half as f64
+    };
+    // Threshold from the observed extremes (robust to scaling).
+    let lo = levels.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = levels.iter().cloned().fold(f64::MIN, f64::max);
+    if hi - lo < 1e-6 {
+        return None;
+    }
+    let thr = (hi + lo) / 2.0;
+
+    let mut bits = Bits::new();
+    let mut last = last_preamble_level;
+    for sym in 0..n_bits {
+        let first = mean_half(2 * sym) > thr;
+        let second = mean_half(2 * sym + 1) > thr;
+        if first == last {
+            return None; // missing boundary inversion ⇒ corrupt
+        }
+        bits.push(first == second);
+        last = second;
+    }
+    Some(bits)
+}
+
+/// Locates an FM0 reply in a level stream by preamble correlation and
+/// decodes `n_bits` of payload. Returns `(start_of_data_sample, bits)`.
+pub fn find_reply(
+    levels: &[f64],
+    trext: bool,
+    samples_per_symbol: usize,
+    n_bits: usize,
+) -> Option<(usize, Bits)> {
+    let template = preamble_waveform(trext, samples_per_symbol);
+    if levels.len() < template.len() + n_bits * samples_per_symbol {
+        return None;
+    }
+    // Correlate in the ±1 domain so absolute level offsets cancel.
+    let t_pm: Vec<f64> = template.iter().map(|&v| v * 2.0 - 1.0).collect();
+    let mean = levels.iter().sum::<f64>() / levels.len() as f64;
+    let max_lag = levels.len() - template.len() - n_bits * samples_per_symbol + 1;
+    let mut best = (0usize, f64::MIN);
+    for lag in 0..max_lag {
+        let mut acc = 0.0;
+        for (i, &t) in t_pm.iter().enumerate() {
+            acc += (levels[lag + i] - mean) * t;
+        }
+        if acc > best.1 {
+            best = (lag, acc);
+        }
+    }
+    let data_start = best.0 + template.len();
+    let bits = decode_data(
+        &levels[data_start..],
+        samples_per_symbol,
+        *PREAMBLE_HALVES.last().expect("non-empty"),
+        n_bits,
+    )?;
+    Some((data_start, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPS: usize = 8;
+
+    fn payload(pattern: &str) -> Bits {
+        Bits::from_str01(pattern)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for pattern in ["0", "1", "0101", "1111", "0000", "1001101011110000"] {
+            let p = payload(pattern);
+            let wave = encode_reply(&p, false, SPS);
+            let (_, bits) = find_reply(&wave, false, SPS, p.len()).expect(pattern);
+            assert_eq!(bits, p, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn trext_pilot_lengthens_reply() {
+        let p = payload("1010");
+        let short = encode_reply(&p, false, SPS);
+        let long = encode_reply(&p, true, SPS);
+        assert_eq!(long.len() - short.len(), PILOT_SYMBOLS * SPS);
+        let (_, bits) = find_reply(&long, true, SPS, 4).expect("pilot reply decodes");
+        assert_eq!(bits, p);
+    }
+
+    #[test]
+    fn boundary_inversion_always_holds() {
+        let p = payload("1100101");
+        let wave = encode_reply(&p, false, SPS);
+        // Reconstruct half levels and verify: consecutive symbols never
+        // share the level across the boundary — in the data region (the
+        // preamble contains an intentional violation at symbol 4).
+        let halves: Vec<bool> = wave.chunks(SPS / 2).map(|c| c[0] > 0.5).collect();
+        for sym in 7..halves.len() / 2 {
+            assert_ne!(
+                halves[2 * sym - 1],
+                halves[2 * sym],
+                "no inversion at symbol {sym}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_zero_has_mid_transition_data_one_does_not() {
+        let wave0 = encode_reply(&payload("0"), false, SPS);
+        let wave1 = encode_reply(&payload("1"), false, SPS);
+        let data0 = &wave0[12 * (SPS / 2)..12 * (SPS / 2) + SPS];
+        let data1 = &wave1[12 * (SPS / 2)..12 * (SPS / 2) + SPS];
+        assert_ne!(data0[0] > 0.5, data0[SPS - 1] > 0.5, "0 must transition");
+        assert_eq!(data1[0] > 0.5, data1[SPS - 1] > 0.5, "1 must hold");
+    }
+
+    #[test]
+    fn reply_found_at_an_offset() {
+        let p = payload("10110");
+        let mut stream = vec![0.5; 40]; // idle (ambiguous level)
+        let wave = encode_reply(&p, false, SPS);
+        stream.extend_from_slice(&wave);
+        stream.extend(vec![0.5; 24]);
+        let (start, bits) = find_reply(&stream, false, SPS, 5).expect("found");
+        assert_eq!(bits, p);
+        assert_eq!(start, 40 + 12 * (SPS / 2));
+    }
+
+    #[test]
+    fn corrupted_data_detected_by_inversion_rule() {
+        let p = payload("101010");
+        let mut wave = encode_reply(&p, false, SPS);
+        // Stomp a whole symbol to a constant matching the previous
+        // level, killing the boundary inversion.
+        let data_start = 12 * (SPS / 2);
+        let prev = wave[data_start - 1];
+        for s in &mut wave[data_start..data_start + SPS] {
+            *s = prev;
+        }
+        assert!(
+            decode_data(&wave[data_start..], SPS, true, 6).is_none(),
+            "violation must be detected"
+        );
+    }
+
+    #[test]
+    fn preamble_has_coding_violation() {
+        // The raw preamble halves must NOT decode as valid FM0 data —
+        // that is the point of the violation.
+        let halves = PREAMBLE_HALVES;
+        let mut ok = true;
+        let mut last = halves[1];
+        for sym in 1..6 {
+            if halves[2 * sym] == last {
+                ok = false;
+            }
+            last = halves[2 * sym + 1];
+        }
+        assert!(!ok, "preamble should violate boundary inversion");
+    }
+
+    #[test]
+    fn short_buffers_rejected() {
+        let p = payload("1010");
+        let wave = encode_reply(&p, false, SPS);
+        assert!(find_reply(&wave[..20], false, SPS, 4).is_none());
+        assert!(decode_data(&wave[..4], SPS, true, 4).is_none());
+    }
+
+    #[test]
+    fn flat_signal_rejected() {
+        let flat = vec![1.0; 400];
+        assert!(decode_data(&flat, SPS, true, 4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_sps_rejected() {
+        let _ = encode_reply(&payload("1"), false, 7);
+    }
+}

@@ -1,0 +1,41 @@
+//! # rfly-protocol — the EPC Class-1 Generation-2 air protocol
+//!
+//! RFly's relay is *transparent to the RFID protocol* (§1 of the paper):
+//! it forwards EPC Gen2 traffic between unmodified readers and
+//! unmodified tags. Reproducing that claim requires an actual Gen2
+//! implementation on both ends, so this crate provides one from scratch:
+//!
+//! * [`bits`] — a bit-level message buffer,
+//! * [`crc`] — the Gen2 CRC-5 and CRC-16 (ISO/IEC 13239),
+//! * [`commands`] — encode/decode for Query, QueryAdjust, QueryRep, ACK,
+//!   NAK, Select and Req_RN,
+//! * [`pie`] — pulse-interval encoding of the reader's downlink,
+//! * [`fm0`] / [`miller`] — the tag's backscatter line codes,
+//! * [`timing`] — Tari/RTcal/TRcal link timing and backscatter link
+//!   frequency,
+//! * [`epc`] — EPCs, PC words and reply frames,
+//! * [`session`] — sessions and inventoried flags,
+//! * [`qalgo`] — the reader-side Q anti-collision algorithm,
+//! * [`tag_state`] — the tag-side inventory state machine.
+//!
+//! All of it is pure logic over bits and samples; RF physics lives in
+//! `rfly-channel`, `rfly-tag` and `rfly-reader`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod commands;
+pub mod crc;
+pub mod epc;
+pub mod fm0;
+pub mod miller;
+pub mod pie;
+pub mod qalgo;
+pub mod session;
+pub mod tag_state;
+pub mod timing;
+
+pub use bits::Bits;
+pub use commands::Command;
+pub use epc::Epc;

@@ -1,0 +1,309 @@
+//! Miller-modulated subcarrier backscatter (M = 2, 4, 8).
+//!
+//! Miller encoding trades data rate for SNR: each symbol spans M
+//! subcarrier cycles, concentrating energy at M·(bit rate) and letting
+//! the reader integrate longer per bit. Gen2 readers select it (via the
+//! Query's M field) in noisy environments; RFly's long reader–relay
+//! links are exactly such an environment, so the reproduction supports
+//! it end to end.
+//!
+//! Baseband rules: data-1 has a mid-symbol phase inversion, data-0 does
+//! not, and an extra inversion occurs at the boundary between two
+//! consecutive 0s. The baseband is then XORed with a square-wave
+//! subcarrier of M cycles per symbol.
+
+use crate::bits::Bits;
+use crate::timing::TagEncoding;
+
+/// The data bits of the Miller preamble (after the subcarrier-only
+/// lead-in): `010111`.
+pub const PREAMBLE_BITS: [bool; 6] = [false, true, false, true, true, true];
+
+/// Subcarrier-only lead-in length in symbol durations: 4 without pilot,
+/// 16 with (TRext = 1).
+pub fn leadin_symbols(trext: bool) -> usize {
+    if trext {
+        16
+    } else {
+        4
+    }
+}
+
+fn m_of(encoding: TagEncoding) -> usize {
+    let m = encoding.m();
+    assert!(m > 1, "use the fm0 module for FM0");
+    m
+}
+
+/// Encodes the baseband half-symbol levels for a bit sequence, given the
+/// running `(prev_bit, level)` state. Returns the halves and final state.
+fn baseband_halves(
+    bits: &[bool],
+    mut prev_bit: bool,
+    mut level: bool,
+) -> (Vec<(bool, bool)>, bool, bool) {
+    let mut out = Vec::with_capacity(bits.len());
+    for &bit in bits {
+        if !prev_bit && !bit {
+            level = !level; // boundary inversion between consecutive 0s
+        }
+        let first = level;
+        let second = if bit { !level } else { level };
+        out.push((first, second));
+        level = second;
+        prev_bit = bit;
+    }
+    (out, prev_bit, level)
+}
+
+/// Encodes a complete Miller reply: subcarrier lead-in, preamble bits
+/// `010111`, payload, dummy-1 terminator. Returns amplitude levels
+/// (1.0/0.0) at `samples_per_symbol` samples per data bit.
+///
+/// `samples_per_symbol` must be divisible by 2·M so subcarrier
+/// half-cycles land on sample boundaries.
+pub fn encode_reply(
+    payload: &Bits,
+    encoding: TagEncoding,
+    trext: bool,
+    samples_per_symbol: usize,
+) -> Vec<f64> {
+    let m = m_of(encoding);
+    assert!(
+        samples_per_symbol % (2 * m) == 0 && samples_per_symbol >= 2 * m,
+        "samples per symbol must be a positive multiple of 2·M"
+    );
+    let half_sc = samples_per_symbol / (2 * m); // samples per subcarrier half-cycle
+
+    // Assemble baseband halves: lead-in (constant false), preamble,
+    // payload, dummy 1.
+    let mut halves: Vec<(bool, bool)> = vec![(false, false); leadin_symbols(trext)];
+    let (pre, pb, lv) = baseband_halves(&PREAMBLE_BITS, true, false);
+    halves.extend(pre);
+    let payload_bits: Vec<bool> = payload.as_slice().to_vec();
+    let (data, pb2, lv2) = baseband_halves(&payload_bits, pb, lv);
+    halves.extend(data);
+    let (dummy, _, _) = baseband_halves(&[true], pb2, lv2);
+    halves.extend(dummy);
+
+    // Render: per half-symbol, XOR baseband with the subcarrier.
+    let mut out = Vec::with_capacity(halves.len() * samples_per_symbol / 2);
+    for (first, second) in halves {
+        for (half_idx, bb) in [(0usize, first), (1, second)] {
+            // M subcarrier half-cycles... per baseband half-symbol there
+            // are M half-cycles of subcarrier (M cycles per symbol).
+            for k in 0..m {
+                let sc = (k + half_idx * m) % 2 == 1;
+                let v = bb ^ sc;
+                out.extend(std::iter::repeat(if v { 1.0 } else { 0.0 }).take(half_sc));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes Miller payload bits from a level stream that begins exactly
+/// at the first payload symbol. Uses boundary-rule consistency checking
+/// for error detection. Returns `None` on violation or short input.
+pub fn decode_data(
+    levels: &[f64],
+    encoding: TagEncoding,
+    samples_per_symbol: usize,
+    n_bits: usize,
+) -> Option<Bits> {
+    let m = m_of(encoding);
+    assert!(samples_per_symbol % (2 * m) == 0);
+    if levels.len() < n_bits * samples_per_symbol {
+        return None;
+    }
+    let lo = levels.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = levels.iter().cloned().fold(f64::MIN, f64::max);
+    if hi - lo < 1e-6 {
+        return None;
+    }
+    let thr = (hi + lo) / 2.0;
+    let half_sc = samples_per_symbol / (2 * m);
+
+    // Recover baseband half-symbols by demodulating the subcarrier.
+    let read_half = |sym: usize, half_idx: usize| -> bool {
+        let start = sym * samples_per_symbol + half_idx * samples_per_symbol / 2;
+        let mut acc = 0.0;
+        for k in 0..m {
+            let sc = if (k + half_idx * m) % 2 == 1 { -1.0 } else { 1.0 };
+            let chunk = &levels[start + k * half_sc..start + (k + 1) * half_sc];
+            let mean = chunk.iter().sum::<f64>() / half_sc as f64;
+            acc += sc * if mean > thr { 1.0 } else { -1.0 };
+        }
+        acc > 0.0
+    };
+
+    // State after the preamble (last bit of 010111 is a 1 ending at
+    // baseband level false — see the encoder).
+    let mut prev_bit = true;
+    let mut level = false;
+    let mut bits = Bits::new();
+    for sym in 0..n_bits {
+        let first = read_half(sym, 0);
+        let second = read_half(sym, 1);
+        let bit = first != second;
+        // Boundary-rule consistency.
+        let expected_first = if !prev_bit && !bit { !level } else { level };
+        if first != expected_first {
+            return None;
+        }
+        bits.push(bit);
+        level = second;
+        prev_bit = bit;
+    }
+    Some(bits)
+}
+
+/// The full reply header (lead-in + preamble) as samples — the reader's
+/// correlation template.
+pub fn preamble_waveform(
+    encoding: TagEncoding,
+    trext: bool,
+    samples_per_symbol: usize,
+) -> Vec<f64> {
+    let empty = Bits::new();
+    let full = encode_reply(&empty, encoding, trext, samples_per_symbol);
+    full[..full.len() - samples_per_symbol].to_vec() // strip the dummy 1
+}
+
+/// Locates a Miller reply by preamble correlation and decodes `n_bits`.
+/// Returns `(start_of_data_sample, bits)`.
+pub fn find_reply(
+    levels: &[f64],
+    encoding: TagEncoding,
+    trext: bool,
+    samples_per_symbol: usize,
+    n_bits: usize,
+) -> Option<(usize, Bits)> {
+    let template = preamble_waveform(encoding, trext, samples_per_symbol);
+    if levels.len() < template.len() + n_bits * samples_per_symbol {
+        return None;
+    }
+    let t_pm: Vec<f64> = template.iter().map(|&v| v * 2.0 - 1.0).collect();
+    let mean = levels.iter().sum::<f64>() / levels.len() as f64;
+    let max_lag = levels.len() - template.len() - n_bits * samples_per_symbol + 1;
+    let mut best = (0usize, f64::MIN);
+    for lag in 0..max_lag {
+        let mut acc = 0.0;
+        for (i, &t) in t_pm.iter().enumerate() {
+            acc += (levels[lag + i] - mean) * t;
+        }
+        if acc > best.1 {
+            best = (lag, acc);
+        }
+    }
+    let data_start = best.0 + template.len();
+    let bits = decode_data(&levels[data_start..], encoding, samples_per_symbol, n_bits)?;
+    Some((data_start, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_m_values() {
+        for (enc, sps) in [
+            (TagEncoding::Miller2, 16),
+            (TagEncoding::Miller4, 32),
+            (TagEncoding::Miller8, 64),
+        ] {
+            for pattern in ["0", "1", "0011", "101010", "1101001010011101"] {
+                let p = Bits::from_str01(pattern);
+                let wave = encode_reply(&p, enc, false, sps);
+                let (_, bits) =
+                    find_reply(&wave, enc, false, sps, p.len()).expect("reply found");
+                assert_eq!(bits, p, "{enc:?} pattern {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn trext_lengthens_leadin() {
+        let p = Bits::from_str01("1010");
+        let short = encode_reply(&p, TagEncoding::Miller4, false, 32);
+        let long = encode_reply(&p, TagEncoding::Miller4, true, 32);
+        assert_eq!(long.len() - short.len(), 12 * 32);
+        let (_, bits) = find_reply(&long, TagEncoding::Miller4, true, 32, 4).unwrap();
+        assert_eq!(bits, p);
+    }
+
+    #[test]
+    fn subcarrier_cycle_count() {
+        // A lone data-0 symbol must contain exactly M full subcarrier
+        // cycles (2M level chips).
+        let p = Bits::from_str01("0");
+        let sps = 32;
+        let wave = encode_reply(&p, TagEncoding::Miller4, false, sps);
+        let data_start = (leadin_symbols(false) + 6) * sps;
+        let sym = &wave[data_start..data_start + sps];
+        let transitions = sym.windows(2).filter(|w| w[0] != w[1]).count();
+        // M cycles → 2M−1 internal transitions for a constant baseband.
+        assert_eq!(transitions, 7, "Miller4 data-0 must show 4 cycles");
+    }
+
+    #[test]
+    fn data_one_flips_subcarrier_phase_mid_symbol() {
+        let sps = 32;
+        let w0 = encode_reply(&Bits::from_str01("0"), TagEncoding::Miller4, false, sps);
+        let w1 = encode_reply(&Bits::from_str01("1"), TagEncoding::Miller4, false, sps);
+        let start = (leadin_symbols(false) + 6) * sps;
+        let s0 = &w0[start..start + sps];
+        let s1 = &w1[start..start + sps];
+        // First halves agree, second halves are inverted.
+        assert_eq!(s0[..sps / 2], s1[..sps / 2]);
+        for (a, b) in s0[sps / 2..].iter().zip(&s1[sps / 2..]) {
+            assert!((a + b - 1.0).abs() < 1e-12, "second half must invert");
+        }
+    }
+
+    #[test]
+    fn reply_found_at_offset_with_idle_padding() {
+        let p = Bits::from_str01("110101");
+        let sps = 16;
+        let wave = encode_reply(&p, TagEncoding::Miller2, false, sps);
+        let mut stream = vec![0.5; 57];
+        stream.extend_from_slice(&wave);
+        stream.extend(vec![0.5; 30]);
+        let (start, bits) = find_reply(&stream, TagEncoding::Miller2, false, sps, 6).unwrap();
+        assert_eq!(bits, p);
+        assert_eq!(start, 57 + (leadin_symbols(false) + 6) * sps);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let p = Bits::from_str01("0000");
+        let sps = 16;
+        let mut wave = encode_reply(&p, TagEncoding::Miller2, false, sps);
+        let data_start = (leadin_symbols(false) + 6) * sps;
+        // Invert an entire symbol: breaks boundary consistency with its
+        // neighbor.
+        for s in &mut wave[data_start..data_start + sps] {
+            *s = 1.0 - *s;
+        }
+        assert!(decode_data(&wave[data_start..], TagEncoding::Miller2, sps, 4).is_none());
+    }
+
+    #[test]
+    fn short_or_flat_input_rejected() {
+        let sps = 16;
+        assert!(decode_data(&[1.0; 8], TagEncoding::Miller2, sps, 4).is_none());
+        assert!(decode_data(&[1.0; 256], TagEncoding::Miller2, sps, 4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fm0 module")]
+    fn fm0_rejected_here() {
+        let _ = encode_reply(&Bits::from_str01("1"), TagEncoding::Fm0, false, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 2·M")]
+    fn bad_sps_rejected() {
+        let _ = encode_reply(&Bits::from_str01("1"), TagEncoding::Miller4, false, 12);
+    }
+}

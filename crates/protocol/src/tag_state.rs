@@ -1,0 +1,731 @@
+//! The Gen2 tag-side inventory state machine.
+//!
+//! A powered tag walks Ready → Arbitrate → Reply → Acknowledged (and on
+//! to Open/Secured for access commands) under the reader's command
+//! sequence, exactly as in the Gen2 state diagram. This logic is pure —
+//! RF power and backscatter physics wrap it in `rfly-tag` — which makes
+//! the protocol behaviour directly testable, including the collision
+//! arbitration the relay must transparently forward.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bits::Bits;
+use crate::commands::{Command, MemBank, SelectTarget};
+use crate::crc::append_crc16;
+use crate::epc::{epc_reply_frame, rn16_frame, Epc, PC_96BIT};
+use crate::session::{InventoriedFlag, Session, TagFlags};
+
+/// The tag's protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagState {
+    /// Powered, not participating in a round.
+    Ready,
+    /// Holding a nonzero slot counter in a round.
+    Arbitrate,
+    /// Slot reached zero; RN16 sent, awaiting ACK.
+    Reply,
+    /// ACKed; EPC sent, awaiting Req_RN or round end.
+    Acknowledged,
+    /// Req_RN completed; handle issued.
+    Open,
+    /// Permanently disabled.
+    Killed,
+}
+
+/// What a tag backscatters in response to a command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagReply {
+    /// The 16-bit random number (no CRC).
+    Rn16(Bits),
+    /// The `{PC, EPC, CRC16}` frame.
+    EpcFrame(Bits),
+    /// A new handle `{RN16, CRC16}` in response to Req_RN.
+    Handle(Bits),
+    /// Read data: `{header 0, words, handle, CRC16}`.
+    ReadData(Bits),
+}
+
+impl TagReply {
+    /// The transmitted bit frame.
+    pub fn frame(&self) -> &Bits {
+        match self {
+            TagReply::Rn16(b)
+            | TagReply::EpcFrame(b)
+            | TagReply::Handle(b)
+            | TagReply::ReadData(b) => b,
+        }
+    }
+}
+
+/// The protocol engine of one tag.
+#[derive(Debug)]
+pub struct TagMachine {
+    epc: Epc,
+    pc: u16,
+    state: TagState,
+    flags: TagFlags,
+    slot: u32,
+    rn16: u16,
+    session: Option<Session>,
+    current_q: u8,
+    /// User-memory bank, 16-bit words (bank 11₂).
+    user_memory: Vec<u16>,
+    rng: StdRng,
+}
+
+impl TagMachine {
+    /// Creates a tag with the given EPC; `seed` drives its RN16 and slot
+    /// draws (hardware tags use ring-oscillator entropy; the simulation
+    /// wants reproducibility).
+    pub fn new(epc: Epc, seed: u64) -> Self {
+        Self {
+            epc,
+            pc: PC_96BIT,
+            state: TagState::Ready,
+            flags: TagFlags::new(),
+            slot: 0,
+            rn16: 0,
+            session: None,
+            current_q: 0,
+            user_memory: vec![0u16; 8],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Writes the user-memory bank contents (scene setup: e.g. a batch
+    /// number or sensor calibration words).
+    pub fn set_user_memory(&mut self, words: Vec<u16>) {
+        self.user_memory = words;
+    }
+
+    /// The user-memory bank.
+    pub fn user_memory(&self) -> &[u16] {
+        &self.user_memory
+    }
+
+    /// A memory bank as 16-bit words, as the access layer addresses it.
+    fn bank_words(&self, bank: MemBank) -> Vec<u16> {
+        match bank {
+            MemBank::Epc => {
+                let bits = self.epc_bank();
+                (0..bits.len() / 16)
+                    .map(|w| bits.uint_at(w * 16, 16) as u16)
+                    .collect()
+            }
+            MemBank::Tid => {
+                // A fixed class-identifier header followed by a serial
+                // derived from the EPC (the usual vendor layout).
+                let mut words = vec![0xE280u16, 0x1160];
+                let e = self.epc.0;
+                for c in e.chunks(2) {
+                    words.push(u16::from_be_bytes([c[0], c[1]]));
+                }
+                words
+            }
+            MemBank::User => self.user_memory.clone(),
+            // Passwords are not implemented; reads of Reserved fail.
+            MemBank::Reserved => Vec::new(),
+        }
+    }
+
+    /// The tag's EPC.
+    pub fn epc(&self) -> Epc {
+        self.epc
+    }
+
+    /// The current protocol state.
+    pub fn state(&self) -> TagState {
+        self.state
+    }
+
+    /// The current flag set (SL + inventoried).
+    pub fn flags(&self) -> &TagFlags {
+        &self.flags
+    }
+
+    /// The tag's current slot counter (meaningful in Arbitrate).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Models loss of power: back to Ready, session-0 flag decays.
+    pub fn power_cycle(&mut self) {
+        if self.state != TagState::Killed {
+            self.state = TagState::Ready;
+        }
+        self.flags.power_cycle();
+        self.session = None;
+    }
+
+    /// The EPC-bank bit image: StoredCRC ‖ PC ‖ EPC (as Select masks
+    /// address it).
+    fn epc_bank(&self) -> Bits {
+        let mut body = Bits::new();
+        body.push_uint(self.pc as u64, 16);
+        body.extend(&self.epc.to_bits());
+        // StoredCRC is the CRC16 over PC+EPC and sits *first* in the bank.
+        let crc = crate::crc::crc16(&body);
+        let mut bank = Bits::new();
+        bank.push_uint(crc as u64, 16);
+        bank.extend(&body);
+        bank
+    }
+
+    fn draw_slot(&mut self, q: u8) -> u32 {
+        if q == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..(1u32 << q))
+        }
+    }
+
+    fn enter_slot(&mut self, q: u8) -> Option<TagReply> {
+        self.current_q = q;
+        self.slot = self.draw_slot(q);
+        if self.slot == 0 {
+            self.state = TagState::Reply;
+            self.rn16 = self.rng.gen();
+            Some(TagReply::Rn16(rn16_frame(self.rn16)))
+        } else {
+            self.state = TagState::Arbitrate;
+            None
+        }
+    }
+
+    /// Feeds one reader command; returns the backscattered reply, if
+    /// any. A `None` means the tag stays silent (the normal case for
+    /// most tags in most slots).
+    pub fn handle(&mut self, cmd: &Command) -> Option<TagReply> {
+        if self.state == TagState::Killed {
+            return None;
+        }
+        match cmd {
+            Command::Query {
+                sel,
+                session,
+                target,
+                q,
+                ..
+            } => {
+                // A new Query ends any previous participation: a tag in
+                // Acknowledged toggles its inventoried flag first (it
+                // was successfully read this round).
+                if self.state == TagState::Acknowledged || self.state == TagState::Open {
+                    if let Some(s) = self.session {
+                        self.flags.toggle_inventoried(s);
+                    }
+                }
+                self.session = Some(*session);
+                let participates = sel.matches(self.flags.selected)
+                    && self.flags.inventoried(*session) == *target;
+                if participates {
+                    self.enter_slot(*q)
+                } else {
+                    self.state = TagState::Ready;
+                    None
+                }
+            }
+            Command::QueryRep { session } => {
+                if Some(*session) != self.session {
+                    return None;
+                }
+                match self.state {
+                    TagState::Arbitrate => {
+                        self.slot = self.slot.saturating_sub(1);
+                        if self.slot == 0 {
+                            self.state = TagState::Reply;
+                            self.rn16 = self.rng.gen();
+                            Some(TagReply::Rn16(rn16_frame(self.rn16)))
+                        } else {
+                            None
+                        }
+                    }
+                    TagState::Reply => {
+                        // Missed ACK: back to arbitration, out of this
+                        // slot (max counter per spec behaviour).
+                        self.state = TagState::Arbitrate;
+                        self.slot = (1u32 << self.current_q).saturating_sub(1).max(1);
+                        None
+                    }
+                    TagState::Acknowledged | TagState::Open => {
+                        // Successfully inventoried: toggle and retire.
+                        self.flags.toggle_inventoried(*session);
+                        self.state = TagState::Ready;
+                        None
+                    }
+                    _ => None,
+                }
+            }
+            Command::QueryAdjust { session, updn } => {
+                if Some(*session) != self.session {
+                    return None;
+                }
+                match self.state {
+                    TagState::Arbitrate | TagState::Reply => {
+                        let q = (self.current_q as i8 + updn).clamp(0, 15) as u8;
+                        self.enter_slot(q)
+                    }
+                    TagState::Acknowledged | TagState::Open => {
+                        self.flags.toggle_inventoried(*session);
+                        self.state = TagState::Ready;
+                        None
+                    }
+                    _ => None,
+                }
+            }
+            Command::Ack { rn16 } => {
+                if self.state == TagState::Reply && *rn16 == self.rn16 {
+                    self.state = TagState::Acknowledged;
+                    Some(TagReply::EpcFrame(epc_reply_frame(self.pc, self.epc)))
+                } else if self.state == TagState::Reply || self.state == TagState::Acknowledged {
+                    // Wrong RN16: return to arbitrate, stay silent.
+                    self.state = TagState::Arbitrate;
+                    self.slot = 1;
+                    None
+                } else {
+                    None
+                }
+            }
+            Command::Nak => {
+                if matches!(
+                    self.state,
+                    TagState::Reply | TagState::Acknowledged | TagState::Open
+                ) {
+                    self.state = TagState::Arbitrate;
+                    self.slot = u32::MAX; // effectively out of the round
+                }
+                None
+            }
+            Command::Read {
+                bank,
+                wordptr,
+                wordcount,
+                rn,
+            } => {
+                // Access layer: only an Open tag addressed by its
+                // current handle answers; out-of-range reads are
+                // silently ignored (we do not model the Gen2 error
+                // reply).
+                if self.state != TagState::Open || *rn != self.rn16 {
+                    return None;
+                }
+                let words = self.bank_words(*bank);
+                let start = *wordptr as usize;
+                let end = start + *wordcount as usize;
+                if end > words.len() {
+                    return None;
+                }
+                let mut body = Bits::new();
+                body.push(false); // header bit: success
+                for w in &words[start..end] {
+                    body.push_uint(*w as u64, 16);
+                }
+                body.push_uint(self.rn16 as u64, 16);
+                Some(TagReply::ReadData(append_crc16(&body)))
+            }
+            Command::ReqRn { rn16 } => {
+                if self.state == TagState::Acknowledged && *rn16 == self.rn16 {
+                    self.state = TagState::Open;
+                    self.rn16 = self.rng.gen();
+                    let mut body = Bits::new();
+                    body.push_uint(self.rn16 as u64, 16);
+                    Some(TagReply::Handle(append_crc16(&body)))
+                } else {
+                    None
+                }
+            }
+            Command::Select {
+                target,
+                action,
+                bank,
+                pointer,
+                mask,
+                ..
+            } => {
+                let matches = self.select_matches(*bank, *pointer, mask);
+                self.apply_select(*target, *action, matches);
+                // Select also aborts any round participation.
+                self.state = TagState::Ready;
+                None
+            }
+        }
+    }
+
+    fn select_matches(&self, bank: MemBank, pointer: u32, mask: &Bits) -> bool {
+        let memory = match bank {
+            MemBank::Epc => self.epc_bank(),
+            // TID/User/Reserved are not modelled; treat as all-zero.
+            _ => Bits::from_bools(&vec![false; 256]),
+        };
+        let p = pointer as usize;
+        if p + mask.len() > memory.len() {
+            return false;
+        }
+        memory.slice(p, mask.len()) == *mask
+    }
+
+    fn apply_select(&mut self, target: SelectTarget, action: u8, matched: bool) {
+        // Gen2 Table 6.29: per-action (assert, deassert, negate, none)
+        // for matching and non-matching tags.
+        #[derive(Clone, Copy)]
+        enum Op {
+            Assert,
+            Deassert,
+            Negate,
+            None,
+        }
+        let (on_match, on_miss) = match action & 0b111 {
+            0b000 => (Op::Assert, Op::Deassert),
+            0b001 => (Op::Assert, Op::None),
+            0b010 => (Op::None, Op::Deassert),
+            0b011 => (Op::Negate, Op::None),
+            0b100 => (Op::Deassert, Op::Assert),
+            0b101 => (Op::Deassert, Op::None),
+            0b110 => (Op::None, Op::Assert),
+            _ => (Op::None, Op::Negate),
+        };
+        let op = if matched { on_match } else { on_miss };
+        match target {
+            SelectTarget::Sl => match op {
+                Op::Assert => self.flags.selected = true,
+                Op::Deassert => self.flags.selected = false,
+                Op::Negate => self.flags.selected = !self.flags.selected,
+                Op::None => {}
+            },
+            SelectTarget::Inventoried(s) => match op {
+                // "Assert" sets the flag to A, "deassert" to B.
+                Op::Assert => self.flags.set_inventoried(s, InventoriedFlag::A),
+                Op::Deassert => self.flags.set_inventoried(s, InventoriedFlag::B),
+                Op::Negate => self.flags.toggle_inventoried(s),
+                Op::None => {}
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::MemBank;
+    use crate::epc::parse_epc_reply;
+    use crate::session::SelFilter;
+    use crate::timing::{DivideRatio, TagEncoding};
+
+    fn query(q: u8, session: Session, target: InventoriedFlag) -> Command {
+        Command::Query {
+            dr: DivideRatio::Dr64over3,
+            m: TagEncoding::Fm0,
+            trext: false,
+            sel: SelFilter::All,
+            session,
+            target,
+            q,
+        }
+    }
+
+    fn tag(seed: u64) -> TagMachine {
+        TagMachine::new(Epc::from_index(seed), seed)
+    }
+
+    #[test]
+    fn q0_query_makes_tag_reply_immediately() {
+        let mut t = tag(1);
+        let reply = t.handle(&query(0, Session::S0, InventoriedFlag::A));
+        assert!(matches!(reply, Some(TagReply::Rn16(_))));
+        assert_eq!(t.state(), TagState::Reply);
+    }
+
+    #[test]
+    fn full_singulation_handshake() {
+        let mut t = tag(2);
+        let rn16 = match t.handle(&query(0, Session::S1, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16) as u16,
+            other => panic!("expected RN16, got {other:?}"),
+        };
+        let epc_frame = match t.handle(&Command::Ack { rn16 }) {
+            Some(TagReply::EpcFrame(b)) => b,
+            other => panic!("expected EPC, got {other:?}"),
+        };
+        let (pc, epc) = parse_epc_reply(&epc_frame).expect("valid EPC frame");
+        assert_eq!(pc, PC_96BIT);
+        assert_eq!(epc, t.epc());
+        assert_eq!(t.state(), TagState::Acknowledged);
+
+        // End of its slot: QueryRep retires it and toggles the flag.
+        assert!(t
+            .handle(&Command::QueryRep {
+                session: Session::S1
+            })
+            .is_none());
+        assert_eq!(t.state(), TagState::Ready);
+        assert_eq!(t.flags().inventoried(Session::S1), InventoriedFlag::B);
+    }
+
+    #[test]
+    fn wrong_rn16_is_not_acknowledged() {
+        let mut t = tag(3);
+        let rn16 = match t.handle(&query(0, Session::S0, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        let reply = t.handle(&Command::Ack {
+            rn16: rn16.wrapping_add(1),
+        });
+        assert!(reply.is_none());
+        assert_eq!(t.state(), TagState::Arbitrate);
+    }
+
+    #[test]
+    fn inventoried_tag_ignores_next_round_for_same_target() {
+        let mut t = tag(4);
+        let rn16 = match t.handle(&query(0, Session::S1, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        t.handle(&Command::Ack { rn16 }).expect("acked");
+        t.handle(&Command::QueryRep {
+            session: Session::S1,
+        });
+        // Flag is now B; a Target-A query excludes the tag.
+        let reply = t.handle(&query(0, Session::S1, InventoriedFlag::A));
+        assert!(reply.is_none());
+        assert_eq!(t.state(), TagState::Ready);
+        // But a Target-B query includes it again.
+        let reply_b = t.handle(&query(0, Session::S1, InventoriedFlag::B));
+        assert!(matches!(reply_b, Some(TagReply::Rn16(_))));
+    }
+
+    #[test]
+    fn arbitrate_counts_down_with_query_rep() {
+        // Find a seed whose first slot draw (q=4) is ≥ 2 so we can watch
+        // the countdown.
+        let mut t = tag(5);
+        let mut reply = t.handle(&query(4, Session::S0, InventoriedFlag::A));
+        let mut guard = 0;
+        while t.state() != TagState::Arbitrate || t.slot() < 2 {
+            t = tag(100 + guard);
+            reply = t.handle(&query(4, Session::S0, InventoriedFlag::A));
+            guard += 1;
+            assert!(guard < 100, "no suitable seed found");
+        }
+        assert!(reply.is_none());
+        let start_slot = t.slot();
+        let mut reps = 0;
+        loop {
+            let r = t.handle(&Command::QueryRep {
+                session: Session::S0,
+            });
+            reps += 1;
+            if r.is_some() {
+                break;
+            }
+            assert!(reps <= start_slot, "tag never replied");
+        }
+        assert_eq!(reps, start_slot);
+        assert_eq!(t.state(), TagState::Reply);
+    }
+
+    #[test]
+    fn nak_returns_tag_to_arbitrate() {
+        let mut t = tag(6);
+        t.handle(&query(0, Session::S0, InventoriedFlag::A));
+        assert_eq!(t.state(), TagState::Reply);
+        t.handle(&Command::Nak);
+        assert_eq!(t.state(), TagState::Arbitrate);
+        // NAK does not toggle the inventoried flag.
+        assert_eq!(t.flags().inventoried(Session::S0), InventoriedFlag::A);
+    }
+
+    #[test]
+    fn req_rn_issues_crc_protected_handle() {
+        let mut t = tag(7);
+        let rn16 = match t.handle(&query(0, Session::S0, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        t.handle(&Command::Ack { rn16 });
+        let handle = match t.handle(&Command::ReqRn { rn16 }) {
+            Some(TagReply::Handle(b)) => b,
+            other => panic!("expected handle, got {other:?}"),
+        };
+        assert_eq!(handle.len(), 32);
+        assert!(crate::crc::check_crc16(&handle));
+        assert_eq!(t.state(), TagState::Open);
+    }
+
+    #[test]
+    fn select_asserts_sl_on_epc_match() {
+        let mut t = tag(8);
+        // Mask: first 16 bits of the EPC, located at bit 32 of the EPC
+        // bank (after StoredCRC and PC).
+        let epc_bits = t.epc().to_bits();
+        let cmd = Command::Select {
+            target: SelectTarget::Sl,
+            action: 0,
+            bank: MemBank::Epc,
+            pointer: 32,
+            mask: epc_bits.slice(0, 16),
+            truncate: false,
+        };
+        t.handle(&cmd);
+        assert!(t.flags().selected);
+
+        // A non-matching mask deasserts (action 0).
+        let mut wrong: Vec<bool> = epc_bits.slice(0, 16).as_slice().to_vec();
+        wrong[0] = !wrong[0];
+        let cmd2 = Command::Select {
+            target: SelectTarget::Sl,
+            action: 0,
+            bank: MemBank::Epc,
+            pointer: 32,
+            mask: Bits::from_bools(&wrong),
+            truncate: false,
+        };
+        t.handle(&cmd2);
+        assert!(!t.flags().selected);
+    }
+
+    #[test]
+    fn sel_filter_excludes_unselected_tags() {
+        let mut t = tag(9);
+        let cmd = Command::Query {
+            dr: DivideRatio::Dr8,
+            m: TagEncoding::Fm0,
+            trext: false,
+            sel: SelFilter::Selected,
+            session: Session::S0,
+            target: InventoriedFlag::A,
+            q: 0,
+        };
+        assert!(t.handle(&cmd).is_none(), "unselected tag must not reply");
+        t.flags.selected = true;
+        assert!(t.handle(&cmd).is_some());
+    }
+
+    #[test]
+    fn power_cycle_resets_state_and_s0() {
+        let mut t = tag(10);
+        let rn16 = match t.handle(&query(0, Session::S0, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        t.handle(&Command::Ack { rn16 });
+        t.handle(&Command::QueryRep {
+            session: Session::S0,
+        });
+        assert_eq!(t.flags().inventoried(Session::S0), InventoriedFlag::B);
+        t.power_cycle();
+        assert_eq!(t.state(), TagState::Ready);
+        assert_eq!(t.flags().inventoried(Session::S0), InventoriedFlag::A);
+    }
+
+    #[test]
+    fn wrong_session_query_rep_ignored() {
+        let mut t = tag(11);
+        t.handle(&query(0, Session::S2, InventoriedFlag::A));
+        assert_eq!(t.state(), TagState::Reply);
+        assert!(t
+            .handle(&Command::QueryRep {
+                session: Session::S0
+            })
+            .is_none());
+        assert_eq!(t.state(), TagState::Reply, "other-session rep ignored");
+    }
+
+    #[test]
+    fn read_command_fetches_memory_banks() {
+        let mut t = tag(20);
+        t.set_user_memory(vec![0xDEAD, 0xBEEF, 0x1234]);
+        // Full handshake to Open.
+        let rn16 = match t.handle(&query(0, Session::S0, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        t.handle(&Command::Ack { rn16 });
+        let handle = match t.handle(&Command::ReqRn { rn16 }) {
+            Some(TagReply::Handle(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        // Read two user words.
+        let reply = t
+            .handle(&Command::Read {
+                bank: MemBank::User,
+                wordptr: 1,
+                wordcount: 2,
+                rn: handle,
+            })
+            .expect("read answered");
+        let frame = reply.frame();
+        assert!(crate::crc::check_crc16(frame));
+        assert_eq!(frame.uint_at(0, 1), 0, "success header");
+        assert_eq!(frame.uint_at(1, 16), 0xBEEF);
+        assert_eq!(frame.uint_at(17, 16), 0x1234);
+        assert_eq!(frame.uint_at(33, 16) as u16, handle);
+
+        // EPC bank word 2 is the first EPC word ("RF" = 0x5246).
+        let epc_read = t
+            .handle(&Command::Read {
+                bank: MemBank::Epc,
+                wordptr: 2,
+                wordcount: 1,
+                rn: handle,
+            })
+            .expect("epc read");
+        assert_eq!(epc_read.frame().uint_at(1, 16), 0x5246);
+
+        // Wrong handle: silence. Out-of-range: silence. Reserved: silence.
+        assert!(t
+            .handle(&Command::Read {
+                bank: MemBank::User,
+                wordptr: 0,
+                wordcount: 1,
+                rn: handle.wrapping_add(1),
+            })
+            .is_none());
+        assert!(t
+            .handle(&Command::Read {
+                bank: MemBank::User,
+                wordptr: 2,
+                wordcount: 5,
+                rn: handle,
+            })
+            .is_none());
+        assert!(t
+            .handle(&Command::Read {
+                bank: MemBank::Reserved,
+                wordptr: 0,
+                wordcount: 1,
+                rn: handle,
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn read_requires_open_state() {
+        let mut t = tag(21);
+        assert!(t
+            .handle(&Command::Read {
+                bank: MemBank::User,
+                wordptr: 0,
+                wordcount: 1,
+                rn: 0,
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn rn16_draws_differ_between_singulations() {
+        let mut t = tag(12);
+        let r1 = match t.handle(&query(0, Session::S0, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16),
+            _ => panic!(),
+        };
+        t.power_cycle();
+        let r2 = match t.handle(&query(0, Session::S0, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16),
+            _ => panic!(),
+        };
+        assert_ne!(r1, r2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Reader configuration.
+
+use rfly_channel::link::LinkBudget;
+use rfly_dsp::units::{Db, Dbm, Hertz};
+use rfly_protocol::session::{InventoriedFlag, SelFilter, Session};
+use rfly_protocol::timing::{LinkTiming, TagEncoding};
+
+/// Everything a reader needs to know to run inventory rounds.
+#[derive(Debug, Clone)]
+pub struct ReaderConfig {
+    /// Carrier frequency.
+    pub frequency: Hertz,
+    /// Conducted transmit power.
+    pub tx_power: Dbm,
+    /// Antenna gain (TX and RX, monostatic).
+    pub antenna_gain: Db,
+    /// Receiver noise figure.
+    pub noise_figure: Db,
+    /// Receiver bandwidth.
+    pub bandwidth: Hertz,
+    /// Downlink timing (Tari/RTcal/TRcal).
+    pub timing: LinkTiming,
+    /// Requested tag encoding.
+    pub encoding: TagEncoding,
+    /// Pilot-tone request.
+    pub trext: bool,
+    /// Inventory session.
+    pub session: Session,
+    /// Target inventoried-flag value.
+    pub target: InventoriedFlag,
+    /// SL-flag filter.
+    pub sel: SelFilter,
+    /// Baseband sample rate for waveform synthesis/decoding.
+    pub sample_rate: f64,
+    /// Minimum post-integration SNR for a successful decode, dB.
+    ///
+    /// §7.3 of the paper observes decoding/phase quality collapsing as
+    /// SNR drops below ≈3 dB; coherent FM0 with CRC needs roughly this
+    /// much per bit.
+    pub decode_snr_floor: Db,
+}
+
+impl ReaderConfig {
+    /// An FCC-compliant USRP-class reader at 915 MHz: 30 dBm conducted,
+    /// 6 dBi antenna, 500 kHz BLF profile, FM0 with pilot.
+    pub fn usrp_default() -> Self {
+        Self {
+            frequency: Hertz::mhz(915.0),
+            tx_power: Dbm::new(30.0),
+            antenna_gain: Db::new(6.0),
+            noise_figure: Db::new(8.0),
+            bandwidth: Hertz::mhz(2.0),
+            timing: LinkTiming::default_profile(),
+            encoding: TagEncoding::Fm0,
+            trext: true,
+            session: Session::S0,
+            target: InventoriedFlag::A,
+            sel: SelFilter::All,
+            sample_rate: 4e6,
+            decode_snr_floor: Db::new(3.0),
+        }
+    }
+
+    /// The link budget view of this configuration.
+    pub fn link_budget(&self) -> LinkBudget {
+        LinkBudget {
+            tx_power: self.tx_power,
+            tx_gain: self.antenna_gain,
+            rx_gain: self.antenna_gain,
+            noise_figure: self.noise_figure,
+            bandwidth: self.bandwidth,
+        }
+    }
+
+    /// Samples per backscatter symbol at this sample rate — must be an
+    /// even integer for the FM0/Miller coders.
+    pub fn samples_per_symbol(&self) -> usize {
+        let sps = self.sample_rate / self.timing.blf_hz();
+        let s = sps.round() as usize;
+        assert!(
+            (sps - s as f64).abs() < 1e-6 && s % 2 == 0,
+            "sample rate {} is not an even multiple of the BLF {}",
+            self.sample_rate,
+            self.timing.blf_hz()
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = ReaderConfig::usrp_default();
+        assert_eq!(c.samples_per_symbol(), 8); // 4 MS/s ÷ 500 kHz
+        assert_eq!(c.link_budget().eirp(), Dbm::new(36.0));
+        c.timing.validate().expect("legal timing");
+    }
+
+    #[test]
+    #[should_panic(expected = "even multiple")]
+    fn incompatible_sample_rate_rejected() {
+        let mut c = ReaderConfig::usrp_default();
+        c.sample_rate = 3.3e6;
+        let _ = c.samples_per_symbol();
+    }
+}

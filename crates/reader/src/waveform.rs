@@ -1,0 +1,121 @@
+//! Command → IQ waveform synthesis (the reader's transmit chain).
+//!
+//! At complex baseband relative to the reader's own carrier, the
+//! unmodulated carrier is DC and a PIE frame is a real-valued envelope.
+//! The waveforms produced here are what feeds the relay's downlink path
+//! in the sample-level experiments.
+
+use rfly_dsp::Complex;
+use rfly_protocol::commands::Command;
+use rfly_protocol::pie::{FrameStart, PieEncoder};
+
+use crate::config::ReaderConfig;
+
+/// Synthesizes reader waveforms for a given configuration.
+#[derive(Debug, Clone)]
+pub struct WaveformBuilder {
+    encoder: PieEncoder,
+    sample_rate: f64,
+}
+
+impl WaveformBuilder {
+    /// Creates a builder from the reader configuration.
+    pub fn new(config: &ReaderConfig) -> Self {
+        Self {
+            encoder: PieEncoder::new(config.timing, config.sample_rate).with_depth(0.9),
+            sample_rate: config.sample_rate,
+        }
+    }
+
+    /// The sample rate of produced waveforms.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Encodes a command as a complex baseband waveform, followed by
+    /// `tail_s` seconds of CW for the tag to reply into. Query commands
+    /// get the full preamble (they carry TRcal); everything else gets a
+    /// frame-sync.
+    pub fn command(&self, cmd: &Command, tail_s: f64) -> Vec<Complex> {
+        let start = match cmd {
+            Command::Query { .. } => FrameStart::Preamble,
+            _ => FrameStart::FrameSync,
+        };
+        let envelope = self.encoder.encode(start, &cmd.encode(), tail_s);
+        envelope.into_iter().map(Complex::from_re).collect()
+    }
+
+    /// Plain continuous wave.
+    pub fn continuous_wave(&self, duration_s: f64) -> Vec<Complex> {
+        self.encoder
+            .continuous_wave(duration_s)
+            .into_iter()
+            .map(Complex::from_re)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_protocol::pie;
+    use rfly_protocol::session::Session;
+
+    fn builder() -> WaveformBuilder {
+        WaveformBuilder::new(&ReaderConfig::usrp_default())
+    }
+
+    fn envelope(wave: &[Complex]) -> Vec<f64> {
+        wave.iter().map(|s| s.abs()).collect()
+    }
+
+    #[test]
+    fn query_waveform_decodes_back_to_the_query() {
+        let cfg = ReaderConfig::usrp_default();
+        let cmd = Command::Query {
+            dr: cfg.timing.dr,
+            m: cfg.encoding,
+            trext: cfg.trext,
+            sel: cfg.sel,
+            session: cfg.session,
+            target: cfg.target,
+            q: 4,
+        };
+        let wave = builder().command(&cmd, 100e-6);
+        let frame = pie::decode(&envelope(&wave), cfg.sample_rate).expect("PIE decodes");
+        assert!(frame.trcal_s.is_some(), "Query carries TRcal");
+        assert_eq!(Command::decode(&frame.bits), Some(cmd));
+    }
+
+    #[test]
+    fn non_query_uses_frame_sync() {
+        let cmd = Command::QueryRep {
+            session: Session::S1,
+        };
+        let wave = builder().command(&cmd, 50e-6);
+        let frame = pie::decode(&envelope(&wave), 4e6).expect("decodes");
+        assert!(frame.trcal_s.is_none());
+        assert_eq!(Command::decode(&frame.bits), Some(cmd));
+    }
+
+    #[test]
+    fn waveform_is_real_valued_at_baseband() {
+        let wave = builder().command(&Command::Nak, 10e-6);
+        assert!(wave.iter().all(|s| s.im == 0.0));
+    }
+
+    #[test]
+    fn cw_is_constant_dc() {
+        let cw = builder().continuous_wave(25e-6);
+        assert_eq!(cw.len(), 100);
+        assert!(cw.iter().all(|s| (*s - Complex::from_re(1.0)).abs() < 1e-12));
+    }
+
+    #[test]
+    fn modulation_depth_is_90_percent() {
+        let wave = builder().command(&Command::Nak, 0.0);
+        let env = envelope(&wave);
+        let min = env.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((min - 0.1).abs() < 1e-9, "low level = {min}");
+    }
+}

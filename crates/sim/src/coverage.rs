@@ -1,0 +1,160 @@
+//! Coverage planning: will a flight plan power every tag?
+//!
+//! The paper's pitch is eliminating blind spots ("20-80 % of RFIDs may
+//! remain in blind spots" with fixed readers, §1). The relay's
+//! tag-side reach is a hard physics limit — the −15 dBm power-up
+//! threshold over the relay→tag link — so mission planning reduces to:
+//! from which flight positions can each shelf spot be powered, and does
+//! the plan visit one?
+
+use rfly_channel::environment::Environment;
+use rfly_channel::geometry::Point2;
+use rfly_dsp::units::{Db, Dbm};
+
+use crate::scene::Scene;
+use crate::world::RelayModel;
+
+/// Coverage of a set of target spots by a set of flight positions.
+#[derive(Debug, Clone)]
+pub struct Coverage {
+    /// Per-spot: the index of some covering flight position.
+    pub covered_by: Vec<Option<usize>>,
+}
+
+impl Coverage {
+    /// Fraction of spots covered, in [0, 1].
+    pub fn fraction(&self) -> f64 {
+        if self.covered_by.is_empty() {
+            return 1.0;
+        }
+        self.covered_by.iter().filter(|c| c.is_some()).count() as f64
+            / self.covered_by.len() as f64
+    }
+
+    /// Indices of uncovered spots.
+    pub fn uncovered(&self) -> Vec<usize> {
+        self.covered_by
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_none().then_some(i))
+            .collect()
+    }
+}
+
+/// The tag power-up threshold used for planning.
+pub const TAG_THRESHOLD: Dbm = Dbm(-15.0);
+
+/// Computes whether a relay at `relay_pos` powers a tag at `tag_pos`
+/// through `env`, assuming the relay transmits at its PA limit (the
+/// §6.1 policy maximizes downlink output whenever the reader link
+/// supports it).
+pub fn powers(
+    env: &Environment,
+    relay: &RelayModel,
+    relay_pos: Point2,
+    tag_pos: Point2,
+) -> bool {
+    let h2 = env.trace(relay_pos, tag_pos, relay.f2).channel(relay.f2);
+    let incident = relay.pa_limit + relay.antenna_gain + Db::from_linear(h2.norm_sq());
+    incident.value() >= TAG_THRESHOLD.value()
+}
+
+/// Analyzes coverage of `spots` by `flight_positions` in `env`.
+pub fn analyze(
+    env: &Environment,
+    relay: &RelayModel,
+    flight_positions: &[Point2],
+    spots: &[Point2],
+) -> Coverage {
+    let covered_by = spots
+        .iter()
+        .map(|spot| {
+            flight_positions
+                .iter()
+                .position(|pos| powers(env, relay, *pos, *spot))
+        })
+        .collect();
+    Coverage { covered_by }
+}
+
+/// Plans an all-aisles scan of a scene, sampled every `spacing_m`, and
+/// reports the positions plus the coverage of the scene's tag spots.
+pub fn plan_scene_scan(
+    scene: &Scene,
+    relay: &RelayModel,
+    spacing_m: f64,
+) -> (Vec<Point2>, Coverage) {
+    assert!(spacing_m > 0.0);
+    let mut positions = Vec::new();
+    for aisle in &scene.aisles {
+        let n = (aisle.length() / spacing_m).ceil() as usize + 1;
+        for k in 0..n {
+            positions.push(aisle.a.lerp(aisle.b, k as f64 / (n - 1).max(1) as f64));
+        }
+    }
+    let coverage = analyze(&scene.environment, relay, &positions, &scene.tag_spots);
+    (positions, coverage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_dsp::units::Hertz as Hz;
+
+    fn relay() -> RelayModel {
+        RelayModel::prototype(Hz::mhz(915.0))
+    }
+
+    #[test]
+    fn powering_range_is_a_few_meters() {
+        let env = Environment::free_space();
+        let r = relay();
+        let relay_pos = Point2::ORIGIN;
+        assert!(powers(&env, &r, relay_pos, Point2::new(2.0, 0.0)));
+        assert!(powers(&env, &r, relay_pos, Point2::new(4.0, 0.0)));
+        assert!(!powers(&env, &r, relay_pos, Point2::new(12.0, 0.0)));
+    }
+
+    #[test]
+    fn warehouse_scan_covers_every_shelf_spot() {
+        // With aisles on both sides of each row, a full scan powers
+        // every canonical tag spot.
+        let scene = Scene::warehouse(30.0, 20.0, 3);
+        let (positions, cov) = plan_scene_scan(&scene, &relay(), 1.0);
+        assert!(!positions.is_empty());
+        assert_eq!(
+            cov.fraction(),
+            1.0,
+            "uncovered spots: {:?}",
+            cov.uncovered()
+        );
+    }
+
+    #[test]
+    fn sparse_plan_leaves_blind_spots() {
+        // Flying only one aisle of a large warehouse cannot power
+        // every row — the stationary-infrastructure problem the drone
+        // exists to fix.
+        let scene = Scene::warehouse(30.0, 40.0, 6);
+        let one_aisle = &scene.aisles[0];
+        let positions: Vec<Point2> = (0..30)
+            .map(|k| one_aisle.a.lerp(one_aisle.b, k as f64 / 29.0))
+            .collect();
+        let cov = analyze(&scene.environment, &relay(), &positions, &scene.tag_spots);
+        assert!(cov.fraction() < 0.6, "covered {}", cov.fraction());
+        assert!(!cov.uncovered().is_empty());
+    }
+
+    #[test]
+    fn coverage_accounting_is_consistent() {
+        let env = Environment::free_space();
+        let spots = vec![Point2::new(1.0, 0.0), Point2::new(100.0, 0.0)];
+        let cov = analyze(&env, &relay(), &[Point2::ORIGIN], &spots);
+        assert_eq!(cov.covered_by[0], Some(0));
+        assert_eq!(cov.covered_by[1], None);
+        assert!((cov.fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(cov.uncovered(), vec![1]);
+        // Empty spot list counts as fully covered.
+        assert_eq!(analyze(&env, &relay(), &[Point2::ORIGIN], &[]).fraction(), 1.0);
+    }
+}

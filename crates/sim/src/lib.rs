@@ -1,0 +1,25 @@
+//! # rfly-sim — end-to-end RFly system simulation
+//!
+//! Glues every substrate into runnable experiments: warehouse [`scene`]s,
+//! a phasor-level [`world`] implementing the reader's `Medium` trait
+//! with and without the relay, high-level [`endtoend`] scenarios
+//! (fly → inventory → disentangle → localize), a seeded Monte-Carlo
+//! [`experiment`] runner, [`metrics`], and tabular [`report`] output for
+//! the per-figure benchmark binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod endtoend;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod sample_link;
+pub mod scene;
+pub mod throughput;
+pub mod world;
+
+pub use endtoend::{Scenario, ScenarioBuilder, ScenarioOutcome};
+pub use scene::Scene;
+pub use world::PhasorWorld;

@@ -1,0 +1,88 @@
+//! Metrics: read rates and error statistics.
+
+pub use rfly_core::loc::error::ErrorStats;
+
+/// A success/attempt counter — the "reading rate" of Fig. 11.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadRate {
+    /// Attempts observed.
+    pub attempts: usize,
+    /// Successes observed.
+    pub successes: usize,
+}
+
+impl ReadRate {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one attempt.
+    pub fn record(&mut self, success: bool) {
+        self.attempts += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// The success fraction in [0, 1]; 0 for no attempts.
+    pub fn rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// The rate as a percentage (the y-axis of Fig. 11).
+    pub fn percent(&self) -> f64 {
+        self.rate() * 100.0
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: ReadRate) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_accumulate() {
+        let mut r = ReadRate::new();
+        for i in 0..10 {
+            r.record(i % 4 != 0);
+        }
+        assert_eq!(r.attempts, 10);
+        assert_eq!(r.successes, 7);
+        assert!((r.rate() - 0.7).abs() < 1e-12);
+        assert!((r.percent() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(ReadRate::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ReadRate {
+            attempts: 5,
+            successes: 5,
+        };
+        a.merge(ReadRate {
+            attempts: 5,
+            successes: 0,
+        });
+        assert!((a.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_stats_reexported() {
+        let s = ErrorStats::new(vec![0.19, 0.53, 0.10]);
+        assert!((s.median() - 0.19).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Scene generation: the 30 × 40 m two-floor research building of §7.2,
+//! abstracted as parameterized warehouse floors.
+
+use rfly_channel::environment::{Environment, Material, Obstacle};
+use rfly_channel::geometry::{Point2, Segment};
+
+/// A generated scene: an environment plus semantic positions.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// The RF environment (walls + shelves).
+    pub environment: Environment,
+    /// Outer boundary (for search-region bounds).
+    pub min: Point2,
+    /// Outer boundary (for search-region bounds).
+    pub max: Point2,
+    /// Candidate tag positions (shelf faces).
+    pub tag_spots: Vec<Point2>,
+    /// Aisle centerlines a drone can fly along.
+    pub aisles: Vec<Segment>,
+}
+
+impl Scene {
+    /// An empty open floor `width × depth` meters with perimeter
+    /// concrete walls.
+    pub fn open_floor(width: f64, depth: f64) -> Self {
+        assert!(width > 0.0 && depth > 0.0);
+        let min = Point2::new(0.0, 0.0);
+        let max = Point2::new(width, depth);
+        let mut environment = Environment::free_space();
+        for w in perimeter(min, max) {
+            environment.add(Obstacle::new(w, Material::CONCRETE_WALL));
+        }
+        Self {
+            environment,
+            min,
+            max,
+            tag_spots: Vec::new(),
+            aisles: vec![Segment::new(
+                Point2::new(1.0, depth / 2.0),
+                Point2::new(width - 1.0, depth / 2.0),
+            )],
+        }
+    }
+
+    /// A warehouse floor: perimeter walls plus `n_shelves` steel shelf
+    /// rows running along x, with tag spots on the shelf faces and
+    /// aisles between rows — the "highly cluttered environments" of §3.
+    pub fn warehouse(width: f64, depth: f64, n_shelves: usize) -> Self {
+        let mut scene = Self::open_floor(width, depth);
+        if n_shelves == 0 {
+            return scene;
+        }
+        let pitch = depth / (n_shelves + 1) as f64;
+        for k in 1..=n_shelves {
+            let y = pitch * k as f64;
+            let shelf = Segment::new(Point2::new(2.0, y), Point2::new(width - 2.0, y));
+            scene
+                .environment
+                .add(Obstacle::new(shelf, Material::STEEL_SHELF));
+            // Tag spots along the shelf face, slightly off the steel.
+            let n_spots = ((width - 4.0) / 2.0).floor() as usize;
+            for s in 0..n_spots {
+                scene
+                    .tag_spots
+                    .push(Point2::new(3.0 + 2.0 * s as f64, y - 0.3));
+            }
+            // Aisles on both sides of the row (the first row also gets
+            // one below it, so every shelf face is reachable).
+            for aisle_y in [y - pitch / 2.0, y + pitch / 2.0] {
+                if aisle_y > 1.0
+                    && aisle_y < depth - 1.0
+                    && !scene.aisles.iter().any(|a| (a.a.y - aisle_y).abs() < 1e-9)
+                {
+                    scene.aisles.push(Segment::new(
+                        Point2::new(1.0, aisle_y),
+                        Point2::new(width - 1.0, aisle_y),
+                    ));
+                }
+            }
+        }
+        scene
+    }
+
+    /// The paper's evaluation building footprint (30 × 40 m).
+    pub fn paper_building() -> Self {
+        Self::warehouse(30.0, 40.0, 6)
+    }
+
+    /// Adds an interior dividing wall (for NLoS experiments), from
+    /// `(x0,y)` to `(x1,y)` horizontal or vertical as given.
+    pub fn add_wall(&mut self, wall: Segment) {
+        self.environment
+            .add(Obstacle::new(wall, Material::CONCRETE_WALL));
+    }
+
+    /// Whether a point lies inside the floor boundary.
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+fn perimeter(min: Point2, max: Point2) -> [Segment; 4] {
+    let a = min;
+    let b = Point2::new(max.x, min.y);
+    let c = max;
+    let d = Point2::new(min.x, max.y);
+    [
+        Segment::new(a, b),
+        Segment::new(b, c),
+        Segment::new(c, d),
+        Segment::new(d, a),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_dsp::units::Hertz;
+
+    #[test]
+    fn open_floor_has_four_walls() {
+        let s = Scene::open_floor(10.0, 20.0);
+        assert_eq!(s.environment.obstacles().len(), 4);
+        assert!(s.contains(Point2::new(5.0, 5.0)));
+        assert!(!s.contains(Point2::new(-1.0, 5.0)));
+        assert_eq!(s.aisles.len(), 1);
+    }
+
+    #[test]
+    fn warehouse_has_shelves_and_spots() {
+        let s = Scene::warehouse(30.0, 40.0, 6);
+        assert_eq!(s.environment.obstacles().len(), 4 + 6);
+        assert!(!s.tag_spots.is_empty());
+        assert!(s.tag_spots.iter().all(|p| s.contains(*p)));
+        assert!(s.aisles.len() >= 6);
+    }
+
+    #[test]
+    fn shelves_block_and_reflect() {
+        let s = Scene::warehouse(30.0, 40.0, 4);
+        // Two points straddling a shelf row: attenuated direct path and
+        // at least one reflection.
+        let y_shelf = 40.0 / 5.0;
+        let a = Point2::new(15.0, y_shelf - 1.0);
+        let b = Point2::new(15.0, y_shelf + 1.0);
+        assert!(!s.environment.line_of_sight(a, b));
+        // Same side: LoS plus shelf reflection.
+        let c = Point2::new(10.0, y_shelf - 1.0);
+        let ps = s.environment.trace(a, c, Hertz::mhz(915.0));
+        assert!(ps.len() >= 2, "expected direct + reflection, got {}", ps.len());
+    }
+
+    #[test]
+    fn paper_building_dimensions() {
+        let s = Scene::paper_building();
+        assert_eq!(s.max, Point2::new(30.0, 40.0));
+    }
+
+    #[test]
+    fn added_wall_obstructs() {
+        let mut s = Scene::open_floor(10.0, 10.0);
+        s.add_wall(Segment::new(Point2::new(5.0, 0.0), Point2::new(5.0, 10.0)));
+        assert!(!s
+            .environment
+            .line_of_sight(Point2::new(2.0, 5.0), Point2::new(8.0, 5.0)));
+    }
+}

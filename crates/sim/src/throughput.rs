@@ -1,0 +1,167 @@
+//! Inventory timing and throughput: how fast can the system read?
+//!
+//! The Gen2 link timing (Tari, BLF, T1–T4) fixes how long a query, a
+//! slot, and a full singulation take; together with the drone's speed
+//! this bounds how many reads the relay can collect per meter of
+//! flight — the practical knob behind "scanning an entire warehouse"
+//! (§1) and behind how many SAR measurement positions a pass yields.
+
+use rfly_protocol::timing::{LinkTiming, TagEncoding};
+
+/// Air-time model for one reader configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AirTime {
+    /// Link timing in force.
+    pub timing: LinkTiming,
+    /// Tag encoding in force.
+    pub encoding: TagEncoding,
+    /// Pilot tone (TRext).
+    pub trext: bool,
+}
+
+impl AirTime {
+    /// Duration of a PIE frame of `n_bits` payload bits, assuming the
+    /// average of data-0/data-1 lengths, plus delimiter and preamble.
+    pub fn reader_frame_s(&self, n_bits: usize, full_preamble: bool) -> f64 {
+        let t = &self.timing;
+        let avg_bit = (t.tari_s + t.data1_s()) / 2.0;
+        let delimiter = 12.5e-6;
+        let preamble = if full_preamble {
+            delimiter + t.tari_s + t.rtcal_s + t.trcal_s
+        } else {
+            delimiter + t.tari_s + t.rtcal_s
+        };
+        preamble + n_bits as f64 * avg_bit
+    }
+
+    /// Duration of a tag reply of `n_bits`, including preamble/pilot.
+    pub fn tag_frame_s(&self, n_bits: usize) -> f64 {
+        let symbol = self.encoding.m() as f64 / self.timing.blf_hz();
+        let preamble_symbols = match self.encoding {
+            TagEncoding::Fm0 => 6 + if self.trext { 12 } else { 0 },
+            _ => 6 + if self.trext { 16 } else { 4 },
+        };
+        (n_bits + preamble_symbols + 1) as f64 * symbol
+    }
+
+    /// Duration of an *empty* slot: QueryRep + T1 elapsing with no reply
+    /// + T3-ish settle (we fold it into T1 here).
+    pub fn empty_slot_s(&self) -> f64 {
+        self.reader_frame_s(4, false) + self.timing.t1_s() + self.timing.t2_s()
+    }
+
+    /// Duration of a successful singulation: QueryRep + RN16 + ACK +
+    /// EPC frame + the turnarounds.
+    pub fn singulation_s(&self) -> f64 {
+        self.reader_frame_s(4, false)
+            + self.timing.t1_s()
+            + self.tag_frame_s(16)
+            + self.timing.t2_s()
+            + self.reader_frame_s(18, false)
+            + self.timing.t1_s()
+            + self.tag_frame_s(128)
+            + self.timing.t2_s()
+    }
+
+    /// Time for one inventory round over a population of `n_tags` with
+    /// `2^q` slots, assuming ideal slotting (each tag singulated once,
+    /// the rest of the slots empty, plus the opening Query).
+    pub fn round_s(&self, n_tags: usize, q: u8) -> f64 {
+        let slots = 1usize << q;
+        let busy = n_tags.min(slots);
+        self.reader_frame_s(22, true)
+            + busy as f64 * self.singulation_s()
+            + (slots - busy) as f64 * self.empty_slot_s()
+    }
+
+    /// Reads per second in steady state (singulations back to back).
+    pub fn reads_per_second(&self) -> f64 {
+        1.0 / self.singulation_s()
+    }
+
+    /// Measurement positions per meter of flight at `speed_mps`, given
+    /// that each position needs one full (small) inventory round — the
+    /// SAR sampling density a drone speed supports.
+    pub fn positions_per_meter(&self, speed_mps: f64, tags_in_range: usize, q: u8) -> f64 {
+        assert!(speed_mps > 0.0);
+        1.0 / (speed_mps * self.round_s(tags_in_range, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn airtime() -> AirTime {
+        AirTime {
+            timing: LinkTiming::default_profile(),
+            encoding: TagEncoding::Fm0,
+            trext: true,
+        }
+    }
+
+    #[test]
+    fn frame_durations_are_plausible() {
+        let a = airtime();
+        // A 22-bit Query at Tari 12.5 µs: several hundred µs.
+        let q = a.reader_frame_s(22, true);
+        assert!(q > 300e-6 && q < 800e-6, "query {q} s");
+        // An EPC frame at BLF 500 kHz FM0: 128 bits ≈ 256 µs + preamble.
+        let epc = a.tag_frame_s(128);
+        assert!(epc > 250e-6 && epc < 350e-6, "epc {epc} s");
+        // RN16 is much shorter.
+        assert!(a.tag_frame_s(16) < epc / 3.0);
+    }
+
+    #[test]
+    fn singulation_takes_about_a_millisecond() {
+        let s = airtime().singulation_s();
+        assert!(s > 0.8e-3 && s < 3e-3, "singulation {s} s");
+        let rps = airtime().reads_per_second();
+        assert!(rps > 300.0 && rps < 1300.0, "rps {rps}");
+    }
+
+    #[test]
+    fn round_time_scales_with_slots_and_tags() {
+        let a = airtime();
+        let small = a.round_s(1, 0);
+        let more_slots = a.round_s(1, 4);
+        let more_tags = a.round_s(10, 4);
+        assert!(more_slots > small);
+        assert!(more_tags > more_slots);
+        // Empty slots are much cheaper than singulations.
+        assert!(more_slots < small + 16.0 * a.singulation_s());
+    }
+
+    #[test]
+    fn drone_speed_limits_sampling_density() {
+        let a = airtime();
+        // At 1 m/s with a couple of tags in range, the relay supports
+        // dozens of measurement positions per meter — far denser than
+        // the λ/4 ≈ 8 cm SAR sampling needs.
+        let density = a.positions_per_meter(1.0, 2, 2);
+        assert!(density > 25.0, "density {density}/m");
+        // A fast outdoor pass at 10 m/s is 10x sparser.
+        let fast = a.positions_per_meter(10.0, 2, 2);
+        assert!((density / fast - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faster_profile_reads_faster() {
+        let fast = AirTime {
+            timing: LinkTiming::fast_profile(),
+            encoding: TagEncoding::Fm0,
+            trext: false,
+        };
+        assert!(fast.reads_per_second() > airtime().reads_per_second());
+    }
+
+    #[test]
+    fn miller_is_slower_than_fm0_on_the_uplink() {
+        let m4 = AirTime {
+            encoding: TagEncoding::Miller4,
+            ..airtime()
+        };
+        assert!(m4.tag_frame_s(128) > airtime().tag_frame_s(128) * 3.0);
+    }
+}

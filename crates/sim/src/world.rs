@@ -1,0 +1,506 @@
+//! The phasor-level world: geometry + link budgets + protocol, exposed
+//! to the reader stack through its `Medium` trait.
+//!
+//! Two media are provided over the same world state:
+//!
+//! * [`DirectMedium`] — reader ↔ tags with no relay (the Fig. 11
+//!   baseline),
+//! * [`RelayedMedium`] — reader ↔ relay ↔ tags, with the drone-borne
+//!   relay at a given position, the embedded RFID, the §6.1 gain plan,
+//!   the PA compression cap and the Eq. 3 stability gate.
+//!
+//! Because both implement the same trait, the identical unmodified
+//! reader stack runs against either — the paper's protocol-transparency
+//! claim, enforced by the type system.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfly_channel::environment::Environment;
+use rfly_channel::geometry::Point2;
+use rfly_channel::link::Backscatter;
+use rfly_core::relay::embedded_tag::EmbeddedRfid;
+use rfly_core::relay::gains::{allocate, GainPlan, IsolationBudget, PA_COMPRESSION};
+use rfly_dsp::noise::noise_sample;
+use rfly_dsp::units::{Db, Dbm, Hertz};
+use rfly_dsp::Complex;
+use rfly_protocol::commands::Command;
+use rfly_protocol::epc::Epc;
+use rfly_reader::config::ReaderConfig;
+use rfly_reader::inventory::{Medium, Observation};
+use rfly_tag::population::TagPopulation;
+
+/// Phasor-level parameters of the relay build flown in a scenario.
+#[derive(Debug, Clone)]
+pub struct RelayModel {
+    /// Reader-side frequency f₁.
+    pub f1: Hertz,
+    /// Tag-side frequency f₂ = f₁ + Δ.
+    pub f2: Hertz,
+    /// Gain plan (downlink powers tags; uplink boosts replies).
+    pub gains: GainPlan,
+    /// Gain of each relay antenna, dBi.
+    pub antenna_gain: Db,
+    /// The constant complex factor of the relay hardware chain
+    /// (mirrored architecture: constant; it cancels in Eq. 10).
+    pub hw_constant: Complex,
+    /// Mirrored wiring. When false, every transaction picks a fresh
+    /// random phase — localization through such a relay fails (Fig. 10's
+    /// point).
+    pub mirrored: bool,
+    /// Eq. 3 stability gate: the relay only operates while the
+    /// reader→relay path loss stays below this isolation.
+    pub stability_isolation: Db,
+    /// PA output cap (1 dB compression, §6.1).
+    pub pa_limit: Dbm,
+    /// The embedded RFID's fixed relay-local one-way channel.
+    pub embedded_local: Complex,
+    /// Extra SNR penalty applied to every relayed observation (used by
+    /// the Fig. 14 projected-distance methodology: emulate a longer
+    /// reader-relay half-link by degrading measurement SNR without
+    /// moving the geometry).
+    pub snr_penalty: Db,
+}
+
+impl RelayModel {
+    /// Builds the model from a measured isolation budget using the
+    /// §6.1 allocator (10 dB margin, −40 dBm design input; stronger
+    /// inputs are handled by the runtime PA-compression cap).
+    pub fn from_budget(f1: Hertz, shift: Hertz, budget: &IsolationBudget) -> Self {
+        let gains = allocate(budget, Db::new(10.0), Dbm::new(-40.0));
+        Self {
+            f1,
+            f2: f1 + shift,
+            gains,
+            antenna_gain: Db::new(2.0),
+            hw_constant: Complex::from_polar(1.0, 0.83),
+            mirrored: true,
+            stability_isolation: budget
+                .intra_downlink
+                .min(budget.inter_downlink)
+                .min(budget.inter_uplink),
+            pa_limit: PA_COMPRESSION,
+            embedded_local: Complex::from_polar(0.31, 1.37),
+            snr_penalty: Db::new(0.0),
+        }
+    }
+
+    /// The paper-median prototype (Fig. 9 isolations).
+    pub fn prototype(f1: Hertz) -> Self {
+        Self::from_budget(
+            f1,
+            Hertz::mhz(1.0),
+            &IsolationBudget {
+                intra_downlink: Db::new(77.0),
+                intra_uplink: Db::new(64.0),
+                inter_downlink: Db::new(110.0),
+                inter_uplink: Db::new(92.0),
+            },
+        )
+    }
+}
+
+/// The SNR attached to an observation is the decoder's *post-fit*
+/// estimate SNR (see `rfly_reader::decoder`): channel-estimate noise is
+/// therefore `|h|²/SNR` directly, with no further processing gain.
+const EST_GAIN: f64 = 1.0;
+
+/// The complete phasor world.
+#[derive(Debug)]
+pub struct PhasorWorld {
+    /// The RF environment.
+    pub environment: Environment,
+    /// Reader antenna position.
+    pub reader_pos: Point2,
+    /// Reader configuration.
+    pub config: ReaderConfig,
+    /// Tags in the environment.
+    pub tags: TagPopulation,
+    /// The relay-embedded RFID.
+    pub embedded: EmbeddedRfid,
+    /// The relay model.
+    pub relay: RelayModel,
+    /// Extra attenuation applied to every reader-side link (large-scale
+    /// shadowing drawn per trial by experiments; 0 dB by default).
+    pub reader_link_extra_loss: Db,
+    backscatter: Backscatter,
+    rng: StdRng,
+}
+
+impl PhasorWorld {
+    /// Assembles a world. The embedded tag's EPC is reserved as
+    /// `Epc::from_index(u64::MAX)`.
+    pub fn new(
+        environment: Environment,
+        reader_pos: Point2,
+        config: ReaderConfig,
+        tags: TagPopulation,
+        relay: RelayModel,
+        seed: u64,
+    ) -> Self {
+        Self {
+            environment,
+            reader_pos,
+            config,
+            tags,
+            embedded: EmbeddedRfid::new(Self::embedded_epc(), seed ^ 0xE0E0),
+            relay,
+            reader_link_extra_loss: Db::new(0.0),
+            backscatter: Backscatter::passive_tag(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The reserved EPC of the relay-embedded tag.
+    pub fn embedded_epc() -> Epc {
+        Epc::from_index(u64::MAX)
+    }
+
+    /// Power-cycles every tag (including the embedded one): called
+    /// between measurement positions, where tags lose illumination as
+    /// the drone moves (session-0 inventory state decays).
+    pub fn power_cycle_tags(&mut self) {
+        for t in self.tags.tags_mut() {
+            t.illuminate(Dbm::new(-90.0), 1.0);
+        }
+        self.embedded.power_cycle();
+    }
+
+    /// One-way channel between two points at `f` through the scene.
+    /// Links originating at the reader additionally pay the per-trial
+    /// shadowing loss.
+    fn one_way(&self, a: Point2, b: Point2, f: Hertz) -> Complex {
+        let h = self.environment.trace(a, b, f).channel(f);
+        if a == self.reader_pos || b == self.reader_pos {
+            h * (-self.reader_link_extra_loss).amplitude()
+        } else {
+            h
+        }
+    }
+
+    /// Adds estimation noise to a channel observation at a given SNR.
+    fn observe_channel(&mut self, h: Complex, snr: Db) -> Complex {
+        let noise_power = h.norm_sq() / (snr.linear() * EST_GAIN);
+        h + noise_sample(&mut self.rng, noise_power)
+    }
+
+    /// A medium with the relay hovering at `relay_pos`.
+    pub fn relayed_medium(&mut self, relay_pos: Point2) -> RelayedMedium<'_> {
+        let h1 = self.one_way(self.reader_pos, relay_pos, self.relay.f1);
+        RelayedMedium {
+            relay_pos,
+            h1,
+            world: self,
+        }
+    }
+
+    /// A medium with no relay (the baseline).
+    pub fn direct_medium(&mut self) -> DirectMedium<'_> {
+        DirectMedium { world: self }
+    }
+}
+
+/// Reader ↔ relay ↔ tags.
+#[derive(Debug)]
+pub struct RelayedMedium<'a> {
+    world: &'a mut PhasorWorld,
+    relay_pos: Point2,
+    /// One-way reader→relay channel at f₁ (traced once per position).
+    h1: Complex,
+}
+
+impl RelayedMedium<'_> {
+    /// The Eq. 3 stability check for this position: path loss below the
+    /// isolation. A ringing relay forwards nothing useful.
+    pub fn stable(&self) -> bool {
+        let loss = -Db::from_linear(self.h1.norm_sq()).value();
+        loss <= self.world.relay.stability_isolation.value()
+    }
+
+    /// The relayed-query output power at the relay's tag-side antenna
+    /// port (PA-capped).
+    fn relay_output(&self) -> Dbm {
+        let w = &self.world;
+        let p_in = w.config.tx_power
+            + w.config.antenna_gain
+            + Db::from_linear(self.h1.norm_sq())
+            + w.relay.antenna_gain;
+        let amplified = p_in + w.relay.gains.downlink;
+        Dbm::new(amplified.value().min(w.relay.pa_limit.value()))
+    }
+
+    /// The *effective* downlink amplitude gain after the PA cap.
+    fn effective_downlink_gain(&self) -> Db {
+        let w = &self.world;
+        let p_in = w.config.tx_power
+            + w.config.antenna_gain
+            + Db::from_linear(self.h1.norm_sq())
+            + w.relay.antenna_gain;
+        Db::new(
+            w.relay
+                .gains
+                .downlink
+                .value()
+                .min(w.relay.pa_limit.value() - p_in.value()),
+        )
+    }
+}
+
+impl Medium for RelayedMedium<'_> {
+    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
+        if !self.stable() {
+            return Vec::new();
+        }
+        let f2 = self.world.relay.f2;
+        let relay_pos = self.relay_pos;
+        let p_out = self.relay_output();
+        let g_dl_eff = self.effective_downlink_gain();
+        // The per-transaction relay phase: constant when mirrored,
+        // random otherwise (the Fig. 10 distinction).
+        let relay_phase = if self.world.relay.mirrored {
+            self.world.relay.hw_constant
+        } else {
+            Complex::cis(
+                self.world
+                    .rng
+                    .gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+            )
+        };
+        let g_ul = self.world.relay.gains.uplink;
+        let ant = self.world.relay.antenna_gain;
+        let bs_gain = self.world.backscatter.gain();
+        let noise_floor = self.world.config.link_budget().noise_floor();
+        let reader_gain = self.world.config.antenna_gain;
+        let h1 = self.h1;
+
+        let mut obs = Vec::new();
+
+        // Environment tags.
+        let env = self.world.environment.clone();
+        let replies: Vec<(Complex, Dbm, _)> = self
+            .world
+            .tags
+            .tags_mut()
+            .iter_mut()
+            .filter_map(|tag| {
+                let h2 = env.trace(relay_pos, tag.position(), f2).channel(f2);
+                let incident = p_out + ant + Db::from_linear(h2.norm_sq());
+                let reply = tag.respond(cmd, incident)?;
+                Some((h2, incident, reply))
+            })
+            .collect();
+        for (h2, incident, reply) in replies {
+            let p_rx = incident
+                + bs_gain
+                + Db::from_linear(h2.norm_sq())
+                + ant // relay uplink RX antenna
+                + g_ul
+                + ant // relay uplink TX antenna
+                + Db::from_linear(h1.norm_sq())
+                + reader_gain;
+            let snr = p_rx - noise_floor - self.world.relay.snr_penalty;
+            // Round-trip phasor: out (h1·g_dl·h2) and back (h2·g_ul·h1),
+            // times the relay's chain constant.
+            let h = h1 * h1 * h2 * h2 * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
+            let channel = self.world.observe_channel(h, snr);
+            obs.push(Observation {
+                frame: reply.frame().clone(),
+                channel,
+                snr,
+            });
+        }
+
+        // The embedded RFID: always within the relay's powering range.
+        if let Some(reply) = self.world.embedded.handle(cmd) {
+            let local = self.world.relay.embedded_local;
+            let p_rx = p_out
+                + ant
+                + Db::from_linear(local.norm_sq())
+                + bs_gain
+                + Db::from_linear(local.norm_sq())
+                + ant
+                + g_ul
+                + ant
+                + Db::from_linear(h1.norm_sq())
+                + reader_gain;
+            let snr = p_rx - noise_floor - self.world.relay.snr_penalty;
+            let h = h1 * h1 * local * local * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
+            let channel = self.world.observe_channel(h, snr);
+            obs.push(Observation {
+                frame: reply.frame().clone(),
+                channel,
+                snr,
+            });
+        }
+
+        obs
+    }
+}
+
+/// Reader ↔ tags directly (no relay).
+#[derive(Debug)]
+pub struct DirectMedium<'a> {
+    world: &'a mut PhasorWorld,
+}
+
+impl Medium for DirectMedium<'_> {
+    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
+        let f1 = self.world.relay.f1;
+        let reader_pos = self.world.reader_pos;
+        let budget = self.world.config.link_budget();
+        let bs = self.world.backscatter;
+        let shadow_amp = (-self.world.reader_link_extra_loss).amplitude();
+        let env = self.world.environment.clone();
+        let replies: Vec<(Complex, Dbm, _)> = self
+            .world
+            .tags
+            .tags_mut()
+            .iter_mut()
+            .filter_map(|tag| {
+                let h = env.trace(reader_pos, tag.position(), f1).channel(f1) * shadow_amp;
+                let incident = budget.eirp() + Db::from_linear(h.norm_sq());
+                let reply = tag.respond(cmd, incident)?;
+                Some((h, incident, reply))
+            })
+            .collect();
+        let mut obs = Vec::new();
+        for (h, incident, reply) in replies {
+            let p_rx =
+                incident + bs.gain() + Db::from_linear(h.norm_sq()) + budget.rx_gain;
+            let snr = p_rx - budget.noise_floor();
+            let channel = self
+                .world
+                .observe_channel(h * h * bs.gain().amplitude(), snr);
+            obs.push(Observation {
+                frame: reply.frame().clone(),
+                channel,
+                snr,
+            });
+        }
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_reader::inventory::InventoryController;
+    use rfly_tag::tag::PassiveTag;
+
+    fn world_with_tag(tag_pos: Point2, reader_pos: Point2, seed: u64) -> PhasorWorld {
+        let mut tags = TagPopulation::new();
+        tags.add(PassiveTag::new(Epc::from_index(1), 7, tag_pos), "test".into());
+        PhasorWorld::new(
+            Environment::free_space(),
+            reader_pos,
+            ReaderConfig::usrp_default(),
+            tags,
+            RelayModel::prototype(Hertz::mhz(915.0)),
+            seed,
+        )
+    }
+
+    fn inventory(medium: &mut dyn Medium, seed: u64) -> Vec<rfly_reader::inventory::TagRead> {
+        let mut c = InventoryController::new(ReaderConfig::usrp_default(), StdRng::seed_from_u64(seed));
+        c.run_until_quiet(medium, 10)
+    }
+
+    #[test]
+    fn direct_medium_reads_nearby_tag_only() {
+        // 4 m: within direct range.
+        let mut w = world_with_tag(Point2::new(4.0, 0.0), Point2::ORIGIN, 1);
+        let reads = inventory(&mut w.direct_medium(), 1);
+        assert!(reads.iter().any(|r| r.epc == Epc::from_index(1)));
+
+        // 20 m: tag cannot power up directly.
+        let mut w2 = world_with_tag(Point2::new(20.0, 0.0), Point2::ORIGIN, 2);
+        let reads2 = inventory(&mut w2.direct_medium(), 2);
+        assert!(reads2.is_empty());
+    }
+
+    #[test]
+    fn relay_extends_range_by_an_order_of_magnitude() {
+        // Tag 50 m from the reader, relay hovering 2 m from the tag:
+        // the headline result.
+        let mut w = world_with_tag(Point2::new(50.0, 0.0), Point2::ORIGIN, 3);
+        let reads = inventory(&mut w.relayed_medium(Point2::new(48.0, 0.0)), 3);
+        assert!(
+            reads.iter().any(|r| r.epc == Epc::from_index(1)),
+            "tag not read through the relay"
+        );
+        // The embedded tag is read too — the relay-in-range signal.
+        assert!(reads.iter().any(|r| r.epc == PhasorWorld::embedded_epc()));
+    }
+
+    #[test]
+    fn relay_cannot_power_a_far_tag() {
+        // Relay 30 m from the tag: the relay-tag half-link is still
+        // power-limited to a few meters (§4.3's point).
+        let mut w = world_with_tag(Point2::new(50.0, 0.0), Point2::ORIGIN, 4);
+        let reads = inventory(&mut w.relayed_medium(Point2::new(20.0, 0.0)), 4);
+        assert!(!reads.iter().any(|r| r.epc == Epc::from_index(1)));
+        // But the embedded tag still reads (it's on the relay).
+        assert!(reads.iter().any(|r| r.epc == PhasorWorld::embedded_epc()));
+    }
+
+    #[test]
+    fn stability_gate_silences_an_out_of_range_relay() {
+        // Reader→relay loss beyond the isolation: Eq. 3 violated.
+        let mut w = world_with_tag(Point2::new(400.0, 0.0), Point2::ORIGIN, 5);
+        let medium = w.relayed_medium(Point2::new(399.0, 0.0));
+        assert!(!medium.stable());
+        let mut w2 = world_with_tag(Point2::new(400.0, 0.0), Point2::ORIGIN, 5);
+        let reads = inventory(&mut w2.relayed_medium(Point2::new(399.0, 0.0)), 5);
+        assert!(reads.is_empty());
+    }
+
+    #[test]
+    fn mirrored_channel_phase_is_repeatable_across_positions() {
+        // Read the embedded tag twice from the same geometry: phases
+        // must agree (constant hw term), enabling SAR.
+        let mut w = world_with_tag(Point2::new(30.0, 0.0), Point2::ORIGIN, 6);
+        let r1 = inventory(&mut w.relayed_medium(Point2::new(29.0, 0.0)), 6);
+        w.power_cycle_tags();
+        let r2 = inventory(&mut w.relayed_medium(Point2::new(29.0, 0.0)), 7);
+        let e1 = r1.iter().find(|r| r.epc == PhasorWorld::embedded_epc()).unwrap();
+        let e2 = r2.iter().find(|r| r.epc == PhasorWorld::embedded_epc()).unwrap();
+        let d = rfly_dsp::complex::phase_distance(e1.channel.arg(), e2.channel.arg());
+        assert!(d < 0.05, "phase differs by {d} rad");
+    }
+
+    #[test]
+    fn no_mirror_phase_is_not_repeatable() {
+        let mut w = world_with_tag(Point2::new(30.0, 0.0), Point2::ORIGIN, 8);
+        w.relay.mirrored = false;
+        let mut phases = Vec::new();
+        for k in 0..6 {
+            w.power_cycle_tags();
+            let reads = inventory(&mut w.relayed_medium(Point2::new(29.0, 0.0)), 100 + k);
+            let e = reads
+                .iter()
+                .find(|r| r.epc == PhasorWorld::embedded_epc())
+                .unwrap();
+            phases.push(e.channel.arg());
+        }
+        let max_d = phases
+            .windows(2)
+            .map(|w| rfly_dsp::complex::phase_distance(w[0], w[1]))
+            .fold(0.0f64, f64::max);
+        assert!(max_d > 0.5, "no-mirror phases aligned: {max_d}");
+    }
+
+    #[test]
+    fn snr_decreases_with_reader_distance() {
+        let mut snrs = Vec::new();
+        for d in [10.0, 30.0, 60.0] {
+            let mut w = world_with_tag(Point2::new(d, 0.0), Point2::ORIGIN, 9);
+            let reads = inventory(&mut w.relayed_medium(Point2::new(d - 2.0, 0.0)), 9);
+            let e = reads
+                .iter()
+                .find(|r| r.epc == PhasorWorld::embedded_epc())
+                .expect("embedded read");
+            snrs.push(e.snr.value());
+        }
+        assert!(snrs[0] > snrs[1] && snrs[1] > snrs[2], "snrs = {snrs:?}");
+    }
+}

@@ -1,0 +1,243 @@
+//! The complete passive tag: protocol engine + harvester + modulator,
+//! placed at a position in the scene.
+
+use rfly_channel::geometry::Point2;
+use rfly_dsp::units::Dbm;
+use rfly_dsp::Complex;
+use rfly_protocol::commands::Command;
+use rfly_protocol::epc::Epc;
+use rfly_protocol::fm0;
+use rfly_protocol::miller;
+use rfly_protocol::tag_state::{TagMachine, TagReply, TagState};
+use rfly_protocol::timing::TagEncoding;
+
+use crate::backscatter::BackscatterModulator;
+use crate::harvester::Harvester;
+
+/// A passive UHF RFID tag in the simulation.
+#[derive(Debug)]
+pub struct PassiveTag {
+    machine: TagMachine,
+    harvester: Harvester,
+    modulator: BackscatterModulator,
+    position: Point2,
+}
+
+impl PassiveTag {
+    /// Creates a tag with typical off-the-shelf physics at `position`.
+    pub fn new(epc: Epc, seed: u64, position: Point2) -> Self {
+        Self {
+            machine: TagMachine::new(epc, seed),
+            harvester: Harvester::passive_tag(),
+            modulator: BackscatterModulator::typical(),
+            position,
+        }
+    }
+
+    /// Overrides the harvester (e.g. a more sensitive chip).
+    pub fn with_harvester(mut self, harvester: Harvester) -> Self {
+        self.harvester = harvester;
+        self
+    }
+
+    /// Overrides the backscatter modulator.
+    pub fn with_modulator(mut self, modulator: BackscatterModulator) -> Self {
+        self.modulator = modulator;
+        self
+    }
+
+    /// The tag's EPC.
+    pub fn epc(&self) -> Epc {
+        self.machine.epc()
+    }
+
+    /// The tag's location.
+    pub fn position(&self) -> Point2 {
+        self.position
+    }
+
+    /// Moves the tag (scene setup only; tags are static during runs).
+    pub fn set_position(&mut self, p: Point2) {
+        self.position = p;
+    }
+
+    /// The protocol state (for tests and diagnostics).
+    pub fn state(&self) -> TagState {
+        self.machine.state()
+    }
+
+    /// The backscatter modulator in use.
+    pub fn modulator(&self) -> &BackscatterModulator {
+        &self.modulator
+    }
+
+    /// Phasor-level interaction: the tag hears `cmd` while illuminated at
+    /// `incident` power. Returns the protocol reply if the tag is
+    /// powered and chooses to respond.
+    ///
+    /// An under-powered tag is not merely silent — if it *was* powered it
+    /// loses all protocol state (the blind-spot mechanism of [31]).
+    pub fn respond(&mut self, cmd: &Command, incident: Dbm) -> Option<TagReply> {
+        if !self.harvester.sustains(incident) {
+            if self.harvester.powered() {
+                self.harvester.reset();
+                self.machine.power_cycle();
+            }
+            return None;
+        }
+        if !self.harvester.powered() {
+            // Steady illumination assumed between commands: charge up.
+            self.harvester.step(incident, self.harvester.charge_time_s);
+        }
+        self.machine.handle(cmd)
+    }
+
+    /// Renders a protocol reply as a complex backscatter waveform
+    /// riding on the incident carrier `cw` (both at `samples_per_symbol`
+    /// per backscatter symbol). The waveform includes the static
+    /// reflection component, exactly like a real tag; receivers must
+    /// DC-cancel.
+    pub fn reply_waveform(
+        &self,
+        reply: &TagReply,
+        encoding: TagEncoding,
+        trext: bool,
+        samples_per_symbol: usize,
+        cw: &[Complex],
+    ) -> Vec<Complex> {
+        let levels = match encoding {
+            TagEncoding::Fm0 => fm0::encode_reply(reply.frame(), trext, samples_per_symbol),
+            _ => miller::encode_reply(reply.frame(), encoding, trext, samples_per_symbol),
+        };
+        assert!(
+            cw.len() >= levels.len(),
+            "carrier shorter than the reply ({} < {})",
+            cw.len(),
+            levels.len()
+        );
+        self.modulator.backscatter(&cw[..levels.len()], &levels)
+    }
+
+    /// Sample-level power bookkeeping while listening: advances the
+    /// harvester through `dt_s` at `incident`; reports a power cycle to
+    /// the protocol machine.
+    pub fn illuminate(&mut self, incident: Dbm, dt_s: f64) {
+        if self.harvester.step(incident, dt_s) {
+            self.machine.power_cycle();
+        }
+    }
+
+    /// Whether the chip is currently powered.
+    pub fn powered(&self) -> bool {
+        self.harvester.powered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_protocol::session::{InventoriedFlag, SelFilter, Session};
+    use rfly_protocol::timing::DivideRatio;
+
+    fn query() -> Command {
+        Command::Query {
+            dr: DivideRatio::Dr64over3,
+            m: TagEncoding::Fm0,
+            trext: false,
+            sel: SelFilter::All,
+            session: Session::S0,
+            target: InventoriedFlag::A,
+            q: 0,
+        }
+    }
+
+    fn tag() -> PassiveTag {
+        PassiveTag::new(Epc::from_index(1), 1, Point2::new(3.0, 0.0))
+    }
+
+    #[test]
+    fn powered_tag_replies() {
+        let mut t = tag();
+        let reply = t.respond(&query(), Dbm::new(-10.0));
+        assert!(matches!(reply, Some(TagReply::Rn16(_))));
+        assert!(t.powered());
+    }
+
+    #[test]
+    fn starved_tag_is_silent() {
+        let mut t = tag();
+        assert!(t.respond(&query(), Dbm::new(-20.0)).is_none());
+        assert!(!t.powered());
+    }
+
+    #[test]
+    fn losing_power_resets_protocol_state() {
+        let mut t = tag();
+        t.respond(&query(), Dbm::new(-10.0)).expect("replied");
+        assert_eq!(t.state(), TagState::Reply);
+        // Power dips below threshold: state must collapse to Ready.
+        assert!(t.respond(&query(), Dbm::new(-30.0)).is_none());
+        assert_eq!(t.state(), TagState::Ready);
+    }
+
+    #[test]
+    fn reply_waveform_modulates_carrier() {
+        let mut t = tag();
+        let reply = t.respond(&query(), Dbm::new(-10.0)).unwrap();
+        let sps = 8;
+        let cw = vec![Complex::from_polar(1.0, 0.3); 4096];
+        let wave = t.reply_waveform(&reply, TagEncoding::Fm0, false, sps, &cw);
+        // (preamble 6 + payload 16 + dummy 1) symbols.
+        assert_eq!(wave.len(), (6 + 16 + 1) * sps);
+        // Two distinct amplitude levels must appear.
+        let mut mags: Vec<f64> = wave.iter().map(|s| s.abs()).collect();
+        mags.sort_by(f64::total_cmp);
+        assert!(mags[mags.len() - 1] - mags[0] > 0.3);
+    }
+
+    #[test]
+    fn miller_reply_waveform_renders() {
+        let mut t = tag();
+        // Re-query asking for Miller4.
+        let cmd = Command::Query {
+            dr: DivideRatio::Dr64over3,
+            m: TagEncoding::Miller4,
+            trext: false,
+            sel: SelFilter::All,
+            session: Session::S0,
+            target: InventoriedFlag::A,
+            q: 0,
+        };
+        let reply = t.respond(&cmd, Dbm::new(-5.0)).unwrap();
+        let sps = 32;
+        let cw = vec![Complex::from_polar(1.0, 0.0); 8192];
+        let wave = t.reply_waveform(&reply, TagEncoding::Miller4, false, sps, &cw);
+        assert_eq!(wave.len(), (4 + 6 + 16 + 1) * sps);
+    }
+
+    #[test]
+    fn illumination_dynamics_power_cycle() {
+        let mut t = tag();
+        t.respond(&query(), Dbm::new(-10.0)).unwrap();
+        t.illuminate(Dbm::new(-60.0), 1e-3); // 1 ms starvation
+        assert!(!t.powered());
+        assert_eq!(t.state(), TagState::Ready);
+    }
+
+    #[test]
+    fn position_accessors() {
+        let mut t = tag();
+        assert_eq!(t.position(), Point2::new(3.0, 0.0));
+        t.set_position(Point2::new(1.0, 1.0));
+        assert_eq!(t.position(), Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier shorter")]
+    fn short_carrier_rejected() {
+        let mut t = tag();
+        let reply = t.respond(&query(), Dbm::new(-10.0)).unwrap();
+        let cw = vec![Complex::default(); 10];
+        let _ = t.reply_waveform(&reply, TagEncoding::Fm0, false, 8, &cw);
+    }
+}

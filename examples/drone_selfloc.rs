@@ -1,0 +1,86 @@
+//! Drone self-localization from the reader–relay half-link — the
+//! paper's §9 future-work item, demonstrated end to end.
+//!
+//! The drone flies an L-shaped pass knowing its *relative* motion well
+//! (odometry) but not its global anchor (GPS-denied indoor takeoff).
+//! The relay-embedded RFID's channels — which the reader measures anyway
+//! for Eq. 10's disentanglement — are matched against the trajectory
+//! *shape* to recover the global offset, shrinking the position error
+//! without OptiTrack.
+//!
+//! Run with: `cargo run --release --example drone_selfloc`
+
+use rand::SeedableRng;
+
+use rfly::channel::geometry::Point2;
+use rfly::channel::phasor::PathSet;
+use rfly::core::loc::selfloc::SelfLocalizer;
+use rfly::drone::tracking::{observe_trajectory, Tracker};
+use rfly::dsp::units::Hertz;
+use rfly::dsp::Complex;
+
+fn main() {
+    let f1 = Hertz::mhz(915.0);
+    let reader = Point2::new(0.0, 0.0);
+
+    // True flight: an L-shaped pass 3–5 m from the reader. (Close
+    // geometry matters: the trajectory's angular extent at the reader
+    // is what curves the coherence ridge along the radial direction —
+    // single-anchor ranging is poorly conditioned from far away.)
+    let mut truth: Vec<Point2> = (0..25)
+        .map(|i| Point2::new(2.5 + i as f64 * 0.12, 1.5))
+        .collect();
+    truth.extend((1..20).map(|i| Point2::new(5.4, 1.5 + i as f64 * 0.12)));
+
+    // The embedded tag's channels (the reader–relay half-link), as the
+    // reader would record them at each position.
+    let c0 = Complex::from_polar(0.3, 1.1);
+    let channels: Vec<Complex> = truth
+        .iter()
+        .map(|p| c0 * PathSet::line_of_sight(p.distance(reader), 0.01).round_trip(f1))
+        .collect();
+
+    // The drone's belief: odometry measures *relative* motion well
+    // (millimeter jitter here), but the global anchor — where the
+    // flight started — is off by an unknown offset (GPS-denied indoor
+    // takeoff). This rigid-translation error is exactly what the
+    // half-link matched filter can recover; a random-*walk* deformation
+    // of the trajectory shape is not (phase coherence needs the shape
+    // good to a fraction of λ ≈ 33 cm — see the module docs).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let anchor_error = Point2::new(-0.31, 0.44);
+    let jittered = observe_trajectory(Tracker::Optical { sigma_m: 0.003 }, &truth, &mut rng);
+    let believed: Vec<Point2> = jittered.iter().map(|p| *p + anchor_error).collect();
+    let rms = |a: &[Point2], b: &[Point2]| -> f64 {
+        (a.iter()
+            .zip(b)
+            .map(|(x, y)| x.distance(*y).powi(2))
+            .sum::<f64>()
+            / a.len() as f64)
+            .sqrt()
+    };
+    let before = rms(&believed, &truth);
+    println!("position error before correction : {:.3} m RMS (unknown takeoff anchor)", before);
+
+    // RF drift correction: match the half-link phases against the
+    // believed trajectory shape.
+    let sl = SelfLocalizer::new(f1, 0.6, 0.02);
+    let corrected = sl
+        .corrected_trajectory(reader, &believed, &channels)
+        .expect("correction found");
+    let after = rms(&corrected, &truth);
+    println!("after RF half-link correction   : {:.3} m RMS", after);
+    println!(
+        "offset applied: {}",
+        sl.correct_offset(reader, &believed, &channels).unwrap()
+    );
+
+    assert!(
+        after < before,
+        "correction must improve the trajectory ({after} vs {before})"
+    );
+    println!(
+        "\nOK: the embedded tag's channels — measured anyway for localization —\n\
+         double as a drone positioning aid, as §9 of the paper anticipated."
+    );
+}

@@ -1,0 +1,75 @@
+//! The mirrored architecture in action (§4.3, Fig. 10): the same FM0
+//! reply forwarded through the full sample-level relay chain, with and
+//! without shared synthesizers.
+//!
+//! Run with: `cargo run --release --example phase_preserving_relay`
+
+use rfly::core::relay::relay::{Relay, RelayConfig};
+use rfly::dsp::complex::wrap_phase;
+use rfly::dsp::units::Hertz;
+use rfly::dsp::Complex;
+use rfly::protocol::bits::Bits;
+use rfly::protocol::fm0;
+use rfly::protocol::timing::TagEncoding;
+use rfly::reader::decoder::decode_backscatter;
+
+const PAYLOAD: &str = "1100101001011010";
+
+fn relayed_phase(relay: &mut Relay, trial: usize) -> Option<f64> {
+    let n = 4096;
+    let start = trial * 8192;
+    let cw = vec![Complex::from_re(1.0); n];
+    let down = relay.forward_downlink(&cw, start);
+    let levels = fm0::encode_reply(&Bits::from_str01(PAYLOAD), false, 8);
+    let mut uplink_in = vec![Complex::default(); n];
+    for (i, &l) in levels.iter().enumerate() {
+        uplink_in[600 + i] = down[600 + i] * l;
+    }
+    let up = relay.forward_uplink(&uplink_in, start);
+    let d = decode_backscatter(&up, TagEncoding::Fm0, false, 8, PAYLOAD.len())?;
+    assert_eq!(d.bits, Bits::from_str01(PAYLOAD), "bits must survive the relay");
+    Some(d.channel.arg())
+}
+
+fn main() {
+    let cfg = |mirrored| RelayConfig {
+        mirrored,
+        bpf_half_bw: Hertz::khz(300.0),
+        ..RelayConfig::default()
+    };
+
+    println!("trial   mirrored      no-mirror");
+    println!("-------------------------------");
+    let mut mirrored = Relay::new(cfg(true), 5);
+    let mut plain = Relay::new(cfg(false), 5);
+    let mut m_phases = Vec::new();
+    let mut p_phases = Vec::new();
+    for t in 0..6 {
+        let m = relayed_phase(&mut mirrored, t).expect("decodes");
+        let p = relayed_phase(&mut plain, t).expect("decodes");
+        println!("{t:>5}   {:>7.2}°      {:>7.2}°", m.to_degrees(), p.to_degrees());
+        m_phases.push(m);
+        p_phases.push(p);
+        mirrored.reset();
+        plain.reset();
+    }
+
+    let spread = |phases: &[f64]| {
+        let mean: Complex = phases.iter().map(|&p| Complex::cis(p)).sum();
+        phases
+            .iter()
+            .map(|&p| wrap_phase(p - mean.arg()).abs())
+            .fold(0.0f64, f64::max)
+            .to_degrees()
+    };
+    let m_spread = spread(&m_phases);
+    let p_spread = spread(&p_phases);
+    println!("\nmax phase deviation: mirrored {m_spread:.2}°, no-mirror {p_spread:.1}°");
+    println!(
+        "The decoded BITS are identical either way — a plain relay *communicates*\n\
+         fine. Only the mirrored relay preserves PHASE, which is what SAR\n\
+         localization consumes."
+    );
+    assert!(m_spread < 3.0);
+    assert!(p_spread > 30.0);
+}
