@@ -1,51 +1,43 @@
-//! Criterion benchmarks for the DSP substrate hot paths.
+//! Micro-benchmarks for the DSP substrate hot paths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use rfly_bench::micro::Micro;
 use rfly_dsp::fft::fft_in_place;
 use rfly_dsp::filter::fir::FirDesign;
 use rfly_dsp::goertzel::{power_at, windowed_power_at};
 use rfly_dsp::osc::Nco;
 use rfly_dsp::units::{Db, Hertz};
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn main() {
+    let mut m = Micro::new("dsp");
+
     for n in [256usize, 1024, 4096] {
         let data = Nco::new(Hertz::khz(100.0), 4e6).block(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut v = data.clone();
+        m.bench_batched(
+            &format!("fft/{n}"),
+            || data.clone(),
+            |mut v| {
                 fft_in_place(black_box(&mut v));
                 v
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_goertzel(c: &mut Criterion) {
     let data = Nco::new(Hertz::khz(125.0), 4e6).block(4096);
-    c.bench_function("goertzel/4096", |b| {
-        b.iter(|| power_at(black_box(&data), Hertz::khz(125.0), 4e6))
+    m.bench("goertzel/4096", || {
+        power_at(black_box(&data), Hertz::khz(125.0), 4e6)
     });
-    c.bench_function("goertzel_windowed/4096", |b| {
-        b.iter(|| windowed_power_at(black_box(&data), Hertz::khz(125.0), 4e6))
+    m.bench("goertzel_windowed/4096", || {
+        windowed_power_at(black_box(&data), Hertz::khz(125.0), 4e6)
     });
-}
 
-fn bench_fir(c: &mut Criterion) {
     // The relay's downlink LPF over a 1 ms chunk (the streaming unit).
     let filt = FirDesign::new(4e6, Db::new(64.0), Hertz::khz(100.0)).lowpass(Hertz::khz(100.0));
     let chunk = Nco::new(Hertz::khz(50.0), 4e6).block(4000);
-    c.bench_function("fir_lpf_1ms_chunk", |b| {
-        b.iter_batched(
-            || filt.clone(),
-            |mut f| f.filter_block(black_box(&chunk)),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    m.bench_batched(
+        "fir_lpf_1ms_chunk",
+        || filt.clone(),
+        |mut f| f.filter_block(black_box(&chunk)),
+    );
 }
-
-criterion_group!(benches, bench_fft, bench_goertzel, bench_fir);
-criterion_main!(benches);

@@ -1,9 +1,8 @@
-//! Criterion benchmarks for end-to-end inventory through the relay.
+//! Micro-benchmarks for end-to-end inventory through the relay.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use rand::SeedableRng;
+use rfly_bench::micro::Micro;
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
 use rfly_protocol::epc::Epc;
@@ -36,27 +35,20 @@ fn world_with(n_tags: usize) -> PhasorWorld {
     )
 }
 
-fn bench_inventory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("relayed_inventory_until_quiet");
-    g.sample_size(20);
+fn main() {
+    let mut m = Micro::new("inventory");
     for n in [1usize, 10, 50] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || world_with(n),
-                |mut w| {
-                    let mut ctl = InventoryController::new(
-                        ReaderConfig::usrp_default(),
-                        rand::rngs::StdRng::seed_from_u64(3),
-                    );
-                    let mut medium = w.relayed_medium(Point2::new(39.5, 0.0));
-                    ctl.run_until_quiet(black_box(&mut medium), 10)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        m.bench_batched(
+            &format!("relayed_inventory_until_quiet/{n}"),
+            || world_with(n),
+            |mut w| {
+                let mut ctl = InventoryController::new(
+                    ReaderConfig::usrp_default(),
+                    rfly_dsp::rng::StdRng::seed_from_u64(3),
+                );
+                let mut medium = w.relayed_medium(Point2::new(39.5, 0.0));
+                ctl.run_until_quiet(black_box(&mut medium), 10)
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_inventory);
-criterion_main!(benches);

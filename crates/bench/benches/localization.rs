@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the SAR localization core.
+//! Micro-benchmarks for the SAR localization core.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rfly_bench::micro::Micro;
 use rfly_channel::geometry::Point2;
 use rfly_channel::phasor::PathSet;
 use rfly_core::loc::multires::localize_multires;
@@ -25,29 +25,20 @@ fn setup() -> (SarLocalizer, Trajectory, Vec<Complex>) {
     (loc, traj, ch)
 }
 
-fn bench_score(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::new("localization");
     let (loc, traj, ch) = setup();
-    c.bench_function("sar_score_at_one_point", |b| {
-        b.iter(|| loc.score_at(black_box(Point2::new(1.0, 1.0)), &traj, &ch))
+
+    m.bench("sar_score_at_one_point", || {
+        loc.score_at(black_box(Point2::new(1.0, 1.0)), &traj, &ch)
+    });
+    m.bench("sar_heatmap_200x175_grid", || {
+        loc.heatmap(black_box(&traj), &ch)
+    });
+    m.bench("sar_localize_exhaustive", || {
+        loc.localize(black_box(&traj), &ch)
+    });
+    m.bench("sar_localize_multires_4x", || {
+        localize_multires(&loc, black_box(&traj), &ch, 4)
     });
 }
-
-fn bench_heatmap(c: &mut Criterion) {
-    let (loc, traj, ch) = setup();
-    c.bench_function("sar_heatmap_200x175_grid", |b| {
-        b.iter(|| loc.heatmap(black_box(&traj), &ch))
-    });
-}
-
-fn bench_localize(c: &mut Criterion) {
-    let (loc, traj, ch) = setup();
-    c.bench_function("sar_localize_exhaustive", |b| {
-        b.iter(|| loc.localize(black_box(&traj), &ch))
-    });
-    c.bench_function("sar_localize_multires_4x", |b| {
-        b.iter(|| localize_multires(&loc, black_box(&traj), &ch, 4))
-    });
-}
-
-criterion_group!(benches, bench_score, bench_heatmap, bench_localize);
-criterion_main!(benches);

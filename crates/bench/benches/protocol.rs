@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the EPC Gen2 protocol stack.
+//! Micro-benchmarks for the EPC Gen2 protocol stack.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rfly_bench::micro::Micro;
 use rfly_protocol::bits::Bits;
 use rfly_protocol::commands::Command;
 use rfly_protocol::crc::{append_crc16, check_crc16};
@@ -23,47 +23,38 @@ fn sample_query() -> Command {
     }
 }
 
-fn bench_commands(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::new("protocol");
+
     let cmd = sample_query();
-    c.bench_function("command_encode_query", |b| b.iter(|| black_box(&cmd).encode()));
+    m.bench("command_encode_query", || black_box(&cmd).encode());
     let frame = cmd.encode();
-    c.bench_function("command_decode_query", |b| {
-        b.iter(|| Command::decode(black_box(&frame)))
-    });
-}
+    m.bench("command_decode_query", || Command::decode(black_box(&frame)));
 
-fn bench_crc(c: &mut Criterion) {
     let body = Bits::from_bytes(&[0xA5; 16], 128);
-    c.bench_function("crc16_append_128b", |b| b.iter(|| append_crc16(black_box(&body))));
+    m.bench("crc16_append_128b", || append_crc16(black_box(&body)));
     let framed = append_crc16(&body);
-    c.bench_function("crc16_check_144b", |b| b.iter(|| check_crc16(black_box(&framed))));
-}
+    m.bench("crc16_check_144b", || check_crc16(black_box(&framed)));
 
-fn bench_pie(c: &mut Criterion) {
     let enc = PieEncoder::new(LinkTiming::default_profile(), 4e6).with_depth(0.9);
     let payload = sample_query().encode();
-    c.bench_function("pie_encode_query", |b| {
-        b.iter(|| enc.encode(FrameStart::Preamble, black_box(&payload), 100e-6))
+    m.bench("pie_encode_query", || {
+        enc.encode(FrameStart::Preamble, black_box(&payload), 100e-6)
     });
     let wave = enc.encode(FrameStart::Preamble, &payload, 100e-6);
-    c.bench_function("pie_decode_query", |b| {
-        b.iter(|| rfly_protocol::pie::decode(black_box(&wave), 4e6))
+    m.bench("pie_decode_query", || {
+        rfly_protocol::pie::decode(black_box(&wave), 4e6)
     });
-}
 
-fn bench_fm0(c: &mut Criterion) {
     let epc: String = (0..128).map(|i| if i % 3 == 0 { '1' } else { '0' }).collect();
     let bits = Bits::from_str01(&epc);
-    c.bench_function("fm0_encode_epc_frame", |b| {
-        b.iter(|| fm0::encode_reply(black_box(&bits), true, 8))
+    m.bench("fm0_encode_epc_frame", || {
+        fm0::encode_reply(black_box(&bits), true, 8)
     });
     let mut stream = vec![0.5; 200];
     stream.extend(fm0::encode_reply(&bits, true, 8));
     stream.extend(vec![0.5; 100]);
-    c.bench_function("fm0_find_and_decode_epc", |b| {
-        b.iter(|| fm0::find_reply(black_box(&stream), true, 8, 128))
+    m.bench("fm0_find_and_decode_epc", || {
+        fm0::find_reply(black_box(&stream), true, 8, 128)
     });
 }
-
-criterion_group!(benches, bench_commands, bench_crc, bench_pie, bench_fm0);
-criterion_main!(benches);

@@ -1,52 +1,41 @@
-//! Criterion benchmarks for the relay's sample-level signal chain.
+//! Micro-benchmarks for the relay's sample-level signal chain.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rfly_bench::micro::Micro;
 use rfly_core::relay::freq_discovery::FrequencyDiscovery;
 use rfly_core::relay::relay::{Relay, RelayConfig};
 use rfly_dsp::osc::Nco;
 use rfly_dsp::units::Hertz;
 
-fn bench_forwarding(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::new("relay");
+
     // One 1 ms chunk (4000 samples at 4 MS/s) through each path — the
     // relay's streaming work unit; throughput here bounds how much
     // faster than real time the sample-level simulation runs.
     let chunk = Nco::new(Hertz::khz(50.0), 4e6).block(4000);
-    c.bench_function("relay_downlink_1ms_chunk", |b| {
-        b.iter_batched(
-            || Relay::new(RelayConfig::default(), 1),
-            |mut r| r.forward_downlink(black_box(&chunk), 0),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("relay_uplink_1ms_chunk", |b| {
-        b.iter_batched(
-            || Relay::new(RelayConfig::default(), 1),
-            |mut r| r.forward_uplink(black_box(&chunk), 0),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-}
+    m.bench_batched(
+        "relay_downlink_1ms_chunk",
+        || Relay::new(RelayConfig::default(), 1),
+        |mut r| r.forward_downlink(black_box(&chunk), 0),
+    );
+    m.bench_batched(
+        "relay_uplink_1ms_chunk",
+        || Relay::new(RelayConfig::default(), 1),
+        |mut r| r.forward_uplink(black_box(&chunk), 0),
+    );
 
-fn bench_build(c: &mut Criterion) {
-    c.bench_function("relay_build_from_config", |b| {
-        b.iter(|| Relay::new(black_box(RelayConfig::default()), 7))
+    m.bench("relay_build_from_config", || {
+        Relay::new(black_box(RelayConfig::default()), 7)
     });
-}
 
-fn bench_freq_discovery(c: &mut Criterion) {
     let grid: Vec<Hertz> = (-25..25).map(|k| Hertz::khz(40.0 * k as f64)).collect();
     let fd_probe = FrequencyDiscovery::new(grid.clone(), 4e6);
     let signal = Nco::new(Hertz::khz(400.0), 4e6).block(fd_probe.sweep_len());
-    c.bench_function("freq_discovery_full_sweep", |b| {
-        b.iter_batched(
-            || FrequencyDiscovery::new(grid.clone(), 4e6),
-            |mut fd| fd.sweep(black_box(&signal)),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    m.bench_batched(
+        "freq_discovery_full_sweep",
+        || FrequencyDiscovery::new(grid.clone(), 4e6),
+        |mut fd| fd.sweep(black_box(&signal)),
+    );
 }
-
-criterion_group!(benches, bench_forwarding, bench_build, bench_freq_discovery);
-criterion_main!(benches);

@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;

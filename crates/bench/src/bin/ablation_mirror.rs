@@ -5,7 +5,7 @@
 //! no-mirror (random phase per transaction). Without the mirror the
 //! SAR channels carry random phases and localization collapses.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::geometry::Point2;
 use rfly_core::loc::trajectory::Trajectory;
@@ -13,7 +13,7 @@ use rfly_sim::endtoend::ScenarioBuilder;
 use rfly_sim::world::RelayModel;
 use rfly_reader::config::ReaderConfig;
 
-fn trial(mirrored: bool, seed: u64, rng: &mut rand::rngs::StdRng) -> Option<f64> {
+fn trial(mirrored: bool, seed: u64, rng: &mut rfly_dsp::rng::StdRng) -> Option<f64> {
     let tag = Point2::new(
         40.0 + rng.gen_range(-1.0..1.0),
         2.0 + rng.gen_range(0.0..1.5),

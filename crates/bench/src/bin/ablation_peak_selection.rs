@@ -5,7 +5,7 @@
 //! *stronger* than the attenuated direct peak. Highest-peak selection
 //! chases the ghosts; nearest-to-trajectory selection does not.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::environment::{Environment, Material, Obstacle};
 use rfly_channel::geometry::{Point2, Segment};

@@ -1,0 +1,120 @@
+//! Extension — fleet scaling: aggregate inventory throughput vs fleet
+//! size, 1 → 8 relays over the paper's warehouse floor.
+//!
+//! The paper flies one relay; this sweep asks how inventory scales
+//! when the floor is split across N relays on distinct (f₁, Δ)
+//! channel pairs. Expected shape: mission time falls roughly as 1/N
+//! (each drone flies a 1/N-width strip of the floor) while the
+//! deduplicated read rate holds, so tags-per-second rises with fleet
+//! size — until either the strip partition becomes infeasible or the
+//! Δf assigner runs out of mutually stable channel pairs.
+//!
+//! Each row reports the fleet's tightest pairwise Eq. 3 mutual-loop
+//! margin; the assigner enforces margin ≥ 10 dB, so every printed
+//! fleet is stable by construction.
+
+use rfly_channel::geometry::Point2;
+use rfly_core::relay::gains::IsolationBudget;
+use rfly_dsp::rng::{Rng, StdRng};
+use rfly_dsp::units::Db;
+use rfly_fleet::inventory::{mission_world, run_mission, MissionConfig};
+use rfly_fleet::{assign, partition};
+use rfly_drone::kinematics::MotionLimits;
+use rfly_sim::report::Table;
+use rfly_sim::scene::Scene;
+use rfly_tag::population::TagPopulation;
+
+const N_TAGS: usize = 200;
+const MARGIN: Db = Db(10.0);
+const SEED: u64 = 7;
+
+fn paper_budget() -> IsolationBudget {
+    IsolationBudget {
+        intra_downlink: Db::new(77.0),
+        intra_uplink: Db::new(64.0),
+        inter_downlink: Db::new(110.0),
+        inter_uplink: Db::new(92.0),
+    }
+}
+
+fn items(scene: &Scene, n: usize, seed: u64) -> TagPopulation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions: Vec<Point2> = (0..n)
+        .map(|_| {
+            let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
+            Point2::new(spot.x + rng.gen_range(-0.8..0.8), spot.y - rng.gen_range(0.0..0.5))
+        })
+        .collect();
+    TagPopulation::generate(n, &positions, seed ^ 0xF1EE7)
+}
+
+fn main() {
+    let scene = Scene::paper_building();
+    let budget = paper_budget();
+    let cfg = MissionConfig {
+        sample_interval_s: 4.0,
+        max_rounds: 2,
+        seed: SEED,
+        time_budget_s: None,
+    };
+
+    let mut table = Table::new(
+        "ext — fleet scaling, 30x40 m warehouse, 200 tags",
+        &[
+            "relays",
+            "mission (s)",
+            "stops",
+            "tags read",
+            "read rate (%)",
+            "tags/min",
+            "handoffs",
+            "min margin (dB)",
+        ],
+    );
+
+    for n in 1..=8usize {
+        let cells = match partition(&scene, n, MotionLimits::indoor_drone()) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{n} relays: partition infeasible ({e}); stopping sweep");
+                break;
+            }
+        };
+        let hover: Vec<Point2> = cells.cells.iter().map(|c| c.center()).collect();
+        let plan = match assign(&hover, &budget, MARGIN, SEED) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{n} relays: no stable channel plan ({e}); stopping sweep");
+                break;
+            }
+        };
+        let mut world = mission_world(
+            &scene,
+            Point2::new(1.0, 1.0),
+            items(&scene, N_TAGS, SEED),
+            &plan,
+            &budget,
+            cfg.seed,
+        );
+        let outcome = run_mission(&mut world, &plan, &cells, &budget, &cfg);
+        let read = outcome.inventory.unique_tags();
+        let rate = 100.0 * outcome.inventory.read_rate(N_TAGS);
+        let per_min = read as f64 / (outcome.duration_s / 60.0);
+        let margin = plan
+            .min_margin()
+            .map(|m| format!("{:.1}", m.value()))
+            .unwrap_or_else(|| "n/a".into());
+        table.row(&[
+            n.to_string(),
+            format!("{:.0}", outcome.duration_s),
+            outcome.steps.to_string(),
+            read.to_string(),
+            format!("{rate:.1}"),
+            format!("{per_min:.1}"),
+            outcome.inventory.handoffs().to_string(),
+            margin,
+        ]);
+    }
+
+    table.print(true);
+}

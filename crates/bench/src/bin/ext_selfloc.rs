@@ -5,7 +5,7 @@
 //! the embedded tag's channels recovers the global offset; the table
 //! reports residual RMS trajectory error before and after.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::geometry::Point2;
 use rfly_channel::phasor::PathSet;

@@ -19,7 +19,7 @@ use rfly_protocol::bits::Bits;
 use rfly_protocol::fm0;
 use rfly_protocol::timing::TagEncoding;
 use rfly_reader::decoder::decode_backscatter;
-use rand::{Rng, SeedableRng};
+use rfly_dsp::rng::Rng;
 
 const SPS: usize = 8;
 const PAYLOAD: &str = "1011001110001111";
@@ -41,7 +41,7 @@ fn trial(relay: &mut Relay, start: usize, query_phase: f64, noise: f64, seed: u6
     }
     let mut up = relay.forward_uplink(&uplink_in, start);
     if noise > 0.0 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(seed);
         add_awgn(&mut rng, &mut up, noise);
     }
 
@@ -60,7 +60,7 @@ fn run(mirrored: bool, seed: u64, trials: usize) -> Vec<f64> {
         ..RelayConfig::default()
     };
     let mut relay = Relay::new(cfg, seed);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF16);
+    let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(seed ^ 0xF16);
     let mut phases = Vec::new();
     for k in 0..trials {
         let q = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);

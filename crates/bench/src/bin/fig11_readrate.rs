@@ -18,7 +18,6 @@ use rfly_reader::inventory::InventoryController;
 use rfly_sim::world::{PhasorWorld, RelayModel};
 use rfly_tag::population::TagPopulation;
 use rfly_tag::tag::PassiveTag;
-use rand::SeedableRng;
 
 /// Log-normal shadowing σ for the indoor links.
 const SHADOW_SIGMA_DB: f64 = 3.0;
@@ -32,7 +31,7 @@ enum Mode {
     RelayNlos,
 }
 
-fn trial(mode: Mode, distance: f64, seed: u64, rng: &mut rand::rngs::StdRng) -> bool {
+fn trial(mode: Mode, distance: f64, seed: u64, rng: &mut rfly_dsp::rng::StdRng) -> bool {
     // The paper's USRP-based reader: ~28 dBm conducted (USRP + external
     // PA), 6 dBi antenna — 34 dBm EIRP, a shade under the FCC cap.
     let mut config = ReaderConfig::usrp_default();
@@ -59,7 +58,7 @@ fn trial(mode: Mode, distance: f64, seed: u64, rng: &mut rand::rngs::StdRng) -> 
     world.reader_link_extra_loss = Db::new(extra);
 
     let mut controller =
-        InventoryController::new(config, rand::rngs::StdRng::seed_from_u64(seed ^ 0xF11));
+        InventoryController::new(config, rfly_dsp::rng::StdRng::seed_from_u64(seed ^ 0xF11));
     let reads = match mode {
         Mode::NoRelay => controller.run_until_quiet(&mut world.direct_medium(), 4),
         Mode::RelayLos | Mode::RelayNlos => {

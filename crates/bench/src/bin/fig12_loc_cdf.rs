@@ -4,7 +4,7 @@
 //! Paper: median 19 cm, 90th percentile 53 cm, across LoS and NLoS
 //! placements spanning a 30 × 40 m building with steel shelving.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_bench::{localization_trial, uniform_point};
 use rfly_channel::geometry::Point2;

@@ -7,7 +7,7 @@
 //! still improving out to 2.5 m (< 7 cm). RSSI: ~1 m even at 2.5 m
 //! aperture — about 20× worse.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_bench::localization_trial;
 use rfly_channel::environment::{Environment, Material, Obstacle};

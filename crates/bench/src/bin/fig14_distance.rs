@@ -11,7 +11,7 @@
 //! extra two-way path loss of the projected link relative to the
 //! physical one is applied as an SNR penalty on every measurement.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_bench::localization_trial;
 use rfly_channel::environment::Environment;

@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
@@ -21,6 +21,8 @@ use rfly_dsp::units::Hertz;
 use rfly_dsp::Complex;
 use rfly_reader::config::ReaderConfig;
 use rfly_sim::world::{PhasorWorld, RelayModel};
+
+pub mod micro;
 
 /// Re-export shim (keeps binary imports short).
 pub mod prelude {
@@ -61,7 +63,7 @@ pub fn localization_trial(
         world.power_cycle_tags();
         let mut controller = rfly_reader::inventory::InventoryController::new(
             config.clone(),
-            rand::SeedableRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37)),
+            rfly_dsp::rng::StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37)),
         );
         let mut medium = world.relayed_medium(*pos);
         for read in controller.run_until_quiet(&mut medium, 6) {

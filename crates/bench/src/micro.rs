@@ -1,0 +1,97 @@
+//! Minimal self-timed micro-benchmark harness.
+//!
+//! The `benches/` targets are plain `harness = false` binaries built on
+//! this module: each case is warmed up, then sampled repeatedly with
+//! `std::time::Instant`, and the median per-iteration time is printed.
+//! No external benchmarking framework is required, which keeps
+//! `cargo build --offline` viable; the numbers are coarse (median of a
+//! handful of samples) but stable enough to catch order-of-magnitude
+//! regressions in the hot paths.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Number of measurement samples per case (median is reported).
+const SAMPLES: usize = 9;
+
+/// A named suite of micro-benchmark cases; results print as they run.
+pub struct Micro {
+    suite: String,
+}
+
+impl Micro {
+    /// Starts a suite and prints its header.
+    pub fn new(suite: &str) -> Self {
+        println!("== {suite} ==");
+        Self {
+            suite: suite.to_string(),
+        }
+    }
+
+    /// Benchmarks a closure whose state carries over between calls.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        self.bench_batched(name, || (), |()| f());
+    }
+
+    /// Benchmarks a closure with fresh per-iteration state from `setup`
+    /// (setup time is excluded from the reported figure).
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        // Calibrate: how many iterations fit in one sample window?
+        let mut iters = 1u64;
+        loop {
+            let elapsed = run_batch(iters, &mut setup, &mut f);
+            if elapsed >= SAMPLE_TARGET / 4 || iters >= 1 << 24 {
+                let scale = SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-12);
+                iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 8;
+        }
+
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| run_batch(iters, &mut setup, &mut f).as_secs_f64() / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{}/{name}: {} ({} iters/sample)",
+            self.suite,
+            fmt_time(median),
+            iters
+        );
+    }
+}
+
+fn run_batch<S, T>(
+    iters: u64,
+    setup: &mut impl FnMut() -> S,
+    f: &mut impl FnMut(S) -> T,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let state = setup();
+        let start = Instant::now();
+        let out = f(state);
+        total += start.elapsed();
+        std::hint::black_box(out);
+    }
+    total
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s/iter")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms/iter", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.2} µs/iter", seconds * 1e6)
+    } else {
+        format!("{:.1} ns/iter", seconds * 1e9)
+    }
+}

@@ -5,7 +5,7 @@
 //! residual channel from Rician or Rayleigh statistics — the standard
 //! abstraction for unresolved scatterers.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 
 use rfly_dsp::osc::standard_normal;
 use rfly_dsp::Complex;
@@ -75,10 +75,9 @@ impl BlockFading {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(2024)
+    fn rng() -> rfly_dsp::rng::StdRng {
+        rfly_dsp::rng::StdRng::seed_from_u64(2024)
     }
 
     #[test]

@@ -149,7 +149,7 @@ mod tests {
         let nf = b.noise_floor();
         assert!((nf.value() + 103.0).abs() < 0.5, "nf = {nf}");
         let snr = b.snr(Dbm::new(-80.0));
-        assert!((snr.value() - (nf.value() * -1.0 - 80.0)).abs() < 1e-9);
+        assert!((snr.value() - (-nf.value() - 80.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! use a log-distance model with configurable exponent and log-normal
 //! shadowing, the standard indoor abstraction.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 
 use rfly_dsp::noise::lognormal_shadowing;
 use rfly_dsp::units::{Db, Hertz};
@@ -102,7 +102,6 @@ impl LogDistance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     const F: Hertz = Hertz(915e6);
 
@@ -173,7 +172,7 @@ mod tests {
             shadowing_sigma_db: 4.0,
             freq: F,
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(11);
         let mean = m.mean_loss(10.0).value();
         let mut draws: Vec<f64> = (0..4001).map(|_| m.sample_loss(10.0, &mut rng).value()).collect();
         draws.sort_by(f64::total_cmp);

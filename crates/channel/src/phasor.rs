@@ -150,6 +150,35 @@ impl PathSet {
                 .collect(),
         }
     }
+
+    /// Merges several links into one path set — the channel a receiver
+    /// sees when multiple transmitters radiate *the same* waveform (the
+    /// summed field is what arrives; `channel(f)` then performs the
+    /// coherent sum over every contributing path).
+    pub fn merged(sets: impl IntoIterator<Item = PathSet>) -> PathSet {
+        let mut paths = Vec::new();
+        for s in sets {
+            paths.extend(s.paths);
+        }
+        PathSet { paths }
+    }
+}
+
+/// Coherent (field) sum of same-frequency arrivals: phasors add, so
+/// co-channel transmitters can interfere constructively or
+/// destructively point by point.
+pub fn coherent_sum(arrivals: impl IntoIterator<Item = Complex>) -> Complex {
+    arrivals.into_iter().sum()
+}
+
+/// Incoherent sum of arrivals on *different* frequencies: the
+/// cross-terms beat at the frequency offsets and time-average to zero,
+/// so only powers add. Inputs and output are linear power fractions.
+pub fn incoherent_power_sum(powers: impl IntoIterator<Item = f64>) -> f64 {
+    powers
+        .into_iter()
+        .inspect(|p| debug_assert!(*p >= 0.0, "power cannot be negative"))
+        .sum()
 }
 
 #[cfg(test)]
@@ -238,5 +267,26 @@ mod tests {
     #[should_panic(expected = "negative")]
     fn negative_length_rejected() {
         let _ = Path::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn merged_sets_sum_coherently() {
+        let a = PathSet::line_of_sight(4.0, 0.5);
+        let b = PathSet::line_of_sight(6.0, 0.25);
+        let m = PathSet::merged([a.clone(), b.clone()]);
+        assert_eq!(m.len(), 2);
+        assert!((m.channel(F) - (a.channel(F) + b.channel(F))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coherent_sum_can_cancel_incoherent_cannot() {
+        let lambda = F.wavelength();
+        let a = PathSet::line_of_sight(4.0, 1.0).channel(F);
+        let b = PathSet::line_of_sight(4.0 + lambda / 2.0, 1.0).channel(F);
+        // Same frequency: field cancellation.
+        assert!(coherent_sum([a, b]).norm_sq() < 1e-10);
+        // Different frequencies: powers add regardless of phase.
+        let p = incoherent_power_sum([a.norm_sq(), b.norm_sq()]);
+        assert!((p - 2.0).abs() < 1e-9);
     }
 }

@@ -1,97 +1,142 @@
-//! Property-based tests for geometry and propagation.
-
-use proptest::prelude::*;
+//! Property-style tests for geometry and propagation, driven by the
+//! in-repo seeded RNG (reproducible random sweeps instead of an
+//! external property-testing framework).
 
 use rfly_channel::environment::{Environment, Material, Obstacle};
 use rfly_channel::geometry::{Point2, Segment};
 use rfly_channel::pathloss::{free_space_db, range_for_isolation};
 use rfly_channel::phasor::{Path, PathSet};
+use rfly_dsp::rng::{Rng, StdRng};
 use rfly_dsp::units::{Db, Hertz};
 
 const F: Hertz = Hertz(915e6);
+const CASES: usize = 200;
 
-fn arb_point() -> impl Strategy<Value = Point2> {
-    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Point2::new(x, y))
+fn rand_point(rng: &mut StdRng) -> Point2 {
+    Point2::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0))
 }
 
-fn arb_segment() -> impl Strategy<Value = Segment> {
-    (arb_point(), arb_point())
-        .prop_filter("degenerate segment", |(a, b)| a.distance(*b) > 1e-6)
-        .prop_map(|(a, b)| Segment::new(a, b))
-}
-
-proptest! {
-    #[test]
-    fn mirror_is_an_involution(seg in arb_segment(), p in arb_point()) {
-        let back = seg.mirror(seg.mirror(p));
-        prop_assert!(back.distance(p) < 1e-6);
+fn rand_segment(rng: &mut StdRng) -> Segment {
+    loop {
+        let a = rand_point(rng);
+        let b = rand_point(rng);
+        if a.distance(b) > 1e-6 {
+            return Segment::new(a, b);
+        }
     }
+}
 
-    #[test]
-    fn mirror_preserves_distance_to_the_line(seg in arb_segment(), p in arb_point()) {
-        // Both p and its image are equidistant from any point ON the line.
+#[test]
+fn mirror_is_an_involution() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_001);
+    for _ in 0..CASES {
+        let seg = rand_segment(&mut rng);
+        let p = rand_point(&mut rng);
+        let back = seg.mirror(seg.mirror(p));
+        assert!(back.distance(p) < 1e-6);
+    }
+}
+
+#[test]
+fn mirror_preserves_distance_to_the_line() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_002);
+    for _ in 0..CASES {
+        let seg = rand_segment(&mut rng);
+        let p = rand_point(&mut rng);
         let img = seg.mirror(p);
         for t in [0.0, 0.37, 1.0] {
             let on_line = seg.a.lerp(seg.b, t);
-            prop_assert!((on_line.distance(p) - on_line.distance(img)).abs() < 1e-6);
+            assert!((on_line.distance(p) - on_line.distance(img)).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn segment_intersection_is_symmetric(a in arb_segment(), b in arb_segment()) {
-        prop_assert_eq!(a.intersects(b), b.intersects(a));
+#[test]
+fn segment_intersection_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_003);
+    for _ in 0..CASES {
+        let a = rand_segment(&mut rng);
+        let b = rand_segment(&mut rng);
+        assert_eq!(a.intersects(b), b.intersects(a));
         match (a.intersection(b), b.intersection(a)) {
-            (Some(p), Some(q)) => prop_assert!(p.distance(q) < 1e-6),
+            (Some(p), Some(q)) => assert!(p.distance(q) < 1e-6),
             (None, None) => {}
             // intersects() covers collinear touching that intersection()
             // (proper crossing) doesn't — but Some/None must agree.
-            _ => prop_assert!(false, "intersection asymmetry"),
+            _ => panic!("intersection asymmetry"),
         }
     }
+}
 
-    #[test]
-    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+#[test]
+fn triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_004);
+    for _ in 0..CASES {
+        let a = rand_point(&mut rng);
+        let b = rand_point(&mut rng);
+        let c = rand_point(&mut rng);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
     }
+}
 
-    #[test]
-    fn free_space_loss_is_monotone(d1 in 0.1..500.0f64, d2 in 0.1..500.0f64) {
+#[test]
+fn free_space_loss_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_005);
+    for _ in 0..CASES {
+        let d1 = rng.gen_range(0.1..500.0);
+        let d2 = rng.gen_range(0.1..500.0);
         let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
-        prop_assert!(free_space_db(lo, F).value() <= free_space_db(hi, F).value() + 1e-9);
+        assert!(free_space_db(lo, F).value() <= free_space_db(hi, F).value() + 1e-9);
     }
+}
 
-    #[test]
-    fn isolation_range_law_inverts_path_loss(iso in 10.0..120.0f64) {
+#[test]
+fn isolation_range_law_inverts_path_loss() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_006);
+    for _ in 0..CASES {
+        let iso = rng.gen_range(10.0..120.0);
         let r = range_for_isolation(Db::new(iso), F);
-        prop_assert!((free_space_db(r, F).value() - iso).abs() < 1e-6);
+        assert!((free_space_db(r, F).value() - iso).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn channel_magnitude_bounded_by_amplitude_sum(
-        paths in proptest::collection::vec((0.1..100.0f64, 0.0..1.0f64), 1..8),
-    ) {
-        let ps = PathSet::from_paths(
-            paths.iter().map(|&(d, a)| Path::new(d, a)).collect(),
-        );
+#[test]
+fn channel_magnitude_bounded_by_amplitude_sum() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_007);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..8);
+        let paths: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.1..100.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let ps = PathSet::from_paths(paths.iter().map(|&(d, a)| Path::new(d, a)).collect());
         let total: f64 = paths.iter().map(|p| p.1).sum();
-        prop_assert!(ps.channel(F).abs() <= total + 1e-9);
+        assert!(ps.channel(F).abs() <= total + 1e-9);
     }
+}
 
-    #[test]
-    fn channel_is_wavelength_periodic(d in 1.0..50.0f64, k in 1usize..20) {
+#[test]
+fn channel_is_wavelength_periodic() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_008);
+    for _ in 0..CASES {
+        let d = rng.gen_range(1.0..50.0);
+        let k = rng.gen_range(1usize..20);
         let lambda = F.wavelength();
         let a = PathSet::line_of_sight(d, 1.0).channel(F);
         let b = PathSet::line_of_sight(d + k as f64 * lambda, 1.0).channel(F);
-        prop_assert!((a - b).abs() < 1e-4 * k as f64);
+        assert!((a - b).abs() < 1e-4 * k as f64);
     }
+}
 
-    #[test]
-    fn direct_path_is_shortest_and_reflections_longer(
-        tx in arb_point(),
-        rx in arb_point(),
-        wall_y in -60.0..60.0f64,
-    ) {
-        prop_assume!(tx.distance(rx) > 0.1);
+#[test]
+fn direct_path_is_shortest_and_reflections_longer() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_009);
+    for _ in 0..CASES {
+        let tx = rand_point(&mut rng);
+        let rx = rand_point(&mut rng);
+        if tx.distance(rx) <= 0.1 {
+            continue;
+        }
+        let wall_y = rng.gen_range(-60.0..60.0);
         let mut env = Environment::free_space();
         env.add(Obstacle::new(
             Segment::new(Point2::new(-100.0, wall_y), Point2::new(100.0, wall_y)),
@@ -99,32 +144,31 @@ proptest! {
         ));
         let ps = env.trace(tx, rx, F);
         let direct = ps.direct().expect("direct path exists").length_m;
-        prop_assert!((direct - tx.distance(rx)).abs() < 1e-9);
+        assert!((direct - tx.distance(rx)).abs() < 1e-9);
         for p in ps.paths() {
             // §5.2's invariant: no path is shorter than the direct one.
-            prop_assert!(p.length_m >= direct - 1e-9);
+            assert!(p.length_m >= direct - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn transmission_loss_is_additive_in_crossings(
-        n_walls in 1usize..6,
-        y0 in -4.0..-1.0f64,
-    ) {
+#[test]
+fn transmission_loss_is_additive_in_crossings() {
+    let mut rng = StdRng::seed_from_u64(0xC4A_00A);
+    for _ in 0..40 {
+        let n_walls = rng.gen_range(1usize..6);
+        let y0 = rng.gen_range(-4.0..-1.0);
         let mut env = Environment::free_space();
         for k in 0..n_walls {
             env.add(Obstacle::new(
-                Segment::new(
-                    Point2::new(k as f64, -10.0),
-                    Point2::new(k as f64, 10.0),
-                ),
+                Segment::new(Point2::new(k as f64, -10.0), Point2::new(k as f64, 10.0)),
                 Material::DRYWALL,
             ));
         }
         let a = Point2::new(-1.0, y0);
         let b = Point2::new(n_walls as f64, y0);
         let (loss, crossings) = env.transmission_loss(a, b);
-        prop_assert_eq!(crossings, n_walls);
-        prop_assert!((loss.value() - 4.0 * n_walls as f64).abs() < 1e-9);
+        assert_eq!(crossings, n_walls);
+        assert!((loss.value() - 4.0 * n_walls as f64).abs() < 1e-9);
     }
 }

@@ -98,7 +98,7 @@ impl Heatmap {
         let mut iy = self.ny;
         while iy > 0 {
             let row = iy - 1;
-            if (self.ny - iy) % stride == 0 {
+            if (self.ny - iy).is_multiple_of(stride) {
                 let mut ix = 0;
                 while ix < self.nx {
                     let v = if max > 0.0 { self.get(ix, row) / max } else { 0.0 };

@@ -165,7 +165,7 @@ mod tests {
         let n = ch.len();
         for (i, h) in ch.iter_mut().enumerate() {
             let ripple = if i < n / 2 { 1.41 } else { 0.71 }; // ±3 dB
-            *h = *h * ripple;
+            *h *= ripple;
         }
         let est = loc.localize(&traj, &ch).expect("localizes");
         let err = est.distance(tag);
@@ -177,6 +177,6 @@ mod tests {
     fn all_silent_channels_fail() {
         let loc = localizer();
         let traj = Trajectory::line(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), 5);
-        assert!(loc.localize(&traj, &vec![Complex::default(); 5]).is_none());
+        assert!(loc.localize(&traj, &[Complex::default(); 5]).is_none());
     }
 }

@@ -7,7 +7,7 @@
 //! physical coupling between its antennas, which is why it cannot
 //! amplify much without ringing (§4.1).
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 
 use rfly_channel::antenna::{mutual_coupling, Polarization};
 use rfly_dsp::osc::standard_normal;
@@ -92,10 +92,9 @@ impl AnalogRelay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(5)
+    fn rng() -> rfly_dsp::rng::StdRng {
+        rfly_dsp::rng::StdRng::seed_from_u64(5)
     }
 
     #[test]

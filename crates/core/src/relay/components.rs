@@ -8,7 +8,7 @@
 //! medians land near the paper's 110/92/77/64 dB) and the per-trial
 //! random draws around them.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 
 use rfly_channel::antenna::{mutual_coupling, Polarization};
 use rfly_dsp::osc::standard_normal;
@@ -111,7 +111,6 @@ pub struct DrawnComponents {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn prototype_antenna_isolation_is_cross_pol_at_10cm() {
@@ -124,7 +123,7 @@ mod tests {
     #[test]
     fn draws_scatter_around_nominals() {
         let t = ComponentTolerances::prototype();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(9);
         let n = 2000;
         let draws: Vec<DrawnComponents> =
             (0..n).map(|_| t.draw(&mut rng, Hertz::mhz(915.0))).collect();
@@ -146,7 +145,7 @@ mod tests {
             filter_sigma_db: 50.0, // absurd tolerance to force clamping
             ..ComponentTolerances::prototype()
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(1);
         for _ in 0..200 {
             let d = t.draw(&mut rng, Hertz::mhz(915.0));
             assert!(d.lpf_stopband.value() >= 20.0);

@@ -132,7 +132,6 @@ pub struct Lock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rfly_dsp::buffer::add;
     use rfly_dsp::noise::add_awgn;
     use rfly_dsp::osc::Nco;
@@ -182,7 +181,7 @@ mod tests {
 
     #[test]
     fn locks_under_noise() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(17);
         let mut fd = FrequencyDiscovery::new(grid(), FS);
         let mut signal = Nco::new(Hertz::khz(1500.0), FS).block(fd.sweep_len());
         add_awgn(&mut rng, &mut signal, 1.0); // 0 dB SNR

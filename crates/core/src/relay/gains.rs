@@ -11,7 +11,7 @@
 //! 4. the output power amplifier's 1 dB compression point (29 dBm)
 //!    caps the downlink output.
 
-use rfly_dsp::units::{Db, Dbm};
+use rfly_dsp::units::{Db, Dbm, Hertz};
 
 /// The gains chosen for the two paths.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,6 +20,14 @@ pub struct GainPlan {
     pub downlink: Db,
     /// Uplink VGA chain gain.
     pub uplink: Db,
+}
+
+impl GainPlan {
+    /// The full loop gain through both chains — what an external
+    /// feedback path (self-interference or another relay) sees.
+    pub fn total(&self) -> Db {
+        self.downlink + self.uplink
+    }
 }
 
 /// The isolation figures the allocator works against.
@@ -83,6 +91,129 @@ pub fn is_stable(plan: &GainPlan, budget: &IsolationBudget, margin: Db) -> bool 
         && plan.uplink.value() + margin.value() <= budget.intra_uplink.value()
         && plan.downlink.value() + plan.uplink.value() + margin.value()
             <= budget.inter_downlink.value() + budget.inter_uplink.value()
+}
+
+/// An external interferer in a victim relay's feedback budget — in a
+/// fleet, another relay whose amplified output couples over the air
+/// into this one. The Eq. 3 loop analysis extends naturally: the pair
+/// forms a mutual loop through one chain segment of each relay, two
+/// crossings of the inter-relay path, and each chain's filter
+/// rejection at the frequency offset where the other's output lands.
+#[derive(Debug, Clone, Copy)]
+pub struct ExternalInterferer {
+    /// The other relay's gain plan.
+    pub gains: GainPlan,
+    /// The other relay's reader-side frequency f₁.
+    pub f1: Hertz,
+    /// The other relay's tag-side frequency f₂.
+    pub f2: Hertz,
+    /// One-way over-the-air path loss between the two relays.
+    pub coupling_loss: Db,
+}
+
+/// Filter rejection of a signal offset by `offset` from a chain
+/// tuned to a passband of width `passband` — a second-order
+/// (40 dB/decade) rolloff, the relay's cascaded BPF+LPF skirt. Zero
+/// inside the passband.
+pub fn offset_rejection(offset: Hertz, passband: Hertz) -> Db {
+    let half_bw = passband.as_hz() / 2.0;
+    let off = offset.as_hz().abs();
+    if off <= half_bw || half_bw <= 0.0 {
+        Db::new(0.0)
+    } else {
+        Db::new(40.0 * (off / half_bw).log10())
+    }
+}
+
+/// The stability margin of one mutual-loop topology through two
+/// relays: the amount (dB) by which the closed loop
+/// `segment_i → air → segment_j → air → segment_i` stays below unity,
+/// where `gain_i`/`gain_j` are the gains of the chain segments the
+/// loop traverses and `rejection` is the combined filter rejection of
+/// both crossings. Negative means the pair rings regardless of each
+/// relay's own self-interference compliance.
+pub fn mutual_loop_margin(
+    gain_i: Db,
+    gain_j: Db,
+    coupling_loss: Db,
+    rejection: Db,
+) -> Db {
+    Db::new(
+        2.0 * coupling_loss.value() + rejection.value() - gain_i.value() - gain_j.value(),
+    )
+}
+
+/// The worst-case mutual-loop margin across the four loop topologies a
+/// relay pair can form. Each relay's downlink listens at its f₁ and
+/// emits at its f₂; its uplink listens at f₂ and emits at f₁. A loop
+/// picks one segment per relay, and each crossing is rejected by the
+/// receiving chain's filter skirt at the offset between the emitted
+/// frequency and the receiving passband center.
+#[allow(clippy::too_many_arguments)]
+pub fn worst_pair_margin(
+    gains_i: &GainPlan,
+    f1_i: Hertz,
+    f2_i: Hertz,
+    gains_j: &GainPlan,
+    f1_j: Hertz,
+    f2_j: Hertz,
+    coupling_loss: Db,
+    passband: Hertz,
+) -> Db {
+    let off = |out: Hertz, center: Hertz| Hertz(out.as_hz() - center.as_hz());
+    let topologies = [
+        // i downlink → j downlink
+        (gains_i.downlink, off(f2_i, f1_j), gains_j.downlink, off(f2_j, f1_i)),
+        // i downlink → j uplink
+        (gains_i.downlink, off(f2_i, f2_j), gains_j.uplink, off(f1_j, f1_i)),
+        // i uplink → j downlink
+        (gains_i.uplink, off(f1_i, f1_j), gains_j.downlink, off(f2_j, f2_i)),
+        // i uplink → j uplink
+        (gains_i.uplink, off(f1_i, f2_j), gains_j.uplink, off(f1_j, f2_i)),
+    ];
+    topologies
+        .iter()
+        .map(|&(gi, o1, gj, o2)| {
+            mutual_loop_margin(
+                gi,
+                gj,
+                coupling_loss,
+                offset_rejection(o1, passband) + offset_rejection(o2, passband),
+            )
+        })
+        .min_by(|a, b| a.value().total_cmp(&b.value()))
+        .expect("four topologies")
+}
+
+/// Eq. 3 extended with external interferers: the plan must satisfy the
+/// victim's own isolation budget AND keep the worst mutual loop with
+/// every neighboring relay below unity by `margin`. `f1`/`f2` are the
+/// victim's frequencies; `passband` is the chains' filter passband
+/// width.
+pub fn is_stable_with_interferers(
+    plan: &GainPlan,
+    budget: &IsolationBudget,
+    margin: Db,
+    f1: Hertz,
+    f2: Hertz,
+    passband: Hertz,
+    interferers: &[ExternalInterferer],
+) -> bool {
+    is_stable(plan, budget, margin)
+        && interferers.iter().all(|i| {
+            worst_pair_margin(
+                plan,
+                f1,
+                f2,
+                &i.gains,
+                i.f1,
+                i.f2,
+                i.coupling_loss,
+                passband,
+            )
+            .value()
+                >= margin.value()
+        })
 }
 
 #[cfg(test)]
@@ -166,5 +297,91 @@ mod tests {
     #[should_panic(expected = "margin")]
     fn negative_margin_rejected() {
         let _ = allocate(&paper_budget(), Db::new(-1.0), Dbm::new(-30.0));
+    }
+
+    #[test]
+    fn offset_rejection_rolls_off_at_40db_per_decade() {
+        let bw = Hertz::khz(500.0);
+        assert_eq!(offset_rejection(Hertz::khz(100.0), bw), Db::new(0.0));
+        let one_dec = offset_rejection(Hertz::khz(2500.0), bw);
+        assert!((one_dec.value() - 40.0).abs() < 1e-9, "{one_dec}");
+        let two_dec = offset_rejection(Hertz::khz(25_000.0), bw);
+        assert!((two_dec.value() - 80.0).abs() < 1e-9);
+        // Symmetric in sign.
+        assert_eq!(
+            offset_rejection(Hertz::khz(-2500.0), bw),
+            offset_rejection(Hertz::khz(2500.0), bw)
+        );
+    }
+
+    #[test]
+    fn mutual_loop_margin_balances_gains_against_coupling() {
+        // Two paper-grade downlink segments (67 dB each) 10 m apart
+        // (~52 dB free-space coupling each way) ring without filter
+        // rejection; modest Δf rejection restores a 10 dB margin.
+        let g = Db::new(67.0);
+        let coupling = Db::new(52.0);
+        let bare = mutual_loop_margin(g, g, coupling, Db::new(0.0));
+        assert!(bare.value() < 0.0, "bare pair should ring: {bare}");
+        let filtered = mutual_loop_margin(g, g, coupling, Db::new(50.0));
+        assert!(filtered.value() >= 10.0, "{filtered}");
+    }
+
+    #[test]
+    fn worst_pair_margin_is_worst_when_co_channel() {
+        let b = paper_budget();
+        let plan = allocate(&b, Db::new(10.0), Dbm::new(-40.0));
+        let f1 = Hertz::mhz(915.0);
+        let f2 = Hertz::mhz(916.0);
+        let pb = Hertz::khz(400.0);
+        let coupling = Db::new(52.0);
+        // Co-channel pair: the dl→ul loop has zero offset on both
+        // crossings — no rejection at all.
+        let co = worst_pair_margin(&plan, f1, f2, &plan, f1, f2, coupling, pb);
+        assert!(
+            (co.value() - (2.0 * 52.0 - plan.total().value())).abs() < 1e-9,
+            "{co}"
+        );
+        // 5 MHz apart: every crossing sits far down the filter skirt.
+        let far = worst_pair_margin(
+            &plan,
+            f1,
+            f2,
+            &plan,
+            Hertz::mhz(920.0),
+            Hertz::mhz(921.5),
+            coupling,
+            pb,
+        );
+        assert!(far.value() > co.value() + 50.0, "co {co}, far {far}");
+    }
+
+    #[test]
+    fn interferer_extension_tightens_the_gate() {
+        let b = paper_budget();
+        let plan = allocate(&b, Db::new(10.0), Dbm::new(-40.0));
+        let f1 = Hertz::mhz(915.0);
+        let f2 = Hertz::mhz(916.0);
+        let pb = Hertz::khz(400.0);
+        let gate = |ints: &[ExternalInterferer]| {
+            is_stable_with_interferers(&plan, &b, Db::new(10.0), f1, f2, pb, ints)
+        };
+        // Alone: stable.
+        assert!(gate(&[]));
+        // A close-coupled co-channel twin: unstable.
+        let hot = ExternalInterferer {
+            gains: plan,
+            f1,
+            f2,
+            coupling_loss: Db::new(52.0),
+        };
+        assert!(!gate(&[hot]));
+        // The same twin 10 MHz away: the filter skirts kill the loop.
+        let cold = ExternalInterferer {
+            f1: Hertz::mhz(925.0),
+            f2: Hertz::mhz(926.0),
+            ..hot
+        };
+        assert!(gate(&[cold]));
     }
 }

@@ -174,8 +174,10 @@ mod tests {
         // the measured isolation (attenuation + gain) unchanged.
         let mut r1 = Relay::new(RelayConfig::default(), 7);
         let iso1 = measure_isolation(&mut r1, InterferencePath::IntraDownlink);
-        let mut cfg = RelayConfig::default();
-        cfg.downlink_gain = rfly_dsp::units::Db::new(45.0);
+        let cfg = RelayConfig {
+            downlink_gain: rfly_dsp::units::Db::new(45.0),
+            ..RelayConfig::default()
+        };
         let mut r2 = Relay::new(cfg, 7);
         let iso2 = measure_isolation(&mut r2, InterferencePath::IntraDownlink);
         assert!(

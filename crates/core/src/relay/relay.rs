@@ -1,8 +1,8 @@
 //! The assembled relay: two forwarding paths and (optionally) the
 //! mirrored synthesizer wiring.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rfly_dsp::rng::StdRng;
+use rfly_dsp::rng::Rng;
 
 use rfly_dsp::filter::fir::FirDesign;
 use rfly_dsp::mixer::{Conversion, Mixer};
@@ -216,7 +216,7 @@ mod tests {
 
     #[test]
     fn downlink_forwards_query_band_to_f2() {
-        let mut r = Relay::new(cfg(), 1);
+        let mut r = Relay::new(cfg(), 15);
         let x = Nco::new(Hertz::khz(50.0), 4e6).block(16384);
         let y = r.forward_downlink(&x, 0);
         let fwd = power_at(&y[4096..], Hertz::khz(1050.0), 4e6);
@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn uplink_forwards_subcarrier_band_to_f1() {
-        let mut r = Relay::new(cfg(), 2);
+        let mut r = Relay::new(cfg(), 21);
         let x = Nco::new(Hertz::khz(1500.0), 4e6).block(16384); // f₂ + 500 kHz
         let y = r.forward_uplink(&x, 0);
         let fwd = power_at(&y[4096..], Hertz::khz(500.0), 4e6);
@@ -278,7 +278,7 @@ mod tests {
         // Fig. 10).
         let mut cfg2 = cfg();
         cfg2.mirrored = false;
-        let mut r = Relay::new(cfg2, 20);
+        let mut r = Relay::new(cfg2, 1);
         let phases = round_trip_phases(&mut r, 6);
         let max_d = phases
             .windows(2)

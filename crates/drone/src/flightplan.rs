@@ -5,9 +5,30 @@
 //! which tag responses were captured; a flight plan turns waypoints +
 //! kinematics + a measurement rate into exactly that.
 
+use std::fmt;
+
 use rfly_channel::geometry::Point2;
 
 use crate::kinematics::{Leg, MotionLimits};
+
+/// Why a flight plan could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightPlanError {
+    /// A route needs at least two waypoints; the actual count is given.
+    TooFewWaypoints(usize),
+}
+
+impl fmt::Display for FlightPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlightPlanError::TooFewWaypoints(n) => {
+                write!(f, "a plan needs at least two waypoints, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlightPlanError {}
 
 /// A waypoint route with motion limits.
 #[derive(Debug, Clone)]
@@ -18,14 +39,19 @@ pub struct FlightPlan {
 
 impl FlightPlan {
     /// Creates a plan through `waypoints` (at least two).
-    pub fn new(waypoints: Vec<Point2>, limits: MotionLimits) -> Self {
-        assert!(waypoints.len() >= 2, "a plan needs at least two waypoints");
-        Self { waypoints, limits }
+    pub fn new(waypoints: Vec<Point2>, limits: MotionLimits) -> Result<Self, FlightPlanError> {
+        if waypoints.len() < 2 {
+            return Err(FlightPlanError::TooFewWaypoints(waypoints.len()));
+        }
+        Ok(Self { waypoints, limits })
     }
 
     /// A single straight scan pass — the paper's 1D trajectories.
     pub fn line(from: Point2, to: Point2, limits: MotionLimits) -> Self {
-        Self::new(vec![from, to], limits)
+        Self {
+            waypoints: vec![from, to],
+            limits,
+        }
     }
 
     /// A lawnmower sweep over the rectangle `[min, max]` with `rows`
@@ -47,7 +73,8 @@ impl FlightPlan {
                 wp.push(Point2::new(min.x, y));
             }
         }
-        Self::new(wp, limits)
+        // rows >= 1 ⇒ at least two waypoints, so this cannot fail.
+        Self { waypoints: wp, limits }
     }
 
     /// The waypoints.
@@ -129,7 +156,8 @@ mod tests {
                 Point2::new(2.0, 2.0),
             ],
             limits(),
-        );
+        )
+        .expect("three waypoints");
         let t_leg1 = Leg::new(Point2::new(0.0, 0.0), Point2::new(2.0, 0.0), limits()).duration();
         let corner = p.position_at(t_leg1);
         assert!(corner.distance(Point2::new(2.0, 0.0)) < 1e-9);
@@ -173,8 +201,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "two waypoints")]
     fn single_waypoint_rejected() {
-        let _ = FlightPlan::new(vec![Point2::ORIGIN], limits());
+        assert_eq!(
+            FlightPlan::new(vec![Point2::ORIGIN], limits()).unwrap_err(),
+            FlightPlanError::TooFewWaypoints(1)
+        );
+        assert_eq!(
+            FlightPlan::new(vec![], limits()).unwrap_err(),
+            FlightPlanError::TooFewWaypoints(0)
+        );
     }
 }

@@ -15,5 +15,5 @@ pub mod kinematics;
 pub mod platform;
 pub mod tracking;
 
-pub use flightplan::FlightPlan;
+pub use flightplan::{FlightPlan, FlightPlanError};
 pub use platform::Platform;

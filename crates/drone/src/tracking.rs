@@ -6,7 +6,7 @@
 //! positions; this module models how believed differs from true for
 //! each tracking source, letting experiments quantify the sensitivity.
 
-use rand::Rng;
+use rfly_dsp::rng::Rng;
 
 use rfly_channel::geometry::Point2;
 use rfly_dsp::osc::standard_normal;
@@ -97,14 +97,13 @@ pub fn observe_trajectory<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn line(n: usize) -> Vec<Point2> {
         (0..n).map(|i| Point2::new(i as f64 * 0.1, 0.0)).collect()
     }
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(33)
+    fn rng() -> rfly_dsp::rng::StdRng {
+        rfly_dsp::rng::StdRng::seed_from_u64(33)
     }
 
     #[test]
@@ -133,7 +132,7 @@ mod tests {
         let mut errs_early = Vec::new();
         let mut errs_late = Vec::new();
         for seed in 0..40 {
-            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r = rfly_dsp::rng::StdRng::seed_from_u64(seed);
             let o = observe_trajectory(Tracker::consumer_odometry(), &t, &mut r);
             errs_early.push(t[10].distance(o[10]));
             errs_late.push(t[490].distance(o[490]));

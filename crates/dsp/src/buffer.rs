@@ -80,8 +80,8 @@ pub fn exact_chunks(samples: &[Complex], chunk_len: usize) -> impl Iterator<Item
 }
 
 /// Generates `n` samples by calling `f(i)` for each index.
-pub fn generate(n: usize, mut f: impl FnMut(usize) -> Complex) -> Vec<Complex> {
-    (0..n).map(|i| f(i)).collect()
+pub fn generate(n: usize, f: impl FnMut(usize) -> Complex) -> Vec<Complex> {
+    (0..n).map(f).collect()
 }
 
 #[cfg(test)]

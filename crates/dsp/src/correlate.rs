@@ -92,7 +92,6 @@ mod tests {
     use crate::noise::add_awgn;
     use crate::osc::Nco;
     use crate::units::Hertz;
-    use rand::SeedableRng;
 
     fn chirp(n: usize) -> Vec<Complex> {
         (0..n)
@@ -124,7 +123,7 @@ mod tests {
 
     #[test]
     fn template_found_under_noise() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = crate::rng::StdRng::seed_from_u64(99);
         let t = chirp(256);
         let mut sig = vec![Complex::default(); 100];
         sig.extend_from_slice(&t);
@@ -136,7 +135,7 @@ mod tests {
 
     #[test]
     fn threshold_rejects_absent_template() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = crate::rng::StdRng::seed_from_u64(5);
         let t = chirp(128);
         let mut sig = vec![Complex::default(); 512];
         add_awgn(&mut rng, &mut sig, 1.0);

@@ -143,7 +143,7 @@ impl BiquadCascade {
     /// Builds a Butterworth low-pass of even order `order` as cascaded
     /// biquads with the standard Q values.
     pub fn butterworth_lowpass(cutoff: Hertz, order: usize, sample_rate: f64) -> Self {
-        assert!(order >= 2 && order % 2 == 0, "order must be even and ≥ 2");
+        assert!(order >= 2 && order.is_multiple_of(2), "order must be even and ≥ 2");
         let n = order as f64;
         let sections = (0..order / 2)
             .map(|k| {

@@ -41,7 +41,7 @@ impl FirDesign {
         let a = self.stopband_atten.value();
         let delta_f = self.transition.as_hz() / self.sample_rate;
         let mut len = kaiser_length(a, delta_f);
-        if len % 2 == 0 {
+        if len.is_multiple_of(2) {
             len += 1; // odd length → integer group delay, symmetric taps
         }
         (Window::Kaiser(kaiser_beta(a)), len)

@@ -34,6 +34,7 @@ pub mod mixer;
 pub mod noise;
 pub mod osc;
 pub mod resample;
+pub mod rng;
 pub mod spectrum;
 pub mod units;
 

@@ -4,7 +4,7 @@
 //! error growing with distance (Fig. 14 of the paper) is entirely an SNR
 //! effect, so noise power bookkeeping must be exact.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::complex::Complex;
 use crate::osc::standard_normal;
@@ -58,10 +58,9 @@ pub fn lognormal_shadowing<R: Rng>(rng: &mut R, sigma_db: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::buffer::mean_power;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(1234)
+    fn rng() -> crate::rng::StdRng {
+        crate::rng::StdRng::seed_from_u64(1234)
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::f64::consts::TAU;
 use std::rc::Rc;
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::complex::{wrap_phase, Complex};
 use crate::units::Hertz;
@@ -60,6 +60,7 @@ impl Nco {
 
     /// Produces the next LO sample `e^{jφ}` and advances the phase.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // infinite stream, not an Iterator
     pub fn next(&mut self) -> Complex {
         let s = Complex::cis(self.phase);
         self.phase = wrap_phase(self.phase + self.phase_step);
@@ -127,7 +128,7 @@ pub struct Synthesizer {
     imperfections: SynthImperfections,
     /// Cumulative phase-noise walk, one entry per generated sample index.
     noise_walk: Vec<f64>,
-    noise_rng: rand::rngs::StdRng,
+    noise_rng: crate::rng::StdRng,
 }
 
 impl Synthesizer {
@@ -140,7 +141,6 @@ impl Synthesizer {
         imperfections: SynthImperfections,
         noise_seed: u64,
     ) -> Self {
-        use rand::SeedableRng;
         assert!(sample_rate > 0.0, "sample rate must be positive");
         let actual_hz = nominal.as_hz() * (1.0 + imperfections.freq_offset_ppm * 1e-6)
             + imperfections.extra_offset_hz;
@@ -150,7 +150,7 @@ impl Synthesizer {
             sample_rate,
             imperfections,
             noise_walk: vec![0.0],
-            noise_rng: rand::rngs::StdRng::seed_from_u64(noise_seed),
+            noise_rng: crate::rng::StdRng::seed_from_u64(noise_seed),
         }
     }
 
@@ -217,7 +217,7 @@ impl Synthesizer {
 /// Gaussian random-walk extension helper, kept in a private module so the
 /// Box–Muller transform is written exactly once.
 mod rand_distr_walk {
-    use rand::Rng;
+    use crate::rng::Rng;
 
     /// Draws one standard normal via Box–Muller.
     pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
@@ -255,7 +255,6 @@ pub fn share(synth: Synthesizer) -> SharedSynth {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn nco_produces_expected_tone() {
@@ -369,7 +368,7 @@ mod tests {
 
     #[test]
     fn standard_normal_moments() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = crate::rng::StdRng::seed_from_u64(7);
         let n = 20_000;
         let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
@@ -380,7 +379,7 @@ mod tests {
 
     #[test]
     fn random_imperfections_within_bounds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = crate::rng::StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let imp = SynthImperfections::random(&mut rng, 2.0, 50.0);
             assert!(imp.freq_offset_ppm.abs() <= 2.0);

@@ -143,7 +143,6 @@ mod tests {
     use crate::noise::awgn;
     use crate::osc::Nco;
     use crate::units::Hertz;
-    use rand::SeedableRng;
 
     const FS: f64 = 4e6;
 
@@ -198,7 +197,7 @@ mod tests {
 
     #[test]
     fn white_noise_psd_is_flat() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = crate::rng::StdRng::seed_from_u64(3);
         let x = awgn(&mut rng, 65536, 1.0);
         let psd = welch_psd(&x, 256, FS);
         let mean: f64 = psd.power.iter().sum::<f64>() / psd.power.len() as f64;

@@ -1,117 +1,145 @@
-//! Property-based tests for the DSP substrate.
-
-use proptest::prelude::*;
+//! Property-style tests for the DSP substrate, driven by the in-repo
+//! seeded RNG: each test sweeps a few hundred random cases and asserts
+//! the same invariants the original property-based suite checked, with
+//! full reproducibility from the fixed seeds.
 
 use rfly_dsp::complex::{phase_distance, wrap_phase, Complex};
 use rfly_dsp::fft::{fft, ifft};
 use rfly_dsp::filter::fir::FirDesign;
 use rfly_dsp::goertzel::goertzel;
+use rfly_dsp::rng::{Rng, StdRng};
 use rfly_dsp::units::{Db, Dbm, Hertz};
 
-fn arb_complex() -> impl Strategy<Value = Complex> {
-    (-1e3..1e3f64, -1e3..1e3f64).prop_map(|(re, im)| Complex::new(re, im))
+const CASES: usize = 200;
+
+fn rand_complex(rng: &mut StdRng) -> Complex {
+    Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3))
 }
 
-fn arb_signal(n: usize) -> impl Strategy<Value = Vec<Complex>> {
-    proptest::collection::vec(
-        (-1.0..1.0f64, -1.0..1.0f64).prop_map(|(re, im)| Complex::new(re, im)),
-        n,
-    )
+fn rand_signal(rng: &mut StdRng, n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn complex_field_axioms(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
-        let assoc = (a + b) + c - (a + (b + c));
-        prop_assert!(assoc.abs() < 1e-9);
-        let comm = a * b - b * a;
-        prop_assert!(comm.abs() < 1e-9);
-        let dist = a * (b + c) - (a * b + a * c);
-        prop_assert!(dist.abs() < 1e-6);
+#[test]
+fn complex_field_axioms() {
+    let mut rng = StdRng::seed_from_u64(0xD50_001);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rand_complex(&mut rng),
+            rand_complex(&mut rng),
+            rand_complex(&mut rng),
+        );
+        assert!(((a + b) + c - (a + (b + c))).abs() < 1e-9);
+        assert!((a * b - b * a).abs() < 1e-9);
+        assert!((a * (b + c) - (a * b + a * c)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn magnitude_is_multiplicative(a in arb_complex(), b in arb_complex()) {
-        let lhs = (a * b).abs();
+#[test]
+fn magnitude_is_multiplicative_and_conjugation_distributes() {
+    let mut rng = StdRng::seed_from_u64(0xD50_002);
+    for _ in 0..CASES {
+        let (a, b) = (rand_complex(&mut rng), rand_complex(&mut rng));
         let rhs = a.abs() * b.abs();
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+        assert!(((a * b).abs() - rhs).abs() <= 1e-9 * (1.0 + rhs));
+        assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn conjugation_distributes(a in arb_complex(), b in arb_complex()) {
-        let d = (a * b).conj() - a.conj() * b.conj();
-        prop_assert!(d.abs() < 1e-6);
+#[test]
+fn cis_adds_phases() {
+    let mut rng = StdRng::seed_from_u64(0xD50_003);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-10.0..10.0);
+        let b = rng.gen_range(-10.0..10.0);
+        assert!((Complex::cis(a) * Complex::cis(b) - Complex::cis(a + b)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn cis_adds_phases(a in -10.0..10.0f64, b in -10.0..10.0f64) {
-        let lhs = Complex::cis(a) * Complex::cis(b);
-        let rhs = Complex::cis(a + b);
-        prop_assert!((lhs - rhs).abs() < 1e-9);
-    }
-
-    #[test]
-    fn wrap_phase_is_idempotent_and_in_range(phi in -1e4..1e4f64) {
+#[test]
+fn wrap_phase_is_idempotent_and_in_range() {
+    let mut rng = StdRng::seed_from_u64(0xD50_004);
+    for _ in 0..CASES {
+        let phi = rng.gen_range(-1e4..1e4);
         let w = wrap_phase(phi);
-        prop_assert!(w > -std::f64::consts::PI - 1e-12);
-        prop_assert!(w <= std::f64::consts::PI + 1e-12);
-        prop_assert!((wrap_phase(w) - w).abs() < 1e-12);
-        // Wrapping never changes the angle mod 2π.
-        prop_assert!(phase_distance(w, phi) < 1e-6);
+        assert!(w > -std::f64::consts::PI - 1e-12);
+        assert!(w <= std::f64::consts::PI + 1e-12);
+        assert!((wrap_phase(w) - w).abs() < 1e-12);
+        assert!(phase_distance(w, phi) < 1e-6);
     }
+}
 
-    #[test]
-    fn fft_roundtrip(x in arb_signal(128)) {
+#[test]
+fn fft_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xD50_005);
+    for _ in 0..40 {
+        let x = rand_signal(&mut rng, 128);
         let y = ifft(&fft(&x));
         for (a, b) in x.iter().zip(&y) {
-            prop_assert!((*a - *b).abs() < 1e-9);
+            assert!((*a - *b).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn fft_is_linear(x in arb_signal(64), y in arb_signal(64), k in -3.0..3.0f64) {
+#[test]
+fn fft_is_linear() {
+    let mut rng = StdRng::seed_from_u64(0xD50_006);
+    for _ in 0..40 {
+        let x = rand_signal(&mut rng, 64);
+        let y = rand_signal(&mut rng, 64);
+        let k = rng.gen_range(-3.0..3.0);
         let combined: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b * k).collect();
         let lhs = fft(&combined);
         let fx = fft(&x);
         let fy = fft(&y);
         for i in 0..64 {
-            let rhs = fx[i] + fy[i] * k;
-            prop_assert!((lhs[i] - rhs).abs() < 1e-6);
+            assert!((lhs[i] - (fx[i] + fy[i] * k)).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn parseval(x in arb_signal(256)) {
+#[test]
+fn parseval() {
+    let mut rng = StdRng::seed_from_u64(0xD50_007);
+    for _ in 0..40 {
+        let x = rand_signal(&mut rng, 256);
         let time: f64 = x.iter().map(|s| s.norm_sq()).sum();
         let freq: f64 = fft(&x).iter().map(|s| s.norm_sq()).sum::<f64>() / 256.0;
-        prop_assert!((time - freq).abs() <= 1e-9 * (1.0 + time));
+        assert!((time - freq).abs() <= 1e-9 * (1.0 + time));
     }
+}
 
-    #[test]
-    fn goertzel_recovers_arbitrary_tone(
-        amp in 0.01..10.0f64,
-        phase in -3.0..3.0f64,
-        bin in 1usize..100,
-    ) {
-        // A tone exactly on an analysis bin of a 1000-sample window.
+#[test]
+fn goertzel_recovers_arbitrary_tone() {
+    let mut rng = StdRng::seed_from_u64(0xD50_008);
+    for _ in 0..CASES {
+        let amp = rng.gen_range(0.01..10.0);
+        let phase = rng.gen_range(-3.0..3.0);
+        let bin = rng.gen_range(1usize..100);
         let fs = 1e6;
         let freq = Hertz::hz(bin as f64 * fs / 1000.0);
         let x: Vec<Complex> = (0..1000)
-            .map(|n| Complex::from_polar(
-                amp,
-                phase + std::f64::consts::TAU * freq.as_hz() * n as f64 / fs,
-            ))
+            .map(|n| {
+                Complex::from_polar(
+                    amp,
+                    phase + std::f64::consts::TAU * freq.as_hz() * n as f64 / fs,
+                )
+            })
             .collect();
         let g = goertzel(&x, freq, fs);
-        prop_assert!((g.abs() - amp).abs() < 1e-9 * (1.0 + amp));
-        prop_assert!(phase_distance(g.arg(), phase) < 1e-9);
+        assert!((g.abs() - amp).abs() < 1e-9 * (1.0 + amp));
+        assert!(phase_distance(g.arg(), phase) < 1e-9);
     }
+}
 
-    #[test]
-    fn fir_streaming_split_equivalence(
-        split in 1usize..999,
-        tone_khz in 1.0..450.0f64,
-    ) {
+#[test]
+fn fir_streaming_split_equivalence() {
+    let mut rng = StdRng::seed_from_u64(0xD50_009);
+    for _ in 0..20 {
+        let split = rng.gen_range(1usize..999);
+        let tone_khz = rng.gen_range(1.0..450.0);
         let design = FirDesign::new(4e6, Db::new(50.0), Hertz::khz(150.0));
         let mut a = design.lowpass(Hertz::khz(200.0));
         let mut b = a.clone();
@@ -122,40 +150,48 @@ proptest! {
         let mut parts = b.filter_block(&x[..split]);
         parts.extend(b.filter_block(&x[split..]));
         for (u, v) in whole.iter().zip(&parts) {
-            prop_assert!((*u - *v).abs() < 1e-9);
+            assert!((*u - *v).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn fir_output_bounded_by_tap_l1_norm(x in arb_signal(512)) {
+#[test]
+fn fir_output_bounded_by_tap_l1_norm() {
+    let mut rng = StdRng::seed_from_u64(0xD50_00A);
+    for _ in 0..20 {
+        let x = rand_signal(&mut rng, 512);
         let design = FirDesign::new(4e6, Db::new(40.0), Hertz::khz(200.0));
         let mut f = design.lowpass(Hertz::khz(300.0));
         let l1: f64 = f.taps().iter().map(|t| t.abs()).sum();
         let peak_in = x.iter().map(|s| s.abs()).fold(0.0f64, f64::max);
-        let y = f.filter_block(&x);
-        for s in &y {
-            prop_assert!(s.abs() <= l1 * peak_in + 1e-9);
+        for s in &f.filter_block(&x) {
+            assert!(s.abs() <= l1 * peak_in + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn db_roundtrips(v in -120.0..120.0f64) {
-        prop_assert!((Db::from_linear(Db::new(v).linear()).value() - v).abs() < 1e-9);
-        prop_assert!((Db::from_amplitude(Db::new(v).amplitude()).value() - v).abs() < 1e-9);
-        prop_assert!((Dbm::from_watts(Dbm::new(v).watts()).value() - v).abs() < 1e-9);
-    }
-
-    #[test]
-    fn db_addition_is_linear_multiplication(a in -60.0..60.0f64, b in -60.0..60.0f64) {
+#[test]
+fn db_roundtrips_and_addition_multiplies() {
+    let mut rng = StdRng::seed_from_u64(0xD50_00B);
+    for _ in 0..CASES {
+        let v = rng.gen_range(-120.0..120.0);
+        assert!((Db::from_linear(Db::new(v).linear()).value() - v).abs() < 1e-9);
+        assert!((Db::from_amplitude(Db::new(v).amplitude()).value() - v).abs() < 1e-9);
+        assert!((Dbm::from_watts(Dbm::new(v).watts()).value() - v).abs() < 1e-9);
+        let a = rng.gen_range(-60.0..60.0);
+        let b = rng.gen_range(-60.0..60.0);
         let lhs = (Db::new(a) + Db::new(b)).linear();
         let rhs = Db::new(a).linear() * Db::new(b).linear();
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn wavelength_frequency_inverse(mhz in 100.0..3000.0f64) {
-        let f = Hertz::mhz(mhz);
+#[test]
+fn wavelength_frequency_inverse() {
+    let mut rng = StdRng::seed_from_u64(0xD50_00C);
+    for _ in 0..CASES {
+        let f = Hertz::mhz(rng.gen_range(100.0..3000.0));
         let back = rfly_dsp::SPEED_OF_LIGHT / f.wavelength();
-        prop_assert!((back - f.as_hz()).abs() < 1e-3);
+        assert!((back - f.as_hz()).abs() < 1e-3);
     }
 }

@@ -26,13 +26,13 @@ pub const PILOT_SYMBOLS: usize = 12;
 /// Expands half-symbol levels to samples.
 fn halves_to_samples(halves: &[bool], samples_per_symbol: usize) -> Vec<f64> {
     assert!(
-        samples_per_symbol >= 2 && samples_per_symbol % 2 == 0,
+        samples_per_symbol >= 2 && samples_per_symbol.is_multiple_of(2),
         "need an even number (≥2) of samples per symbol"
     );
     let half = samples_per_symbol / 2;
     let mut out = Vec::with_capacity(halves.len() * half);
     for &h in halves {
-        out.extend(std::iter::repeat(if h { 1.0 } else { 0.0 }).take(half));
+        out.extend(std::iter::repeat_n(if h { 1.0 } else { 0.0 }, half));
     }
     out
 }
@@ -97,7 +97,7 @@ pub fn decode_data(
     last_preamble_level: bool,
     n_bits: usize,
 ) -> Option<Bits> {
-    assert!(samples_per_symbol >= 2 && samples_per_symbol % 2 == 0);
+    assert!(samples_per_symbol >= 2 && samples_per_symbol.is_multiple_of(2));
     let half = samples_per_symbol / 2;
     if levels.len() < n_bits * samples_per_symbol {
         return None;

@@ -70,7 +70,7 @@ pub fn encode_reply(
 ) -> Vec<f64> {
     let m = m_of(encoding);
     assert!(
-        samples_per_symbol % (2 * m) == 0 && samples_per_symbol >= 2 * m,
+        samples_per_symbol.is_multiple_of(2 * m) && samples_per_symbol >= 2 * m,
         "samples per symbol must be a positive multiple of 2·M"
     );
     let half_sc = samples_per_symbol / (2 * m); // samples per subcarrier half-cycle
@@ -95,7 +95,7 @@ pub fn encode_reply(
             for k in 0..m {
                 let sc = (k + half_idx * m) % 2 == 1;
                 let v = bb ^ sc;
-                out.extend(std::iter::repeat(if v { 1.0 } else { 0.0 }).take(half_sc));
+                out.extend(std::iter::repeat_n(if v { 1.0 } else { 0.0 }, half_sc));
             }
         }
     }
@@ -112,7 +112,7 @@ pub fn decode_data(
     n_bits: usize,
 ) -> Option<Bits> {
     let m = m_of(encoding);
-    assert!(samples_per_symbol % (2 * m) == 0);
+    assert!(samples_per_symbol.is_multiple_of(2 * m));
     if levels.len() < n_bits * samples_per_symbol {
         return None;
     }

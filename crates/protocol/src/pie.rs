@@ -90,8 +90,8 @@ impl PieEncoder {
     fn push_symbol(&self, out: &mut Vec<f64>, len_s: f64) {
         let total = self.samples(len_s);
         let low = self.samples(self.pw_s).min(total);
-        out.extend(std::iter::repeat(1.0).take(total - low));
-        out.extend(std::iter::repeat(self.low()).take(low));
+        out.extend(std::iter::repeat_n(1.0, total - low));
+        out.extend(std::iter::repeat_n(self.low(), low));
     }
 
     /// Encodes a full frame: start sequence, payload bits, and a
@@ -102,9 +102,9 @@ impl PieEncoder {
         // Lead with unmodulated carrier (readers keep the carrier up
         // between commands — Gen2's T4 requires ≥ 2·RTcal of it). This
         // also gives the delimiter its defining falling edge.
-        out.extend(std::iter::repeat(1.0).take(self.samples(self.timing.t4_s())));
+        out.extend(std::iter::repeat_n(1.0, self.samples(self.timing.t4_s())));
         // Delimiter: attenuated carrier for exactly 12.5 µs.
-        out.extend(std::iter::repeat(self.low()).take(self.samples(DELIMITER_S)));
+        out.extend(std::iter::repeat_n(self.low(), self.samples(DELIMITER_S)));
         // Data-0, then the RTcal calibration symbol.
         self.push_symbol(&mut out, self.timing.tari_s);
         self.push_symbol(&mut out, self.timing.rtcal_s);
@@ -119,7 +119,7 @@ impl PieEncoder {
             };
             self.push_symbol(&mut out, len);
         }
-        out.extend(std::iter::repeat(1.0).take(self.samples(tail_s)));
+        out.extend(std::iter::repeat_n(1.0, self.samples(tail_s)));
         if self.edge_s > 0.0 {
             smooth_edges(&mut out, self.samples(self.edge_s));
         }

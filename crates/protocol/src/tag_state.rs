@@ -7,8 +7,8 @@
 //! the protocol behaviour directly testable, including the collision
 //! arbitration the relay must transparently forward.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rfly_dsp::rng::StdRng;
+use rfly_dsp::rng::Rng;
 
 use crate::bits::Bits;
 use crate::commands::{Command, MemBank, SelectTarget};

@@ -1,6 +1,8 @@
-//! Property-based tests for the EPC Gen2 protocol stack.
+//! Property-style tests for the EPC Gen2 protocol stack, driven by the
+//! in-repo seeded RNG (reproducible random sweeps instead of an
+//! external property-testing framework).
 
-use proptest::prelude::*;
+use rfly_dsp::rng::{Rng, StdRng};
 
 use rfly_protocol::bits::Bits;
 use rfly_protocol::commands::{Command, MemBank, SelectTarget};
@@ -14,201 +16,242 @@ use rfly_protocol::session::{InventoriedFlag, SelFilter, Session};
 use rfly_protocol::tag_state::TagMachine;
 use rfly_protocol::timing::{DivideRatio, LinkTiming, TagEncoding};
 
-fn arb_bits(max_len: usize) -> impl Strategy<Value = Bits> {
-    proptest::collection::vec(any::<bool>(), 1..max_len).prop_map(|v| Bits::from_bools(&v))
+const CASES: usize = 200;
+
+fn rand_bits(rng: &mut StdRng, max_len: usize) -> Bits {
+    let len = rng.gen_range(1..max_len);
+    let v: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+    Bits::from_bools(&v)
 }
 
-fn arb_session() -> impl Strategy<Value = Session> {
-    prop_oneof![
-        Just(Session::S0),
-        Just(Session::S1),
-        Just(Session::S2),
-        Just(Session::S3)
-    ]
+fn rand_session(rng: &mut StdRng) -> Session {
+    match rng.gen_range(0u64..4) {
+        0 => Session::S0,
+        1 => Session::S1,
+        2 => Session::S2,
+        _ => Session::S3,
+    }
 }
 
-fn arb_query() -> impl Strategy<Value = Command> {
-    (
-        any::<bool>(),
-        0u64..4,
-        any::<bool>(),
-        prop_oneof![
-            Just(SelFilter::All),
-            Just(SelFilter::Selected),
-            Just(SelFilter::NotSelected)
-        ],
-        arb_session(),
-        any::<bool>(),
-        0u8..16,
-    )
-        .prop_map(|(dr, m, trext, sel, session, target, q)| Command::Query {
-            dr: DivideRatio::from_bit(dr),
-            m: TagEncoding::from_field(m),
-            trext,
-            sel,
-            session,
-            target: InventoriedFlag::from_bit(target),
-            q,
-        })
+fn rand_query(rng: &mut StdRng) -> Command {
+    Command::Query {
+        dr: DivideRatio::from_bit(rng.gen::<bool>()),
+        m: TagEncoding::from_field(rng.gen_range(0u64..4)),
+        trext: rng.gen::<bool>(),
+        sel: match rng.gen_range(0u64..3) {
+            0 => SelFilter::All,
+            1 => SelFilter::Selected,
+            _ => SelFilter::NotSelected,
+        },
+        session: rand_session(rng),
+        target: InventoriedFlag::from_bit(rng.gen::<bool>()),
+        q: rng.gen_range(0u8..16),
+    }
 }
 
-fn arb_command() -> impl Strategy<Value = Command> {
-    prop_oneof![
-        arb_query(),
-        arb_session().prop_map(|session| Command::QueryRep { session }),
-        (arb_session(), -1i8..=1)
-            .prop_map(|(session, updn)| Command::QueryAdjust { session, updn }),
-        any::<u16>().prop_map(|rn16| Command::Ack { rn16 }),
-        Just(Command::Nak),
-        any::<u16>().prop_map(|rn16| Command::ReqRn { rn16 }),
-        (0u64..4, 0u32..1000, 1u8..=255, any::<u16>()).prop_map(|(bank, wordptr, wordcount, rn)| {
-            Command::Read {
-                bank: match bank {
-                    0 => MemBank::Reserved,
-                    1 => MemBank::Epc,
-                    2 => MemBank::Tid,
-                    _ => MemBank::User,
-                },
-                wordptr,
-                wordcount,
-                rn,
-            }
-        }),
-        (
-            0u64..5,
-            0u8..8,
-            0u32..2000,
-            arb_bits(48),
-            any::<bool>()
-        )
-            .prop_map(|(t, action, pointer, mask, truncate)| Command::Select {
+fn rand_command(rng: &mut StdRng) -> Command {
+    match rng.gen_range(0u64..8) {
+        0 => rand_query(rng),
+        1 => Command::QueryRep {
+            session: rand_session(rng),
+        },
+        2 => Command::QueryAdjust {
+            session: rand_session(rng),
+            updn: rng.gen_range(-1i8..=1),
+        },
+        3 => Command::Ack {
+            rn16: rng.gen::<u16>(),
+        },
+        4 => Command::Nak,
+        5 => Command::ReqRn {
+            rn16: rng.gen::<u16>(),
+        },
+        6 => Command::Read {
+            bank: match rng.gen_range(0u64..4) {
+                0 => MemBank::Reserved,
+                1 => MemBank::Epc,
+                2 => MemBank::Tid,
+                _ => MemBank::User,
+            },
+            wordptr: rng.gen_range(0u32..1000),
+            wordcount: rng.gen_range(1u8..=255),
+            rn: rng.gen::<u16>(),
+        },
+        _ => {
+            let t = rng.gen_range(0u64..5);
+            Command::Select {
                 target: if t == 4 {
                     SelectTarget::Sl
                 } else {
                     SelectTarget::Inventoried(Session::from_field(t))
                 },
-                action,
+                action: rng.gen_range(0u8..8),
                 bank: MemBank::Epc,
-                pointer,
-                mask,
-                truncate,
-            }),
-    ]
+                pointer: rng.gen_range(0u32..2000),
+                mask: rand_bits(rng, 48),
+                truncate: rng.gen::<bool>(),
+            }
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn crc16_roundtrip_and_bitflip_detection(body in arb_bits(200), flip in any::<proptest::sample::Index>()) {
+#[test]
+fn crc16_roundtrip_and_bitflip_detection() {
+    let mut rng = StdRng::seed_from_u64(0x960_001);
+    for _ in 0..CASES {
+        let body = rand_bits(&mut rng, 200);
         let framed = append_crc16(&body);
-        prop_assert!(check_crc16(&framed));
+        assert!(check_crc16(&framed));
         let mut corrupted: Vec<bool> = framed.as_slice().to_vec();
-        let i = flip.index(corrupted.len());
+        let i = rng.gen_range(0..corrupted.len());
         corrupted[i] = !corrupted[i];
-        prop_assert!(!check_crc16(&Bits::from_bools(&corrupted)));
+        assert!(!check_crc16(&Bits::from_bools(&corrupted)));
     }
+}
 
-    #[test]
-    fn crc5_roundtrip_and_bitflip_detection(body in arb_bits(40), flip in any::<proptest::sample::Index>()) {
+#[test]
+fn crc5_roundtrip_and_bitflip_detection() {
+    let mut rng = StdRng::seed_from_u64(0x960_002);
+    for _ in 0..CASES {
+        let body = rand_bits(&mut rng, 40);
         let framed = append_crc5(&body);
-        prop_assert!(check_crc5(&framed));
+        assert!(check_crc5(&framed));
         let mut corrupted: Vec<bool> = framed.as_slice().to_vec();
-        let i = flip.index(corrupted.len());
+        let i = rng.gen_range(0..corrupted.len());
         corrupted[i] = !corrupted[i];
-        prop_assert!(!check_crc5(&Bits::from_bools(&corrupted)));
+        assert!(!check_crc5(&Bits::from_bools(&corrupted)));
     }
+}
 
-    #[test]
-    fn bits_uint_roundtrip(value in any::<u64>(), width in 1usize..=64) {
-        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+#[test]
+fn bits_uint_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x960_003);
+    for _ in 0..CASES {
+        let value = rng.gen::<u64>();
+        let width = rng.gen_range(1usize..=64);
+        let masked = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
         let mut b = Bits::new();
         b.push_uint(masked, width);
-        prop_assert_eq!(b.uint_at(0, width), masked);
-        prop_assert_eq!(b.len(), width);
+        assert_eq!(b.uint_at(0, width), masked);
+        assert_eq!(b.len(), width);
     }
+}
 
-    #[test]
-    fn bits_byte_roundtrip(bits in arb_bits(123)) {
+#[test]
+fn bits_byte_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x960_004);
+    for _ in 0..CASES {
+        let bits = rand_bits(&mut rng, 123);
         let bytes = bits.to_bytes();
         let back = Bits::from_bytes(&bytes, bits.len());
-        prop_assert_eq!(back, bits);
+        assert_eq!(back, bits);
     }
+}
 
-    #[test]
-    fn every_command_roundtrips(cmd in arb_command()) {
+#[test]
+fn every_command_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0x960_005);
+    for _ in 0..400 {
+        let cmd = rand_command(&mut rng);
         let frame = cmd.encode();
-        prop_assert_eq!(Command::decode(&frame), Some(cmd));
+        assert_eq!(Command::decode(&frame), Some(cmd));
     }
+}
 
-    #[test]
-    fn epc_frames_roundtrip(bytes in proptest::array::uniform12(any::<u8>())) {
+#[test]
+fn epc_frames_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x960_006);
+    for _ in 0..CASES {
+        let mut bytes = [0u8; 12];
+        for b in &mut bytes {
+            *b = rng.gen::<u8>();
+        }
         let epc = Epc::new(bytes);
         let frame = epc_reply_frame(PC_96BIT, epc);
         let (pc, parsed) = parse_epc_reply(&frame).expect("valid frame parses");
-        prop_assert_eq!(pc, PC_96BIT);
-        prop_assert_eq!(parsed, epc);
+        assert_eq!(pc, PC_96BIT);
+        assert_eq!(parsed, epc);
     }
+}
 
-    #[test]
-    fn pie_roundtrips_arbitrary_payloads(payload in arb_bits(64)) {
+#[test]
+fn pie_roundtrips_arbitrary_payloads() {
+    let mut rng = StdRng::seed_from_u64(0x960_007);
+    for _ in 0..60 {
+        let payload = rand_bits(&mut rng, 64);
         let enc = PieEncoder::new(LinkTiming::default_profile(), 4e6).with_depth(0.9);
         let wave = enc.encode(FrameStart::Preamble, &payload, 30e-6);
         let frame = pie_decode(&wave, 4e6).expect("decodes");
-        prop_assert_eq!(frame.bits, payload);
+        assert_eq!(frame.bits, payload);
     }
+}
 
-    #[test]
-    fn fm0_roundtrips_arbitrary_payloads(payload in arb_bits(64), sps_half in 2usize..8) {
-        let sps = sps_half * 2;
+#[test]
+fn fm0_roundtrips_arbitrary_payloads() {
+    let mut rng = StdRng::seed_from_u64(0x960_008);
+    for _ in 0..60 {
+        let payload = rand_bits(&mut rng, 64);
+        let sps = rng.gen_range(2usize..8) * 2;
         let wave = fm0::encode_reply(&payload, false, sps);
         let (_, bits) = fm0::find_reply(&wave, false, sps, payload.len()).expect("found");
-        prop_assert_eq!(bits, payload);
+        assert_eq!(bits, payload);
     }
+}
 
-    #[test]
-    fn miller_roundtrips_arbitrary_payloads(
-        payload in arb_bits(48),
-        m_sel in 0usize..3,
-        trext in any::<bool>(),
-    ) {
+#[test]
+fn miller_roundtrips_arbitrary_payloads() {
+    let mut rng = StdRng::seed_from_u64(0x960_009);
+    for _ in 0..60 {
+        let payload = rand_bits(&mut rng, 48);
         let (enc, sps) = [
             (TagEncoding::Miller2, 16),
             (TagEncoding::Miller4, 32),
             (TagEncoding::Miller8, 64),
-        ][m_sel];
+        ][rng.gen_range(0usize..3)];
+        let trext = rng.gen::<bool>();
         let wave = miller::encode_reply(&payload, enc, trext, sps);
         let (_, bits) = miller::find_reply(&wave, enc, trext, sps, payload.len()).expect("found");
-        prop_assert_eq!(bits, payload);
+        assert_eq!(bits, payload);
     }
+}
 
-    #[test]
-    fn q_algorithm_stays_in_bounds(
-        outcomes in proptest::collection::vec(0u8..3, 0..300),
-        q0 in 0u8..=15,
-    ) {
+#[test]
+fn q_algorithm_stays_in_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x960_00A);
+    for _ in 0..CASES {
+        let q0 = rng.gen_range(0u8..=15);
+        let n = rng.gen_range(0usize..300);
         let mut q = QAlgorithm::new(q0, 0.3).with_bounds(1, 12);
-        for o in outcomes {
-            let outcome = match o {
+        for _ in 0..n {
+            let outcome = match rng.gen_range(0u8..3) {
                 0 => SlotOutcome::Empty,
                 1 => SlotOutcome::Single,
                 _ => SlotOutcome::Collision,
             };
             let v = q.observe(outcome);
-            prop_assert!((1..=12).contains(&v));
+            assert!((1..=12).contains(&v));
         }
     }
+}
 
-    #[test]
-    fn tag_machine_never_panics_and_stays_consistent(
-        cmds in proptest::collection::vec(arb_command(), 0..60),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn tag_machine_never_panics_and_stays_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x960_00B);
+    for _ in 0..100 {
+        let seed = rng.gen::<u64>();
+        let n = rng.gen_range(0usize..60);
+        let cmds: Vec<Command> = (0..n).map(|_| rand_command(&mut rng)).collect();
         let mut tag = TagMachine::new(Epc::from_index(seed & 0xFFFF), seed);
         for cmd in &cmds {
             // No panic, and any reply frame is structurally valid.
             if let Some(reply) = tag.handle(cmd) {
                 let len = reply.frame().len();
                 // RN16 / handle / EPC frame / Read data (1 + 16k + 16 + 16).
-                prop_assert!(
+                assert!(
                     len == 16 || len == 32 || len == 128 || (len >= 49 && (len - 33) % 16 == 0),
                     "odd frame len {}",
                     len

@@ -78,7 +78,7 @@ impl ReaderConfig {
         let sps = self.sample_rate / self.timing.blf_hz();
         let s = sps.round() as usize;
         assert!(
-            (sps - s as f64).abs() < 1e-6 && s % 2 == 0,
+            (sps - s as f64).abs() < 1e-6 && s.is_multiple_of(2),
             "sample rate {} is not an even multiple of the BLF {}",
             self.sample_rate,
             self.timing.blf_hz()

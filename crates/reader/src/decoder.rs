@@ -136,7 +136,6 @@ pub fn decode_backscatter(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rfly_dsp::noise::add_awgn;
 
     const SPS: usize = 8;
@@ -156,7 +155,7 @@ mod tests {
             samples[300 + i] += h * l;
         }
         if noise_power > 0.0 {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(seed);
             add_awgn(&mut rng, &mut samples, noise_power);
         }
         (bits, samples)
@@ -229,7 +228,7 @@ mod tests {
 
     #[test]
     fn pure_noise_rejected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(5);
         let mut samples = vec![Complex::from_re(1.0); 2048];
         add_awgn(&mut rng, &mut samples, 1e-4);
         // No reply present: either correlation finds nothing decodable

@@ -8,9 +8,8 @@
 //! This module provides the channel plan and deterministic
 //! pseudo-random hop sequences the relay can track.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rfly_dsp::rng::StdRng;
+use rfly_dsp::rng::SliceRandom;
 
 use rfly_dsp::units::Hertz;
 

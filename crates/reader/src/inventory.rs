@@ -7,8 +7,8 @@
 //! unmodified with and without the relay — the paper's transparency
 //! claim, made structural.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use rfly_dsp::rng::StdRng;
+use rfly_dsp::rng::Rng;
 
 use rfly_dsp::units::Db;
 use rfly_dsp::Complex;
@@ -250,7 +250,6 @@ impl InventoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rfly_protocol::epc::Epc;
     use rfly_protocol::tag_state::TagMachine;
 

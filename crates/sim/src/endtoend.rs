@@ -1,8 +1,7 @@
 //! End-to-end scenarios: fly the relay, inventory, disentangle,
 //! localize — the whole RFly pipeline in one call.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfly_dsp::rng::StdRng;
 
 use rfly_channel::geometry::Point2;
 use rfly_core::loc::disentangle::{disentangle_filtered, PairedMeasurement};

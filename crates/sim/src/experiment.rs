@@ -6,8 +6,7 @@
 //! master seed — re-running trial 37 of experiment 5 always replays the
 //! same randomness regardless of how many trials run or in what order.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfly_dsp::rng::StdRng;
 
 /// Derives a stable per-trial seed from a master seed (SplitMix64 on
 /// the pair, so nearby trial indices decorrelate fully).
@@ -67,7 +66,7 @@ pub fn seed_from_args(args: &[String], default: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use rfly_dsp::rng::Rng;
 
     #[test]
     fn trial_seeds_are_stable_and_distinct() {

@@ -13,6 +13,7 @@
 pub mod coverage;
 pub mod endtoend;
 pub mod experiment;
+pub mod fleet;
 pub mod metrics;
 pub mod report;
 pub mod sample_link;
@@ -21,5 +22,6 @@ pub mod throughput;
 pub mod world;
 
 pub use endtoend::{Scenario, ScenarioBuilder, ScenarioOutcome};
+pub use fleet::{FleetMedium, FleetRelay};
 pub use scene::Scene;
 pub use world::PhasorWorld;

@@ -107,6 +107,34 @@ impl Table {
     }
 }
 
+/// A fixed-width text histogram over equal bins spanning `[min, max]`
+/// (values outside are clamped into the end bins). Returns a [`Table`]
+/// with one row per bin — bin range, count, and a bar — so fleet
+/// reports can show e.g. the pairwise interference-margin distribution.
+pub fn histogram(title: &str, values: &[f64], bins: usize, min: f64, max: f64) -> Table {
+    assert!(bins >= 1, "need at least one bin");
+    assert!(max > min, "empty histogram range");
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let t = ((v - min) / (max - min) * bins as f64).floor();
+        let i = (t.max(0.0) as usize).min(bins - 1);
+        counts[i] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(0).max(1);
+    let width = (max - min) / bins as f64;
+    let mut table = Table::new(title, &["bin", "count", ""]);
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + width * i as f64;
+        let bar = "#".repeat((c * 40).div_ceil(peak).min(40));
+        table.row(&[
+            format!("[{lo:.1}, {:.1})", lo + width),
+            c.to_string(),
+            bar,
+        ]);
+    }
+    table
+}
+
 /// Formats meters with centimeter precision (the paper's unit style).
 pub fn fmt_m(v: f64) -> String {
     format!("{v:.2} m")
@@ -152,6 +180,17 @@ mod tests {
     fn mismatched_row_rejected() {
         let mut t = Table::new("t", &["a", "b"]);
         t.row(&["only one".to_string()]);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let t = histogram("margins", &[-5.0, 0.5, 1.5, 1.7, 99.0], 4, 0.0, 4.0);
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        // −5 clamps into bin 0 alongside 0.5; 99 clamps into the last.
+        assert!(csv.contains("\"[0.0, 1.0)\",2"));
+        assert!(csv.contains("\"[1.0, 2.0)\",2"));
+        assert!(csv.contains("\"[3.0, 4.0)\",1"));
     }
 
     #[test]

@@ -9,8 +9,7 @@
 //! applied as the phasor model prescribes. The cross-fidelity test at
 //! the bottom is the contract that the two stacks agree.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rfly_dsp::rng::StdRng;
 
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
@@ -197,7 +196,7 @@ mod tests {
         // sample-level decoded channel magnitude equals the phasor
         // product h1²·h2²·g_dl·g_ul (the hardware chain contributes a
         // constant phase and ~unit magnitude).
-        let mut l = link(2);
+        let mut l = link(4);
         let predicted = l.predicted_channel_magnitude();
         let (_, channel) = l.singulate().expect("singulates");
         let ratio = channel.abs() / predicted;

@@ -13,8 +13,8 @@
 //! reader stack runs against either — the paper's protocol-transparency
 //! claim, enforced by the type system.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rfly_dsp::rng::StdRng;
+use rfly_dsp::rng::Rng;
 
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
@@ -123,8 +123,8 @@ pub struct PhasorWorld {
     /// Extra attenuation applied to every reader-side link (large-scale
     /// shadowing drawn per trial by experiments; 0 dB by default).
     pub reader_link_extra_loss: Db,
-    backscatter: Backscatter,
-    rng: StdRng,
+    pub(crate) backscatter: Backscatter,
+    pub(crate) rng: StdRng,
 }
 
 impl PhasorWorld {
@@ -169,7 +169,7 @@ impl PhasorWorld {
     /// One-way channel between two points at `f` through the scene.
     /// Links originating at the reader additionally pay the per-trial
     /// shadowing loss.
-    fn one_way(&self, a: Point2, b: Point2, f: Hertz) -> Complex {
+    pub(crate) fn one_way(&self, a: Point2, b: Point2, f: Hertz) -> Complex {
         let h = self.environment.trace(a, b, f).channel(f);
         if a == self.reader_pos || b == self.reader_pos {
             h * (-self.reader_link_extra_loss).amplitude()
@@ -179,7 +179,7 @@ impl PhasorWorld {
     }
 
     /// Adds estimation noise to a channel observation at a given SNR.
-    fn observe_channel(&mut self, h: Complex, snr: Db) -> Complex {
+    pub(crate) fn observe_channel(&mut self, h: Complex, snr: Db) -> Complex {
         let noise_power = h.norm_sq() / (snr.linear() * EST_GAIN);
         h + noise_sample(&mut self.rng, noise_power)
     }

@@ -10,7 +10,6 @@
 //!
 //! Run with: `cargo run --release --example drone_selfloc`
 
-use rand::SeedableRng;
 
 use rfly::channel::geometry::Point2;
 use rfly::channel::phasor::PathSet;
@@ -47,7 +46,7 @@ fn main() {
     // half-link matched filter can recover; a random-*walk* deformation
     // of the trajectory shape is not (phase coherence needs the shape
     // good to a fraction of λ ≈ 33 cm — see the module docs).
-    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut rng = rfly::dsp::rng::StdRng::seed_from_u64(6);
     let anchor_error = Point2::new(-0.31, 0.44);
     let jittered = observe_trajectory(Tracker::Optical { sigma_m: 0.003 }, &truth, &mut rng);
     let believed: Vec<Point2> = jittered.iter().map(|p| *p + anchor_error).collect();

@@ -3,7 +3,6 @@
 //!
 //! Run with: `cargo run --release --example range_extension`
 
-use rand::SeedableRng;
 
 use rfly::channel::environment::Environment;
 use rfly::channel::geometry::Point2;
@@ -28,7 +27,7 @@ fn try_read(distance: f64, use_relay: bool, seed: u64) -> bool {
         seed,
     );
     let mut controller =
-        InventoryController::new(config, rand::rngs::StdRng::seed_from_u64(seed));
+        InventoryController::new(config, rfly::dsp::rng::StdRng::seed_from_u64(seed));
     let reads = if use_relay {
         // The drone hovers 2 m short of the tag.
         let relay_pos = Point2::new(distance - 2.0, 0.0);

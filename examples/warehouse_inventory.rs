@@ -8,8 +8,7 @@
 //!
 //! Run with: `cargo run --release --example warehouse_inventory`
 
-use rand::Rng;
-use rand::SeedableRng;
+use rfly::dsp::rng::Rng;
 
 use rfly::channel::geometry::Point2;
 use rfly::core::loc::trajectory::Trajectory;
@@ -19,7 +18,7 @@ use rfly::sim::scene::Scene;
 
 fn main() {
     let scene = Scene::warehouse(30.0, 20.0, 3);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = rfly::dsp::rng::StdRng::seed_from_u64(42);
 
     // A dozen tagged items on random shelf spots (with the natural
     // scatter of items placed at different rack depths).

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The repo's CI gate, runnable locally. Everything is offline: the
+# workspace has zero external dependencies by design (see DESIGN.md §2),
+# so a fresh checkout needs no network and no vendored registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests =="
+cargo test --offline --workspace -q
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI green."

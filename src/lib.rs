@@ -18,6 +18,8 @@
 //!   relay and the through-relay SAR localization algorithm.
 //! * [`drone`] — drone/robot platforms and flight plans.
 //! * [`sim`] — scenes, end-to-end simulation, experiment harness.
+//! * [`fleet`] — multi-relay coordination: coverage partitioning, Δf
+//!   channel assignment, deduplicated warehouse-scale inventory.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use rfly_channel as channel;
 pub use rfly_core as core;
 pub use rfly_drone as drone;
 pub use rfly_dsp as dsp;
+pub use rfly_fleet as fleet;
 pub use rfly_protocol as protocol;
 pub use rfly_reader as reader;
 pub use rfly_sim as sim;

@@ -3,7 +3,6 @@
 //! same commands, including Select-based filtering — runs against the
 //! direct medium and the relayed medium.
 
-use rand::SeedableRng;
 
 use rfly::channel::environment::Environment;
 use rfly::channel::geometry::Point2;
@@ -41,7 +40,7 @@ fn world(tag_base: Point2, seed: u64) -> PhasorWorld {
 }
 
 fn inventory(medium: &mut dyn Medium, config: ReaderConfig, seed: u64) -> Vec<Epc> {
-    let mut c = InventoryController::new(config, rand::rngs::StdRng::seed_from_u64(seed));
+    let mut c = InventoryController::new(config, rfly::dsp::rng::StdRng::seed_from_u64(seed));
     let mut epcs: Vec<Epc> = c
         .run_until_quiet(medium, 12)
         .into_iter()
