@@ -36,7 +36,9 @@ fn main() {
     let framed = append_crc16(&body);
     m.bench("crc16_check_144b", || check_crc16(black_box(&framed)));
 
-    let enc = PieEncoder::new(LinkTiming::default_profile(), 4e6).with_depth(0.9);
+    let enc = PieEncoder::new(LinkTiming::default_profile(), 4e6)
+        .and_then(|e| e.with_depth(0.9))
+        .expect("legal encoder");
     let payload = sample_query().encode();
     m.bench("pie_encode_query", || {
         enc.encode(FrameStart::Preamble, black_box(&payload), 100e-6)

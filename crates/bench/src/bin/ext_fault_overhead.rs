@@ -1,0 +1,157 @@
+//! Extension — fault-injector overhead: the cost of wrapping the relay
+//! hot path in [`FaultyMedium`] when **no** fault is active.
+//!
+//! The supervisor keeps the injector in the loop for the whole
+//! mission, so its zero-fault tax is paid on every Gen2 transaction of
+//! every inventory stop. The clean path must therefore be near-free: a
+//! single `gen_bool(0.0)` draw and a guard that skips the whole
+//! perturbation loop. This binary times full inventory stops through a
+//! bare [`FleetMedium`] and through `FaultyMedium::inactive` over the
+//! same world, interleaved to cancel thermal/cache drift, and asserts
+//! the overhead stays **under 5%**.
+//!
+//! Run with: `cargo run --release --bin ext_fault_overhead`
+
+use std::time::Instant;
+
+use rfly_channel::geometry::Point2;
+use rfly_core::relay::gains::IsolationBudget;
+use rfly_dsp::rng::{Rng, StdRng};
+use rfly_dsp::units::Db;
+use rfly_faults::FaultyMedium;
+use rfly_fleet::inventory::mission_world;
+use rfly_fleet::{assign, partition};
+use rfly_drone::kinematics::MotionLimits;
+use rfly_reader::inventory::InventoryController;
+use rfly_sim::fleet::{FleetMedium, FleetRelay};
+use rfly_sim::report::Table;
+use rfly_sim::scene::Scene;
+use rfly_sim::world::{PhasorWorld, RelayModel};
+use rfly_tag::population::TagPopulation;
+
+const N_TAGS: usize = 60;
+const ROUNDS_PER_STOP: usize = 3;
+const STOPS: usize = 60;
+const TRIALS: usize = 5;
+const SEED: u64 = 42;
+
+fn paper_budget() -> IsolationBudget {
+    IsolationBudget {
+        intra_downlink: Db::new(77.0),
+        intra_uplink: Db::new(64.0),
+        inter_downlink: Db::new(110.0),
+        inter_uplink: Db::new(92.0),
+    }
+}
+
+fn build() -> (PhasorWorld, Vec<FleetRelay>) {
+    let scene = Scene::warehouse(20.0, 16.0, 3);
+    let budget = paper_budget();
+    let part = partition(&scene, 2, MotionLimits::indoor_drone()).expect("cells fit");
+    let hover: Vec<Point2> = part.cells.iter().map(|c| c.center()).collect();
+    let plan = assign(&hover, &budget, Db::new(10.0), SEED).expect("feasible plan");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let positions: Vec<Point2> = (0..N_TAGS)
+        .map(|_| {
+            let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
+            Point2::new(spot.x + rng.gen_range(-0.8..0.8), spot.y)
+        })
+        .collect();
+    let tags = TagPopulation::generate(N_TAGS, &positions, SEED ^ 0xF1EE7);
+    let world = mission_world(&scene, Point2::new(1.0, 1.0), tags, &plan, &budget, SEED);
+    let fleet: Vec<FleetRelay> = hover
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| FleetRelay {
+            model: RelayModel::from_budget(plan.f1[i], plan.shift[i], &paper_budget()),
+            pos,
+        })
+        .collect();
+    (world, fleet)
+}
+
+/// `STOPS` full inventory stops through the bare medium.
+fn run_bare(world: &mut PhasorWorld, fleet: &[FleetRelay]) -> (f64, usize) {
+    let mut reads = 0usize;
+    let start = Instant::now();
+    for stop in 0..STOPS {
+        let mut ctrl =
+            InventoryController::new(world.config.clone(), StdRng::seed_from_u64(SEED ^ stop as u64));
+        let mut medium = FleetMedium::new(world, fleet.to_vec(), stop % fleet.len());
+        reads += ctrl.run_until_quiet(&mut medium, ROUNDS_PER_STOP).len();
+        world.power_cycle_tags();
+    }
+    (start.elapsed().as_secs_f64(), reads)
+}
+
+/// The same stops with the inactive injector wrapped around the medium.
+fn run_wrapped(world: &mut PhasorWorld, fleet: &[FleetRelay]) -> (f64, usize) {
+    let mut reads = 0usize;
+    let start = Instant::now();
+    for stop in 0..STOPS {
+        let mut ctrl =
+            InventoryController::new(world.config.clone(), StdRng::seed_from_u64(SEED ^ stop as u64));
+        let medium = FleetMedium::new(world, fleet.to_vec(), stop % fleet.len());
+        let mut faulty = FaultyMedium::inactive(medium, SEED ^ stop as u64);
+        reads += ctrl.run_until_quiet(&mut faulty, ROUNDS_PER_STOP).len();
+        world.power_cycle_tags();
+    }
+    (start.elapsed().as_secs_f64(), reads)
+}
+
+fn main() {
+    // Warm-up, and the transparency check: from identical world
+    // states, the inactive injector must not change a single read.
+    let (mut world, fleet) = build();
+    let (_, bare_reads) = run_bare(&mut world, &fleet);
+    let (mut world2, _) = build();
+    let (_, wrapped_reads) = run_wrapped(&mut world2, &fleet);
+    assert_eq!(
+        bare_reads, wrapped_reads,
+        "an inactive injector must be read-for-read transparent"
+    );
+
+    // Interleaved trials; best-of to shed scheduler noise.
+    let mut bare_best = f64::INFINITY;
+    let mut wrapped_best = f64::INFINITY;
+    let mut rows = Vec::new();
+    for trial in 0..TRIALS {
+        let (b, _) = run_bare(&mut world, &fleet);
+        let (w, _) = run_wrapped(&mut world, &fleet);
+        bare_best = bare_best.min(b);
+        wrapped_best = wrapped_best.min(w);
+        rows.push((trial, b, w));
+    }
+
+    let mut t = Table::new(
+        "Zero-fault injector overhead on the relay hot path",
+        &["trial", "bare (ms)", "wrapped (ms)", "ratio"],
+    );
+    for (trial, b, w) in &rows {
+        t.row(&[
+            trial.to_string(),
+            format!("{:.2}", 1e3 * b),
+            format!("{:.2}", 1e3 * w),
+            format!("{:.4}", w / b),
+        ]);
+    }
+    t.row(&[
+        "best".into(),
+        format!("{:.2}", 1e3 * bare_best),
+        format!("{:.2}", 1e3 * wrapped_best),
+        format!("{:.4}", wrapped_best / bare_best),
+    ]);
+    t.print(false);
+
+    let overhead = wrapped_best / bare_best - 1.0;
+    println!(
+        "\n{STOPS} stops x {ROUNDS_PER_STOP} rounds, {N_TAGS} tags: zero-fault overhead {:.2}%",
+        100.0 * overhead
+    );
+    assert!(
+        overhead < 0.05,
+        "inactive injector overhead must stay <5%, measured {:.2}%",
+        100.0 * overhead
+    );
+    println!("overhead gate passed (<5%)");
+}

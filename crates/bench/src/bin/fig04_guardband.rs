@@ -21,7 +21,10 @@ fn main() {
     // The query: a representative 22-bit Query frame, PIE-encoded,
     // repeated to fill an analysis window.
     let timing = LinkTiming::default_profile();
-    let encoder = PieEncoder::new(timing, fs).with_depth(0.9).with_edge_time(3e-6);
+    let encoder = PieEncoder::new(timing, fs)
+        .and_then(|e| e.with_depth(0.9))
+        .and_then(|e| e.with_edge_time(3e-6))
+        .expect("legal encoder");
     let payload = Bits::from_str01("1000110100101011001010");
     let mut query: Vec<Complex> = Vec::new();
     while query.len() < 1 << 17 {

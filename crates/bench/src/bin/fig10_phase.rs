@@ -45,7 +45,7 @@ fn trial(relay: &mut Relay, start: usize, query_phase: f64, noise: f64, seed: u6
         add_awgn(&mut rng, &mut up, noise);
     }
 
-    let d = decode_backscatter(&up, TagEncoding::Fm0, false, SPS, PAYLOAD.len())?;
+    let d = decode_backscatter(&up, TagEncoding::Fm0, false, SPS, PAYLOAD.len()).ok()?;
     // The coherent reader knows its own transmitted phase; remove it.
     Some(wrap_phase(d.channel.arg() - query_phase))
 }

@@ -1,0 +1,221 @@
+//! The structured resilience log: every injected fault and every
+//! recovery action the supervisor took, cross-linked.
+//!
+//! Each [`LoggedRecovery`] cites the fault event id that triggered it,
+//! so the log is *auditable*: [`ResilienceLog::is_consistent`] checks
+//! that no recovery exists without a prior matching fault — the
+//! invariant the `recovery_proptest` property test holds over random
+//! fault schedules.
+
+use rfly_protocol::epc::Epc;
+use rfly_sim::report::Table;
+
+use crate::schedule::FaultEvent;
+
+/// One recovery action the mission supervisor can take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryAction {
+    /// A silent inventory stop under an active uplink fault was retried
+    /// with a fresh Gen2 round (bounded backoff).
+    Retry {
+        /// The serving relay.
+        relay: usize,
+        /// Retry attempt number, 1-based.
+        attempt: usize,
+    },
+    /// A thermally-drifted relay's VGA chain was re-programmed back to
+    /// its §6.1 allocation, restoring the eroded margin.
+    GainTrim {
+        /// The trimmed relay.
+        relay: usize,
+        /// Excess gain removed, dB.
+        trimmed_db: f64,
+    },
+    /// The fleet's Δf channels were re-assigned mid-flight to restore a
+    /// violated mutual-loop margin.
+    DeltaFReassign {
+        /// The relay pair whose margin was violated.
+        pair: (usize, usize),
+        /// The margin before re-assignment, dB.
+        margin_before_db: f64,
+        /// The margin after re-assignment, dB.
+        margin_after_db: f64,
+    },
+    /// The floor was re-partitioned among the surviving relays after a
+    /// relay died.
+    Repartition {
+        /// The dead relay.
+        dead_relay: usize,
+        /// Relays still flying.
+        survivors: usize,
+    },
+    /// A dead relay's cell was handed to a surviving relay.
+    CellHandoff {
+        /// The orphaned cell (original relay index).
+        cell: usize,
+        /// The relay that owned it.
+        from: usize,
+        /// The surviving relay now covering its center.
+        to: usize,
+    },
+    /// A drone paused on its route while the tracking system had no
+    /// fix (position-unknown samples are useless to SAR).
+    RouteHold {
+        /// The held relay.
+        relay: usize,
+    },
+    /// SAR localization was abandoned for coarse RSSI ranging because
+    /// injected phase incoherence tripped the coherence gate.
+    SarFallback {
+        /// The relay whose track is incoherent.
+        relay: usize,
+        /// The tag localized by fallback.
+        epc: Epc,
+        /// The measured track coherence (mean resultant length, [0,1]).
+        coherence: f64,
+    },
+}
+
+impl RecoveryAction {
+    /// A short category name for reporting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryAction::Retry { .. } => "retry",
+            RecoveryAction::GainTrim { .. } => "gain-trim",
+            RecoveryAction::DeltaFReassign { .. } => "Δf-reassign",
+            RecoveryAction::Repartition { .. } => "repartition",
+            RecoveryAction::CellHandoff { .. } => "cell-handoff",
+            RecoveryAction::RouteHold { .. } => "route-hold",
+            RecoveryAction::SarFallback { .. } => "sar-fallback",
+        }
+    }
+}
+
+/// One recovery, time-stamped and linked to its triggering fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoggedRecovery {
+    /// Mission step at which the action was taken.
+    pub step: usize,
+    /// The action.
+    pub action: RecoveryAction,
+    /// Id of the [`FaultEvent`] that triggered it.
+    pub trigger: usize,
+}
+
+/// The mission's structured fault-and-recovery record.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceLog {
+    /// Faults that actually struck (in application order).
+    pub faults: Vec<FaultEvent>,
+    /// Recovery actions taken (in order).
+    pub recoveries: Vec<LoggedRecovery>,
+}
+
+impl ResilienceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fault that struck.
+    pub fn record_fault(&mut self, ev: &FaultEvent) {
+        self.faults.push(*ev);
+    }
+
+    /// Records a recovery action triggered by fault `trigger`.
+    pub fn record(&mut self, step: usize, action: RecoveryAction, trigger: usize) {
+        self.recoveries.push(LoggedRecovery { step, action, trigger });
+    }
+
+    /// The auditing invariant: every recovery cites a recorded fault
+    /// that struck at or before the recovery's step.
+    pub fn is_consistent(&self) -> bool {
+        self.recoveries.iter().all(|r| {
+            self.faults
+                .iter()
+                .any(|f| f.id == r.trigger && f.step <= r.step)
+        })
+    }
+
+    /// All SAR→RSSI fallback recoveries.
+    pub fn sar_fallbacks(&self) -> Vec<&LoggedRecovery> {
+        self.recoveries
+            .iter()
+            .filter(|r| matches!(r.action, RecoveryAction::SarFallback { .. }))
+            .collect()
+    }
+
+    /// How many recoveries of the given category name were taken.
+    pub fn count(&self, name: &str) -> usize {
+        self.recoveries
+            .iter()
+            .filter(|r| r.action.name() == name)
+            .count()
+    }
+
+    /// A summary table: faults applied and recoveries per category.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new("Resilience log", &["event", "count"]);
+        t.row(&["faults applied".into(), self.faults.len().to_string()]);
+        for name in [
+            "retry",
+            "gain-trim",
+            "Δf-reassign",
+            "repartition",
+            "cell-handoff",
+            "route-hold",
+            "sar-fallback",
+        ] {
+            t.row(&[name.into(), self.count(name).to_string()]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultKind;
+
+    fn fault(id: usize, step: usize) -> FaultEvent {
+        FaultEvent { id, step, relay: 0, kind: FaultKind::BatterySag }
+    }
+
+    #[test]
+    fn consistency_requires_a_prior_matching_fault() {
+        let mut log = ResilienceLog::new();
+        assert!(log.is_consistent(), "an empty log is consistent");
+        log.record_fault(&fault(0, 3));
+        log.record(4, RecoveryAction::Repartition { dead_relay: 0, survivors: 3 }, 0);
+        assert!(log.is_consistent());
+
+        // A recovery citing an unknown fault id is inconsistent.
+        log.record(5, RecoveryAction::RouteHold { relay: 1 }, 99);
+        assert!(!log.is_consistent());
+    }
+
+    #[test]
+    fn recovery_before_its_fault_is_inconsistent() {
+        let mut log = ResilienceLog::new();
+        log.record_fault(&fault(0, 7));
+        log.record(2, RecoveryAction::Retry { relay: 0, attempt: 1 }, 0);
+        assert!(!log.is_consistent(), "recovery precedes the fault");
+    }
+
+    #[test]
+    fn counts_and_fallback_filter() {
+        let mut log = ResilienceLog::new();
+        log.record_fault(&fault(0, 0));
+        log.record(1, RecoveryAction::Retry { relay: 2, attempt: 1 }, 0);
+        log.record(1, RecoveryAction::Retry { relay: 2, attempt: 2 }, 0);
+        log.record(
+            2,
+            RecoveryAction::SarFallback { relay: 1, epc: Epc::from_index(7), coherence: 0.2 },
+            0,
+        );
+        assert_eq!(log.count("retry"), 2);
+        assert_eq!(log.sar_fallbacks().len(), 1);
+        assert!(!log.summary_table().is_empty());
+        assert!(log.is_consistent());
+    }
+}

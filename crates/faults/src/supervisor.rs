@@ -1,0 +1,798 @@
+//! The degradation-aware mission supervisor.
+//!
+//! [`run_supervised`] flies the same TDM inventory mission as
+//! [`rfly_fleet::inventory::run_mission`], but under a
+//! [`FaultSchedule`], and reacts:
+//!
+//! * **Retry with bounded backoff** — an inventory stop that returns no
+//!   environment reads while an uplink fault is active is re-attempted
+//!   up to [`SupervisorConfig::max_retries`] times.
+//! * **Δf re-assignment / gain trim** — every step the supervisor
+//!   recomputes the fleet's worst mutual-loop margin with each relay's
+//!   *degraded* gains. A fault-attributable violation first tries a
+//!   fresh FCC channel assignment ([`rfly_fleet::channels::assign`]);
+//!   if no re-tune restores the gate, the drifted VGA chain is
+//!   re-programmed back to its §6.1 allocation.
+//! * **Re-partition and cell handoff** — when a battery sag forces a
+//!   drone home, the floor is re-partitioned among the survivors and
+//!   the orphaned cell is handed to the relay now covering it.
+//! * **Graceful localization degradation** — each relay's track
+//!   coherence is measured from repeated embedded-RFID reads at the
+//!   same hover point; a track below
+//!   [`SupervisorConfig::coherence_gate`] abandons SAR for coarse RSSI
+//!   ranging ([`rfly_core::loc::rssi`]), flagged in the log.
+//!
+//! [`run_unsupervised`] flies the identical mission under the identical
+//! schedule with every reaction disabled — the baseline that loses the
+//! dead relay's cell outright.
+
+use std::collections::BTreeMap;
+
+use rfly_channel::geometry::Point2;
+use rfly_channel::pathloss::free_space_db;
+use rfly_core::loc::disentangle::{disentangle, PairedMeasurement};
+use rfly_core::loc::rssi::RssiLocalizer;
+use rfly_core::loc::sar::SarLocalizer;
+use rfly_core::loc::trajectory::Trajectory;
+use rfly_core::relay::gains::{worst_pair_margin, GainPlan, IsolationBudget};
+use rfly_drone::flightplan::FlightPlan;
+use rfly_drone::kinematics::MotionLimits;
+use rfly_dsp::rng::StdRng;
+use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::{Complex, SPEED_OF_LIGHT};
+use rfly_fleet::channels::{assign, ChannelPlan};
+use rfly_fleet::inventory::{FleetInventory, MissionConfig};
+use rfly_fleet::partition::{partition, Cell, Partition};
+use rfly_protocol::epc::Epc;
+use rfly_reader::inventory::{InventoryController, TagRead};
+use rfly_sim::fleet::{FleetMedium, FleetRelay, FLEET_PASSBAND};
+use rfly_sim::scene::Scene;
+use rfly_sim::world::{PhasorWorld, RelayModel};
+
+use crate::inject::{FaultyMedium, RelayHealth};
+use crate::log::{RecoveryAction, ResilienceLog};
+use crate::schedule::FaultSchedule;
+
+/// The supervisor's reaction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Maximum retries of a silent, uplink-faulted inventory stop.
+    pub max_retries: usize,
+    /// Candidate re-assignment seeds tried on a margin violation.
+    pub reassign_attempts: usize,
+    /// Track coherence (mean resultant length, [0,1]) below which SAR
+    /// is abandoned for RSSI ranging.
+    pub coherence_gate: f64,
+    /// Tags localized per relay at mission end (localization is a
+    /// post-pass; this bounds its cost).
+    pub max_loc_tags_per_relay: usize,
+    /// Localization grid resolution, meters.
+    pub loc_resolution_m: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            reassign_attempts: 4,
+            coherence_gate: 0.7,
+            max_loc_tags_per_relay: 4,
+            loc_resolution_m: 0.5,
+        }
+    }
+}
+
+/// The static mission context the supervisor needs beyond the world:
+/// the scene (re-partitioning), the isolation budget and margin gate
+/// (re-assignment), and the drones' motion limits (re-routing).
+#[derive(Debug, Clone)]
+pub struct MissionEnv<'a> {
+    /// The warehouse floor.
+    pub scene: &'a Scene,
+    /// The relays' shared isolation budget.
+    pub budget: IsolationBudget,
+    /// The Eq. 3 design margin every mutual loop must clear.
+    pub margin: Db,
+    /// The drones' motion limits.
+    pub limits: MotionLimits,
+}
+
+/// How a tag was localized at mission end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocMethod {
+    /// Full through-relay SAR (the paper's Eq. 10–12 pipeline).
+    Sar,
+    /// Coarse RSSI ranging — the supervised degradation under phase
+    /// incoherence.
+    RssiFallback,
+    /// No usable estimate (incoherent track, no supervisor).
+    Unavailable,
+}
+
+/// One tag's end-of-mission localization outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalizationRecord {
+    /// The tag.
+    pub epc: Epc,
+    /// The relay whose track localized it.
+    pub relay: usize,
+    /// The method used.
+    pub method: LocMethod,
+    /// The position estimate, if one was produced.
+    pub estimate: Option<Point2>,
+}
+
+/// The outcome of a mission flown under fault.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// The deduplicated global inventory.
+    pub inventory: FleetInventory,
+    /// Inventory stops flown.
+    pub steps: usize,
+    /// Mission duration, seconds.
+    pub duration_s: f64,
+    /// The structured fault-and-recovery record.
+    pub log: ResilienceLog,
+    /// Relays that returned to land early (original indices).
+    pub lost_relays: Vec<usize>,
+    /// Per-relay track coherence (mean resultant length, [0,1]).
+    pub coherence: Vec<f64>,
+    /// End-of-mission localization outcomes.
+    pub localization: Vec<LocalizationRecord>,
+}
+
+/// One stop's measurements through one relay.
+#[derive(Debug, Clone)]
+struct StepTrack {
+    pos: Point2,
+    embedded: Vec<Complex>,
+    tags: Vec<(Epc, Complex)>,
+}
+
+/// Flies the mission under `schedule` with the supervisor active.
+pub fn run_supervised(
+    world: &mut PhasorWorld,
+    plan: &ChannelPlan,
+    part: &Partition,
+    env: &MissionEnv<'_>,
+    cfg: &MissionConfig,
+    schedule: &FaultSchedule,
+    sup: &SupervisorConfig,
+) -> ResilientOutcome {
+    run_faulted(world, plan, part, env, cfg, schedule, Some(sup))
+}
+
+/// Flies the identical mission under the identical schedule with every
+/// supervisor reaction disabled — the degradation baseline.
+pub fn run_unsupervised(
+    world: &mut PhasorWorld,
+    plan: &ChannelPlan,
+    part: &Partition,
+    env: &MissionEnv<'_>,
+    cfg: &MissionConfig,
+    schedule: &FaultSchedule,
+) -> ResilientOutcome {
+    run_faulted(world, plan, part, env, cfg, schedule, None)
+}
+
+/// One inventory stop: Gen2 rounds through the serving relay, with the
+/// relay's active uplink faults injected, plus one embedded-RFID
+/// coherence probe (the embedded tag alone is power-cycled and
+/// re-singulated at the same hover point, so consecutive embedded
+/// phases differ only by oscillator error).
+#[allow(clippy::too_many_arguments)]
+fn inventory_stop(
+    world: &mut PhasorWorld,
+    fleet: &[FleetRelay],
+    serving: usize,
+    health: &RelayHealth,
+    seed: u64,
+    max_rounds: usize,
+) -> Vec<TagRead> {
+    let mut controller = InventoryController::new(world.config.clone(), StdRng::seed_from_u64(seed));
+    let mut reads = {
+        let medium = FleetMedium::new(world, fleet.to_vec(), serving);
+        let mut faulty = FaultyMedium::new(medium, health, seed);
+        controller.run_until_quiet(&mut faulty, max_rounds)
+    };
+    // Coherence probe: one extra singulation of the embedded tag only.
+    world.embedded.power_cycle();
+    let mut probe =
+        InventoryController::new(world.config.clone(), StdRng::seed_from_u64(seed ^ 0xC0_44));
+    let probe_reads = {
+        let medium = FleetMedium::new(world, fleet.to_vec(), serving);
+        let mut faulty = FaultyMedium::new(medium, health, seed ^ 0xC0_45);
+        probe.run_until_quiet(&mut faulty, 1)
+    };
+    reads.extend(
+        probe_reads
+            .into_iter()
+            .filter(|r| r.epc == PhasorWorld::embedded_epc()),
+    );
+    reads
+}
+
+/// The fleet's worst alive mutual-loop pair under per-relay gain plans.
+/// Returns `(i, j, margin)` with original relay indices.
+fn worst_alive_margin(
+    alive: &[usize],
+    positions: &[Point2],
+    f1: &[Hertz],
+    shift: &[Hertz],
+    gains: &dyn Fn(usize) -> GainPlan,
+) -> Option<(usize, usize, Db)> {
+    let mut worst: Option<(usize, usize, Db)> = None;
+    for a in 0..alive.len() {
+        for b in a + 1..alive.len() {
+            let (i, j) = (alive[a], alive[b]);
+            let coupling = free_space_db(
+                positions[a].distance(positions[b]),
+                Hertz(f1[i].as_hz().min(f1[j].as_hz())),
+            );
+            let m = worst_pair_margin(
+                &gains(i),
+                f1[i],
+                f1[i] + shift[i],
+                &gains(j),
+                f1[j],
+                f1[j] + shift[j],
+                coupling,
+                FLEET_PASSBAND,
+            );
+            if worst.is_none_or(|(_, _, w)| m.value() < w.value()) {
+                worst = Some((i, j, m));
+            }
+        }
+    }
+    worst
+}
+
+/// Coherence of one relay's track: the mean resultant length of the
+/// phase deltas between embedded-RFID reads taken at the *same* hover
+/// point. Geometry cancels, so an intact mirrored relay scores ~1 and
+/// an oscillator-damaged one ~0. Defaults to 1 with too few samples.
+fn track_coherence(track: &[StepTrack]) -> f64 {
+    let mut sum = Complex::default();
+    let mut count = 0usize;
+    for st in track {
+        for w in st.embedded.windows(2) {
+            if w[0].norm_sq() > 0.0 && w[1].norm_sq() > 0.0 {
+                sum += Complex::cis(w[1].arg() - w[0].arg());
+                count += 1;
+            }
+        }
+    }
+    if count < 4 {
+        1.0
+    } else {
+        sum.abs() / count as f64
+    }
+}
+
+fn run_faulted(
+    world: &mut PhasorWorld,
+    plan: &ChannelPlan,
+    part: &Partition,
+    env: &MissionEnv<'_>,
+    cfg: &MissionConfig,
+    schedule: &FaultSchedule,
+    sup: Option<&SupervisorConfig>,
+) -> ResilientOutcome {
+    let n = part.len();
+    assert_eq!(plan.f1.len(), n, "one channel pair per cell");
+    let loc_cfg = sup.copied().unwrap_or_default();
+
+    let mut health: Vec<RelayHealth> = vec![RelayHealth::new(); n];
+    let mut log = ResilienceLog::new();
+    let mut inventory = FleetInventory::new(n);
+    let mut tracks: Vec<Vec<StepTrack>> = vec![Vec::new(); n];
+
+    // Mutable mission state the supervisor may rewrite mid-flight.
+    let mut f1 = plan.f1.clone();
+    let mut shift = plan.shift.clone();
+    let mut plans: Vec<FlightPlan> = part.plans.clone();
+    let mut cells: Vec<Cell> = part.cells.clone();
+    let mut route_start = vec![0.0f64; n];
+    let mut hold = vec![0.0f64; n];
+    let mut believed: Vec<Point2> = plans.iter().map(|p| p.position_at(0.0)).collect();
+
+    // Hard cap: repartitions may lengthen the mission, but never past
+    // 3× the fault-free step count (a runaway guard, not a tuning knob).
+    let base_steps = (part.duration() / cfg.sample_interval_s).ceil() as usize + 1;
+    let step_cap = base_steps * 3;
+
+    let mut steps = 0usize;
+    let mut duration_s = 0.0f64;
+    for step in 0..step_cap {
+        let t = step as f64 * cfg.sample_interval_s;
+
+        // 1. This step's faults strike.
+        let mut newly_dead = Vec::new();
+        for ev in schedule.at(step) {
+            if !health[ev.relay].alive {
+                continue;
+            }
+            health[ev.relay].apply(ev);
+            log.record_fault(ev);
+            if !health[ev.relay].alive {
+                newly_dead.push(ev.relay);
+            }
+        }
+
+        // 2. Supervised: re-partition around any relay that went home.
+        if sup.is_some() {
+            for &dead in &newly_dead {
+                let alive: Vec<usize> = (0..n).filter(|&i| health[i].alive).collect();
+                let trigger = health[dead].battery_fault.expect("sag was recorded");
+                if alive.is_empty() {
+                    break;
+                }
+                if let Ok(newp) = partition(env.scene, alive.len(), env.limits) {
+                    let orphaned = cells[dead];
+                    for (k, &r) in alive.iter().enumerate() {
+                        plans[r] = newp.plans[k].clone();
+                        cells[r] = newp.cells[k];
+                        route_start[r] = t;
+                        hold[r] = 0.0;
+                    }
+                    log.record(
+                        step,
+                        RecoveryAction::Repartition { dead_relay: dead, survivors: alive.len() },
+                        trigger,
+                    );
+                    let to = alive
+                        .iter()
+                        .copied()
+                        .find(|&r| cells[r].contains(orphaned.center()))
+                        .unwrap_or(alive[0]);
+                    log.record(
+                        step,
+                        RecoveryAction::CellHandoff { cell: dead, from: dead, to },
+                        trigger,
+                    );
+                }
+            }
+        }
+
+        let alive: Vec<usize> = (0..n).filter(|&i| health[i].alive).collect();
+        if alive.is_empty() {
+            break;
+        }
+
+        // 3. Where every surviving drone actually is (wind included) —
+        // and, supervised, hold any drone the tracker has lost.
+        let mut positions: Vec<Point2> = Vec::with_capacity(alive.len());
+        for &i in &alive {
+            if sup.is_some() && health[i].tracking_lost() {
+                hold[i] += cfg.sample_interval_s;
+                if let Some(trigger) = health[i].last_tracking_fault {
+                    log.record(step, RecoveryAction::RouteHold { relay: i }, trigger);
+                }
+            }
+            let t_eff = (t - route_start[i] - hold[i]).clamp(0.0, plans[i].duration());
+            let (gx, gy) = health[i].gust_offset();
+            let p = plans[i].position_at(t_eff);
+            let pos = Point2::new(p.x + gx, p.y + gy);
+            positions.push(pos);
+            if !(health[i].tracking_lost() && sup.is_none()) {
+                // Unsupervised drones fly on through a dropout, so
+                // their recorded track goes stale.
+                believed[i] = pos;
+            }
+        }
+
+        // 4. Supervised: the mutual-loop margin monitor.
+        if let Some(sup_cfg) = sup {
+            margin_monitor(
+                sup_cfg, env, cfg, step, &alive, &positions, &mut f1, &mut shift, &mut health,
+                &mut log, plan,
+            );
+        }
+
+        // 5. Build the (degraded) fleet and inventory through each
+        // surviving relay in turn.
+        let mut fleet: Vec<FleetRelay> = alive
+            .iter()
+            .zip(&positions)
+            .map(|(&i, &pos)| {
+                let base = RelayModel::from_budget(f1[i], shift[i], &env.budget);
+                FleetRelay { model: health[i].degraded_model(&base), pos }
+            })
+            .collect();
+
+        for (s_idx, &relay) in alive.iter().enumerate() {
+            let stop_seed = cfg.seed ^ (((step as u64) << 8) | relay as u64);
+
+            // Supervised: the serving relay's own Eq. 3 gate. Gain
+            // drift eats stability_isolation directly, and no Δf
+            // re-tune can fix a self-loop — the only cure is
+            // re-programming the VGA chain back to its allocation.
+            if sup.is_some()
+                && health[relay].gain_drift_db > 0.0
+                && !FleetMedium::new(world, fleet.clone(), s_idx).stable()
+            {
+                let base = RelayModel::from_budget(f1[relay], shift[relay], &env.budget);
+                let mut pristine = fleet.clone();
+                pristine[s_idx].model = base;
+                if FleetMedium::new(world, pristine, s_idx).stable() {
+                    if let Some(trigger) = health[relay].last_gain_fault {
+                        let trimmed = health[relay].gain_drift_db;
+                        health[relay].gain_drift_db = 0.0;
+                        let base = RelayModel::from_budget(f1[relay], shift[relay], &env.budget);
+                        fleet[s_idx].model = health[relay].degraded_model(&base);
+                        log.record(
+                            step,
+                            RecoveryAction::GainTrim { relay, trimmed_db: trimmed },
+                            trigger,
+                        );
+                    }
+                }
+            }
+            let mut reads =
+                inventory_stop(world, &fleet, s_idx, &health[relay], stop_seed, cfg.max_rounds);
+
+            if let Some(sup_cfg) = sup {
+                let mut attempt = 1;
+                while attempt <= sup_cfg.max_retries
+                    && health[relay].uplink_faulted()
+                    && !reads.iter().any(|r| r.epc != PhasorWorld::embedded_epc())
+                {
+                    if let Some(trigger) = health[relay].last_uplink_fault {
+                        log.record(step, RecoveryAction::Retry { relay, attempt }, trigger);
+                    }
+                    reads = inventory_stop(
+                        world,
+                        &fleet,
+                        s_idx,
+                        &health[relay],
+                        stop_seed ^ ((attempt as u64) << 32),
+                        cfg.max_rounds,
+                    );
+                    attempt += 1;
+                }
+            }
+
+            let mut st = StepTrack {
+                pos: believed[relay],
+                embedded: Vec::new(),
+                tags: Vec::new(),
+            };
+            for read in &reads {
+                if read.epc == PhasorWorld::embedded_epc() {
+                    st.embedded.push(read.channel);
+                } else {
+                    inventory.observe(read, relay, step);
+                    if !st.tags.iter().any(|&(e, _)| e == read.epc) {
+                        st.tags.push((read.epc, read.channel));
+                    }
+                }
+            }
+            if !st.embedded.is_empty() {
+                tracks[relay].push(st);
+            }
+            world.power_cycle_tags();
+        }
+
+        // 6. Transient faults run down; mission-over check.
+        for h in health.iter_mut() {
+            h.tick();
+        }
+        steps += 1;
+        duration_s = t;
+        let end_time = alive
+            .iter()
+            .map(|&i| route_start[i] + hold[i] + plans[i].duration())
+            .fold(0.0f64, f64::max);
+        if t >= end_time {
+            break;
+        }
+    }
+
+    // 7. End of mission: coherence-gated localization.
+    let coherence: Vec<f64> = tracks.iter().map(|trk| track_coherence(trk)).collect();
+    let localization = localize_all(
+        &tracks, &coherence, &f1, &shift, env, sup, &loc_cfg, &health, steps, &mut log,
+    );
+
+    ResilientOutcome {
+        inventory,
+        steps,
+        duration_s,
+        log,
+        lost_relays: (0..n).filter(|&i| !health[i].alive).collect(),
+        coherence,
+        localization,
+    }
+}
+
+/// Step 4: recompute the worst alive mutual-loop margin with degraded
+/// gains; on a fault-attributable violation, try Δf re-assignment,
+/// then fall back to re-programming the drifted VGA chain.
+#[allow(clippy::too_many_arguments)]
+fn margin_monitor(
+    sup_cfg: &SupervisorConfig,
+    env: &MissionEnv<'_>,
+    cfg: &MissionConfig,
+    step: usize,
+    alive: &[usize],
+    positions: &[Point2],
+    f1: &mut [Hertz],
+    shift: &mut [Hertz],
+    health: &mut [RelayHealth],
+    log: &mut ResilienceLog,
+    plan: &ChannelPlan,
+) {
+    let drift: Vec<f64> = health.iter().map(|h| h.gain_drift_db).collect();
+    let degraded = |i: usize| GainPlan {
+        downlink: plan.gains.downlink + Db::new(drift[i]),
+        uplink: plan.gains.uplink,
+    };
+    let Some((wi, wj, m)) = worst_alive_margin(alive, positions, f1, shift, &degraded) else {
+        return;
+    };
+    if m.value() >= env.margin.value() {
+        return;
+    }
+    // Attribute the violation: with pristine gains the same fleet must
+    // clear the gate, otherwise this is a planning problem (relays
+    // passing close), not a fault.
+    let pristine = worst_alive_margin(alive, positions, f1, shift, &|_| plan.gains)
+        .expect("pair exists");
+    if pristine.2.value() < env.margin.value() {
+        return;
+    }
+    let Some(trigger) = health[wi].last_gain_fault.or(health[wj].last_gain_fault) else {
+        return;
+    };
+
+    // Rung 1: Δf re-assignment over fresh hopping seeds.
+    for k in 0..sup_cfg.reassign_attempts {
+        let seed = cfg.seed ^ 0xDF00 ^ (((step as u64) << 8) | k as u64);
+        let Ok(newp) = assign(positions, &env.budget, env.margin, seed) else {
+            continue;
+        };
+        let mut cand_f1 = f1.to_vec();
+        let mut cand_shift = shift.to_vec();
+        for (k2, &r) in alive.iter().enumerate() {
+            cand_f1[r] = newp.f1[k2];
+            cand_shift[r] = newp.shift[k2];
+        }
+        let Some((_, _, m_new)) =
+            worst_alive_margin(alive, positions, &cand_f1, &cand_shift, &degraded)
+        else {
+            continue;
+        };
+        if m_new.value() >= env.margin.value() {
+            f1.copy_from_slice(&cand_f1);
+            shift.copy_from_slice(&cand_shift);
+            log.record(
+                step,
+                RecoveryAction::DeltaFReassign {
+                    pair: (wi, wj),
+                    margin_before_db: m.value(),
+                    margin_after_db: m_new.value(),
+                },
+                trigger,
+            );
+            return;
+        }
+    }
+
+    // Rung 2: no re-tune clears the gate — re-program the drifted VGAs
+    // back to their §6.1 allocation.
+    for r in [wi, wj] {
+        if health[r].gain_drift_db > 0.0 {
+            let trimmed = health[r].gain_drift_db;
+            health[r].gain_drift_db = 0.0;
+            let t = health[r].last_gain_fault.unwrap_or(trigger);
+            log.record(step, RecoveryAction::GainTrim { relay: r, trimmed_db: trimmed }, t);
+        }
+    }
+}
+
+/// Step 7: per-relay, per-tag localization with the coherence gate.
+#[allow(clippy::too_many_arguments)]
+fn localize_all(
+    tracks: &[Vec<StepTrack>],
+    coherence: &[f64],
+    f1: &[Hertz],
+    shift: &[Hertz],
+    env: &MissionEnv<'_>,
+    sup: Option<&SupervisorConfig>,
+    loc_cfg: &SupervisorConfig,
+    health: &[RelayHealth],
+    final_step: usize,
+    log: &mut ResilienceLog,
+) -> Vec<LocalizationRecord> {
+    let mut out = Vec::new();
+    for (relay, track) in tracks.iter().enumerate() {
+        let f2 = f1[relay] + shift[relay];
+        let mut per_epc: BTreeMap<Epc, Vec<(Point2, PairedMeasurement)>> = BTreeMap::new();
+        for st in track {
+            let embedded = st.embedded[0];
+            for &(epc, tag) in &st.tags {
+                per_epc
+                    .entry(epc)
+                    .or_default()
+                    .push((st.pos, PairedMeasurement { tag, embedded }));
+            }
+        }
+        let coherent = coherence[relay] >= loc_cfg.coherence_gate;
+        let mut taken = 0usize;
+        for (epc, ms) in per_epc {
+            if ms.len() < 4 {
+                continue;
+            }
+            if taken >= loc_cfg.max_loc_tags_per_relay {
+                break;
+            }
+            taken += 1;
+            let meas: Vec<PairedMeasurement> = ms.iter().map(|&(_, m)| m).collect();
+            let isolated = disentangle(&meas);
+            let (points, channels): (Vec<Point2>, Vec<Complex>) = ms
+                .iter()
+                .zip(&isolated)
+                .filter_map(|(&(p, _), h)| h.map(|h| (p, h)))
+                .unzip();
+            if points.len() < 3 {
+                out.push(LocalizationRecord { epc, relay, method: LocMethod::Unavailable, estimate: None });
+                continue;
+            }
+            let traj = Trajectory::from_points(points);
+            if coherent {
+                let est = SarLocalizer::new(f2, env.scene.min, env.scene.max, loc_cfg.loc_resolution_m)
+                    .localize(&traj, &channels)
+                    .map(|(p, _)| p);
+                out.push(LocalizationRecord { epc, relay, method: LocMethod::Sar, estimate: est });
+            } else if sup.is_some() {
+                // The oscillator scrambled the phase but not the
+                // magnitude: fall back to coarse RSSI ranging against
+                // the embedded-normalized free-space model.
+                let lambda = SPEED_OF_LIGHT / f2.as_hz();
+                let local = RelayModel::from_budget(f1[relay], shift[relay], &env.budget)
+                    .embedded_local
+                    .norm_sq();
+                let rssi = RssiLocalizer {
+                    frequency: f2,
+                    region_min: env.scene.min,
+                    region_max: env.scene.max,
+                    resolution: loc_cfg.loc_resolution_m,
+                    reference_amplitude_1m: (lambda / (4.0 * std::f64::consts::PI)).powi(2)
+                        / local,
+                };
+                let est = rssi.localize(&traj, &channels);
+                if let Some(trigger) = health[relay].last_phase_fault {
+                    log.record(
+                        final_step,
+                        RecoveryAction::SarFallback { relay, epc, coherence: coherence[relay] },
+                        trigger,
+                    );
+                }
+                out.push(LocalizationRecord {
+                    epc,
+                    relay,
+                    method: LocMethod::RssiFallback,
+                    estimate: est,
+                });
+            } else {
+                out.push(LocalizationRecord { epc, relay, method: LocMethod::Unavailable, estimate: None });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_dsp::rng::Rng;
+    use rfly_tag::population::TagPopulation;
+
+    fn small_mission(
+        n_relays: usize,
+        seed: u64,
+    ) -> (Scene, ChannelPlan, Partition, PhasorWorld, MissionConfig) {
+        let scene = Scene::warehouse(16.0, 12.0, 2);
+        let part = partition(&scene, n_relays, MotionLimits::indoor_drone()).expect("cells fit");
+        let hover: Vec<Point2> = part.cells.iter().map(|c| c.center()).collect();
+        let budget = paper_budget();
+        let plan = assign(&hover, &budget, Db::new(10.0), seed).expect("feasible");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions: Vec<Point2> = (0..10)
+            .map(|_| {
+                let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
+                Point2::new(spot.x + rng.gen_range(-0.5..0.5), spot.y)
+            })
+            .collect();
+        let tags = TagPopulation::generate(10, &positions, seed ^ 0xBEEF);
+        let world = rfly_fleet::inventory::mission_world(
+            &scene,
+            Point2::new(1.0, 1.0),
+            tags,
+            &plan,
+            &budget,
+            seed,
+        );
+        let cfg = MissionConfig {
+            sample_interval_s: 8.0,
+            max_rounds: 2,
+            seed,
+            time_budget_s: None,
+        };
+        (scene, plan, part, world, cfg)
+    }
+
+    fn paper_budget() -> IsolationBudget {
+        IsolationBudget {
+            intra_downlink: Db::new(77.0),
+            intra_uplink: Db::new(64.0),
+            inter_downlink: Db::new(110.0),
+            inter_uplink: Db::new(92.0),
+        }
+    }
+
+    #[test]
+    fn fault_free_supervised_mission_matches_plain_mission_reads() {
+        let (scene, plan, part, mut world, cfg) = small_mission(2, 5);
+        let env = MissionEnv {
+            scene: &scene,
+            budget: paper_budget(),
+            margin: Db::new(10.0),
+            limits: MotionLimits::indoor_drone(),
+        };
+        let out = run_supervised(
+            &mut world,
+            &plan,
+            &part,
+            &env,
+            &cfg,
+            &FaultSchedule::none(),
+            &SupervisorConfig::default(),
+        );
+        assert!(out.log.faults.is_empty());
+        assert!(out.log.recoveries.is_empty(), "no faults, no recoveries");
+        assert!(out.lost_relays.is_empty());
+        assert!(out.inventory.unique_tags() > 0, "mission reads tags");
+        assert!(
+            out.coherence.iter().all(|&c| c > 0.9),
+            "intact oscillators stay coherent: {:?}",
+            out.coherence
+        );
+        assert!(out.log.is_consistent());
+    }
+
+    #[test]
+    fn battery_sag_repartitions_and_unsupervised_does_not() {
+        let (scene, plan, part, mut world, cfg) = small_mission(2, 6);
+        let env = MissionEnv {
+            scene: &scene,
+            budget: paper_budget(),
+            margin: Db::new(10.0),
+            limits: MotionLimits::indoor_drone(),
+        };
+        // A storm on 2 relays always sags one battery.
+        let storm = FaultSchedule::storm(6, 2, 12);
+        let dead = storm.battery_sag_relay().unwrap();
+
+        let sup_out = run_supervised(
+            &mut world,
+            &plan,
+            &part,
+            &env,
+            &cfg,
+            &storm,
+            &SupervisorConfig::default(),
+        );
+        assert!(sup_out.lost_relays.contains(&dead));
+        assert!(sup_out.log.count("repartition") >= 1);
+        assert!(sup_out.log.count("cell-handoff") >= 1);
+        assert!(sup_out.log.is_consistent());
+
+        let (_, plan2, part2, mut world2, cfg2) = small_mission(2, 6);
+        let unsup_out = run_unsupervised(&mut world2, &plan2, &part2, &env, &cfg2, &storm);
+        assert!(unsup_out.lost_relays.contains(&dead));
+        assert_eq!(unsup_out.log.count("repartition"), 0);
+        assert_eq!(unsup_out.log.count("cell-handoff"), 0);
+        assert!(unsup_out.log.is_consistent());
+    }
+}

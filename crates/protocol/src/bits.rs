@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use crate::error::ProtocolError;
+
 /// An ordered sequence of bits, most-significant-first within each
 /// appended field.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
@@ -82,21 +84,46 @@ impl Bits {
     /// Reads `width` bits starting at `offset` as an MSB-first integer.
     /// Panics if the range is out of bounds (caller validated framing).
     pub fn uint_at(&self, offset: usize, width: usize) -> u64 {
-        assert!(width <= 64);
-        assert!(offset + width <= self.bits.len(), "bit range out of bounds");
+        self.try_uint_at(offset, width)
+            .expect("bit range out of bounds")
+    }
+
+    /// Fallible [`Self::uint_at`]: rejects out-of-bounds ranges instead
+    /// of panicking, for frames whose length an attacker (or the fault
+    /// injector) controls.
+    pub fn try_uint_at(&self, offset: usize, width: usize) -> Result<u64, ProtocolError> {
+        if width > 64 || offset + width > self.bits.len() {
+            return Err(ProtocolError::BitRange {
+                offset,
+                width,
+                len: self.bits.len(),
+            });
+        }
         let mut v = 0u64;
         for i in 0..width {
             v = (v << 1) | self.bits[offset + i] as u64;
         }
-        v
+        Ok(v)
     }
 
     /// The sub-range `[offset, offset + len)` as a new buffer.
     pub fn slice(&self, offset: usize, len: usize) -> Bits {
-        assert!(offset + len <= self.bits.len(), "bit range out of bounds");
-        Bits {
-            bits: self.bits[offset..offset + len].to_vec(),
+        self.try_slice(offset, len).expect("bit range out of bounds")
+    }
+
+    /// Fallible [`Self::slice`]: rejects out-of-bounds ranges instead of
+    /// panicking.
+    pub fn try_slice(&self, offset: usize, len: usize) -> Result<Bits, ProtocolError> {
+        if offset + len > self.bits.len() {
+            return Err(ProtocolError::BitRange {
+                offset,
+                width: len,
+                len: self.bits.len(),
+            });
         }
+        Ok(Bits {
+            bits: self.bits[offset..offset + len].to_vec(),
+        })
     }
 
     /// Packs into bytes, MSB-first, zero-padding the final partial byte.
@@ -229,6 +256,23 @@ mod tests {
         assert_eq!(v, vec![true, false, true]);
         let c: Bits = v.into_iter().collect();
         assert_eq!(c, b);
+    }
+
+    #[test]
+    fn try_accessors_reject_out_of_bounds_without_panicking() {
+        let b = Bits::from_str01("10110");
+        assert_eq!(b.try_uint_at(1, 3).unwrap(), 0b011);
+        assert_eq!(b.try_slice(2, 3).unwrap(), Bits::from_str01("110"));
+        assert!(matches!(
+            b.try_uint_at(3, 4),
+            Err(ProtocolError::BitRange { offset: 3, width: 4, len: 5 })
+        ));
+        assert!(b.try_slice(0, 6).is_err());
+        assert!(b.try_uint_at(0, 65).is_err(), "width > 64 rejected");
+        // Empty buffers: zero-width reads succeed, anything else errors.
+        let empty = Bits::new();
+        assert_eq!(empty.try_uint_at(0, 0).unwrap(), 0);
+        assert!(empty.try_uint_at(0, 1).is_err());
     }
 
     #[test]

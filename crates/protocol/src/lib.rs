@@ -6,6 +6,7 @@
 //! implementation on both ends, so this crate provides one from scratch:
 //!
 //! * [`bits`] — a bit-level message buffer,
+//! * [`error`] — the protocol error taxonomy ([`ProtocolError`]),
 //! * [`crc`] — the Gen2 CRC-5 and CRC-16 (ISO/IEC 13239),
 //! * [`commands`] — encode/decode for Query, QueryAdjust, QueryRep, ACK,
 //!   NAK, Select and Req_RN,
@@ -28,6 +29,7 @@ pub mod bits;
 pub mod commands;
 pub mod crc;
 pub mod epc;
+pub mod error;
 pub mod fm0;
 pub mod miller;
 pub mod pie;
@@ -39,3 +41,4 @@ pub mod timing;
 pub use bits::Bits;
 pub use commands::Command;
 pub use epc::Epc;
+pub use error::ProtocolError;

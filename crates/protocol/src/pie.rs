@@ -10,6 +10,7 @@
 //! Fig. 4.
 
 use crate::bits::Bits;
+use crate::error::ProtocolError;
 use crate::timing::LinkTiming;
 
 /// The fixed delimiter duration that opens every PIE frame, seconds.
@@ -42,23 +43,29 @@ pub struct PieEncoder {
 
 impl PieEncoder {
     /// Creates an encoder with PW = Tari/2, 100 % depth, square edges.
-    pub fn new(timing: LinkTiming, sample_rate: f64) -> Self {
-        assert!(sample_rate > 0.0);
-        timing.validate().expect("link timing must be Gen2-legal");
-        Self {
+    /// Rejects non-positive sample rates and Gen2-illegal timing.
+    pub fn new(timing: LinkTiming, sample_rate: f64) -> Result<Self, ProtocolError> {
+        if sample_rate.is_nan() || sample_rate <= 0.0 {
+            return Err(ProtocolError::NonPositiveSampleRate(sample_rate));
+        }
+        timing.validate().map_err(ProtocolError::IllegalTiming)?;
+        Ok(Self {
             pw_s: timing.tari_s / 2.0,
             timing,
             sample_rate,
             depth: 1.0,
             edge_s: 0.0,
-        }
+        })
     }
 
     /// Sets the modulation depth (commercial readers use ≥ 80 %).
-    pub fn with_depth(mut self, depth: f64) -> Self {
-        assert!(depth > 0.0 && depth <= 1.0, "depth must be in (0, 1]");
+    /// Rejects depths outside (0, 1].
+    pub fn with_depth(mut self, depth: f64) -> Result<Self, ProtocolError> {
+        if !(depth > 0.0 && depth <= 1.0) {
+            return Err(ProtocolError::InvalidDepth(depth));
+        }
         self.depth = depth;
-        self
+        Ok(self)
     }
 
     /// Sets the envelope rise/fall time. Commercial readers shape PIE
@@ -66,10 +73,15 @@ impl PieEncoder {
     /// to the ≲125 kHz of Fig. 4; square edges splatter 1/f² sidelobes
     /// across the band. Must stay well under PW or the low pulses fill
     /// in.
-    pub fn with_edge_time(mut self, edge_s: f64) -> Self {
-        assert!(edge_s >= 0.0 && edge_s < self.pw_s, "edge must be < PW");
+    pub fn with_edge_time(mut self, edge_s: f64) -> Result<Self, ProtocolError> {
+        if !(edge_s >= 0.0 && edge_s < self.pw_s) {
+            return Err(ProtocolError::OversizeEdge {
+                edge_s,
+                pw_s: self.pw_s,
+            });
+        }
         self.edge_s = edge_s;
-        self
+        Ok(self)
     }
 
     /// The timing profile in use.
@@ -138,7 +150,7 @@ impl PieEncoder {
 /// preserved; the whole waveform shifts by a constant edge_len/2, which
 /// the interval-based decoder is insensitive to.
 fn smooth_edges(envelope: &mut Vec<f64>, edge_len: usize) {
-    if edge_len < 2 {
+    if edge_len < 2 || envelope.is_empty() {
         return;
     }
     let kernel: Vec<f64> = (0..edge_len)
@@ -275,7 +287,7 @@ mod tests {
     const FS: f64 = 4e6;
 
     fn encoder() -> PieEncoder {
-        PieEncoder::new(LinkTiming::default_profile(), FS)
+        PieEncoder::new(LinkTiming::default_profile(), FS).expect("default profile is legal")
     }
 
     #[test]
@@ -311,7 +323,7 @@ mod tests {
 
     #[test]
     fn partial_depth_still_decodes() {
-        let enc = encoder().with_depth(0.8);
+        let enc = encoder().with_depth(0.8).unwrap();
         let payload = Bits::from_str01("110010");
         let wave = enc.encode(FrameStart::Preamble, &payload, 20e-6);
         let frame = decode(&wave, FS).expect("decodes at 80% depth");
@@ -351,21 +363,38 @@ mod tests {
 
     #[test]
     fn fast_profile_roundtrips() {
-        let enc = PieEncoder::new(LinkTiming::fast_profile(), FS);
+        let enc = PieEncoder::new(LinkTiming::fast_profile(), FS).unwrap();
         let payload = Bits::from_str01("100011101");
         let frame = decode(&enc.encode(FrameStart::Preamble, &payload, 10e-6), FS).unwrap();
         assert_eq!(frame.bits, payload);
     }
 
     #[test]
-    #[should_panic(expected = "depth")]
-    fn zero_depth_rejected() {
-        let _ = encoder().with_depth(0.0);
+    fn illegal_configurations_return_errors() {
+        assert!(matches!(
+            encoder().with_depth(0.0),
+            Err(ProtocolError::InvalidDepth(_))
+        ));
+        assert!(matches!(
+            encoder().with_depth(1.5),
+            Err(ProtocolError::InvalidDepth(_))
+        ));
+        assert!(matches!(
+            PieEncoder::new(LinkTiming::default_profile(), 0.0),
+            Err(ProtocolError::NonPositiveSampleRate(_))
+        ));
+        assert!(matches!(
+            PieEncoder::new(LinkTiming::default_profile(), f64::NAN),
+            Err(ProtocolError::NonPositiveSampleRate(_))
+        ));
     }
 
     #[test]
     fn shaped_edges_still_decode() {
-        let enc = encoder().with_depth(0.9).with_edge_time(2e-6);
+        let enc = encoder()
+            .with_depth(0.9)
+            .and_then(|e| e.with_edge_time(2e-6))
+            .unwrap();
         let payload = Bits::from_str01("1011001110001111");
         let wave = enc.encode(FrameStart::Preamble, &payload, 50e-6);
         let frame = decode(&wave, FS).expect("shaped frame decodes");
@@ -380,8 +409,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "edge must be < PW")]
     fn oversize_edge_rejected() {
-        let _ = encoder().with_edge_time(10e-6);
+        assert!(matches!(
+            encoder().with_edge_time(10e-6),
+            Err(ProtocolError::OversizeEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_envelope_smoothing_is_a_no_op() {
+        let mut empty: Vec<f64> = Vec::new();
+        smooth_edges(&mut empty, 8);
+        assert!(empty.is_empty());
     }
 }

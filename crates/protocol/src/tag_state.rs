@@ -105,27 +105,28 @@ impl TagMachine {
     }
 
     /// A memory bank as 16-bit words, as the access layer addresses it.
-    fn bank_words(&self, bank: MemBank) -> Vec<u16> {
+    /// A malformed bank image yields `None` (the tag stays silent),
+    /// never a panic.
+    fn bank_words(&self, bank: MemBank) -> Option<Vec<u16>> {
         match bank {
             MemBank::Epc => {
                 let bits = self.epc_bank();
                 (0..bits.len() / 16)
-                    .map(|w| bits.uint_at(w * 16, 16) as u16)
+                    .map(|w| bits.try_uint_at(w * 16, 16).ok().map(|v| v as u16))
                     .collect()
             }
             MemBank::Tid => {
                 // A fixed class-identifier header followed by a serial
                 // derived from the EPC (the usual vendor layout).
                 let mut words = vec![0xE280u16, 0x1160];
-                let e = self.epc.0;
-                for c in e.chunks(2) {
+                for c in self.epc.0.chunks_exact(2) {
                     words.push(u16::from_be_bytes([c[0], c[1]]));
                 }
-                words
+                Some(words)
             }
-            MemBank::User => self.user_memory.clone(),
+            MemBank::User => Some(self.user_memory.clone()),
             // Passwords are not implemented; reads of Reserved fail.
-            MemBank::Reserved => Vec::new(),
+            MemBank::Reserved => Some(Vec::new()),
         }
     }
 
@@ -310,15 +311,13 @@ impl TagMachine {
                 if self.state != TagState::Open || *rn != self.rn16 {
                     return None;
                 }
-                let words = self.bank_words(*bank);
+                let words = self.bank_words(*bank)?;
                 let start = *wordptr as usize;
-                let end = start + *wordcount as usize;
-                if end > words.len() {
-                    return None;
-                }
+                let end = start.checked_add(*wordcount as usize)?;
+                let requested = words.get(start..end)?;
                 let mut body = Bits::new();
                 body.push(false); // header bit: success
-                for w in &words[start..end] {
+                for w in requested {
                     body.push_uint(*w as u64, 16);
                 }
                 body.push_uint(self.rn16 as u64, 16);
@@ -358,11 +357,12 @@ impl TagMachine {
             // TID/User/Reserved are not modelled; treat as all-zero.
             _ => Bits::from_bools(&vec![false; 256]),
         };
-        let p = pointer as usize;
-        if p + mask.len() > memory.len() {
-            return false;
+        // A pointer+mask beyond the bank simply does not match — a
+        // corrupted Select must never panic the tag.
+        match memory.try_slice(pointer as usize, mask.len()) {
+            Ok(window) => window == *mask,
+            Err(_) => false,
         }
-        memory.slice(p, mask.len()) == *mask
     }
 
     fn apply_select(&mut self, target: SelectTarget, action: u8, matched: bool) {
@@ -710,6 +710,41 @@ mod tests {
                 wordptr: 0,
                 wordcount: 1,
                 rn: 0,
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn corrupted_select_and_read_are_silent_not_fatal() {
+        let mut t = tag(22);
+        // Select with a pointer far past the EPC bank: no match, no panic.
+        let cmd = Command::Select {
+            target: SelectTarget::Sl,
+            action: 0,
+            bank: MemBank::Epc,
+            pointer: u32::MAX,
+            mask: Bits::from_str01("1010"),
+            truncate: false,
+        };
+        t.handle(&cmd);
+        assert!(!t.flags().selected);
+        // Read with a wordptr/wordcount whose sum would overflow usize
+        // on a corrupted frame: silence.
+        let rn16 = match t.handle(&query(0, Session::S0, InventoriedFlag::A)) {
+            Some(TagReply::Rn16(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        t.handle(&Command::Ack { rn16 });
+        let handle = match t.handle(&Command::ReqRn { rn16 }) {
+            Some(TagReply::Handle(b)) => b.uint_at(0, 16) as u16,
+            _ => panic!(),
+        };
+        assert!(t
+            .handle(&Command::Read {
+                bank: MemBank::Epc,
+                wordptr: u32::MAX,
+                wordcount: 255,
+                rn: handle,
             })
             .is_none());
     }

@@ -183,7 +183,9 @@ fn pie_roundtrips_arbitrary_payloads() {
     let mut rng = StdRng::seed_from_u64(0x960_007);
     for _ in 0..60 {
         let payload = rand_bits(&mut rng, 64);
-        let enc = PieEncoder::new(LinkTiming::default_profile(), 4e6).with_depth(0.9);
+        let enc = PieEncoder::new(LinkTiming::default_profile(), 4e6)
+            .and_then(|e| e.with_depth(0.9))
+            .expect("legal encoder");
         let wave = enc.encode(FrameStart::Preamble, &payload, 30e-6);
         let frame = pie_decode(&wave, 4e6).expect("decodes");
         assert_eq!(frame.bits, payload);

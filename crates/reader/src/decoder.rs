@@ -7,6 +7,8 @@
 //! reply. That per-read `h` is the raw material of Eqs. 7–12: its phase
 //! is what the relay must preserve and what the SAR localizer consumes.
 
+use std::fmt;
+
 use rfly_dsp::units::Db;
 use rfly_dsp::Complex;
 use rfly_protocol::bits::Bits;
@@ -26,6 +28,47 @@ pub struct DecodedReply {
     pub data_start: usize,
 }
 
+/// Why a capture failed to decode. Every variant is an expected outcome
+/// under noise, fading, or fault injection — a decode miss, never a
+/// panic — but the distinctions matter to the supervisor deciding
+/// whether to retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The capture holds no samples at all (e.g. a fault-truncated
+    /// burst).
+    EmptyCapture,
+    /// The capture is shorter than preamble + expected data.
+    CaptureTooShort {
+        /// Samples captured.
+        got: usize,
+        /// Samples needed for preamble + data.
+        need: usize,
+    },
+    /// Preamble correlation found no energy anywhere in the capture.
+    NoPreamble,
+    /// The line-code data decoder rejected the symbol stream.
+    DataDecodeFailed,
+    /// The least-squares channel fit was degenerate (zero modulation
+    /// energy in the reply window).
+    DegenerateReply,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::EmptyCapture => write!(f, "empty capture"),
+            DecodeError::CaptureTooShort { got, need } => {
+                write!(f, "capture too short: {got} samples, need {need}")
+            }
+            DecodeError::NoPreamble => write!(f, "no preamble found"),
+            DecodeError::DataDecodeFailed => write!(f, "data symbols undecodable"),
+            DecodeError::DegenerateReply => write!(f, "degenerate reply window"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Decodes one backscatter reply from a raw complex capture that may
 /// contain carrier, clutter, the reply, and noise.
 pub fn decode_backscatter(
@@ -34,14 +77,20 @@ pub fn decode_backscatter(
     trext: bool,
     samples_per_symbol: usize,
     n_bits: usize,
-) -> Option<DecodedReply> {
+) -> Result<DecodedReply, DecodeError> {
+    if samples.is_empty() {
+        return Err(DecodeError::EmptyCapture);
+    }
     let template01 = match encoding {
         TagEncoding::Fm0 => fm0::preamble_waveform(trext, samples_per_symbol),
         _ => miller::preamble_waveform(encoding, trext, samples_per_symbol),
     };
     let data_len = n_bits * samples_per_symbol;
     if samples.len() < template01.len() + data_len {
-        return None;
+        return Err(DecodeError::CaptureTooShort {
+            got: samples.len(),
+            need: template01.len() + data_len,
+        });
     }
 
     // DC cancellation: the carrier and static reflections form a
@@ -65,7 +114,7 @@ pub fn decode_backscatter(
         }
     }
     if best_corr.norm_sq() == 0.0 {
-        return None;
+        return Err(DecodeError::NoPreamble);
     }
     // y ≈ h·(s − ½) and t = 2s − 1 ⇒ Σ y·t = h·N/2 over the preamble.
     let h_coarse = best_corr * (2.0 / t_pm.len() as f64);
@@ -80,10 +129,11 @@ pub fn decode_backscatter(
     let bits = match encoding {
         TagEncoding::Fm0 => {
             let last = *fm0::PREAMBLE_HALVES.last().expect("non-empty");
-            fm0::decode_data(&projected, samples_per_symbol, last, n_bits)?
+            fm0::decode_data(&projected, samples_per_symbol, last, n_bits)
         }
-        _ => miller::decode_data(&projected, encoding, samples_per_symbol, n_bits)?,
-    };
+        _ => miller::decode_data(&projected, encoding, samples_per_symbol, n_bits),
+    }
+    .ok_or(DecodeError::DataDecodeFailed)?;
 
     // Refine the channel by least squares over the *entire* reply
     // (preamble + data), now that the bits are known.
@@ -107,7 +157,7 @@ pub fn decode_backscatter(
         den += st * st;
     }
     if den == 0.0 {
-        return None;
+        return Err(DecodeError::DegenerateReply);
     }
     let h = num / den;
 
@@ -125,7 +175,7 @@ pub fn decode_backscatter(
         Db::new(f64::INFINITY)
     };
 
-    Some(DecodedReply {
+    Ok(DecodedReply {
         bits,
         channel: h,
         snr,
@@ -234,13 +284,28 @@ mod tests {
         // No reply present: either correlation finds nothing decodable
         // or decode_data's inversion rule trips.
         let d = decode_backscatter(&samples, TagEncoding::Fm0, false, SPS, 16);
-        assert!(d.is_none(), "noise must not decode as a reply");
+        assert!(d.is_err(), "noise must not decode as a reply");
     }
 
     #[test]
     fn too_short_capture_rejected() {
         let samples = vec![Complex::from_re(1.0); 64];
-        assert!(decode_backscatter(&samples, TagEncoding::Fm0, false, SPS, 16).is_none());
+        assert!(matches!(
+            decode_backscatter(&samples, TagEncoding::Fm0, false, SPS, 16),
+            Err(DecodeError::CaptureTooShort { got: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_capture_is_a_decode_miss_not_a_panic() {
+        assert!(matches!(
+            decode_backscatter(&[], TagEncoding::Fm0, false, SPS, 16),
+            Err(DecodeError::EmptyCapture)
+        ));
+        assert!(matches!(
+            decode_backscatter(&[], TagEncoding::Miller4, true, SPS, 16),
+            Err(DecodeError::EmptyCapture)
+        ));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use rfly_dsp::Complex;
 use rfly_protocol::commands::Command;
+use rfly_protocol::error::ProtocolError;
 use rfly_protocol::pie::{FrameStart, PieEncoder};
 
 use crate::config::ReaderConfig;
@@ -19,12 +20,19 @@ pub struct WaveformBuilder {
 }
 
 impl WaveformBuilder {
-    /// Creates a builder from the reader configuration.
+    /// Creates a builder from the reader configuration. Panics on a
+    /// Gen2-illegal configuration — use [`Self::try_new`] when the
+    /// configuration comes from outside the program.
     pub fn new(config: &ReaderConfig) -> Self {
-        Self {
-            encoder: PieEncoder::new(config.timing, config.sample_rate).with_depth(0.9),
+        Self::try_new(config).expect("reader configuration must be Gen2-legal")
+    }
+
+    /// Fallible [`Self::new`]: rejects illegal timing or sample rates.
+    pub fn try_new(config: &ReaderConfig) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            encoder: PieEncoder::new(config.timing, config.sample_rate)?.with_depth(0.9)?,
             sample_rate: config.sample_rate,
-        }
+        })
     }
 
     /// The sample rate of produced waveforms.

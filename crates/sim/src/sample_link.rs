@@ -40,6 +40,11 @@ pub struct SampleLink {
     h2: Complex,
     /// Receiver noise power at the reader (linear, per sample).
     pub noise_power: f64,
+    /// Fault hook: caps the number of uplink samples that reach the
+    /// reader (`usize::MAX` = intact). An injected dropout can shorten
+    /// the capture to anything, including zero — which must decode as a
+    /// miss, never panic.
+    pub uplink_capture_limit: usize,
     builder: WaveformBuilder,
     rng: StdRng,
     /// Global sample clock (keeps the relay's shared synthesizers
@@ -76,6 +81,7 @@ impl SampleLink {
             h1,
             h2,
             noise_power: 1e-18,
+            uplink_capture_limit: usize::MAX,
             rng: StdRng::seed_from_u64(seed ^ 0x11),
             clock: 0,
         }
@@ -136,6 +142,7 @@ impl SampleLink {
         if self.noise_power > 0.0 {
             add_awgn(&mut self.rng, &mut at_reader, self.noise_power);
         }
+        at_reader.truncate(self.uplink_capture_limit);
 
         self.clock += tx.len() + 4096;
         decode_backscatter(
@@ -145,6 +152,7 @@ impl SampleLink {
             sps,
             n_reply_bits,
         )
+        .ok()
     }
 
     /// Runs a full singulation (Query → RN16 → ACK → EPC) and returns
@@ -243,5 +251,19 @@ mod tests {
         let mut l = link(5);
         l.noise_power = 1e2; // absurd noise
         assert!(l.singulate().is_none());
+    }
+
+    #[test]
+    fn zero_length_burst_is_a_decode_miss_not_a_panic() {
+        // A fault-truncated uplink capture — down to nothing at all —
+        // must surface as a decode miss.
+        for limit in [0, 1, 7, 500] {
+            let mut l = link(6);
+            l.uplink_capture_limit = limit;
+            assert!(
+                l.singulate().is_none(),
+                "a {limit}-sample capture must not decode"
+            );
+        }
     }
 }

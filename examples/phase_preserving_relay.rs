@@ -26,7 +26,7 @@ fn relayed_phase(relay: &mut Relay, trial: usize) -> Option<f64> {
         uplink_in[600 + i] = down[600 + i] * l;
     }
     let up = relay.forward_uplink(&uplink_in, start);
-    let d = decode_backscatter(&up, TagEncoding::Fm0, false, 8, PAYLOAD.len())?;
+    let d = decode_backscatter(&up, TagEncoding::Fm0, false, 8, PAYLOAD.len()).ok()?;
     assert_eq!(d.bits, Bits::from_str01(PAYLOAD), "bits must survive the relay");
     Some(d.channel.arg())
 }

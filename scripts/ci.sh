@@ -14,4 +14,18 @@ cargo test --offline --workspace -q
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== fault matrix (3 seeds) =="
+# The fault_storm example is self-asserting: it exits non-zero on any
+# panic, on supervised read-rate retention < 80%, on an inconsistent
+# resilience log, or if the unsupervised baseline fails to lose the
+# dead relay's cell.
+cargo build --release --offline --example fault_storm
+for seed in 42 7 1234; do
+  echo "-- fault_storm seed $seed"
+  target/release/examples/fault_storm "$seed" >/dev/null
+done
+
+echo "== fault injector overhead (<5% on the clean hot path) =="
+cargo run --release --offline -p rfly-bench --bin ext_fault_overhead | tail -2
+
 echo "CI green."

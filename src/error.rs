@@ -1,0 +1,108 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Each layer defines its own error type next to the code that raises
+//! it — [`rfly_protocol::ProtocolError`] for Gen2 framing,
+//! [`rfly_reader::decoder::DecodeError`] for capture decoding,
+//! [`rfly_drone::FlightPlanError`] for route construction,
+//! [`rfly_fleet::ChannelPlanError`] for Δf assignment. [`RflyError`]
+//! unifies them (hand-rolled `thiserror` style — the workspace builds
+//! with zero external dependencies) so applications driving the whole
+//! stack can use one `Result` type with `?` throughout.
+
+use std::fmt;
+
+use rfly_drone::FlightPlanError;
+use rfly_fleet::ChannelPlanError;
+use rfly_protocol::ProtocolError;
+use rfly_reader::decoder::DecodeError;
+
+/// Any error the RFly stack can raise, by layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RflyError {
+    /// Gen2 protocol layer: illegal encoder configuration or malformed
+    /// frame.
+    Protocol(ProtocolError),
+    /// Reader receive chain: a capture that did not decode.
+    Decode(DecodeError),
+    /// Drone layer: an unconstructible flight plan.
+    FlightPlan(FlightPlanError),
+    /// Fleet layer: no stable Δf channel assignment exists.
+    ChannelPlan(ChannelPlanError),
+}
+
+impl fmt::Display for RflyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RflyError::Protocol(e) => write!(f, "protocol: {e}"),
+            RflyError::Decode(e) => write!(f, "decode: {e}"),
+            RflyError::FlightPlan(e) => write!(f, "flight plan: {e}"),
+            RflyError::ChannelPlan(e) => write!(f, "channel plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RflyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RflyError::Protocol(e) => Some(e),
+            RflyError::Decode(e) => Some(e),
+            RflyError::FlightPlan(e) => Some(e),
+            RflyError::ChannelPlan(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProtocolError> for RflyError {
+    fn from(e: ProtocolError) -> Self {
+        RflyError::Protocol(e)
+    }
+}
+
+impl From<DecodeError> for RflyError {
+    fn from(e: DecodeError) -> Self {
+        RflyError::Decode(e)
+    }
+}
+
+impl From<FlightPlanError> for RflyError {
+    fn from(e: FlightPlanError) -> Self {
+        RflyError::FlightPlan(e)
+    }
+}
+
+impl From<ChannelPlanError> for RflyError {
+    fn from(e: ChannelPlanError) -> Self {
+        RflyError::ChannelPlan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn try_chain() -> Result<u64, RflyError> {
+        // `?` lifts every layer's error into RflyError.
+        let bits = rfly_protocol::Bits::from_str01("1010");
+        let v = bits.try_uint_at(0, 4)?;
+        Ok(v)
+    }
+
+    #[test]
+    fn question_mark_lifts_layer_errors() {
+        assert_eq!(try_chain().unwrap(), 0b1010);
+        let err: RflyError = rfly_protocol::Bits::new().try_uint_at(0, 8).unwrap_err().into();
+        assert!(matches!(err, RflyError::Protocol(ProtocolError::BitRange { .. })));
+        assert!(err.to_string().starts_with("protocol:"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn every_layer_converts() {
+        let d: RflyError = DecodeError::EmptyCapture.into();
+        assert!(matches!(d, RflyError::Decode(_)));
+        let p: RflyError = FlightPlanError::TooFewWaypoints(1).into();
+        assert!(matches!(p, RflyError::FlightPlan(_)));
+        let c: RflyError = ChannelPlanError::NoFeasibleChannel { relay: 3 }.into();
+        assert!(c.to_string().contains("channel plan"));
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`sim`] — scenes, end-to-end simulation, experiment harness.
 //! * [`fleet`] — multi-relay coordination: coverage partitioning, Δf
 //!   channel assignment, deduplicated warehouse-scale inventory.
+//! * [`faults`] — seeded fault injection and the degradation-aware
+//!   mission supervisor (retry, Δf re-tune, re-partitioning, SAR→RSSI
+//!   localization fallback) with an auditable resilience log.
 //!
 //! ## Quickstart
 //!
@@ -48,10 +51,15 @@
 //! assert!(est.error_m < 0.5);
 //! ```
 
+pub mod error;
+
+pub use error::RflyError;
+
 pub use rfly_channel as channel;
 pub use rfly_core as core;
 pub use rfly_drone as drone;
 pub use rfly_dsp as dsp;
+pub use rfly_faults as faults;
 pub use rfly_fleet as fleet;
 pub use rfly_protocol as protocol;
 pub use rfly_reader as reader;
