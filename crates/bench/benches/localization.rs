@@ -8,7 +8,7 @@ use rfly_channel::phasor::PathSet;
 use rfly_core::loc::multires::localize_multires;
 use rfly_core::loc::sar::SarLocalizer;
 use rfly_core::loc::trajectory::Trajectory;
-use rfly_dsp::units::Hertz;
+use rfly_dsp::units::{Hertz, Meters};
 use rfly_dsp::Complex;
 
 const F2: Hertz = Hertz(916e6);
@@ -19,7 +19,7 @@ fn setup() -> (SarLocalizer, Trajectory, Vec<Complex>) {
     let ch = traj
         .points()
         .iter()
-        .map(|p| PathSet::line_of_sight(p.distance(tag), 1.0).round_trip(F2))
+        .map(|p| PathSet::line_of_sight(Meters(p.distance(tag)), 1.0).round_trip(F2))
         .collect();
     let loc = SarLocalizer::new(F2, Point2::new(-0.5, 0.05), Point2::new(3.5, 3.5), 0.02);
     (loc, traj, ch)

@@ -3,6 +3,7 @@
 use std::hint::black_box;
 
 use rfly_bench::micro::Micro;
+use rfly_dsp::units::Seconds;
 use rfly_protocol::bits::Bits;
 use rfly_protocol::commands::Command;
 use rfly_protocol::crc::{append_crc16, check_crc16};
@@ -29,7 +30,9 @@ fn main() {
     let cmd = sample_query();
     m.bench("command_encode_query", || black_box(&cmd).encode());
     let frame = cmd.encode();
-    m.bench("command_decode_query", || Command::decode(black_box(&frame)));
+    m.bench("command_decode_query", || {
+        Command::decode(black_box(&frame))
+    });
 
     let body = Bits::from_bytes(&[0xA5; 16], 128);
     m.bench("crc16_append_128b", || append_crc16(black_box(&body)));
@@ -41,14 +44,20 @@ fn main() {
         .expect("legal encoder");
     let payload = sample_query().encode();
     m.bench("pie_encode_query", || {
-        enc.encode(FrameStart::Preamble, black_box(&payload), 100e-6)
+        enc.encode(
+            FrameStart::Preamble,
+            black_box(&payload),
+            Seconds::new(100e-6),
+        )
     });
-    let wave = enc.encode(FrameStart::Preamble, &payload, 100e-6);
+    let wave = enc.encode(FrameStart::Preamble, &payload, Seconds::new(100e-6));
     m.bench("pie_decode_query", || {
         rfly_protocol::pie::decode(black_box(&wave), 4e6)
     });
 
-    let epc: String = (0..128).map(|i| if i % 3 == 0 { '1' } else { '0' }).collect();
+    let epc: String = (0..128)
+        .map(|i| if i % 3 == 0 { '1' } else { '0' })
+        .collect();
     let bits = Bits::from_str01(&epc);
     m.bench("fm0_encode_epc_frame", || {
         fm0::encode_reply(black_box(&bits), true, 8)

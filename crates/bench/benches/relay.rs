@@ -31,11 +31,11 @@ fn main() {
     });
 
     let grid: Vec<Hertz> = (-25..25).map(|k| Hertz::khz(40.0 * k as f64)).collect();
-    let fd_probe = FrequencyDiscovery::new(grid.clone(), 4e6);
+    let fd_probe = FrequencyDiscovery::new(grid.clone(), Hertz(4e6));
     let signal = Nco::new(Hertz::khz(400.0), 4e6).block(fd_probe.sweep_len());
     m.bench_batched(
         "freq_discovery_full_sweep",
-        || FrequencyDiscovery::new(grid.clone(), 4e6),
+        || FrequencyDiscovery::new(grid.clone(), Hertz(4e6)),
         |mut fd| fd.sweep(black_box(&signal)),
     );
 }

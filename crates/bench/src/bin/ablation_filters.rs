@@ -28,12 +28,18 @@ fn main() {
             "range",
         ],
     );
-    for (lpf, bpf) in [(25.0, 22.0), (40.0, 35.0), (52.0, 46.0), (64.0, 57.0), (76.0, 68.0)] {
+    for (lpf, bpf) in [
+        (25.0, 22.0),
+        (40.0, 35.0),
+        (52.0, 46.0),
+        (64.0, 57.0),
+        (76.0, 68.0),
+    ] {
         let cfg = RelayConfig {
             components: ComponentTolerances {
                 lpf_stopband: Db::new(lpf),
                 bpf_stopband: Db::new(bpf),
-                filter_sigma_db: 0.5,
+                filter_sigma: Db::new(0.5),
                 ..ComponentTolerances::prototype()
             },
             ..RelayConfig::default()

@@ -6,13 +6,13 @@
 
 use std::time::Instant;
 
-use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
 use rfly_core::loc::multires::localize_multires;
 use rfly_core::loc::sar::SarLocalizer;
 use rfly_core::loc::trajectory::Trajectory;
+use rfly_dsp::rng::Rng;
 use rfly_dsp::units::Hertz;
 use rfly_dsp::Complex;
 

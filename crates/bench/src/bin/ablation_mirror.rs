@@ -5,13 +5,13 @@
 //! no-mirror (random phase per transaction). Without the mirror the
 //! SAR channels carry random phases and localization collapses.
 
-use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::geometry::Point2;
 use rfly_core::loc::trajectory::Trajectory;
+use rfly_dsp::rng::Rng;
+use rfly_reader::config::ReaderConfig;
 use rfly_sim::endtoend::ScenarioBuilder;
 use rfly_sim::world::RelayModel;
-use rfly_reader::config::ReaderConfig;
 
 fn trial(mirrored: bool, seed: u64, rng: &mut rfly_dsp::rng::StdRng) -> Option<f64> {
     let tag = Point2::new(
@@ -47,7 +47,9 @@ fn main() {
         .flatten()
         .collect();
     let no_mirror: Vec<f64> = mc
-        .run(trials, |t, rng| trial(false, seed ^ (t as u64) << 8 | 1, rng))
+        .run(trials, |t, rng| {
+            trial(false, seed ^ (t as u64) << 8 | 1, rng)
+        })
         .into_iter()
         .flatten()
         .collect();
@@ -58,8 +60,16 @@ fn main() {
         "Ablation: localization with vs without the mirrored architecture",
         &["architecture", "median error", "p90 error"],
     );
-    table.row(&["mirrored (RFly)".into(), fmt_m(m.median()), fmt_m(m.quantile(0.9))]);
-    table.row(&["no-mirror".into(), fmt_m(n.median()), fmt_m(n.quantile(0.9))]);
+    table.row(&[
+        "mirrored (RFly)".into(),
+        fmt_m(m.median()),
+        fmt_m(m.quantile(0.9)),
+    ]);
+    table.row(&[
+        "no-mirror".into(),
+        fmt_m(n.median()),
+        fmt_m(n.quantile(0.9)),
+    ]);
     table.print(true);
 
     assert!(m.median() < 0.3, "mirrored localization must work");

@@ -5,13 +5,13 @@
 //! *stronger* than the attenuated direct peak. Highest-peak selection
 //! chases the ghosts; nearest-to-trajectory selection does not.
 
-use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::environment::{Environment, Material, Obstacle};
 use rfly_channel::geometry::{Point2, Segment};
 use rfly_core::loc::peaks::{select_highest_peak, select_nearest_peak};
 use rfly_core::loc::sar::SarLocalizer;
 use rfly_core::loc::trajectory::Trajectory;
+use rfly_dsp::rng::Rng;
 use rfly_dsp::units::Hertz;
 use rfly_dsp::Complex;
 
@@ -68,13 +68,19 @@ fn main() {
         "nearest-to-trajectory (§5.2)".into(),
         fmt_m(near.median()),
         fmt_m(near.quantile(0.9)),
-        format!("{:.0}/{trials}", ((1.0 - near.fraction_below(0.5)) * trials as f64).round()),
+        format!(
+            "{:.0}/{trials}",
+            ((1.0 - near.fraction_below(0.5)) * trials as f64).round()
+        ),
     ]);
     table.row(&[
         "highest peak (naive)".into(),
         fmt_m(high.median()),
         fmt_m(high.quantile(0.9)),
-        format!("{:.0}/{trials}", ((1.0 - high.fraction_below(0.5)) * trials as f64).round()),
+        format!(
+            "{:.0}/{trials}",
+            ((1.0 - high.fraction_below(0.5)) * trials as f64).round()
+        ),
     ]);
     table.print(true);
 

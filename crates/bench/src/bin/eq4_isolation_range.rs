@@ -15,7 +15,7 @@ fn main() {
         &["isolation", "max range", "paper"],
     );
     for iso in (30..=110).step_by(10) {
-        let r = range_for_isolation(Db::new(iso as f64), f);
+        let r = range_for_isolation(Db::new(iso as f64), f).value();
         let paper = match iso {
             30 => "0.75 m",
             80 => "238 m",
@@ -35,7 +35,7 @@ fn main() {
     println!(
         "Shape check: every +20 dB of isolation buys 10x of range; the\n\
          Fig. 9 prototype medians (64-110 dB) support ranges of {:.0}-{:.0} m.",
-        range_for_isolation(Db::new(64.0), f),
-        range_for_isolation(Db::new(110.0), f),
+        range_for_isolation(Db::new(64.0), f).value(),
+        range_for_isolation(Db::new(110.0), f).value(),
     );
 }

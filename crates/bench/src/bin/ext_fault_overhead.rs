@@ -16,12 +16,12 @@ use std::time::Instant;
 
 use rfly_channel::geometry::Point2;
 use rfly_core::relay::gains::IsolationBudget;
+use rfly_drone::kinematics::MotionLimits;
 use rfly_dsp::rng::{Rng, StdRng};
 use rfly_dsp::units::Db;
 use rfly_faults::FaultyMedium;
 use rfly_fleet::inventory::mission_world;
 use rfly_fleet::{assign, partition};
-use rfly_drone::kinematics::MotionLimits;
 use rfly_reader::inventory::InventoryController;
 use rfly_sim::fleet::{FleetMedium, FleetRelay};
 use rfly_sim::report::Table;
@@ -75,8 +75,10 @@ fn run_bare(world: &mut PhasorWorld, fleet: &[FleetRelay]) -> (f64, usize) {
     let mut reads = 0usize;
     let start = Instant::now();
     for stop in 0..STOPS {
-        let mut ctrl =
-            InventoryController::new(world.config.clone(), StdRng::seed_from_u64(SEED ^ stop as u64));
+        let mut ctrl = InventoryController::new(
+            world.config.clone(),
+            StdRng::seed_from_u64(SEED ^ stop as u64),
+        );
         let mut medium = FleetMedium::new(world, fleet.to_vec(), stop % fleet.len());
         reads += ctrl.run_until_quiet(&mut medium, ROUNDS_PER_STOP).len();
         world.power_cycle_tags();
@@ -89,8 +91,10 @@ fn run_wrapped(world: &mut PhasorWorld, fleet: &[FleetRelay]) -> (f64, usize) {
     let mut reads = 0usize;
     let start = Instant::now();
     for stop in 0..STOPS {
-        let mut ctrl =
-            InventoryController::new(world.config.clone(), StdRng::seed_from_u64(SEED ^ stop as u64));
+        let mut ctrl = InventoryController::new(
+            world.config.clone(),
+            StdRng::seed_from_u64(SEED ^ stop as u64),
+        );
         let medium = FleetMedium::new(world, fleet.to_vec(), stop % fleet.len());
         let mut faulty = FaultyMedium::inactive(medium, SEED ^ stop as u64);
         reads += ctrl.run_until_quiet(&mut faulty, ROUNDS_PER_STOP).len();

@@ -15,11 +15,11 @@
 
 use rfly_channel::geometry::Point2;
 use rfly_core::relay::gains::IsolationBudget;
+use rfly_drone::kinematics::MotionLimits;
 use rfly_dsp::rng::{Rng, StdRng};
 use rfly_dsp::units::Db;
 use rfly_fleet::inventory::{mission_world, run_mission, MissionConfig};
 use rfly_fleet::{assign, partition};
-use rfly_drone::kinematics::MotionLimits;
 use rfly_sim::report::Table;
 use rfly_sim::scene::Scene;
 use rfly_tag::population::TagPopulation;
@@ -42,7 +42,10 @@ fn items(scene: &Scene, n: usize, seed: u64) -> TagPopulation {
     let positions: Vec<Point2> = (0..n)
         .map(|_| {
             let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
-            Point2::new(spot.x + rng.gen_range(-0.8..0.8), spot.y - rng.gen_range(0.0..0.5))
+            Point2::new(
+                spot.x + rng.gen_range(-0.8..0.8),
+                spot.y - rng.gen_range(0.0..0.5),
+            )
         })
         .collect();
     TagPopulation::generate(n, &positions, seed ^ 0xF1EE7)

@@ -5,12 +5,12 @@
 //! the embedded tag's channels recovers the global offset; the table
 //! reports residual RMS trajectory error before and after.
 
-use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_channel::geometry::Point2;
 use rfly_channel::phasor::PathSet;
 use rfly_core::loc::selfloc::SelfLocalizer;
-use rfly_dsp::units::Hertz;
+use rfly_dsp::rng::Rng;
+use rfly_dsp::units::{Hertz, Meters};
 use rfly_dsp::Complex;
 
 fn main() {
@@ -30,13 +30,13 @@ fn main() {
     let c0 = Complex::from_polar(0.3, 1.1);
     let channels: Vec<Complex> = truth
         .iter()
-        .map(|p| c0 * PathSet::line_of_sight(p.distance(reader), 0.01).round_trip(f1))
+        .map(|p| c0 * PathSet::line_of_sight(Meters::new(p.distance(reader)), 0.01).round_trip(f1))
         .collect();
 
     let results: Vec<(f64, f64)> = mc.run(trials, |_, rng| {
         let anchor = Point2::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5));
         let believed: Vec<Point2> = truth.iter().map(|p| *p + anchor).collect();
-        let sl = SelfLocalizer::new(f1, 0.6, 0.02);
+        let sl = SelfLocalizer::new(f1, Meters::new(0.6), 0.02);
         let corrected = sl
             .corrected_trajectory(reader, &believed, &channels)
             .expect("correction");
@@ -57,11 +57,22 @@ fn main() {
         "Extension: RF drift correction from the embedded tag's half-link",
         &["stage", "median RMS", "p90 RMS"],
     );
-    table.row(&["before (anchor error)".into(), fmt_m(before.median()), fmt_m(before.quantile(0.9))]);
-    table.row(&["after RF correction".into(), fmt_m(after.median()), fmt_m(after.quantile(0.9))]);
+    table.row(&[
+        "before (anchor error)".into(),
+        fmt_m(before.median()),
+        fmt_m(before.quantile(0.9)),
+    ]);
+    table.row(&[
+        "after RF correction".into(),
+        fmt_m(after.median()),
+        fmt_m(after.quantile(0.9)),
+    ]);
     table.print(true);
 
-    assert!(after.median() < before.median() / 2.0, "must at least halve the error");
+    assert!(
+        after.median() < before.median() / 2.0,
+        "must at least halve the error"
+    );
     println!(
         "Conclusion: the half-link channels the system measures anyway can\n\
          anchor the drone's odometry — §9's future-work direction holds up."

@@ -9,6 +9,7 @@
 
 use rfly_bench::prelude::*;
 use rfly_dsp::spectrum::welch_psd;
+use rfly_dsp::units::{Hertz, Seconds};
 use rfly_dsp::Complex;
 use rfly_protocol::bits::Bits;
 use rfly_protocol::fm0;
@@ -23,14 +24,14 @@ fn main() {
     let timing = LinkTiming::default_profile();
     let encoder = PieEncoder::new(timing, fs)
         .and_then(|e| e.with_depth(0.9))
-        .and_then(|e| e.with_edge_time(3e-6))
+        .and_then(|e| e.with_edge_time(Seconds::new(3e-6)))
         .expect("legal encoder");
     let payload = Bits::from_str01("1000110100101011001010");
     let mut query: Vec<Complex> = Vec::new();
     while query.len() < 1 << 17 {
         query.extend(
             encoder
-                .encode(FrameStart::Preamble, &payload, 200e-6)
+                .encode(FrameStart::Preamble, &payload, Seconds::new(200e-6))
                 .into_iter()
                 .map(Complex::from_re),
         );
@@ -40,7 +41,9 @@ fn main() {
     // The response: a 128-bit EPC frame, FM0 at BLF = 500 kHz
     // (8 samples/symbol at 4 MS/s), as the *differential* backscatter
     // the reader sees after DC cancellation.
-    let epc_bits: String = (0..128).map(|i| if i % 3 == 0 { '1' } else { '0' }).collect();
+    let epc_bits: String = (0..128)
+        .map(|i| if i % 3 == 0 { '1' } else { '0' })
+        .collect();
     let mut reply: Vec<Complex> = Vec::new();
     while reply.len() < 1 << 17 {
         reply.extend(
@@ -59,19 +62,28 @@ fn main() {
         let f = k as f64 * 50e3;
         table.row(&[
             format!("{:+.0} kHz", f / 1e3),
-            fmt_db(query_psd.relative_db_at(f).value()),
-            fmt_db(reply_psd.relative_db_at(f).value()),
+            fmt_db(query_psd.relative_db_at(Hertz(f)).value()),
+            fmt_db(reply_psd.relative_db_at(Hertz(f)).value()),
         ]);
     }
     table.print(true);
 
     let query_bw = query_psd.occupied_bandwidth(0.99);
-    let reply_low = reply_psd.band_power_fraction(-150e3, 150e3);
-    let reply_sub = reply_psd.band_power_fraction(300e3, 700e3)
-        + reply_psd.band_power_fraction(-700e3, -300e3);
-    println!("query 99% occupied bandwidth : +/-{:.0} kHz (paper: <=125 kHz)", query_bw / 1e3);
-    println!("response power in +/-150 kHz : {:.1} % (the guard band)", reply_low * 100.0);
-    println!("response power at 300-700 kHz: {:.1} % (the subcarrier band)", reply_sub * 100.0);
+    let reply_low = reply_psd.band_power_fraction(Hertz(-150e3), Hertz(150e3));
+    let reply_sub = reply_psd.band_power_fraction(Hertz(300e3), Hertz(700e3))
+        + reply_psd.band_power_fraction(Hertz(-700e3), Hertz(-300e3));
+    println!(
+        "query 99% occupied bandwidth : +/-{:.0} kHz (paper: <=125 kHz)",
+        query_bw / 1e3
+    );
+    println!(
+        "response power in +/-150 kHz : {:.1} % (the guard band)",
+        reply_low * 100.0
+    );
+    println!(
+        "response power at 300-700 kHz: {:.1} % (the subcarrier band)",
+        reply_sub * 100.0
+    );
     assert!(query_bw <= 130e3, "query must fit the paper's 125 kHz");
     assert!(reply_sub > 0.5, "response must concentrate at the BLF");
 }

@@ -70,7 +70,11 @@ fn main() {
 
     let mut table = Table::new("Fig. 6 summary", &["case", "error", "paper"]);
     table.row(&["line-of-sight".into(), fmt_m(e_los), "< 0.07 m".into()]);
-    table.row(&["strong multipath".into(), fmt_m(e_mp), "ghosts rejected".into()]);
+    table.row(&[
+        "strong multipath".into(),
+        fmt_m(e_mp),
+        "ghosts rejected".into(),
+    ]);
     table.print(true);
     assert!(e_los < 0.07, "LoS error {e_los} m exceeds the paper's 7 cm");
     assert!(e_mp < 0.3, "multipath error {e_mp} m — ghost not rejected");

@@ -29,7 +29,13 @@ fn main() {
     let mut table = Table::new(
         "Fig. 9: isolation CDF summary, RFly vs analog relay (100 trials)",
         &[
-            "path", "RFly p10", "RFly p50", "RFly p90", "analog p50", "gain p50", "paper p50",
+            "path",
+            "RFly p10",
+            "RFly p50",
+            "RFly p90",
+            "analog p50",
+            "gain p50",
+            "paper p50",
         ],
     );
 
@@ -68,7 +74,10 @@ fn main() {
         measure_isolation(&mut relay, InterferencePath::InterDownlink).value()
     });
     let stats = ErrorStats::new(cdf_vals);
-    let mut cdf = Table::new("Fig. 9(a) CDF series (inter-downlink)", &["isolation", "CDF"]);
+    let mut cdf = Table::new(
+        "Fig. 9(a) CDF series (inter-downlink)",
+        &["isolation", "CDF"],
+    );
     for (v, p) in stats.cdf().into_iter().step_by(10) {
         cdf.row(&[fmt_db(v), format!("{p:.2}")]);
     }

@@ -14,12 +14,12 @@ use rfly_bench::prelude::*;
 use rfly_core::relay::relay::{Relay, RelayConfig};
 use rfly_dsp::complex::{phase_distance, wrap_phase};
 use rfly_dsp::noise::add_awgn;
+use rfly_dsp::rng::Rng;
 use rfly_dsp::Complex;
 use rfly_protocol::bits::Bits;
 use rfly_protocol::fm0;
 use rfly_protocol::timing::TagEncoding;
 use rfly_reader::decoder::decode_backscatter;
-use rfly_dsp::rng::Rng;
 
 const SPS: usize = 8;
 const PAYLOAD: &str = "1011001110001111";

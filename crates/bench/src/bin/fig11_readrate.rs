@@ -64,8 +64,8 @@ fn trial(mode: Mode, distance: f64, seed: u64, rng: &mut rfly_dsp::rng::StdRng) 
         Mode::RelayLos | Mode::RelayNlos => {
             // The drone hovers ~2 m from the tag, at a slightly random
             // offset per trial.
-            let relay_pos = tag_pos
-                + uniform_point(rng, Point2::new(-2.4, -0.4), Point2::new(-1.6, 0.4));
+            let relay_pos =
+                tag_pos + uniform_point(rng, Point2::new(-2.4, -0.4), Point2::new(-1.6, 0.4));
             controller.run_until_quiet(&mut world.relayed_medium(relay_pos), 4)
         }
     };
@@ -83,7 +83,9 @@ fn main() {
         &["distance", "no relay", "relay LoS", "relay NLoS"],
     );
     let mut series: Vec<(f64, [f64; 3])> = Vec::new();
-    for d in [1.0, 2.5, 5.0, 7.5, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0, 55.0, 60.0] {
+    for d in [
+        1.0, 2.5, 5.0, 7.5, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0, 55.0, 60.0,
+    ] {
         let mut rates = [0.0f64; 3];
         for (i, mode) in [Mode::NoRelay, Mode::RelayLos, Mode::RelayNlos]
             .into_iter()

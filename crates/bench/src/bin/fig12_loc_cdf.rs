@@ -4,11 +4,11 @@
 //! Paper: median 19 cm, 90th percentile 53 cm, across LoS and NLoS
 //! placements spanning a 30 × 40 m building with steel shelving.
 
-use rfly_dsp::rng::Rng;
 use rfly_bench::prelude::*;
 use rfly_bench::{localization_trial, uniform_point};
 use rfly_channel::geometry::Point2;
 use rfly_core::loc::trajectory::Trajectory;
+use rfly_dsp::rng::Rng;
 use rfly_dsp::units::Db;
 use rfly_sim::scene::Scene;
 
@@ -42,11 +42,7 @@ fn main() {
             .copied()
             .expect("scene has aisles");
         let y = aisle.a.y;
-        let traj = Trajectory::line(
-            Point2::new(tag.x - 1.5, y),
-            Point2::new(tag.x + 1.5, y),
-            31,
-        );
+        let traj = Trajectory::line(Point2::new(tag.x - 1.5, y), Point2::new(tag.x + 1.5, y), 31);
         // Reader placement: anywhere in the building from which the
         // relay is reachable (Eq. 3 feasible) — the paper likewise
         // evaluates within the system's operating area. Rejection-sample
@@ -97,10 +93,22 @@ fn main() {
         "Fig. 12: localization error CDF (building-wide trials)",
         &["metric", "RFly", "paper"],
     );
-    table.row(&["trials localized".into(), format!("{localized}/{trials}"), "100/100".into()]);
+    table.row(&[
+        "trials localized".into(),
+        format!("{localized}/{trials}"),
+        "100/100".into(),
+    ]);
     table.row(&["median".into(), fmt_m(stats.median()), "0.19 m".into()]);
-    table.row(&["90th percentile".into(), fmt_m(stats.quantile(0.9)), "0.53 m".into()]);
-    table.row(&["99th percentile".into(), fmt_m(stats.quantile(0.99)), "-".into()]);
+    table.row(&[
+        "90th percentile".into(),
+        fmt_m(stats.quantile(0.9)),
+        "0.53 m".into(),
+    ]);
+    table.row(&[
+        "99th percentile".into(),
+        fmt_m(stats.quantile(0.99)),
+        "-".into(),
+    ]);
     table.print(true);
 
     let mut cdf = Table::new("Fig. 12 CDF series", &["error", "CDF"]);
@@ -113,7 +121,11 @@ fn main() {
     // racks with no feasible reader position) — the real system has the
     // same blind trials; the paper's CDF is over successful operation.
     assert!(localized >= trials * 8 / 10, "too many failed trials");
-    assert!(stats.median() < 0.35, "median {} m too large", stats.median());
+    assert!(
+        stats.median() < 0.35,
+        "median {} m too large",
+        stats.median()
+    );
     assert!(
         stats.quantile(0.9) < 1.0,
         "90th pct {} m too large",

@@ -7,13 +7,13 @@
 //! still improving out to 2.5 m (< 7 cm). RSSI: ~1 m even at 2.5 m
 //! aperture — about 20× worse.
 
-use rfly_dsp::rng::Rng;
-use rfly_bench::prelude::*;
 use rfly_bench::localization_trial;
+use rfly_bench::prelude::*;
 use rfly_channel::environment::{Environment, Material, Obstacle};
 use rfly_channel::geometry::{Point2, Segment};
 use rfly_core::loc::trajectory::Trajectory;
-use rfly_dsp::units::Db;
+use rfly_dsp::rng::Rng;
+use rfly_dsp::units::{Db, Meters};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -46,7 +46,12 @@ fn main() {
     let mut table = Table::new(
         "Fig. 13: localization error vs aperture (reader ~5 m away)",
         &[
-            "aperture", "SAR p10", "SAR p50", "SAR p90", "RSSI p50", "paper SAR p50",
+            "aperture",
+            "SAR p10",
+            "SAR p50",
+            "SAR p90",
+            "RSSI p50",
+            "paper SAR p50",
         ],
     );
     let mut sar_medians = Vec::new();
@@ -58,15 +63,12 @@ fn main() {
         (2.0, "~0.04 m"),
         (2.5, "~0.03 m"),
     ] {
-        let (traj, _) = full.truncate_aperture(aperture);
+        let (traj, _) = full.truncate_aperture(Meters::new(aperture));
         let results: Vec<(f64, f64)> = mc
             .run(trials, |t, rng| {
                 // Tag position varies; average relay–tag range fixed
                 // (~1.5 m off the path, near the aperture center).
-                let tag = Point2::new(
-                    5.25 + rng.gen_range(-0.8..0.8),
-                    rng.gen_range(1.1..1.9),
-                );
+                let tag = Point2::new(5.25 + rng.gen_range(-0.8..0.8), rng.gen_range(1.1..1.9));
                 let region = (Point2::new(3.0, 0.1), Point2::new(7.5, 3.5));
                 localization_trial(
                     &env,

@@ -11,14 +11,14 @@
 //! extra two-way path loss of the projected link relative to the
 //! physical one is applied as an SNR penalty on every measurement.
 
-use rfly_dsp::rng::Rng;
-use rfly_bench::prelude::*;
 use rfly_bench::localization_trial;
+use rfly_bench::prelude::*;
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
 use rfly_channel::pathloss::free_space_db;
 use rfly_core::loc::trajectory::Trajectory;
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::rng::Rng;
+use rfly_dsp::units::{Db, Hertz, Meters};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,12 +31,17 @@ fn main() {
     // Physical geometry: reader 6 m from a 1 m aperture.
     let reader = Point2::new(0.0, 0.0);
     let traj = Trajectory::line(Point2::new(5.5, 0.0), Point2::new(6.5, 0.0), 21);
-    let physical_loss = free_space_db(6.0, f);
+    let physical_loss = free_space_db(Meters::new(6.0), f);
 
     let mut table = Table::new(
         "Fig. 14: localization error vs projected reader distance (1 m aperture)",
         &[
-            "distance", "SAR p10", "SAR p50", "SAR p90", "RSSI p50", "paper SAR p50/p90",
+            "distance",
+            "SAR p10",
+            "SAR p50",
+            "SAR p90",
+            "RSSI p50",
+            "paper SAR p50/p90",
         ],
     );
     let mut sar_by_d = Vec::new();
@@ -56,7 +61,10 @@ fn main() {
         // less SNR headroom than our §6.1-maximized defaults.
         const LAB_GAIN_BACKOFF_DB: f64 = 32.0;
         let penalty = Db::new(
-            2.0 * (free_space_db(d, f) - physical_loss).value().max(0.0) + LAB_GAIN_BACKOFF_DB,
+            2.0 * (free_space_db(Meters::new(d), f) - physical_loss)
+                .value()
+                .max(0.0)
+                + LAB_GAIN_BACKOFF_DB,
         );
         let results: Vec<(f64, f64)> = mc
             .run(trials, |t, rng| {
@@ -99,5 +107,7 @@ fn main() {
         "90th percentile must degrade with distance"
     );
     assert!(at(40.0).3 > at(40.0).1 * 3.0, "RSSI must remain much worse");
-    println!("Shape check: error grows with projected distance (SNR), SAR stays sub-meter at 40 m.");
+    println!(
+        "Shape check: error grows with projected distance (SNR), SAR stays sub-meter at 40 m."
+    );
 }

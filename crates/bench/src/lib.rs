@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-bench — experiment harness shared code
 //!
 //! Each binary in `src/bin/` regenerates one figure (or table) of the
@@ -17,7 +18,7 @@ use rfly_channel::pathloss::free_space_amplitude;
 use rfly_core::loc::rssi::RssiLocalizer;
 use rfly_core::loc::sar::SarLocalizer;
 use rfly_core::loc::trajectory::Trajectory;
-use rfly_dsp::units::Hertz;
+use rfly_dsp::units::{Hertz, Meters};
 use rfly_dsp::Complex;
 use rfly_reader::config::ReaderConfig;
 use rfly_sim::world::{PhasorWorld, RelayModel};
@@ -107,7 +108,7 @@ pub fn localization_trial(
         region_min: region.0,
         region_max: region.1,
         resolution: 0.04,
-        reference_amplitude_1m: free_space_amplitude(1.0, f2).powi(2) / local_mag,
+        reference_amplitude_1m: free_space_amplitude(Meters::new(1.0), f2).powi(2) / local_mag,
     };
     let rssi_err = rssi
         .localize(&used, &channels)

@@ -7,7 +7,7 @@
 //! on orientation alignment — the source of the blind spots [31] that
 //! motivate the drone in the first place.
 
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::units::{Db, Hertz, Meters};
 
 use crate::geometry::Point2;
 
@@ -102,7 +102,7 @@ impl Antenna {
     }
 }
 
-/// Near-field mutual coupling between two antennas `separation_m` apart
+/// Near-field mutual coupling between two antennas `separation` apart
 /// on the same board, including polarization isolation.
 ///
 /// We model coupling as free-space loss at the separation distance plus
@@ -110,12 +110,12 @@ impl Antenna {
 /// than Friis predicts; 10 dB excess is typical of co-planar PCB
 /// antennas) minus the cross-polarization discrimination.
 pub fn mutual_coupling(
-    separation_m: f64,
+    separation: Meters,
     freq: Hertz,
     pol_a: Polarization,
     pol_b: Polarization,
 ) -> Db {
-    let friis = crate::pathloss::free_space_db(separation_m, freq);
+    let friis = crate::pathloss::free_space_db(separation, freq);
     let near_field_excess = Db::new(10.0);
     // Total attenuation from one antenna's port to the other's:
     (friis - near_field_excess + pol_a.isolation_to(pol_b)).max(Db::new(0.0))
@@ -173,16 +173,31 @@ mod tests {
         // ~11.7 dB; minus 10 dB near-field excess ≈ 1.7 dB — almost no
         // isolation, which is exactly why a naive analog relay cannot
         // amplify much (§4.1).
-        let co = mutual_coupling(0.10, F, Polarization::Vertical, Polarization::Vertical);
+        let co = mutual_coupling(
+            Meters::new(0.10),
+            F,
+            Polarization::Vertical,
+            Polarization::Vertical,
+        );
         assert!(co.value() < 5.0, "co-pol coupling {co}");
         // Cross-polarized: +20 dB.
-        let cross = mutual_coupling(0.10, F, Polarization::Vertical, Polarization::Horizontal);
+        let cross = mutual_coupling(
+            Meters::new(0.10),
+            F,
+            Polarization::Vertical,
+            Polarization::Horizontal,
+        );
         assert!((cross.value() - co.value() - 20.0).abs() < 1e-9);
     }
 
     #[test]
     fn coupling_never_negative() {
-        let c = mutual_coupling(0.01, F, Polarization::Vertical, Polarization::Vertical);
+        let c = mutual_coupling(
+            Meters::new(0.01),
+            F,
+            Polarization::Vertical,
+            Polarization::Vertical,
+        );
         assert!(c.value() >= 0.0);
     }
 

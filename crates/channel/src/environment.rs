@@ -7,7 +7,7 @@
 //! one first-order specular reflection per reflector computed by the
 //! image method.
 
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::units::{Db, Hertz, Meters};
 
 use crate::geometry::{Point2, Segment};
 use crate::pathloss::free_space_amplitude;
@@ -141,14 +141,14 @@ impl Environment {
         let d = tx.distance(rx);
         if d > 0.0 {
             let (loss, _) = self.transmission_loss(tx, rx);
-            let amp = free_space_amplitude(d, freq) * (-loss).amplitude();
-            paths.push(Path::new(d, amp));
+            let amp = free_space_amplitude(Meters::new(d), freq) * (-loss).amplitude();
+            paths.push(Path::new(Meters::new(d), amp));
         }
 
         // First-order reflections via the image method.
         for (idx, o) in self.obstacles.iter().enumerate() {
             if let Some((point, total_len)) = reflection_point(o.segment, tx, rx) {
-                let mut amp = free_space_amplitude(total_len, freq)
+                let mut amp = free_space_amplitude(Meters::new(total_len), freq)
                     * (-o.material.reflection_loss).amplitude();
                 // Transmission losses through *other* obstacles on both
                 // legs.
@@ -162,7 +162,7 @@ impl Environment {
                         }
                     }
                 }
-                paths.push(Path::new(total_len, amp));
+                paths.push(Path::new(Meters::new(total_len), amp));
             }
         }
 
@@ -174,10 +174,9 @@ impl Environment {
                     if i == j {
                         continue;
                     }
-                    if let Some((p1, p2, total_len)) =
-                        double_bounce(oi.segment, oj.segment, tx, rx)
+                    if let Some((p1, p2, total_len)) = double_bounce(oi.segment, oj.segment, tx, rx)
                     {
-                        let mut amp = free_space_amplitude(total_len, freq)
+                        let mut amp = free_space_amplitude(Meters::new(total_len), freq)
                             * (-oi.material.reflection_loss).amplitude()
                             * (-oj.material.reflection_loss).amplitude();
                         for (kdx, other) in self.obstacles.iter().enumerate() {
@@ -194,7 +193,7 @@ impl Environment {
                                 }
                             }
                         }
-                        paths.push(Path::new(total_len, amp));
+                        paths.push(Path::new(Meters::new(total_len), amp));
                     }
                 }
             }
@@ -206,15 +205,10 @@ impl Environment {
 
 /// Double-bounce geometry tx → a → b → rx via the image-of-image
 /// method. Returns the two bounce points and the total path length.
-fn double_bounce(
-    a: Segment,
-    b: Segment,
-    tx: Point2,
-    rx: Point2,
-) -> Option<(Point2, Point2, f64)> {
+fn double_bounce(a: Segment, b: Segment, tx: Point2, rx: Point2) -> Option<(Point2, Point2, f64)> {
     let t1 = a.mirror(tx); // tx's image in wall a
     let t2 = b.mirror(t1); // that image's image in wall b
-    // The last leg: the ray from t2 to rx must cross wall b.
+                           // The last leg: the ray from t2 to rx must cross wall b.
     let p2 = b.intersection(Segment::new(t2, rx))?;
     // The middle leg: from t1 toward p2 must cross wall a.
     let p1 = a.intersection(Segment::new(t1, p2))?;
@@ -265,7 +259,7 @@ mod tests {
         let env = Environment::free_space();
         let ps = env.trace(Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), F);
         assert_eq!(ps.len(), 1);
-        assert!((ps.direct().unwrap().length_m - 5.0).abs() < 1e-12);
+        assert!((ps.direct().unwrap().length.value() - 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -281,11 +275,11 @@ mod tests {
         let refl = ps
             .paths()
             .iter()
-            .find(|p| p.length_m > 4.1)
+            .find(|p| p.length.value() > 4.1)
             .expect("reflected path present");
-        assert!((refl.length_m - (16.0f64 + 36.0).sqrt()).abs() < 1e-9);
+        assert!((refl.length.value() - (16.0f64 + 36.0).sqrt()).abs() < 1e-9);
         // Reflection is longer than direct — the §5.2 invariant.
-        assert!(refl.length_m > ps.direct().unwrap().length_m);
+        assert!(refl.length.value() > ps.direct().unwrap().length.value());
     }
 
     #[test]
@@ -352,11 +346,14 @@ mod tests {
         let bounce = ps
             .paths()
             .iter()
-            .find(|p| p.length_m > 5.0)
+            .find(|p| p.length.value() > 5.0)
             .expect("bounce path exists");
-        let free_bounce = free_space_amplitude(bounce.length_m, F)
+        let free_bounce = free_space_amplitude(bounce.length, F)
             * (-Material::STEEL_SHELF.reflection_loss).amplitude();
-        let expected = free_bounce * (-Material::CONCRETE_WALL.transmission_loss).amplitude().powi(2);
+        let expected = free_bounce
+            * (-Material::CONCRETE_WALL.transmission_loss)
+                .amplitude()
+                .powi(2);
         assert!(
             (bounce.amplitude - expected).abs() / expected < 1e-9,
             "bounce amplitude {} vs expected {}",
@@ -379,8 +376,8 @@ mod tests {
         // enough to host the bounce point).
         assert_eq!(ps.len(), 4);
         // Every reflection is strictly longer than the direct path.
-        let d = ps.direct().unwrap().length_m;
-        assert!(ps.paths().iter().filter(|p| p.length_m > d).count() == 3);
+        let d = ps.direct().unwrap().length.value();
+        assert!(ps.paths().iter().filter(|p| p.length.value() > d).count() == 3);
     }
 
     #[test]
@@ -416,7 +413,7 @@ mod tests {
         assert!(
             both.paths()
                 .iter()
-                .any(|p| (p.length_m - expected).abs() < 1e-9),
+                .any(|p| (p.length.value() - expected).abs() < 1e-9),
             "double bounce at {expected} m missing"
         );
         // Double bounces are weaker than the same-length free space
@@ -424,9 +421,9 @@ mod tests {
         let db = both
             .paths()
             .iter()
-            .find(|p| (p.length_m - expected).abs() < 1e-9)
+            .find(|p| (p.length.value() - expected).abs() < 1e-9)
             .unwrap();
-        let free = crate::pathloss::free_space_amplitude(expected, F);
+        let free = crate::pathloss::free_space_amplitude(Meters::new(expected), F);
         assert!(db.amplitude < free * 0.5);
     }
 
@@ -455,9 +452,9 @@ mod tests {
         let tx = Point2::new(0.0, 1.5);
         let rx = Point2::new(2.0, 1.5);
         let ps = env.trace(tx, rx, F);
-        let direct = ps.direct().unwrap().length_m;
+        let direct = ps.direct().unwrap().length.value();
         for p in ps.paths() {
-            assert!(p.length_m >= direct - 1e-9);
+            assert!(p.length.value() >= direct - 1e-9);
         }
     }
 }

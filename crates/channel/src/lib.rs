@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-channel — RF propagation substrate for RFly
 //!
 //! Models everything between antennas: geometry, free-space and

@@ -115,7 +115,8 @@ pub fn monostatic_backscatter(
 ) -> (Dbm, Dbm) {
     let incident = budget.received_power(tag_channel_power) - budget.rx_gain;
     // Tag re-radiates through the same channel back to the reader.
-    let returned = incident + backscatter.gain() + Db::from_linear(tag_channel_power) + budget.rx_gain;
+    let returned =
+        incident + backscatter.gain() + Db::from_linear(tag_channel_power) + budget.rx_gain;
     (incident, returned)
 }
 
@@ -123,6 +124,7 @@ pub fn monostatic_backscatter(
 mod tests {
     use super::*;
     use crate::pathloss::free_space_db;
+    use rfly_dsp::units::Meters;
 
     const F: Hertz = Hertz(915e6);
 
@@ -136,7 +138,7 @@ mod tests {
     fn received_power_friis_sanity() {
         let b = LinkBudget::rfid_reader();
         // 10 m free space at 915 MHz: loss ≈ 51.7 dB.
-        let loss = free_space_db(10.0, F);
+        let loss = free_space_db(Meters::new(10.0), F);
         let rx = b.received_power(Db::from_linear(1.0).linear() * (-loss).linear());
         let expected = 30.0 + 6.0 + 6.0 - loss.value();
         assert!((rx.value() - expected).abs() < 1e-9);
@@ -157,12 +159,15 @@ mod tests {
         // The −15 dBm threshold [12] against a 36 dBm EIRP reader should
         // hold out to a few meters — the 3–6 m of §2.
         let b = LinkBudget::rfid_reader();
-        let ch_5m = (-free_space_db(5.0, F)).linear();
+        let ch_5m = (-free_space_db(Meters::new(5.0), F)).linear();
         let (incident, _) = monostatic_backscatter(&b, ch_5m, &Backscatter::passive_tag());
         assert!(incident.value() > -15.0, "tag dead at 5 m: {incident}");
-        let ch_30m = (-free_space_db(30.0, F)).linear();
+        let ch_30m = (-free_space_db(Meters::new(30.0), F)).linear();
         let (incident30, _) = monostatic_backscatter(&b, ch_30m, &Backscatter::passive_tag());
-        assert!(incident30.value() < -15.0, "tag alive at 30 m: {incident30}");
+        assert!(
+            incident30.value() < -15.0,
+            "tag alive at 30 m: {incident30}"
+        );
     }
 
     #[test]
@@ -180,10 +185,10 @@ mod tests {
     #[test]
     fn round_trip_is_twice_the_one_way_loss() {
         let b = LinkBudget::rfid_reader();
-        let ch = (-free_space_db(4.0, F)).linear();
+        let ch = (-free_space_db(Meters::new(4.0), F)).linear();
         let (incident, returned) = monostatic_backscatter(&b, ch, &Backscatter::passive_tag());
         // returned − incident = backscatter gain + one-way loss + rx gain.
-        let one_way = free_space_db(4.0, F).value();
+        let one_way = free_space_db(Meters::new(4.0), F).value();
         let expected_delta = -5.0 - one_way + 6.0;
         assert!(((returned - incident).value() - expected_delta).abs() < 1e-9);
     }
@@ -191,9 +196,12 @@ mod tests {
     #[test]
     fn received_power_over_pathset() {
         let b = LinkBudget::rfid_reader();
-        let ps = PathSet::line_of_sight(10.0, (-free_space_db(10.0, F)).amplitude());
+        let ps = PathSet::line_of_sight(
+            Meters::new(10.0),
+            (-free_space_db(Meters::new(10.0), F)).amplitude(),
+        );
         let direct = b.received_power_over(&ps, F);
-        let manual = b.received_power((-free_space_db(10.0, F)).linear());
+        let manual = b.received_power((-free_space_db(Meters::new(10.0), F)).linear());
         assert!((direct.value() - manual.value()).abs() < 1e-9);
     }
 

@@ -8,42 +8,44 @@
 use rfly_dsp::rng::Rng;
 
 use rfly_dsp::noise::lognormal_shadowing;
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::units::{Db, Hertz, Meters};
 
 /// Free-space path loss `20·log10(4πd/λ)` (Friis, isotropic antennas).
 ///
 /// Clamps distance to λ/(4π) (the far-field reference where loss is
 /// 0 dB) to avoid negative loss at unphysically small distances.
-pub fn free_space_db(distance_m: f64, freq: Hertz) -> Db {
-    assert!(distance_m >= 0.0, "distance cannot be negative");
+pub fn free_space_db(distance: Meters, freq: Hertz) -> Db {
+    assert!(distance.value() >= 0.0, "distance cannot be negative");
     let lambda = freq.wavelength();
-    let d = distance_m.max(lambda / (4.0 * std::f64::consts::PI));
+    let d = distance.value().max(lambda / (4.0 * std::f64::consts::PI));
     Db::new(20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10())
 }
 
 /// Inverts Eq. 3/4 of the paper: the maximum range at which path loss
 /// equals a given isolation `I`, i.e. `R = (λ/4π)·10^{I/20}`.
-pub fn range_for_isolation(isolation: Db, freq: Hertz) -> f64 {
-    freq.wavelength() / (4.0 * std::f64::consts::PI) * 10f64.powf(isolation.value() / 20.0)
+pub fn range_for_isolation(isolation: Db, freq: Hertz) -> Meters {
+    Meters::new(
+        freq.wavelength() / (4.0 * std::f64::consts::PI) * 10f64.powf(isolation.value() / 20.0),
+    )
 }
 
 /// The amplitude attenuation factor (linear, ≤ 1) for free-space
-/// propagation over `distance_m`.
-pub fn free_space_amplitude(distance_m: f64, freq: Hertz) -> f64 {
-    (-free_space_db(distance_m, freq)).amplitude()
+/// propagation over `distance`.
+pub fn free_space_amplitude(distance: Meters, freq: Hertz) -> f64 {
+    (-free_space_db(distance, freq)).amplitude()
 }
 
 /// A log-distance path-loss model with shadowing:
 /// `PL(d) = PL(d0) + 10·n·log10(d/d0) + X_σ`.
 #[derive(Debug, Clone, Copy)]
 pub struct LogDistance {
-    /// Reference distance d0, meters (usually 1 m).
-    pub d0_m: f64,
+    /// Reference distance d0 (usually 1 m).
+    pub d0: Meters,
     /// Path-loss exponent n. Free space is 2.0; cluttered indoor
     /// line-of-sight is typically 1.6–2.0, obstructed 2.5–4.
     pub exponent: f64,
-    /// Standard deviation of log-normal shadowing, dB.
-    pub shadowing_sigma_db: f64,
+    /// Standard deviation of log-normal shadowing.
+    pub shadowing_sigma: Db,
     /// Carrier frequency (sets PL(d0) via free space).
     pub freq: Hertz,
 }
@@ -52,9 +54,9 @@ impl LogDistance {
     /// A free-space-equivalent model (n = 2, no shadowing).
     pub fn free_space(freq: Hertz) -> Self {
         Self {
-            d0_m: 1.0,
+            d0: Meters::new(1.0),
             exponent: 2.0,
-            shadowing_sigma_db: 0.0,
+            shadowing_sigma: Db::new(0.0),
             freq,
         }
     }
@@ -64,9 +66,9 @@ impl LogDistance {
     /// but fluctuates).
     pub fn indoor_los(freq: Hertz) -> Self {
         Self {
-            d0_m: 1.0,
+            d0: Meters::new(1.0),
             exponent: 1.8,
-            shadowing_sigma_db: 3.0,
+            shadowing_sigma: Db::new(3.0),
             freq,
         }
     }
@@ -74,28 +76,27 @@ impl LogDistance {
     /// Indoor non-line-of-sight defaults (n = 3.0, σ = 5 dB).
     pub fn indoor_nlos(freq: Hertz) -> Self {
         Self {
-            d0_m: 1.0,
+            d0: Meters::new(1.0),
             exponent: 3.0,
-            shadowing_sigma_db: 5.0,
+            shadowing_sigma: Db::new(5.0),
             freq,
         }
     }
 
-    /// Mean (non-shadowed) path loss at `distance_m`.
-    pub fn mean_loss(&self, distance_m: f64) -> Db {
-        let d = distance_m.max(self.d0_m * 1e-3);
-        free_space_db(self.d0_m, self.freq)
-            + Db::new(10.0 * self.exponent * (d / self.d0_m).log10())
+    /// Mean (non-shadowed) path loss at `distance`.
+    pub fn mean_loss(&self, distance: Meters) -> Db {
+        let d = distance.max(self.d0 * 1e-3);
+        free_space_db(self.d0, self.freq) + Db::new(10.0 * self.exponent * (d / self.d0).log10())
     }
 
     /// Path loss with a shadowing draw from `rng`.
-    pub fn sample_loss<R: Rng>(&self, distance_m: f64, rng: &mut R) -> Db {
-        let shadow = if self.shadowing_sigma_db > 0.0 {
-            Db::from_linear(lognormal_shadowing(rng, self.shadowing_sigma_db))
+    pub fn sample_loss<R: Rng>(&self, distance: Meters, rng: &mut R) -> Db {
+        let shadow = if self.shadowing_sigma.value() > 0.0 {
+            Db::from_linear(lognormal_shadowing(rng, self.shadowing_sigma))
         } else {
             Db::new(0.0)
         };
-        self.mean_loss(distance_m) + shadow
+        self.mean_loss(distance) + shadow
     }
 }
 
@@ -108,10 +109,10 @@ mod tests {
     #[test]
     fn free_space_reference_values() {
         // At 915 MHz, 1 m: 20·log10(4π/0.3276) ≈ 31.7 dB.
-        let l1 = free_space_db(1.0, F);
+        let l1 = free_space_db(Meters::new(1.0), F);
         assert!((l1.value() - 31.7).abs() < 0.2, "l1 = {l1}");
         // Doubling distance adds 6 dB.
-        let l2 = free_space_db(2.0, F);
+        let l2 = free_space_db(Meters::new(2.0), F);
         assert!((l2.value() - l1.value() - 6.02).abs() < 0.01);
     }
 
@@ -121,9 +122,9 @@ mod tests {
         // while an isolation of 80 dB results in a range of 238 m."
         // (the paper's numbers round λ ≈ 0.3 m)
         let r30 = range_for_isolation(Db::new(30.0), F);
-        assert!((r30 - 0.82).abs() < 0.1, "r30 = {r30}");
+        assert!((r30.value() - 0.82).abs() < 0.1, "r30 = {r30}");
         let r80 = range_for_isolation(Db::new(80.0), F);
-        assert!((r80 - 260.0).abs() < 30.0, "r80 = {r80}");
+        assert!((r80.value() - 260.0).abs() < 30.0, "r80 = {r80}");
     }
 
     #[test]
@@ -137,15 +138,26 @@ mod tests {
 
     #[test]
     fn amplitude_matches_loss() {
-        let a = free_space_amplitude(10.0, F);
-        let l = free_space_db(10.0, F);
+        let a = free_space_amplitude(Meters::new(10.0), F);
+        let l = free_space_db(Meters::new(10.0), F);
         assert!((Db::from_amplitude(a).value() + l.value()).abs() < 1e-9);
         assert!(a < 1.0);
     }
 
     #[test]
+    fn amplitude_uses_20log_power_uses_10log() {
+        // Guards the classic dB mixup: amplitude ratios are 20·log10,
+        // power ratios 10·log10 — so the squared amplitude factor must
+        // reproduce the linear power ratio exactly.
+        let d = Meters::new(7.0);
+        let a = free_space_amplitude(d, F);
+        let lin = (-free_space_db(d, F)).linear();
+        assert!((a * a - lin).abs() / lin < 1e-12);
+    }
+
+    #[test]
     fn tiny_distance_clamps_to_zero_loss() {
-        let l = free_space_db(0.0, F);
+        let l = free_space_db(Meters::new(0.0), F);
         assert!(l.value().abs() < 1e-9);
     }
 
@@ -153,6 +165,7 @@ mod tests {
     fn log_distance_free_space_matches_friis() {
         let m = LogDistance::free_space(F);
         for d in [1.0, 3.0, 10.0, 50.0] {
+            let d = Meters::new(d);
             assert!((m.mean_loss(d).value() - free_space_db(d, F).value()).abs() < 1e-9);
         }
     }
@@ -161,23 +174,29 @@ mod tests {
     fn nlos_exponent_loses_more() {
         let los = LogDistance::indoor_los(F);
         let nlos = LogDistance::indoor_nlos(F);
-        assert!(nlos.mean_loss(20.0).value() > los.mean_loss(20.0).value() + 10.0);
+        let d = Meters::new(20.0);
+        assert!(nlos.mean_loss(d).value() > los.mean_loss(d).value() + 10.0);
     }
 
     #[test]
     fn shadowing_has_zero_median_and_spread() {
         let m = LogDistance {
-            d0_m: 1.0,
+            d0: Meters::new(1.0),
             exponent: 2.0,
-            shadowing_sigma_db: 4.0,
+            shadowing_sigma: Db::new(4.0),
             freq: F,
         };
         let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(11);
-        let mean = m.mean_loss(10.0).value();
-        let mut draws: Vec<f64> = (0..4001).map(|_| m.sample_loss(10.0, &mut rng).value()).collect();
+        let mean = m.mean_loss(Meters::new(10.0)).value();
+        let mut draws: Vec<f64> = (0..4001)
+            .map(|_| m.sample_loss(Meters::new(10.0), &mut rng).value())
+            .collect();
         draws.sort_by(f64::total_cmp);
         let median = draws[draws.len() / 2];
-        assert!((median - mean).abs() < 0.3, "median {median} vs mean {mean}");
+        assert!(
+            (median - mean).abs() < 0.3,
+            "median {median} vs mean {mean}"
+        );
         let spread = draws[(draws.len() as f64 * 0.84) as usize] - median;
         assert!((spread - 4.0).abs() < 0.6, "sigma ≈ {spread}");
     }

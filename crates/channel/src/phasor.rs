@@ -12,15 +12,15 @@
 //! localizer's test code reason about ground truth, and lets the
 //! simulator re-evaluate the same geometry at many frequencies.
 
-use rfly_dsp::units::Hertz;
+use rfly_dsp::units::{Hertz, Meters};
 use rfly_dsp::{Complex, SPEED_OF_LIGHT};
 
 /// One propagation path: a one-way length and a (real, non-negative)
 /// amplitude gain. Phase is derived from length and frequency.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Path {
-    /// One-way path length, meters.
-    pub length_m: f64,
+    /// One-way path length.
+    pub length: Meters,
     /// Amplitude gain along the path (free-space attenuation × antenna
     /// gains × reflection losses), linear.
     pub amplitude: f64,
@@ -28,13 +28,10 @@ pub struct Path {
 
 impl Path {
     /// Creates a path.
-    pub fn new(length_m: f64, amplitude: f64) -> Self {
-        assert!(length_m >= 0.0, "path length cannot be negative");
+    pub fn new(length: Meters, amplitude: f64) -> Self {
+        assert!(length.value() >= 0.0, "path length cannot be negative");
         assert!(amplitude >= 0.0, "amplitude gain cannot be negative");
-        Self {
-            length_m,
-            amplitude,
-        }
+        Self { length, amplitude }
     }
 
     /// The channel contribution of this path at frequency `f`, using
@@ -48,7 +45,7 @@ impl Path {
     pub fn coefficient(&self, f: Hertz) -> Complex {
         Complex::from_polar(
             self.amplitude,
-            -std::f64::consts::TAU * f.as_hz() * self.length_m / SPEED_OF_LIGHT,
+            -std::f64::consts::TAU * f.as_hz() * self.length.value() / SPEED_OF_LIGHT,
         )
     }
 }
@@ -66,9 +63,9 @@ impl PathSet {
     }
 
     /// A single line-of-sight path.
-    pub fn line_of_sight(length_m: f64, amplitude: f64) -> Self {
+    pub fn line_of_sight(length: Meters, amplitude: f64) -> Self {
         Self {
-            paths: vec![Path::new(length_m, amplitude)],
+            paths: vec![Path::new(length, amplitude)],
         }
     }
 
@@ -103,7 +100,7 @@ impl PathSet {
     pub fn direct(&self) -> Option<&Path> {
         self.paths
             .iter()
-            .min_by(|a, b| a.length_m.total_cmp(&b.length_m))
+            .min_by(|a, b| a.length.value().total_cmp(&b.length.value()))
     }
 
     /// The strongest path, if any — *not* necessarily the direct one
@@ -146,7 +143,7 @@ impl PathSet {
             paths: self
                 .paths
                 .iter()
-                .map(|p| Path::new(p.length_m, p.amplitude * factor))
+                .map(|p| Path::new(p.length, p.amplitude * factor))
                 .collect(),
         }
     }
@@ -190,7 +187,7 @@ mod tests {
     #[test]
     fn single_path_phase_matches_distance() {
         let d = 3.2;
-        let p = PathSet::line_of_sight(d, 1.0);
+        let p = PathSet::line_of_sight(Meters::new(d), 1.0);
         let h = p.channel(F);
         let expected = -std::f64::consts::TAU * F.as_hz() * d / SPEED_OF_LIGHT;
         assert!((rfly_dsp::complex::phase_distance(h.arg(), expected)) < 1e-9);
@@ -200,20 +197,21 @@ mod tests {
     #[test]
     fn wavelength_periodicity() {
         let lambda = F.wavelength();
-        let a = PathSet::line_of_sight(5.0, 1.0).channel(F);
-        let b = PathSet::line_of_sight(5.0 + lambda, 1.0).channel(F);
+        let a = PathSet::line_of_sight(Meters::new(5.0), 1.0).channel(F);
+        let b = PathSet::line_of_sight(Meters::new(5.0 + lambda), 1.0).channel(F);
         assert!((a - b).abs() < 1e-6);
-        let c = PathSet::line_of_sight(5.0 + lambda / 2.0, 1.0).channel(F);
+        let c = PathSet::line_of_sight(Meters::new(5.0 + lambda / 2.0), 1.0).channel(F);
         assert!((a + c).abs() < 1e-6, "half wavelength flips sign");
     }
 
     #[test]
     fn two_paths_superpose() {
         let mut ps = PathSet::blocked();
-        ps.push(Path::new(1.0, 0.5));
-        ps.push(Path::new(2.0, 0.25));
+        ps.push(Path::new(Meters::new(1.0), 0.5));
+        ps.push(Path::new(Meters::new(2.0), 0.25));
         let h = ps.channel(F);
-        let manual = Path::new(1.0, 0.5).coefficient(F) + Path::new(2.0, 0.25).coefficient(F);
+        let manual = Path::new(Meters::new(1.0), 0.5).coefficient(F)
+            + Path::new(Meters::new(2.0), 0.25).coefficient(F);
         assert!((h - manual).abs() < 1e-15);
         assert_eq!(ps.len(), 2);
     }
@@ -224,8 +222,8 @@ mod tests {
         // spot phenomenon [31] cited in the paper's intro.
         let lambda = F.wavelength();
         let ps = PathSet::from_paths(vec![
-            Path::new(4.0, 1.0),
-            Path::new(4.0 + lambda / 2.0, 1.0),
+            Path::new(Meters::new(4.0), 1.0),
+            Path::new(Meters::new(4.0 + lambda / 2.0), 1.0),
         ]);
         assert!(ps.power(F) < 1e-10);
     }
@@ -233,16 +231,19 @@ mod tests {
     #[test]
     fn direct_vs_strongest_can_differ() {
         let ps = PathSet::from_paths(vec![
-            Path::new(2.0, 0.1),  // attenuated direct path (obstacle)
-            Path::new(5.0, 0.8),  // strong reflection
+            Path::new(Meters::new(2.0), 0.1), // attenuated direct path (obstacle)
+            Path::new(Meters::new(5.0), 0.8), // strong reflection
         ]);
-        assert_eq!(ps.direct().unwrap().length_m, 2.0);
-        assert_eq!(ps.strongest().unwrap().length_m, 5.0);
+        assert_eq!(ps.direct().unwrap().length, Meters::new(2.0));
+        assert_eq!(ps.strongest().unwrap().length, Meters::new(5.0));
     }
 
     #[test]
     fn round_trip_is_square_of_one_way() {
-        let ps = PathSet::from_paths(vec![Path::new(1.5, 0.3), Path::new(2.5, 0.2)]);
+        let ps = PathSet::from_paths(vec![
+            Path::new(Meters::new(1.5), 0.3),
+            Path::new(Meters::new(2.5), 0.2),
+        ]);
         let h = ps.channel(F);
         assert!((ps.round_trip(F) - h * h).abs() < 1e-15);
     }
@@ -258,7 +259,7 @@ mod tests {
 
     #[test]
     fn attenuate_scales_power_by_square() {
-        let ps = PathSet::line_of_sight(3.0, 1.0);
+        let ps = PathSet::line_of_sight(Meters::new(3.0), 1.0);
         let half = ps.attenuate(0.5);
         assert!((half.power(F) - 0.25).abs() < 1e-12);
     }
@@ -266,13 +267,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "negative")]
     fn negative_length_rejected() {
-        let _ = Path::new(-1.0, 1.0);
+        let _ = Path::new(Meters::new(-1.0), 1.0);
     }
 
     #[test]
     fn merged_sets_sum_coherently() {
-        let a = PathSet::line_of_sight(4.0, 0.5);
-        let b = PathSet::line_of_sight(6.0, 0.25);
+        let a = PathSet::line_of_sight(Meters::new(4.0), 0.5);
+        let b = PathSet::line_of_sight(Meters::new(6.0), 0.25);
         let m = PathSet::merged([a.clone(), b.clone()]);
         assert_eq!(m.len(), 2);
         assert!((m.channel(F) - (a.channel(F) + b.channel(F))).abs() < 1e-15);
@@ -281,8 +282,8 @@ mod tests {
     #[test]
     fn coherent_sum_can_cancel_incoherent_cannot() {
         let lambda = F.wavelength();
-        let a = PathSet::line_of_sight(4.0, 1.0).channel(F);
-        let b = PathSet::line_of_sight(4.0 + lambda / 2.0, 1.0).channel(F);
+        let a = PathSet::line_of_sight(Meters::new(4.0), 1.0).channel(F);
+        let b = PathSet::line_of_sight(Meters::new(4.0 + lambda / 2.0), 1.0).channel(F);
         // Same frequency: field cancellation.
         assert!(coherent_sum([a, b]).norm_sq() < 1e-10);
         // Different frequencies: powers add regardless of phase.

@@ -7,7 +7,7 @@ use rfly_channel::geometry::{Point2, Segment};
 use rfly_channel::pathloss::{free_space_db, range_for_isolation};
 use rfly_channel::phasor::{Path, PathSet};
 use rfly_dsp::rng::{Rng, StdRng};
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::units::{Db, Hertz, Meters};
 
 const F: Hertz = Hertz(915e6);
 const CASES: usize = 200;
@@ -86,7 +86,10 @@ fn free_space_loss_is_monotone() {
         let d1 = rng.gen_range(0.1..500.0);
         let d2 = rng.gen_range(0.1..500.0);
         let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
-        assert!(free_space_db(lo, F).value() <= free_space_db(hi, F).value() + 1e-9);
+        assert!(
+            free_space_db(Meters::new(lo), F).value()
+                <= free_space_db(Meters::new(hi), F).value() + 1e-9
+        );
     }
 }
 
@@ -108,7 +111,12 @@ fn channel_magnitude_bounded_by_amplitude_sum() {
         let paths: Vec<(f64, f64)> = (0..n)
             .map(|_| (rng.gen_range(0.1..100.0), rng.gen_range(0.0..1.0)))
             .collect();
-        let ps = PathSet::from_paths(paths.iter().map(|&(d, a)| Path::new(d, a)).collect());
+        let ps = PathSet::from_paths(
+            paths
+                .iter()
+                .map(|&(d, a)| Path::new(Meters::new(d), a))
+                .collect(),
+        );
         let total: f64 = paths.iter().map(|p| p.1).sum();
         assert!(ps.channel(F).abs() <= total + 1e-9);
     }
@@ -121,8 +129,8 @@ fn channel_is_wavelength_periodic() {
         let d = rng.gen_range(1.0..50.0);
         let k = rng.gen_range(1usize..20);
         let lambda = F.wavelength();
-        let a = PathSet::line_of_sight(d, 1.0).channel(F);
-        let b = PathSet::line_of_sight(d + k as f64 * lambda, 1.0).channel(F);
+        let a = PathSet::line_of_sight(Meters::new(d), 1.0).channel(F);
+        let b = PathSet::line_of_sight(Meters::new(d + k as f64 * lambda), 1.0).channel(F);
         assert!((a - b).abs() < 1e-4 * k as f64);
     }
 }
@@ -143,11 +151,11 @@ fn direct_path_is_shortest_and_reflections_longer() {
             Material::STEEL_SHELF,
         ));
         let ps = env.trace(tx, rx, F);
-        let direct = ps.direct().expect("direct path exists").length_m;
+        let direct = ps.direct().expect("direct path exists").length.value();
         assert!((direct - tx.distance(rx)).abs() < 1e-9);
         for p in ps.paths() {
             // §5.2's invariant: no path is shorter than the direct one.
-            assert!(p.length_m >= direct - 1e-9);
+            assert!(p.length.value() >= direct - 1e-9);
         }
     }
 }

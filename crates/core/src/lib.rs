@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-core — the RFly system: drone relays for battery-free networks
 //!
 //! This crate implements the two contributions of *"Drone Relays for

@@ -63,7 +63,7 @@ impl ErrorStats {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        *self.sorted.last().expect("non-empty") // rfly-lint: allow(no-unwrap) -- new() asserts at least one sample.
     }
 
     /// The empirical CDF as `(value, probability)` pairs, one per

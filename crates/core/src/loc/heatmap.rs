@@ -73,7 +73,7 @@ impl Heatmap {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("heatmap is non-empty");
+            .expect("heatmap is non-empty"); // rfly-lint: allow(no-unwrap) -- new() asserts nx, ny > 0.
         (self.position(idx % self.nx, idx / self.nx), *v)
     }
 
@@ -101,9 +101,13 @@ impl Heatmap {
             if (self.ny - iy).is_multiple_of(stride) {
                 let mut ix = 0;
                 while ix < self.nx {
-                    let v = if max > 0.0 { self.get(ix, row) / max } else { 0.0 };
-                    let c = RAMP[((v * (RAMP.len() - 1) as f64).round() as usize)
-                        .min(RAMP.len() - 1)];
+                    let v = if max > 0.0 {
+                        self.get(ix, row) / max
+                    } else {
+                        0.0
+                    };
+                    let c =
+                        RAMP[((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)];
                     out.push(c as char);
                     ix += stride;
                 }

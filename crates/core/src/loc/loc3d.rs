@@ -132,8 +132,7 @@ impl Sar3Localizer {
         // a margin — the natural setup (the volume is the building).
         let floor = global * super::peaks::CANDIDATE_THRESHOLD;
         let at = |ix: i64, iy: i64, iz: i64| -> Option<f64> {
-            if ix < 0 || iy < 0 || iz < 0 || ix >= nx as i64 || iy >= ny as i64 || iz >= nz as i64
-            {
+            if ix < 0 || iy < 0 || iz < 0 || ix >= nx as i64 || iy >= ny as i64 || iz >= nz as i64 {
                 None
             } else {
                 Some(scores[((iz as usize) * ny + iy as usize) * nx + ix as usize])
@@ -143,7 +142,7 @@ impl Sar3Localizer {
         for iz in 1..nz.saturating_sub(1) as i64 {
             for iy in 1..ny.saturating_sub(1) as i64 {
                 for ix in 1..nx.saturating_sub(1) as i64 {
-                    let v = at(ix, iy, iz).expect("in range");
+                    let Some(v) = at(ix, iy, iz) else { continue };
                     if v < floor {
                         continue;
                     }
@@ -154,8 +153,8 @@ impl Sar3Localizer {
                                 if dx == 0 && dy == 0 && dz == 0 {
                                     continue;
                                 }
-                                let n = at(ix + dx, iy + dy, iz + dz).expect("interior");
-                                if n > v {
+                                // Interior loop bounds keep every neighbor in range.
+                                if at(ix + dx, iy + dy, iz + dz).is_some_and(|n| n > v) {
                                     is_max = false;
                                     break 'nb;
                                 }

@@ -67,14 +67,14 @@ pub fn localize_multires(
 mod tests {
     use super::*;
     use rfly_channel::phasor::PathSet;
-    use rfly_dsp::units::Hertz;
+    use rfly_dsp::units::{Hertz, Meters};
 
     const F2: Hertz = Hertz(917e6);
 
     fn channels_for(tag: Point2, traj: &Trajectory) -> Vec<Complex> {
         traj.points()
             .iter()
-            .map(|p| PathSet::line_of_sight(p.distance(tag), 1.0).round_trip(F2))
+            .map(|p| PathSet::line_of_sight(Meters::new(p.distance(tag)), 1.0).round_trip(F2))
             .collect()
     }
 

@@ -13,7 +13,7 @@
 //! corrupts it, whereas phase turns over every 16 cm.
 
 use rfly_channel::geometry::Point2;
-use rfly_dsp::units::Hertz;
+use rfly_dsp::units::{Hertz, Meters};
 use rfly_dsp::{Complex, SPEED_OF_LIGHT};
 
 use super::trajectory::Trajectory;
@@ -52,9 +52,9 @@ impl RssiLocalizer {
     /// model inverted by [`Self::distance_from_amplitude`]): round-trip
     /// amplitude decays as 1/d², normalized to the 1 m reference.
     /// Distances below a wavelength are clamped (near field).
-    pub fn amplitude_at(&self, d_m: f64) -> f64 {
+    pub fn amplitude_at(&self, d: Meters) -> f64 {
         let lambda = SPEED_OF_LIGHT / self.frequency.as_hz();
-        let d = d_m.max(lambda);
+        let d = d.value().max(lambda);
         self.reference_amplitude_1m / (d * d)
     }
 

@@ -101,6 +101,7 @@ impl SarLocalizer {
 mod tests {
     use super::*;
     use rfly_channel::phasor::{Path, PathSet};
+    use rfly_dsp::units::Meters;
 
     const F2: Hertz = Hertz(917e6);
 
@@ -109,17 +110,12 @@ mod tests {
     fn channels_for(tag: Point2, traj: &Trajectory) -> Vec<Complex> {
         traj.points()
             .iter()
-            .map(|p| PathSet::line_of_sight(p.distance(tag), 1.0).round_trip(F2))
+            .map(|p| PathSet::line_of_sight(Meters::new(p.distance(tag)), 1.0).round_trip(F2))
             .collect()
     }
 
     fn localizer() -> SarLocalizer {
-        SarLocalizer::new(
-            F2,
-            Point2::new(-0.5, -0.5),
-            Point2::new(3.0, 3.0),
-            0.02,
-        )
+        SarLocalizer::new(F2, Point2::new(-0.5, -0.5), Point2::new(3.0, 3.0), 0.02)
     }
 
     #[test]
@@ -181,8 +177,11 @@ mod tests {
         let mut widths = Vec::new();
         for k in [11usize, 41] {
             let half = if k == 11 { 0.25 } else { 1.25 };
-            let traj =
-                Trajectory::line(Point2::new(1.5 - half, 0.0), Point2::new(1.5 + half, 0.0), k);
+            let traj = Trajectory::line(
+                Point2::new(1.5 - half, 0.0),
+                Point2::new(1.5 + half, 0.0),
+                k,
+            );
             let ch = channels_for(tag, &traj);
             let mut map = localizer().heatmap(&traj, &ch);
             map.normalize();
@@ -214,8 +213,8 @@ mod tests {
             .iter()
             .map(|p| {
                 let ps = PathSet::from_paths(vec![
-                    Path::new(p.distance(tag), 1.0),
-                    Path::new(p.distance(image), 0.7),
+                    Path::new(Meters::new(p.distance(tag)), 1.0),
+                    Path::new(Meters::new(p.distance(image)), 0.7),
                 ]);
                 ps.round_trip(F2)
             })

@@ -23,7 +23,7 @@
 //! (≲ a couple of meters), which excludes the mirror image.
 
 use rfly_channel::geometry::Point2;
-use rfly_dsp::units::Hertz;
+use rfly_dsp::units::{Hertz, Meters};
 use rfly_dsp::{Complex, SPEED_OF_LIGHT};
 
 /// Matched-filter search for the drone's global position offset.
@@ -32,21 +32,20 @@ pub struct SelfLocalizer {
     /// The reader-side frequency f₁ (the embedded tag's half-link runs
     /// at the reader's own frequency).
     pub frequency: Hertz,
-    /// Half-width of the offset search window, meters (odometry drift
-    /// bound).
-    pub window_m: f64,
+    /// Half-width of the offset search window (odometry drift bound).
+    pub window: Meters,
     /// Offset grid resolution, meters.
     pub resolution: f64,
 }
 
 impl SelfLocalizer {
-    /// A drift-correction configuration: ±`window_m` around the
+    /// A drift-correction configuration: ±`window` around the
     /// believed pose at `resolution` cells.
-    pub fn new(frequency: Hertz, window_m: f64, resolution: f64) -> Self {
-        assert!(window_m > 0.0 && resolution > 0.0);
+    pub fn new(frequency: Hertz, window: Meters, resolution: f64) -> Self {
+        assert!(window.value() > 0.0 && resolution > 0.0);
         Self {
             frequency,
-            window_m,
+            window,
             resolution,
         }
     }
@@ -81,18 +80,16 @@ impl SelfLocalizer {
         believed: &[Point2],
         embedded_channels: &[Complex],
     ) -> Option<Point2> {
-        if embedded_channels.is_empty()
-            || embedded_channels.iter().all(|h| h.norm_sq() == 0.0)
-        {
+        if embedded_channels.is_empty() || embedded_channels.iter().all(|h| h.norm_sq() == 0.0) {
             return None;
         }
-        let n = (2.0 * self.window_m / self.resolution).ceil() as usize + 1;
+        let n = (2.0 * self.window.value() / self.resolution).ceil() as usize + 1;
         let mut best = (Point2::ORIGIN, f64::MIN);
         for iy in 0..n {
             for ix in 0..n {
                 let o = Point2::new(
-                    -self.window_m + ix as f64 * self.resolution,
-                    -self.window_m + iy as f64 * self.resolution,
+                    -self.window.value() + ix as f64 * self.resolution,
+                    -self.window.value() + iy as f64 * self.resolution,
                 );
                 let s = self.score(o, reader, believed, embedded_channels);
                 if s > best.1 {
@@ -119,6 +116,7 @@ impl SelfLocalizer {
 mod tests {
     use super::*;
     use rfly_channel::phasor::PathSet;
+    use rfly_dsp::units::Meters;
 
     const F1: Hertz = Hertz(915e6);
 
@@ -128,7 +126,9 @@ mod tests {
         let c0 = Complex::from_polar(0.3, 1.1);
         truth
             .iter()
-            .map(|p| c0 * PathSet::line_of_sight(p.distance(reader), 0.01).round_trip(F1))
+            .map(|p| {
+                c0 * PathSet::line_of_sight(Meters::new(p.distance(reader)), 0.01).round_trip(F1)
+            })
             .collect()
     }
 
@@ -148,12 +148,9 @@ mod tests {
         let ch = channels(reader, &truth);
         let drift = Point2::new(0.37, -0.22);
         let believed: Vec<Point2> = truth.iter().map(|p| *p - drift).collect();
-        let sl = SelfLocalizer::new(F1, 1.0, 0.01);
+        let sl = SelfLocalizer::new(F1, Meters::new(1.0), 0.01);
         let o = sl.correct_offset(reader, &believed, &ch).expect("corrects");
-        assert!(
-            (o - drift).norm() < 0.03,
-            "estimated {o} vs drift {drift}"
-        );
+        assert!((o - drift).norm() < 0.03, "estimated {o} vs drift {drift}");
         let corrected = sl.corrected_trajectory(reader, &believed, &ch).unwrap();
         let rms: f64 = (corrected
             .iter()
@@ -170,7 +167,7 @@ mod tests {
         let reader = Point2::new(-2.0, 1.0);
         let truth = l_shape(Point2::new(5.0, 0.0));
         let ch = channels(reader, &truth);
-        let sl = SelfLocalizer::new(F1, 0.5, 0.01);
+        let sl = SelfLocalizer::new(F1, Meters::new(0.5), 0.01);
         let o = sl.correct_offset(reader, &truth, &ch).unwrap();
         assert!(o.norm() < 0.02, "spurious offset {o}");
     }
@@ -180,7 +177,7 @@ mod tests {
         let reader = Point2::ORIGIN;
         let truth = l_shape(Point2::new(6.0, 2.0));
         let ch = channels(reader, &truth);
-        let sl = SelfLocalizer::new(F1, 1.0, 0.01);
+        let sl = SelfLocalizer::new(F1, Meters::new(1.0), 0.01);
         let at_truth = sl.score(Point2::ORIGIN, reader, &truth, &ch);
         // A nearly radial offset (toward the reader at ~(1,0.33)
         // bearing) shifts all ranges almost uniformly — only the
@@ -201,17 +198,19 @@ mod tests {
 
     #[test]
     fn silent_channels_fail() {
-        let sl = SelfLocalizer::new(F1, 1.0, 0.1);
+        let sl = SelfLocalizer::new(F1, Meters::new(1.0), 0.1);
         let believed = l_shape(Point2::new(3.0, 1.0));
         let silent = vec![Complex::default(); believed.len()];
-        assert!(sl.correct_offset(Point2::ORIGIN, &believed, &silent).is_none());
+        assert!(sl
+            .correct_offset(Point2::ORIGIN, &believed, &silent)
+            .is_none());
         assert!(sl.correct_offset(Point2::ORIGIN, &[], &[]).is_none());
     }
 
     #[test]
     #[should_panic(expected = "one channel per believed position")]
     fn mismatched_lengths_rejected() {
-        let sl = SelfLocalizer::new(F1, 1.0, 0.1);
+        let sl = SelfLocalizer::new(F1, Meters::new(1.0), 0.1);
         let _ = sl.score(Point2::ORIGIN, Point2::ORIGIN, &[Point2::ORIGIN], &[]);
     }
 }

@@ -6,6 +6,7 @@
 //! which Fig. 13 sweeps from 0.5 m to 2.5 m.
 
 use rfly_channel::geometry::Point2;
+use rfly_dsp::units::Meters;
 
 /// An ordered sequence of measurement positions.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,7 +43,11 @@ impl Trajectory {
             } else {
                 min.y + (max.y - min.y) * r as f64 / (rows - 1) as f64
             };
-            let (x0, x1) = if r % 2 == 0 { (min.x, max.x) } else { (max.x, min.x) };
+            let (x0, x1) = if r % 2 == 0 {
+                (min.x, max.x)
+            } else {
+                (max.x, min.x)
+            };
             for i in 0..k_per_row {
                 let x = x0 + (x1 - x0) * i as f64 / (k_per_row - 1) as f64;
                 points.push(Point2::new(x, y));
@@ -80,10 +85,7 @@ impl Trajectory {
 
     /// The centroid of the trajectory.
     pub fn centroid(&self) -> Point2 {
-        let sum = self
-            .points
-            .iter()
-            .fold(Point2::ORIGIN, |acc, p| acc + *p);
+        let sum = self.points.iter().fold(Point2::ORIGIN, |acc, p| acc + *p);
         sum / self.points.len() as f64
     }
 
@@ -97,11 +99,12 @@ impl Trajectory {
     }
 
     /// A trajectory truncated (from the center outward) to at most
-    /// `aperture_m` of extent — used by the Fig. 13 aperture sweep to
+    /// `aperture` of extent — used by the Fig. 13 aperture sweep to
     /// reuse one flight's measurements at several apertures. Returns the
     /// kept indices alongside the new trajectory.
-    pub fn truncate_aperture(&self, aperture_m: f64) -> (Trajectory, Vec<usize>) {
-        assert!(aperture_m > 0.0);
+    pub fn truncate_aperture(&self, aperture: Meters) -> (Trajectory, Vec<usize>) {
+        assert!(aperture.value() > 0.0);
+        let aperture_m = aperture.value();
         let c = self.centroid();
         let mut kept: Vec<usize> = (0..self.points.len())
             .filter(|&i| self.points[i].distance(c) <= aperture_m / 2.0)
@@ -114,7 +117,7 @@ impl Trajectory {
                         .distance(c)
                         .total_cmp(&self.points[b].distance(c))
                 })
-                .expect("non-empty trajectory");
+                .expect("non-empty trajectory"); // rfly-lint: allow(no-unwrap) -- from_points asserts a non-empty point set.
             kept = vec![nearest];
         }
         let t = Trajectory::from_points(kept.iter().map(|&i| self.points[i]).collect());
@@ -158,7 +161,7 @@ mod tests {
     #[test]
     fn truncate_keeps_central_portion() {
         let t = Trajectory::line(Point2::new(0.0, 0.0), Point2::new(4.0, 0.0), 41);
-        let (short, kept) = t.truncate_aperture(2.0);
+        let (short, kept) = t.truncate_aperture(Meters::new(2.0));
         assert!((short.aperture() - 2.0).abs() < 0.11);
         // Kept indices are centered around the middle.
         assert!(kept.contains(&20));
@@ -169,7 +172,7 @@ mod tests {
     #[test]
     fn truncate_degenerates_to_nearest_point() {
         let t = Trajectory::line(Point2::new(0.0, 0.0), Point2::new(4.0, 0.0), 5);
-        let (short, kept) = t.truncate_aperture(1e-6);
+        let (short, kept) = t.truncate_aperture(Meters::new(1e-6));
         assert_eq!(short.len(), 1);
         assert_eq!(kept, vec![2]);
     }

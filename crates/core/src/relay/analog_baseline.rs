@@ -11,7 +11,7 @@ use rfly_dsp::rng::Rng;
 
 use rfly_channel::antenna::{mutual_coupling, Polarization};
 use rfly_dsp::osc::standard_normal;
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::units::{Db, Hertz, Meters};
 use rfly_dsp::Complex;
 
 use super::gains::IsolationBudget;
@@ -22,12 +22,12 @@ use super::isolation::InterferencePath;
 pub struct AnalogRelay {
     /// Amplifier gain.
     pub gain: Db,
-    /// Antenna separation on the board, meters.
-    pub antenna_separation_m: f64,
+    /// Antenna separation on the board.
+    pub antenna_separation: Meters,
     /// Carrier frequency (for coupling computation).
     pub frequency: Hertz,
-    /// Per-trial isolation jitter σ, dB.
-    pub sigma_db: f64,
+    /// Per-trial isolation jitter σ.
+    pub sigma: Db,
 }
 
 impl AnalogRelay {
@@ -35,9 +35,9 @@ impl AnalogRelay {
     pub fn compact(frequency: Hertz) -> Self {
         Self {
             gain: Db::new(10.0),
-            antenna_separation_m: 0.10,
+            antenna_separation: Meters::cm(10.0),
             frequency,
-            sigma_db: 3.0,
+            sigma: Db::new(3.0),
         }
     }
 
@@ -61,8 +61,8 @@ impl AnalogRelay {
                 (Polarization::Vertical, Polarization::Vertical)
             }
         };
-        let nominal = mutual_coupling(self.antenna_separation_m, self.frequency, pa, pb);
-        (nominal + Db::new(self.sigma_db * standard_normal(rng))).max(Db::new(0.0))
+        let nominal = mutual_coupling(self.antenna_separation, self.frequency, pa, pb);
+        (nominal + Db::new(self.sigma.value() * standard_normal(rng))).max(Db::new(0.0))
     }
 
     /// All four paths as a budget (for stability comparisons).
@@ -148,7 +148,7 @@ mod tests {
     fn tiny_gain_with_separation_can_be_stable() {
         let mut r = AnalogRelay::compact(Hertz::mhz(915.0));
         r.gain = Db::new(0.5);
-        r.antenna_separation_m = 2.0; // bulky — not droneable
+        r.antenna_separation = Meters::new(2.0); // bulky — not droneable
         let mut rng = rng();
         let stable = (0..50).filter(|_| r.is_stable(&mut rng)).count();
         assert!(stable > 40, "only {stable}/50 stable");

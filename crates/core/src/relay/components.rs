@@ -12,7 +12,7 @@ use rfly_dsp::rng::Rng;
 
 use rfly_channel::antenna::{mutual_coupling, Polarization};
 use rfly_dsp::osc::standard_normal;
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::units::{Db, Hertz, Meters};
 
 /// Nominal values and tolerance widths for every analog component of
 /// the relay.
@@ -22,21 +22,21 @@ pub struct ComponentTolerances {
     pub lpf_stopband: Db,
     /// Designed stopband attenuation of the uplink band-pass filter.
     pub bpf_stopband: Db,
-    /// σ of the per-trial filter-attenuation deviation, dB.
-    pub filter_sigma_db: f64,
+    /// σ of the per-trial filter-attenuation deviation.
+    pub filter_sigma: Db,
     /// Board-level same-frequency feed-through of the downlink path
     /// (input connector to output connector, RF). The downlink layout
     /// is screened more aggressively (§6.1 optimizes the downlink).
     pub bypass_downlink: Db,
     /// Board-level feed-through of the uplink path.
     pub bypass_uplink: Db,
-    /// σ of the per-trial bypass deviation, dB.
-    pub bypass_sigma_db: f64,
-    /// Antenna separation on the PCB, meters (10 cm in the prototype).
-    pub antenna_separation_m: f64,
-    /// σ of per-trial antenna-coupling deviation, dB (orientation,
+    /// σ of the per-trial bypass deviation.
+    pub bypass_sigma: Db,
+    /// Antenna separation on the PCB (10 cm in the prototype).
+    pub antenna_separation: Meters,
+    /// σ of per-trial antenna-coupling deviation (orientation,
     /// frequency, nearby objects).
-    pub antenna_sigma_db: f64,
+    pub antenna_sigma: Db,
     /// Mixer conversion loss.
     pub mixer_loss: Db,
     /// Mixer input→output feed-through (per mixer).
@@ -50,12 +50,12 @@ impl ComponentTolerances {
         Self {
             lpf_stopband: Db::new(64.0),
             bpf_stopband: Db::new(57.0),
-            filter_sigma_db: 4.0,
+            filter_sigma: Db::new(4.0),
             bypass_downlink: Db::new(56.0),
             bypass_uplink: Db::new(43.0),
-            bypass_sigma_db: 4.0,
-            antenna_separation_m: 0.10,
-            antenna_sigma_db: 3.0,
+            bypass_sigma: Db::new(4.0),
+            antenna_separation: Meters::cm(10.0),
+            antenna_sigma: Db::new(3.0),
             mixer_loss: Db::new(6.0),
             mixer_feedthrough: Db::new(30.0),
         }
@@ -67,7 +67,7 @@ impl ComponentTolerances {
     /// adjacent antennas).
     pub fn nominal_antenna_isolation(&self, freq: Hertz) -> Db {
         mutual_coupling(
-            self.antenna_separation_m,
+            self.antenna_separation,
             freq,
             Polarization::Vertical,
             Polarization::Horizontal,
@@ -76,18 +76,15 @@ impl ComponentTolerances {
 
     /// One Monte-Carlo draw of the trial-dependent values.
     pub fn draw<R: Rng>(&self, rng: &mut R, freq: Hertz) -> DrawnComponents {
-        let jitter = |sigma: f64, rng: &mut R| Db::new(sigma * standard_normal(rng));
+        let jitter = |sigma: Db, rng: &mut R| Db::new(sigma.value() * standard_normal(rng));
         DrawnComponents {
-            lpf_stopband: (self.lpf_stopband + jitter(self.filter_sigma_db, rng))
-                .max(Db::new(20.0)),
-            bpf_stopband: (self.bpf_stopband + jitter(self.filter_sigma_db, rng))
-                .max(Db::new(20.0)),
-            bypass_downlink: (self.bypass_downlink + jitter(self.bypass_sigma_db, rng))
+            lpf_stopband: (self.lpf_stopband + jitter(self.filter_sigma, rng)).max(Db::new(20.0)),
+            bpf_stopband: (self.bpf_stopband + jitter(self.filter_sigma, rng)).max(Db::new(20.0)),
+            bypass_downlink: (self.bypass_downlink + jitter(self.bypass_sigma, rng))
                 .max(Db::new(10.0)),
-            bypass_uplink: (self.bypass_uplink + jitter(self.bypass_sigma_db, rng))
-                .max(Db::new(10.0)),
+            bypass_uplink: (self.bypass_uplink + jitter(self.bypass_sigma, rng)).max(Db::new(10.0)),
             antenna_isolation: (self.nominal_antenna_isolation(freq)
-                + jitter(self.antenna_sigma_db, rng))
+                + jitter(self.antenna_sigma, rng))
             .max(Db::new(0.0)),
         }
     }
@@ -125,10 +122,10 @@ mod tests {
         let t = ComponentTolerances::prototype();
         let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(9);
         let n = 2000;
-        let draws: Vec<DrawnComponents> =
-            (0..n).map(|_| t.draw(&mut rng, Hertz::mhz(915.0))).collect();
-        let mean: f64 =
-            draws.iter().map(|d| d.lpf_stopband.value()).sum::<f64>() / n as f64;
+        let draws: Vec<DrawnComponents> = (0..n)
+            .map(|_| t.draw(&mut rng, Hertz::mhz(915.0)))
+            .collect();
+        let mean: f64 = draws.iter().map(|d| d.lpf_stopband.value()).sum::<f64>() / n as f64;
         assert!((mean - 64.0).abs() < 0.5, "mean = {mean}");
         let sd: f64 = (draws
             .iter()
@@ -142,7 +139,7 @@ mod tests {
     #[test]
     fn draws_respect_physical_floors() {
         let t = ComponentTolerances {
-            filter_sigma_db: 50.0, // absurd tolerance to force clamping
+            filter_sigma: Db::new(50.0), // absurd tolerance to force clamping
             ..ComponentTolerances::prototype()
         };
         let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(1);

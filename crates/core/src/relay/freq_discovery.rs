@@ -33,7 +33,7 @@ pub struct FrequencyDiscovery {
     per_chunk: usize,
     /// Next candidate index to evaluate.
     cursor: usize,
-    sample_rate: f64,
+    sample_rate: Hertz,
 }
 
 /// Sweep duration target, chunks (the paper: "the entire sweeping
@@ -43,14 +43,14 @@ const SWEEP_CHUNKS: usize = 20;
 impl FrequencyDiscovery {
     /// Creates a sweep over `candidates` at `sample_rate`, processing
     /// 1 ms chunks.
-    pub fn new(candidates: Vec<Hertz>, sample_rate: f64) -> Self {
+    pub fn new(candidates: Vec<Hertz>, sample_rate: Hertz) -> Self {
         assert!(!candidates.is_empty(), "need at least one candidate");
-        assert!(sample_rate > 0.0);
+        assert!(sample_rate.as_hz() > 0.0);
         let n = candidates.len();
         Self {
             scores: vec![0.0; n],
             candidates,
-            chunk_len: (sample_rate * 1e-3) as usize,
+            chunk_len: rfly_dsp::cast::floor_usize(sample_rate.as_hz() * 1e-3),
             per_chunk: n.div_ceil(SWEEP_CHUNKS),
             cursor: 0,
             sample_rate,
@@ -76,7 +76,7 @@ impl FrequencyDiscovery {
                 return;
             }
             let f = self.candidates[self.cursor];
-            self.scores[self.cursor] = goertzel(chunk, f, self.sample_rate).norm_sq();
+            self.scores[self.cursor] = goertzel(chunk, f, self.sample_rate.as_hz()).norm_sq();
             self.cursor += 1;
         }
     }
@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn locks_onto_a_clean_reader() {
-        let mut fd = FrequencyDiscovery::new(grid(), FS);
+        let mut fd = FrequencyDiscovery::new(grid(), Hertz(FS));
         let signal = Nco::new(Hertz::khz(1000.0), FS).block(fd.sweep_len());
         let lock = fd.sweep(&signal).expect("locks");
         assert_eq!(lock.frequency, Hertz::khz(1000.0));
@@ -158,7 +158,7 @@ mod tests {
     fn sweep_takes_about_20ms_of_signal() {
         let fd = FrequencyDiscovery::new(
             (0..50).map(|k| Hertz::khz(50.0 * k as f64)).collect(),
-            FS,
+            Hertz(FS),
         );
         let ms = fd.sweep_len() as f64 / FS * 1e3;
         assert!((15.0..=25.0).contains(&ms), "sweep = {ms} ms");
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn strongest_reader_wins() {
         // Two readers: −500 kHz at full power, +1 MHz at −10 dB.
-        let mut fd = FrequencyDiscovery::new(grid(), FS);
+        let mut fd = FrequencyDiscovery::new(grid(), Hertz(FS));
         let n = fd.sweep_len();
         let strong = Nco::new(Hertz::khz(-500.0), FS).block(n);
         let weak: Vec<Complex> = Nco::new(Hertz::khz(1000.0), FS)
@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn locks_under_noise() {
         let mut rng = rfly_dsp::rng::StdRng::seed_from_u64(17);
-        let mut fd = FrequencyDiscovery::new(grid(), FS);
+        let mut fd = FrequencyDiscovery::new(grid(), Hertz(FS));
         let mut signal = Nco::new(Hertz::khz(1500.0), FS).block(fd.sweep_len());
         add_awgn(&mut rng, &mut signal, 1.0); // 0 dB SNR
         let lock = fd.sweep(&signal).expect("locks");
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn incomplete_sweep_has_no_lock() {
-        let mut fd = FrequencyDiscovery::new(grid(), FS);
+        let mut fd = FrequencyDiscovery::new(grid(), Hertz(FS));
         assert!(fd.lock().is_none());
         let chunk = Nco::new(Hertz::khz(0.0), FS).block(fd.chunk_len());
         fd.feed(&chunk);
@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn silence_yields_no_lock() {
-        let mut fd = FrequencyDiscovery::new(grid(), FS);
+        let mut fd = FrequencyDiscovery::new(grid(), Hertz(FS));
         let silence = vec![Complex::default(); fd.sweep_len()];
         assert!(fd.sweep(&silence).is_none());
     }
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "1 ms chunks")]
     fn wrong_chunk_size_rejected() {
-        let mut fd = FrequencyDiscovery::new(grid(), FS);
+        let mut fd = FrequencyDiscovery::new(grid(), Hertz(FS));
         fd.feed(&[Complex::default(); 100]);
     }
 }

@@ -64,22 +64,12 @@ pub fn allocate(budget: &IsolationBudget, margin: Db, expected_input: Dbm) -> Ga
     let dl_cap_pa = PA_COMPRESSION - expected_input;
 
     // Rule 3: maximize the downlink first.
-    let downlink = Db::new(
-        dl_cap_stability
-            .min(dl_cap_pa)
-            .value()
-            .max(0.0),
-    );
+    let downlink = Db::new(dl_cap_stability.min(dl_cap_pa).value().max(0.0));
 
     // Rule 2: the loop through both paths crosses both inter-link
     // couplings; the sum of gains must stay below their sum.
     let total_cap = budget.inter_downlink + budget.inter_uplink - margin;
-    let uplink = Db::new(
-        ul_cap_stability
-            .min(total_cap - downlink)
-            .value()
-            .max(0.0),
-    );
+    let uplink = Db::new(ul_cap_stability.min(total_cap - downlink).value().max(0.0));
 
     GainPlan { downlink, uplink }
 }
@@ -132,15 +122,8 @@ pub fn offset_rejection(offset: Hertz, passband: Hertz) -> Db {
 /// loop traverses and `rejection` is the combined filter rejection of
 /// both crossings. Negative means the pair rings regardless of each
 /// relay's own self-interference compliance.
-pub fn mutual_loop_margin(
-    gain_i: Db,
-    gain_j: Db,
-    coupling_loss: Db,
-    rejection: Db,
-) -> Db {
-    Db::new(
-        2.0 * coupling_loss.value() + rejection.value() - gain_i.value() - gain_j.value(),
-    )
+pub fn mutual_loop_margin(gain_i: Db, gain_j: Db, coupling_loss: Db, rejection: Db) -> Db {
+    Db::new(2.0 * coupling_loss.value() + rejection.value() - gain_i.value() - gain_j.value())
 }
 
 /// The worst-case mutual-loop margin across the four loop topologies a
@@ -163,13 +146,33 @@ pub fn worst_pair_margin(
     let off = |out: Hertz, center: Hertz| Hertz(out.as_hz() - center.as_hz());
     let topologies = [
         // i downlink → j downlink
-        (gains_i.downlink, off(f2_i, f1_j), gains_j.downlink, off(f2_j, f1_i)),
+        (
+            gains_i.downlink,
+            off(f2_i, f1_j),
+            gains_j.downlink,
+            off(f2_j, f1_i),
+        ),
         // i downlink → j uplink
-        (gains_i.downlink, off(f2_i, f2_j), gains_j.uplink, off(f1_j, f1_i)),
+        (
+            gains_i.downlink,
+            off(f2_i, f2_j),
+            gains_j.uplink,
+            off(f1_j, f1_i),
+        ),
         // i uplink → j downlink
-        (gains_i.uplink, off(f1_i, f1_j), gains_j.downlink, off(f2_j, f2_i)),
+        (
+            gains_i.uplink,
+            off(f1_i, f1_j),
+            gains_j.downlink,
+            off(f2_j, f2_i),
+        ),
         // i uplink → j uplink
-        (gains_i.uplink, off(f1_i, f2_j), gains_j.uplink, off(f1_j, f2_i)),
+        (
+            gains_i.uplink,
+            off(f1_i, f2_j),
+            gains_j.uplink,
+            off(f1_j, f2_i),
+        ),
     ];
     topologies
         .iter()
@@ -182,7 +185,7 @@ pub fn worst_pair_margin(
             )
         })
         .min_by(|a, b| a.value().total_cmp(&b.value()))
-        .expect("four topologies")
+        .expect("four topologies") // rfly-lint: allow(no-unwrap) -- min over a fixed four-element candidate array.
 }
 
 /// Eq. 3 extended with external interferers: the plan must satisfy the

@@ -46,22 +46,18 @@ const SKIP: usize = 4096;
 /// by the paper's procedure (probe tone through the actual signal
 /// chain; attenuation + gain + antenna isolation).
 pub fn measure_isolation(relay: &mut Relay, path: InterferencePath) -> Db {
-    let fs = relay.config().sample_rate;
+    let fs = relay.config().sample_rate.as_hz();
     let shift = relay.config().shift;
     let antenna = relay.drawn().antenna_isolation;
     let (gain_dl, gain_ul) = relay.gains();
 
     let (probe_freq, out_freq, gain) = match path {
-        InterferencePath::InterDownlink => (
-            Hertz::khz(500.0),
-            Hertz::hz(shift.as_hz() + 500e3),
-            gain_dl,
-        ),
-        InterferencePath::InterUplink => (
-            Hertz::hz(shift.as_hz() + 50e3),
-            Hertz::khz(50.0),
-            gain_ul,
-        ),
+        InterferencePath::InterDownlink => {
+            (Hertz::khz(500.0), Hertz::hz(shift.as_hz() + 500e3), gain_dl)
+        }
+        InterferencePath::InterUplink => {
+            (Hertz::hz(shift.as_hz() + 50e3), Hertz::khz(50.0), gain_ul)
+        }
         InterferencePath::IntraDownlink => (Hertz::khz(50.0), Hertz::khz(50.0), gain_dl),
         InterferencePath::IntraUplink => (
             Hertz::hz(shift.as_hz() + 500e3),
@@ -192,8 +188,8 @@ mod tests {
         // constants give 0.82 m and 260 m; same law, see Eq. 4).
         let r30 = range_for_isolation(rfly_dsp::units::Db::new(30.0), Hz::mhz(915.0));
         let r80 = range_for_isolation(rfly_dsp::units::Db::new(80.0), Hz::mhz(915.0));
-        assert!(r30 > 0.5 && r30 < 1.1, "r30 = {r30}");
-        assert!(r80 > 200.0 && r80 < 300.0, "r80 = {r80}");
+        assert!(r30.value() > 0.5 && r30.value() < 1.1, "r30 = {r30}");
+        assert!(r80.value() > 200.0 && r80.value() < 300.0, "r80 = {r80}");
         // 50 dB more isolation ⇒ ~316× more range.
         assert!((r80 / r30 - 316.2).abs() / 316.2 < 0.01);
     }

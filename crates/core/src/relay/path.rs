@@ -37,7 +37,11 @@ impl ForwardingPath {
         bypass_isolation: Db,
         bypass_phase: f64,
     ) -> Self {
-        assert_eq!(down.direction(), Conversion::Down, "first mixer downconverts");
+        assert_eq!(
+            down.direction(),
+            Conversion::Down,
+            "first mixer downconverts"
+        );
         assert_eq!(up.direction(), Conversion::Up, "second mixer upconverts");
         Self {
             down,
@@ -62,8 +66,7 @@ impl ForwardingPath {
     pub fn process(&mut self, input: &[Complex], start: usize) -> Vec<Complex> {
         let down = self.down.mix_block(input, start);
         let filtered = self.filter.filter_block(&down);
-        let amplified: Vec<Complex> =
-            filtered.iter().map(|&s| s * self.gain_amp).collect();
+        let amplified: Vec<Complex> = filtered.iter().map(|&s| s * self.gain_amp).collect();
         let mut out = self.up.mix_block(&amplified, start);
         // Same-frequency feed-through rides through the amplifying
         // stages (mixer RF leakage around the baseband filter), so it

@@ -1,8 +1,8 @@
 //! The assembled relay: two forwarding paths and (optionally) the
 //! mirrored synthesizer wiring.
 
-use rfly_dsp::rng::StdRng;
 use rfly_dsp::rng::Rng;
+use rfly_dsp::rng::StdRng;
 
 use rfly_dsp::filter::fir::FirDesign;
 use rfly_dsp::mixer::{Conversion, Mixer};
@@ -18,7 +18,7 @@ use super::path::ForwardingPath;
 #[derive(Debug, Clone)]
 pub struct RelayConfig {
     /// Baseband sample rate the relay processes at.
-    pub sample_rate: f64,
+    pub sample_rate: Hertz,
     /// The out-of-band shift Δ = f₂ − f₁ (§4.3; "as little as 1 MHz").
     pub shift: Hertz,
     /// Downlink low-pass cutoff (100 kHz: the query band of Fig. 4).
@@ -32,8 +32,8 @@ pub struct RelayConfig {
     pub mirrored: bool,
     /// Reference-crystal accuracy of the relay's synthesizers, ppm.
     pub synth_ppm: f64,
-    /// Synthesizer phase-noise linewidth, Hz.
-    pub synth_linewidth_hz: f64,
+    /// Synthesizer phase-noise linewidth.
+    pub synth_linewidth: Hertz,
     /// The RF carrier the ppm error applies to (the relay's CFO at
     /// baseband is `carrier × ppm`, the "few hundred Hz" of footnote 5).
     pub carrier: Hertz,
@@ -48,14 +48,14 @@ pub struct RelayConfig {
 impl Default for RelayConfig {
     fn default() -> Self {
         Self {
-            sample_rate: 4e6,
+            sample_rate: Hertz::mhz(4.0),
             shift: Hertz::mhz(1.0),
             lpf_cutoff: Hertz::khz(100.0),
             bpf_center: Hertz::khz(500.0),
             bpf_half_bw: Hertz::khz(200.0),
             mirrored: true,
             synth_ppm: 1.0,
-            synth_linewidth_hz: 1.0,
+            synth_linewidth: Hertz::hz(1.0),
             carrier: Hertz::mhz(915.0),
             components: ComponentTolerances::prototype(),
             downlink_gain: Db::new(30.0),
@@ -80,7 +80,7 @@ impl Relay {
     /// trial reproducible.
     pub fn new(config: RelayConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let fs = config.sample_rate;
+        let fs = config.sample_rate.as_hz();
         let drawn = config.components.draw(&mut rng, config.carrier);
 
         // Synthesizer imperfections: the relay free-runs relative to the
@@ -88,17 +88,14 @@ impl Relay {
         // initial phase. (At complex baseband relative to the reader,
         // LO1 is nominally DC and LO2 nominally Δ.)
         let imp = |rng: &mut StdRng| {
-            let mut i = SynthImperfections::random(rng, 0.0, config.synth_linewidth_hz);
+            let mut i = SynthImperfections::random(rng, 0.0, config.synth_linewidth);
             i.extra_offset_hz =
-                config.carrier.as_hz() * rng.gen_range(-config.synth_ppm..=config.synth_ppm)
-                    * 1e-6;
+                config.carrier.as_hz() * rng.gen_range(-config.synth_ppm..=config.synth_ppm) * 1e-6;
             i
         };
 
-        let make_lpf = || {
-            FirDesign::new(fs, drawn.lpf_stopband, Hertz::khz(100.0))
-                .lowpass(config.lpf_cutoff)
-        };
+        let make_lpf =
+            || FirDesign::new(fs, drawn.lpf_stopband, Hertz::khz(100.0)).lowpass(config.lpf_cutoff);
         let make_bpf = || {
             FirDesign::new(fs, drawn.bpf_stopband, Hertz::khz(150.0))
                 .bandpass(config.bpf_center, config.bpf_half_bw)
@@ -123,10 +120,20 @@ impl Relay {
             (lo1.clone(), lo2.clone(), lo2, lo1)
         } else {
             // No-mirror baseline: four free-running synthesizers.
-            let a = share(Synthesizer::new(Hertz::hz(0.0), fs, imp(&mut rng), rng.gen()));
+            let a = share(Synthesizer::new(
+                Hertz::hz(0.0),
+                fs,
+                imp(&mut rng),
+                rng.gen(),
+            ));
             let b = share(Synthesizer::new(config.shift, fs, imp(&mut rng), rng.gen()));
             let c = share(Synthesizer::new(config.shift, fs, imp(&mut rng), rng.gen()));
-            let d = share(Synthesizer::new(Hertz::hz(0.0), fs, imp(&mut rng), rng.gen()));
+            let d = share(Synthesizer::new(
+                Hertz::hz(0.0),
+                fs,
+                imp(&mut rng),
+                rng.gen(),
+            ));
             (a, b, c, d)
         };
 
@@ -284,7 +291,10 @@ mod tests {
             .windows(2)
             .map(|w| rfly_dsp::complex::phase_distance(w[0], w[1]))
             .fold(0.0f64, f64::max);
-        assert!(max_d > 0.5, "no-mirror phases suspiciously aligned: {max_d}");
+        assert!(
+            max_d > 0.5,
+            "no-mirror phases suspiciously aligned: {max_d}"
+        );
     }
 
     #[test]

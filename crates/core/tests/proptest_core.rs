@@ -10,7 +10,7 @@ use rfly_core::loc::sar::SarLocalizer;
 use rfly_core::loc::trajectory::Trajectory;
 use rfly_core::relay::gains::{allocate, is_stable, IsolationBudget};
 use rfly_dsp::rng::{Rng, StdRng};
-use rfly_dsp::units::{Db, Dbm, Hertz};
+use rfly_dsp::units::{Db, Dbm, Hertz, Meters};
 use rfly_dsp::Complex;
 
 const F2: Hertz = Hertz(916e6);
@@ -60,8 +60,8 @@ fn disentangle_recovers_the_second_half_link_exactly() {
         let c0_phase = rng.gen_range(-3.0..3.0);
         // h_tag = h1²·h2², h_emb = c0·h1²; division must recover h2²/c0
         // whose *phase relative to h2²* is the constant arg(c0).
-        let h1 = PathSet::line_of_sight(d1, 0.02).round_trip(F2);
-        let h2 = PathSet::line_of_sight(d2, 0.5).round_trip(F2);
+        let h1 = PathSet::line_of_sight(Meters::new(d1), 0.02).round_trip(F2);
+        let h2 = PathSet::line_of_sight(Meters::new(d2), 0.5).round_trip(F2);
         let c0 = Complex::from_polar(c0_mag, c0_phase);
         let m = PairedMeasurement {
             tag: h1 * h2,
@@ -88,7 +88,7 @@ fn sar_score_is_maximal_and_exact_at_the_truth() {
         let ch: Vec<Complex> = traj
             .points()
             .iter()
-            .map(|p| PathSet::line_of_sight(p.distance(tag), 1.0).round_trip(F2))
+            .map(|p| PathSet::line_of_sight(Meters::new(p.distance(tag)), 1.0).round_trip(F2))
             .collect();
         let loc = SarLocalizer::new(F2, Point2::new(-1.0, 0.0), Point2::new(4.0, 4.0), 0.05);
         let at_truth = loc.score_at(tag, &traj, &ch);
@@ -107,7 +107,7 @@ fn trajectory_aperture_and_truncation_are_consistent() {
         let aperture = rng.gen_range(0.1..6.0);
         let traj = Trajectory::line(Point2::new(0.0, 0.0), Point2::new(len, 0.0), k);
         assert!((traj.aperture() - len).abs() < 1e-9);
-        let (short, kept) = traj.truncate_aperture(aperture);
+        let (short, kept) = traj.truncate_aperture(Meters::new(aperture));
         assert!(short.aperture() <= aperture + 1e-9);
         assert_eq!(short.len(), kept.len());
         // Kept indices are valid and refer to matching points.

@@ -8,6 +8,7 @@
 use std::fmt;
 
 use rfly_channel::geometry::Point2;
+use rfly_dsp::units::Hertz;
 
 use crate::kinematics::{Leg, MotionLimits};
 
@@ -74,7 +75,10 @@ impl FlightPlan {
             }
         }
         // rows >= 1 ⇒ at least two waypoints, so this cannot fail.
-        Self { waypoints: wp, limits }
+        Self {
+            waypoints: wp,
+            limits,
+        }
     }
 
     /// The waypoints.
@@ -117,12 +121,12 @@ impl FlightPlan {
     /// Samples the mission at a fixed measurement rate, returning the
     /// positions at which the relay captures tag responses. These are
     /// the trajectory points fed to the SAR localizer.
-    pub fn sample_positions(&self, rate_hz: f64) -> Vec<Point2> {
-        assert!(rate_hz > 0.0);
+    pub fn sample_positions(&self, rate: Hertz) -> Vec<Point2> {
+        assert!(rate.as_hz() > 0.0);
         let total = self.duration();
-        let n = (total * rate_hz).floor() as usize + 1;
+        let n = (total * rate.as_hz()).floor() as usize + 1;
         (0..n)
-            .map(|k| self.position_at(k as f64 / rate_hz))
+            .map(|k| self.position_at(k as f64 / rate.as_hz()))
             .collect()
     }
 }
@@ -181,20 +185,22 @@ mod tests {
     #[test]
     fn sampling_rate_controls_count() {
         let p = FlightPlan::line(Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), limits());
-        let at_10hz = p.sample_positions(10.0);
-        let at_1hz = p.sample_positions(1.0);
+        let at_10hz = p.sample_positions(Hertz(10.0));
+        let at_1hz = p.sample_positions(Hertz(1.0));
         assert_eq!(at_10hz.len(), 71);
         assert_eq!(at_1hz.len(), 8);
         // Samples start at the start and are on the segment.
         assert_eq!(at_10hz[0], Point2::new(0.0, 0.0));
-        assert!(at_10hz.iter().all(|q| q.y.abs() < 1e-9 && q.x <= 5.0 + 1e-9));
+        assert!(at_10hz
+            .iter()
+            .all(|q| q.y.abs() < 1e-9 && q.x <= 5.0 + 1e-9));
     }
 
     #[test]
     fn samples_are_denser_during_ramps() {
         // Equal-time sampling ⇒ unequal spacing: slow ends, fast middle.
         let p = FlightPlan::line(Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), limits());
-        let s = p.sample_positions(10.0);
+        let s = p.sample_positions(Hertz(10.0));
         let first_gap = s[1].distance(s[0]);
         let mid_gap = s[35].distance(s[34]);
         assert!(first_gap < mid_gap);

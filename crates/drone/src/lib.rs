@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-drone — drone and ground-robot platform models
 //!
 //! RFly's relay rides a Parrot Bebop 2 (§6.2); the controlled

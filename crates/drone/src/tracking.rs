@@ -121,8 +121,7 @@ mod tests {
         let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
         assert!(mean_err < 0.01, "mean err {mean_err}");
         // Unbiased: mean offset near zero.
-        let bias_x: f64 =
-            t.iter().zip(&o).map(|(a, b)| b.x - a.x).sum::<f64>() / t.len() as f64;
+        let bias_x: f64 = t.iter().zip(&o).map(|(a, b)| b.x - a.x).sum::<f64>() / t.len() as f64;
         assert!(bias_x.abs() < 0.001);
     }
 
@@ -145,7 +144,11 @@ mod tests {
     #[test]
     fn trackers_preserve_length() {
         let t = line(7);
-        for tracker in [Tracker::Oracle, Tracker::optitrack(), Tracker::consumer_odometry()] {
+        for tracker in [
+            Tracker::Oracle,
+            Tracker::optitrack(),
+            Tracker::consumer_odometry(),
+        ] {
             assert_eq!(observe_trajectory(tracker, &t, &mut rng()).len(), 7);
         }
     }

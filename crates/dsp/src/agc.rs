@@ -97,7 +97,9 @@ mod tests {
     #[test]
     fn block_gain_preserves_phase() {
         let mut agc = Agc::new(1.0, Db::new(60.0), 1.0);
-        let input: Vec<Complex> = (0..32).map(|i| Complex::cis(i as f64 * 0.2) * 0.01).collect();
+        let input: Vec<Complex> = (0..32)
+            .map(|i| Complex::cis(i as f64 * 0.2) * 0.01)
+            .collect();
         let out = agc.process(&input);
         for (x, y) in input.iter().zip(&out) {
             assert!((x.arg() - y.arg()).abs() < 1e-12);

@@ -64,11 +64,7 @@ pub fn peak_lag(correlation: &[f64]) -> Option<(usize, f64)> {
 
 /// Locates `template` inside `signal` by normalized correlation and
 /// returns the best lag if the peak exceeds `threshold` (0..1).
-pub fn find_template(
-    signal: &[Complex],
-    template: &[Complex],
-    threshold: f64,
-) -> Option<usize> {
+pub fn find_template(signal: &[Complex], template: &[Complex], threshold: f64) -> Option<usize> {
     if signal.len() < template.len() {
         return None;
     }

@@ -44,7 +44,10 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
 
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "FFT length must be a power of two, got {n}"
+    );
     if n == 1 {
         return;
     }

@@ -26,11 +26,7 @@ pub struct Biquad {
 
 impl Biquad {
     /// Builds a biquad from raw coefficients (a0 implied 1).
-    pub fn from_coefficients(
-        b: [f64; 3],
-        a: [f64; 2],
-        sample_rate: f64,
-    ) -> Self {
+    pub fn from_coefficients(b: [f64; 3], a: [f64; 2], sample_rate: f64) -> Self {
         Self {
             b0: b[0],
             b1: b[1],
@@ -94,7 +90,11 @@ impl Biquad {
     /// backscatter subcarrier, high enough to settle within a few
     /// thousand samples.
     pub fn dc_blocker(sample_rate: f64) -> Self {
-        Self::highpass(Hertz::hz(sample_rate * 1e-3), std::f64::consts::FRAC_1_SQRT_2, sample_rate)
+        Self::highpass(
+            Hertz::hz(sample_rate * 1e-3),
+            std::f64::consts::FRAC_1_SQRT_2,
+            sample_rate,
+        )
     }
 
     /// Processes one sample.
@@ -143,7 +143,10 @@ impl BiquadCascade {
     /// Builds a Butterworth low-pass of even order `order` as cascaded
     /// biquads with the standard Q values.
     pub fn butterworth_lowpass(cutoff: Hertz, order: usize, sample_rate: f64) -> Self {
-        assert!(order >= 2 && order.is_multiple_of(2), "order must be even and ≥ 2");
+        assert!(
+            order >= 2 && order.is_multiple_of(2),
+            "order must be even and ≥ 2"
+        );
         let n = order as f64;
         let sections = (0..order / 2)
             .map(|k| {
@@ -187,9 +190,9 @@ impl BiquadCascade {
 
     /// Combined frequency response (product over sections).
     pub fn frequency_response(&self, f: Hertz) -> Complex {
-        self.sections
-            .iter()
-            .fold(Complex::from_re(1.0), |acc, s| acc * s.frequency_response(f))
+        self.sections.iter().fold(Complex::from_re(1.0), |acc, s| {
+            acc * s.frequency_response(f)
+        })
     }
 
     /// Combined magnitude response in dB.

@@ -29,7 +29,10 @@ impl FirDesign {
     pub fn new(sample_rate: f64, stopband_atten: Db, transition: Hertz) -> Self {
         assert!(sample_rate > 0.0, "sample rate must be positive");
         assert!(stopband_atten.value() > 0.0, "attenuation must be positive");
-        assert!(transition.as_hz() > 0.0, "transition width must be positive");
+        assert!(
+            transition.as_hz() > 0.0,
+            "transition width must be positive"
+        );
         Self {
             sample_rate,
             stopband_atten,
@@ -38,7 +41,7 @@ impl FirDesign {
     }
 
     fn window_and_len(&self) -> (Window, usize) {
-        let a = self.stopband_atten.value();
+        let a = self.stopband_atten;
         let delta_f = self.transition.as_hz() / self.sample_rate;
         let mut len = kaiser_length(a, delta_f);
         if len.is_multiple_of(2) {

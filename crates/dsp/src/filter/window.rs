@@ -2,6 +2,8 @@
 
 use std::f64::consts::PI;
 
+use crate::units::Db;
+
 /// Window shapes supported by the designer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Window {
@@ -30,9 +32,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             Window::Kaiser(beta) => {
                 let t = 2.0 * x - 1.0; // -1..=1
                 bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
@@ -46,23 +46,25 @@ impl Window {
     }
 }
 
-/// Kaiser β for a target stopband attenuation in dB (Kaiser's empirical
+/// Kaiser β for a target stopband attenuation (Kaiser's empirical
 /// formula).
-pub fn kaiser_beta(atten_db: f64) -> f64 {
-    if atten_db > 50.0 {
-        0.1102 * (atten_db - 8.7)
-    } else if atten_db >= 21.0 {
-        0.5842 * (atten_db - 21.0).powf(0.4) + 0.07886 * (atten_db - 21.0)
+pub fn kaiser_beta(atten: Db) -> f64 {
+    let a = atten.value();
+    if a > 50.0 {
+        0.1102 * (a - 8.7)
+    } else if a >= 21.0 {
+        0.5842 * (a - 21.0).powf(0.4) + 0.07886 * (a - 21.0)
     } else {
         0.0
     }
 }
 
-/// Estimated Kaiser FIR length for a target attenuation (dB) and
+/// Estimated Kaiser FIR length for a target attenuation and
 /// normalized transition width `delta_f` (fraction of the sample rate).
-pub fn kaiser_length(atten_db: f64, delta_f: f64) -> usize {
+pub fn kaiser_length(atten: Db, delta_f: f64) -> usize {
     assert!(delta_f > 0.0, "transition width must be positive");
-    let n = ((atten_db - 7.95) / (2.285 * 2.0 * PI * delta_f)).ceil() as usize;
+    let n =
+        crate::cast::ceil_usize(((atten.value() - 7.95) / (2.285 * 2.0 * PI * delta_f)).max(0.0));
     n.max(3) + 1
 }
 
@@ -107,7 +109,10 @@ mod tests {
         ] {
             let v = w.build(33);
             for i in 0..v.len() {
-                assert!((v[i] - v[v.len() - 1 - i]).abs() < 1e-12, "{w:?} asymmetric");
+                assert!(
+                    (v[i] - v[v.len() - 1 - i]).abs() < 1e-12,
+                    "{w:?} asymmetric"
+                );
                 assert!(v[i] <= 1.0 + 1e-12 && v[i] >= -0.1, "{w:?} out of range");
             }
         }
@@ -115,7 +120,12 @@ mod tests {
 
     #[test]
     fn window_peaks_at_center() {
-        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(6.0)] {
+        for w in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Kaiser(6.0),
+        ] {
             let v = w.build(65);
             let center = v[32];
             assert!(v.iter().all(|&x| x <= center + 1e-12), "{w:?}");
@@ -127,19 +137,19 @@ mod tests {
     fn kaiser_beta_monotone_in_attenuation() {
         let mut prev = -1.0;
         for a in [15.0, 21.0, 30.0, 50.0, 60.0, 80.0, 100.0] {
-            let b = kaiser_beta(a);
+            let b = kaiser_beta(Db::new(a));
             assert!(b >= prev, "beta not monotone at {a} dB");
             prev = b;
         }
-        assert_eq!(kaiser_beta(10.0), 0.0);
+        assert_eq!(kaiser_beta(Db::new(10.0)), 0.0);
     }
 
     #[test]
     fn kaiser_length_shrinks_with_wider_transition() {
-        let narrow = kaiser_length(60.0, 0.01);
-        let wide = kaiser_length(60.0, 0.05);
+        let narrow = kaiser_length(Db::new(60.0), 0.01);
+        let wide = kaiser_length(Db::new(60.0), 0.05);
         assert!(narrow > wide);
-        assert!(kaiser_length(80.0, 0.02) > kaiser_length(40.0, 0.02));
+        assert!(kaiser_length(Db::new(80.0), 0.02) > kaiser_length(Db::new(40.0), 0.02));
     }
 
     #[test]

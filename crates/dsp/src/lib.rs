@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-dsp — digital signal processing substrate for RFly
 //!
 //! This crate provides every signal-processing primitive the RFly
@@ -25,6 +26,7 @@
 
 pub mod agc;
 pub mod buffer;
+pub mod cast;
 pub mod complex;
 pub mod correlate;
 pub mod fft;

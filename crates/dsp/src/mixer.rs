@@ -61,7 +61,10 @@ impl Mixer {
         feedthrough: Db,
     ) -> Self {
         assert!(conversion_loss.value() >= 0.0, "loss must be non-negative");
-        assert!(feedthrough.value() >= 0.0, "feedthrough must be non-negative");
+        assert!(
+            feedthrough.value() >= 0.0,
+            "feedthrough must be non-negative"
+        );
         Self {
             lo,
             direction,

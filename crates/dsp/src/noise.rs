@@ -49,9 +49,9 @@ pub fn noise_sample<R: Rng>(rng: &mut R, power: f64) -> Complex {
 }
 
 /// Draws a log-normal shadowing factor: a power multiplier whose dB value
-/// is N(0, sigma_db²). Used by the channel crate for large-scale fading.
-pub fn lognormal_shadowing<R: Rng>(rng: &mut R, sigma_db: f64) -> f64 {
-    Db::new(sigma_db * standard_normal(rng)).linear()
+/// is N(0, sigma²). Used by the channel crate for large-scale fading.
+pub fn lognormal_shadowing<R: Rng>(rng: &mut R, sigma: Db) -> f64 {
+    Db::new(sigma.value() * standard_normal(rng)).linear()
 }
 
 #[cfg(test)]
@@ -104,7 +104,9 @@ mod tests {
     #[test]
     fn lognormal_shadowing_median_is_unity() {
         let mut r = rng();
-        let mut v: Vec<f64> = (0..10_001).map(|_| lognormal_shadowing(&mut r, 6.0)).collect();
+        let mut v: Vec<f64> = (0..10_001)
+            .map(|_| lognormal_shadowing(&mut r, Db::new(6.0)))
+            .collect();
         v.sort_by(f64::total_cmp);
         let median = v[v.len() / 2];
         assert!((median.ln()).abs() < 0.15, "median = {median}");

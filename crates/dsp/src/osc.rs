@@ -103,10 +103,10 @@ impl SynthImperfections {
 
     /// Draws a realistic imperfection set for an independent low-cost
     /// synthesizer: ±`ppm` CFO, random initial phase, given linewidth.
-    pub fn random<R: Rng>(rng: &mut R, ppm: f64, linewidth_hz: f64) -> Self {
+    pub fn random<R: Rng>(rng: &mut R, ppm: f64, linewidth: Hertz) -> Self {
         SynthImperfections {
             freq_offset_ppm: rng.gen_range(-ppm..=ppm),
-            linewidth_hz,
+            linewidth_hz: linewidth.as_hz(),
             initial_phase: rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
             extra_offset_hz: 0.0,
         }
@@ -381,7 +381,7 @@ mod tests {
     fn random_imperfections_within_bounds() {
         let mut rng = crate::rng::StdRng::seed_from_u64(1);
         for _ in 0..100 {
-            let imp = SynthImperfections::random(&mut rng, 2.0, 50.0);
+            let imp = SynthImperfections::random(&mut rng, 2.0, Hertz(50.0));
             assert!(imp.freq_offset_ppm.abs() <= 2.0);
             assert!(imp.initial_phase.abs() <= std::f64::consts::PI);
             assert_eq!(imp.linewidth_hz, 50.0);

@@ -159,19 +159,19 @@ impl Standard for u64 {
 
 impl Standard for u32 {
     fn sample<R: RngCore>(rng: &mut R) -> Self {
-        (rng.next_u64() >> 32) as u32
+        (rng.next_u64() >> 32) as u32 // rfly-lint: allow(no-as-int-cast) -- intentional truncation to the high RNG bits.
     }
 }
 
 impl Standard for u16 {
     fn sample<R: RngCore>(rng: &mut R) -> Self {
-        (rng.next_u64() >> 48) as u16
+        (rng.next_u64() >> 48) as u16 // rfly-lint: allow(no-as-int-cast) -- intentional truncation to the high RNG bits.
     }
 }
 
 impl Standard for u8 {
     fn sample<R: RngCore>(rng: &mut R) -> Self {
-        (rng.next_u64() >> 56) as u8
+        (rng.next_u64() >> 56) as u8 // rfly-lint: allow(no-as-int-cast) -- intentional truncation to the high RNG bits.
     }
 }
 
@@ -209,7 +209,7 @@ fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
 }
 
 fn uniform_usize<R: RngCore>(rng: &mut R, n: usize) -> usize {
-    uniform_u64(rng, n as u64) as usize
+    uniform_u64(rng, n as u64) as usize // rfly-lint: allow(no-as-int-cast) -- usize↔u64 round-trip is lossless on 64-bit targets.
 }
 
 /// Range types [`Rng::gen_range`] accepts.
@@ -241,6 +241,7 @@ macro_rules! impl_int_range {
         impl SampleRange<$t> for Range<$t> {
             fn sample<R: RngCore>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "empty range");
+                // rfly-lint: allow(no-as-int-cast) -- i128 widening covers every integer span; result fits u64 by construction.
                 let span = (self.end as i128 - self.start as i128) as u64;
                 self.start.wrapping_add(uniform_u64(rng, span) as $t)
             }
@@ -249,6 +250,7 @@ macro_rules! impl_int_range {
             fn sample<R: RngCore>(self, rng: &mut R) -> $t {
                 let (a, b) = (*self.start(), *self.end());
                 assert!(a <= b, "empty range");
+                // rfly-lint: allow(no-as-int-cast) -- i128 widening covers every integer span; result fits u64 by construction.
                 let span = (b as i128 - a as i128) as u64;
                 if span == u64::MAX {
                     return rng.next_u64() as $t;
@@ -270,7 +272,7 @@ pub trait SliceRandom {
 impl<T> SliceRandom for [T] {
     fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
         for i in (1..self.len()).rev() {
-            let j = uniform_u64(rng, (i + 1) as u64) as usize;
+            let j = uniform_u64(rng, (i + 1) as u64) as usize; // rfly-lint: allow(no-as-int-cast) -- Fisher–Yates index round-trips usize↔u64 losslessly.
             self.swap(i, j);
         }
     }

@@ -7,7 +7,7 @@
 use crate::complex::Complex;
 use crate::fft::{bin_frequency, fft_in_place, fft_shift};
 use crate::filter::window::Window;
-use crate::units::Db;
+use crate::units::{Db, Hertz};
 
 /// A two-sided power spectral density estimate.
 #[derive(Debug, Clone)]
@@ -19,9 +19,10 @@ pub struct Psd {
 }
 
 impl Psd {
-    /// Power at the bin nearest to `freq_hz`, in dB relative to the peak
+    /// Power at the bin nearest to `freq`, in dB relative to the peak
     /// bin. Useful for guard-band depth measurements.
-    pub fn relative_db_at(&self, freq_hz: f64) -> Db {
+    pub fn relative_db_at(&self, freq: Hertz) -> Db {
+        let freq_hz = freq.as_hz();
         let peak = self.power.iter().cloned().fold(f64::MIN, f64::max);
         let idx = self
             .freqs
@@ -47,7 +48,8 @@ impl Psd {
 
     /// Total power integrated over bins whose center lies in
     /// `[lo_hz, hi_hz]` (linear).
-    pub fn band_power(&self, lo_hz: f64, hi_hz: f64) -> f64 {
+    pub fn band_power(&self, lo: Hertz, hi: Hertz) -> f64 {
+        let (lo_hz, hi_hz) = (lo.as_hz(), hi.as_hz());
         self.freqs
             .iter()
             .zip(&self.power)
@@ -57,12 +59,12 @@ impl Psd {
     }
 
     /// The fraction of total power contained in `[lo_hz, hi_hz]`.
-    pub fn band_power_fraction(&self, lo_hz: f64, hi_hz: f64) -> f64 {
+    pub fn band_power_fraction(&self, lo: Hertz, hi: Hertz) -> f64 {
         let total: f64 = self.power.iter().sum();
         if total == 0.0 {
             0.0
         } else {
-            self.band_power(lo_hz, hi_hz) / total
+            self.band_power(lo, hi) / total
         }
     }
 
@@ -80,7 +82,7 @@ impl Psd {
         candidates.sort_by(f64::total_cmp);
         candidates.dedup();
         for b in candidates {
-            if self.band_power(-b, b) / total >= fraction {
+            if self.band_power(Hertz(-b), Hertz(b)) / total >= fraction {
                 return b;
             }
         }
@@ -174,16 +176,16 @@ mod tests {
     fn relative_db_of_peak_is_zero() {
         let x = Nco::new(Hertz::khz(250.0), FS).block(8192);
         let psd = welch_psd(&x, 1024, FS);
-        assert!(psd.relative_db_at(250e3).value().abs() < 0.5);
+        assert!(psd.relative_db_at(Hertz(250e3)).value().abs() < 0.5);
         // Far away from the tone: deep below peak.
-        assert!(psd.relative_db_at(-1.5e6).value() < -50.0);
+        assert!(psd.relative_db_at(Hertz(-1.5e6)).value() < -50.0);
     }
 
     #[test]
     fn band_power_fraction_concentrates_on_tone() {
         let x = Nco::new(Hertz::khz(100.0), FS).block(8192);
         let psd = welch_psd(&x, 1024, FS);
-        let frac = psd.band_power_fraction(50e3, 150e3);
+        let frac = psd.band_power_fraction(Hertz(50e3), Hertz(150e3));
         assert!(frac > 0.98, "frac = {frac}");
     }
 

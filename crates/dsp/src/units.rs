@@ -6,7 +6,7 @@
 //! compiler catches unit confusion, and centralizes the conversions.
 
 use std::fmt;
-use std::ops::{Add, Neg, Sub};
+use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// Speed of light in vacuum, m/s.
 pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
@@ -226,6 +226,172 @@ impl fmt::Display for Dbm {
     }
 }
 
+/// A distance (or path length) in meters.
+///
+/// Geometry in this workspace mixes centimeter-scale antenna
+/// separations with hundred-meter read ranges; a dedicated type keeps
+/// those from being silently conflated with dimensionless `f64`s in
+/// link-budget call sites (the R3 unit-discipline rule of `rfly-lint`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Meters(pub f64);
+
+impl Meters {
+    /// Constructs from a value in meters.
+    pub const fn new(v: f64) -> Self {
+        Meters(v)
+    }
+    /// Constructs from a value in centimeters.
+    pub const fn cm(v: f64) -> Self {
+        Meters(v * 1e-2)
+    }
+    /// Constructs from a value in kilometers.
+    pub const fn km(v: f64) -> Self {
+        Meters(v * 1e3)
+    }
+    /// The raw value in meters.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+    /// The larger of two distances.
+    pub fn max(self, other: Meters) -> Meters {
+        Meters(self.0.max(other.0))
+    }
+    /// The smaller of two distances.
+    pub fn min(self, other: Meters) -> Meters {
+        Meters(self.0.min(other.0))
+    }
+    /// The absolute distance.
+    pub fn abs(self) -> Meters {
+        Meters(self.0.abs())
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Meters {
+    type Output = Meters;
+    fn sub(self, rhs: Meters) -> Meters {
+        Meters(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    fn mul(self, rhs: f64) -> Meters {
+        Meters(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Meters {
+    type Output = Meters;
+    fn div(self, rhs: f64) -> Meters {
+        Meters(self.0 / rhs)
+    }
+}
+
+impl Div<Meters> for Meters {
+    /// Dividing two distances yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Meters) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0.abs();
+        if v >= 1e3 {
+            write!(f, "{:.3} km", self.0 / 1e3)
+        } else if v < 1.0 && v > 0.0 {
+            write!(f, "{:.1} cm", self.0 * 1e2)
+        } else {
+            write!(f, "{:.2} m", self.0)
+        }
+    }
+}
+
+/// A duration in seconds.
+///
+/// Mission timelines (flight-plan segments, inventory budgets) and
+/// sample-level intervals share this type so schedule arithmetic cannot
+/// silently mix seconds with sample counts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// Constructs from a value in seconds.
+    pub const fn new(v: f64) -> Self {
+        Seconds(v)
+    }
+    /// Constructs from a value in milliseconds.
+    pub const fn ms(v: f64) -> Self {
+        Seconds(v * 1e-3)
+    }
+    /// The raw value in seconds.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+    /// The larger of two durations.
+    pub fn max(self, other: Seconds) -> Seconds {
+        Seconds(self.0.max(other.0))
+    }
+    /// The smaller of two durations.
+    pub fn min(self, other: Seconds) -> Seconds {
+        Seconds(self.0.min(other.0))
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+
+impl Div<Seconds> for Seconds {
+    /// Dividing two durations yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() < 1.0 && self.0 != 0.0 {
+            write!(f, "{:.1} ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.2} s", self.0)
+        }
+    }
+}
+
 /// Thermal noise power `kTB` at the reference temperature, for a given
 /// bandwidth. At 290 K this is the familiar −174 dBm/Hz density.
 pub fn thermal_noise(bandwidth: Hertz) -> Dbm {
@@ -292,6 +458,32 @@ mod tests {
     }
 
     #[test]
+    fn meters_arithmetic_and_constructors() {
+        assert_eq!(Meters::cm(10.0), Meters(0.1));
+        assert_eq!(Meters::km(1.5), Meters(1500.0));
+        assert_eq!(Meters::new(3.0) + Meters::new(2.0), Meters(5.0));
+        assert_eq!(Meters::new(3.0) - Meters::new(2.0), Meters(1.0));
+        assert_eq!(Meters::new(3.0) * 2.0, Meters(6.0));
+        assert_eq!(Meters::new(3.0) / 2.0, Meters(1.5));
+        assert!(close(Meters::new(3.0) / Meters::new(2.0), 1.5, 1e-12));
+        assert_eq!(Meters::new(-3.0).abs(), Meters(3.0));
+        assert_eq!(Meters::new(1.0).max(Meters(2.0)), Meters(2.0));
+        assert_eq!(Meters::new(1.0).min(Meters(2.0)), Meters(1.0));
+    }
+
+    #[test]
+    fn seconds_arithmetic_and_constructors() {
+        assert_eq!(Seconds::ms(250.0), Seconds(0.25));
+        assert_eq!(Seconds::new(1.0) + Seconds::new(0.5), Seconds(1.5));
+        assert_eq!(Seconds::new(1.0) - Seconds::new(0.25), Seconds(0.75));
+        assert_eq!(Seconds::new(2.0) * 3.0, Seconds(6.0));
+        assert_eq!(Seconds::new(3.0) / 2.0, Seconds(1.5));
+        assert!(close(Seconds::new(1.0) / Seconds::new(4.0), 0.25, 1e-12));
+        assert_eq!(Seconds::new(1.0).max(Seconds(2.0)), Seconds(2.0));
+        assert_eq!(Seconds::new(1.0).min(Seconds(2.0)), Seconds(1.0));
+    }
+
+    #[test]
     fn display_picks_sensible_scale() {
         assert_eq!(format!("{}", Hertz::mhz(915.0)), "915.000 MHz");
         assert_eq!(format!("{}", Hertz::khz(640.0)), "640.000 kHz");
@@ -299,5 +491,10 @@ mod tests {
         assert_eq!(format!("{}", Hertz::ghz(2.4)), "2.400 GHz");
         assert_eq!(format!("{}", Db::new(50.0)), "50.00 dB");
         assert_eq!(format!("{}", Dbm::new(-15.0)), "-15.00 dBm");
+        assert_eq!(format!("{}", Meters::new(2.5)), "2.50 m");
+        assert_eq!(format!("{}", Meters::cm(10.0)), "10.0 cm");
+        assert_eq!(format!("{}", Meters::km(1.2)), "1.200 km");
+        assert_eq!(format!("{}", Seconds::new(2.0)), "2.00 s");
+        assert_eq!(format!("{}", Seconds::ms(250.0)), "250.0 ms");
     }
 }

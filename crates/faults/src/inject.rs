@@ -176,7 +176,11 @@ impl RelayHealth {
 
     /// The current per-observation phase scatter, radians.
     pub fn phase_scatter_rad(&self) -> f64 {
-        let cfo = if self.cfo_steps_left > 0 { self.cfo_noise_rad } else { 0.0 };
+        let cfo = if self.cfo_steps_left > 0 {
+            self.cfo_noise_rad
+        } else {
+            0.0
+        };
         self.phase_noise_rad.max(cfo)
     }
 
@@ -245,9 +249,21 @@ impl<M: Medium> FaultyMedium<M> {
     pub fn new(inner: M, health: &RelayHealth, seed: u64) -> Self {
         Self {
             inner,
-            drop_p: if health.drop_steps_left > 0 { health.drop_p } else { 0.0 },
-            fade: Db::new(if health.fade_steps_left > 0 { health.fade_db } else { 0.0 }),
-            corrupt_p: if health.corrupt_steps_left > 0 { health.corrupt_p } else { 0.0 },
+            drop_p: if health.drop_steps_left > 0 {
+                health.drop_p
+            } else {
+                0.0
+            },
+            fade: Db::new(if health.fade_steps_left > 0 {
+                health.fade_db
+            } else {
+                0.0
+            }),
+            corrupt_p: if health.corrupt_steps_left > 0 {
+                health.corrupt_p
+            } else {
+                0.0
+            },
             phase_scatter_rad: health.phase_scatter_rad(),
             rng: StdRng::seed_from_u64(seed ^ 0xFA_17),
         }
@@ -328,14 +344,22 @@ mod tests {
     }
 
     fn event(kind: FaultKind) -> FaultEvent {
-        FaultEvent { id: 0, step: 0, relay: 0, kind }
+        FaultEvent {
+            id: 0,
+            step: 0,
+            relay: 0,
+            kind,
+        }
     }
 
     #[test]
     fn transient_faults_expire_on_tick() {
         let mut h = RelayHealth::new();
         h.apply(&event(FaultKind::DeepFade { db: 15.0, steps: 2 }));
-        h.apply(&event(FaultKind::Gen2Drop { p_drop: 0.5, steps: 1 }));
+        h.apply(&event(FaultKind::Gen2Drop {
+            p_drop: 0.5,
+            steps: 1,
+        }));
         assert!(h.uplink_faulted());
         h.tick();
         assert!(h.fade_steps_left == 1 && h.drop_steps_left == 0);
@@ -376,7 +400,10 @@ mod tests {
     #[test]
     fn full_drop_silences_the_medium_and_inactive_is_transparent() {
         let mut h = RelayHealth::new();
-        h.apply(&event(FaultKind::Gen2Drop { p_drop: 1.0, steps: 3 }));
+        h.apply(&event(FaultKind::Gen2Drop {
+            p_drop: 1.0,
+            steps: 3,
+        }));
         let mut m = FaultyMedium::new(FixedMedium, &h, 1);
         assert!(m.transact(&Command::Nak).is_empty());
 
@@ -391,7 +418,10 @@ mod tests {
     fn fade_and_corruption_perturb_observations() {
         let mut h = RelayHealth::new();
         h.apply(&event(FaultKind::DeepFade { db: 12.0, steps: 3 }));
-        h.apply(&event(FaultKind::NoiseBurst { p_corrupt: 1.0, steps: 3 }));
+        h.apply(&event(FaultKind::NoiseBurst {
+            p_corrupt: 1.0,
+            steps: 3,
+        }));
         let mut m = FaultyMedium::new(FixedMedium, &h, 2);
         let obs = m.transact(&Command::Nak);
         assert_eq!(obs[0].snr.value(), 8.0);

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-faults
 //!
 //! Fault injection and degradation-aware mission supervision for the
@@ -45,6 +46,6 @@ pub use inject::{FaultyMedium, RelayHealth};
 pub use log::{LoggedRecovery, RecoveryAction, ResilienceLog};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
 pub use supervisor::{
-    run_supervised, run_unsupervised, LocMethod, LocalizationRecord, MissionEnv,
-    ResilientOutcome, SupervisorConfig,
+    run_supervised, run_unsupervised, LocMethod, LocalizationRecord, MissionEnv, ResilientOutcome,
+    SupervisorConfig,
 };

@@ -124,7 +124,11 @@ impl ResilienceLog {
 
     /// Records a recovery action triggered by fault `trigger`.
     pub fn record(&mut self, step: usize, action: RecoveryAction, trigger: usize) {
-        self.recoveries.push(LoggedRecovery { step, action, trigger });
+        self.recoveries.push(LoggedRecovery {
+            step,
+            action,
+            trigger,
+        });
     }
 
     /// The auditing invariant: every recovery cites a recorded fault
@@ -178,7 +182,12 @@ mod tests {
     use crate::schedule::FaultKind;
 
     fn fault(id: usize, step: usize) -> FaultEvent {
-        FaultEvent { id, step, relay: 0, kind: FaultKind::BatterySag }
+        FaultEvent {
+            id,
+            step,
+            relay: 0,
+            kind: FaultKind::BatterySag,
+        }
     }
 
     #[test]
@@ -186,7 +195,14 @@ mod tests {
         let mut log = ResilienceLog::new();
         assert!(log.is_consistent(), "an empty log is consistent");
         log.record_fault(&fault(0, 3));
-        log.record(4, RecoveryAction::Repartition { dead_relay: 0, survivors: 3 }, 0);
+        log.record(
+            4,
+            RecoveryAction::Repartition {
+                dead_relay: 0,
+                survivors: 3,
+            },
+            0,
+        );
         assert!(log.is_consistent());
 
         // A recovery citing an unknown fault id is inconsistent.
@@ -198,7 +214,14 @@ mod tests {
     fn recovery_before_its_fault_is_inconsistent() {
         let mut log = ResilienceLog::new();
         log.record_fault(&fault(0, 7));
-        log.record(2, RecoveryAction::Retry { relay: 0, attempt: 1 }, 0);
+        log.record(
+            2,
+            RecoveryAction::Retry {
+                relay: 0,
+                attempt: 1,
+            },
+            0,
+        );
         assert!(!log.is_consistent(), "recovery precedes the fault");
     }
 
@@ -206,11 +229,29 @@ mod tests {
     fn counts_and_fallback_filter() {
         let mut log = ResilienceLog::new();
         log.record_fault(&fault(0, 0));
-        log.record(1, RecoveryAction::Retry { relay: 2, attempt: 1 }, 0);
-        log.record(1, RecoveryAction::Retry { relay: 2, attempt: 2 }, 0);
+        log.record(
+            1,
+            RecoveryAction::Retry {
+                relay: 2,
+                attempt: 1,
+            },
+            0,
+        );
+        log.record(
+            1,
+            RecoveryAction::Retry {
+                relay: 2,
+                attempt: 2,
+            },
+            0,
+        );
         log.record(
             2,
-            RecoveryAction::SarFallback { relay: 1, epc: Epc::from_index(7), coherence: 0.2 },
+            RecoveryAction::SarFallback {
+                relay: 1,
+                epc: Epc::from_index(7),
+                coherence: 0.2,
+            },
             0,
         );
         assert_eq!(log.count("retry"), 2);

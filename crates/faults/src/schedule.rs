@@ -147,9 +147,30 @@ impl FaultSchedule {
             });
         };
         // Uplink weather first: bursts the supervisor retries through.
-        push(1, jammed, FaultKind::Gen2Drop { p_drop: 0.8, steps: span });
-        push(q / 2 + 1, jammed, FaultKind::DeepFade { db: 18.0, steps: span });
-        push(q, jammed, FaultKind::NoiseBurst { p_corrupt: 0.5, steps: span });
+        push(
+            1,
+            jammed,
+            FaultKind::Gen2Drop {
+                p_drop: 0.8,
+                steps: span,
+            },
+        );
+        push(
+            q / 2 + 1,
+            jammed,
+            FaultKind::DeepFade {
+                db: 18.0,
+                steps: span,
+            },
+        );
+        push(
+            q,
+            jammed,
+            FaultKind::NoiseBurst {
+                p_corrupt: 0.5,
+                steps: span,
+            },
+        );
         // Flight-layer disturbances.
         push(
             q + 1,
@@ -162,7 +183,13 @@ impl FaultSchedule {
         );
         push(q + 2, incoherent, FaultKind::TrackingDropout { steps: 2 });
         // The relay hardware degradations.
-        push(2, incoherent, FaultKind::PhaseGlitch { rad: std::f64::consts::PI });
+        push(
+            2,
+            incoherent,
+            FaultKind::PhaseGlitch {
+                rad: std::f64::consts::PI,
+            },
+        );
         push(2 * q, drifty, FaultKind::GainDrift { db: 38.0 });
         push(2 * q + span, drifty, FaultKind::PaSag { db: 6.0 });
         // And the headline outage: one drone goes home early.
@@ -179,13 +206,31 @@ impl FaultSchedule {
             .map(|id| {
                 let steps = rng.gen_range(1..(n_steps / 2).max(2));
                 let kind = match rng.gen_range(0u32..10) {
-                    0 => FaultKind::PhaseGlitch { rad: rng.gen_range(0.3..std::f64::consts::PI) },
-                    1 => FaultKind::CfoDrift { rad: rng.gen_range(0.3..2.5), steps },
-                    2 => FaultKind::GainDrift { db: rng.gen_range(5.0..45.0) },
-                    3 => FaultKind::PaSag { db: rng.gen_range(1.0..12.0) },
-                    4 => FaultKind::DeepFade { db: rng.gen_range(5.0..25.0), steps },
-                    5 => FaultKind::NoiseBurst { p_corrupt: rng.gen_range(0.1..0.9), steps },
-                    6 => FaultKind::Gen2Drop { p_drop: rng.gen_range(0.1..0.95), steps },
+                    0 => FaultKind::PhaseGlitch {
+                        rad: rng.gen_range(0.3..std::f64::consts::PI),
+                    },
+                    1 => FaultKind::CfoDrift {
+                        rad: rng.gen_range(0.3..2.5),
+                        steps,
+                    },
+                    2 => FaultKind::GainDrift {
+                        db: rng.gen_range(5.0..45.0),
+                    },
+                    3 => FaultKind::PaSag {
+                        db: rng.gen_range(1.0..12.0),
+                    },
+                    4 => FaultKind::DeepFade {
+                        db: rng.gen_range(5.0..25.0),
+                        steps,
+                    },
+                    5 => FaultKind::NoiseBurst {
+                        p_corrupt: rng.gen_range(0.1..0.9),
+                        steps,
+                    },
+                    6 => FaultKind::Gen2Drop {
+                        p_drop: rng.gen_range(0.1..0.95),
+                        steps,
+                    },
                     7 => FaultKind::TrackingDropout { steps },
                     8 => FaultKind::WindGust {
                         dx_m: rng.gen_range(-2.0..2.0),
@@ -237,7 +282,10 @@ mod tests {
         let b = FaultSchedule::storm(9, 4, 40);
         assert_eq!(a.events(), b.events());
         let c = FaultSchedule::storm(10, 4, 40);
-        assert!(a.events() != c.events(), "different seeds, different storms");
+        assert!(
+            a.events() != c.events(),
+            "different seeds, different storms"
+        );
 
         let has = |f: fn(&FaultKind) -> bool| a.events().iter().any(|e| f(&e.kind));
         assert!(has(|k| matches!(k, FaultKind::BatterySag)));

@@ -38,7 +38,7 @@ use rfly_core::relay::gains::{worst_pair_margin, GainPlan, IsolationBudget};
 use rfly_drone::flightplan::FlightPlan;
 use rfly_drone::kinematics::MotionLimits;
 use rfly_dsp::rng::StdRng;
-use rfly_dsp::units::{Db, Hertz};
+use rfly_dsp::units::{Db, Hertz, Meters};
 use rfly_dsp::{Complex, SPEED_OF_LIGHT};
 use rfly_fleet::channels::{assign, ChannelPlan};
 use rfly_fleet::inventory::{FleetInventory, MissionConfig};
@@ -189,7 +189,8 @@ fn inventory_stop(
     seed: u64,
     max_rounds: usize,
 ) -> Vec<TagRead> {
-    let mut controller = InventoryController::new(world.config.clone(), StdRng::seed_from_u64(seed));
+    let mut controller =
+        InventoryController::new(world.config.clone(), StdRng::seed_from_u64(seed));
     let mut reads = {
         let medium = FleetMedium::new(world, fleet.to_vec(), serving);
         let mut faulty = FaultyMedium::new(medium, health, seed);
@@ -226,7 +227,7 @@ fn worst_alive_margin(
         for b in a + 1..alive.len() {
             let (i, j) = (alive[a], alive[b]);
             let coupling = free_space_db(
-                positions[a].distance(positions[b]),
+                Meters::new(positions[a].distance(positions[b])),
                 Hertz(f1[i].as_hz().min(f1[j].as_hz())),
             );
             let m = worst_pair_margin(
@@ -323,6 +324,7 @@ fn run_faulted(
         if sup.is_some() {
             for &dead in &newly_dead {
                 let alive: Vec<usize> = (0..n).filter(|&i| health[i].alive).collect();
+                // rfly-lint: allow(no-unwrap) -- relays enter newly_dead only after a battery fault is recorded.
                 let trigger = health[dead].battery_fault.expect("sag was recorded");
                 if alive.is_empty() {
                     break;
@@ -337,7 +339,10 @@ fn run_faulted(
                     }
                     log.record(
                         step,
-                        RecoveryAction::Repartition { dead_relay: dead, survivors: alive.len() },
+                        RecoveryAction::Repartition {
+                            dead_relay: dead,
+                            survivors: alive.len(),
+                        },
                         trigger,
                     );
                     let to = alive
@@ -347,7 +352,11 @@ fn run_faulted(
                         .unwrap_or(alive[0]);
                     log.record(
                         step,
-                        RecoveryAction::CellHandoff { cell: dead, from: dead, to },
+                        RecoveryAction::CellHandoff {
+                            cell: dead,
+                            from: dead,
+                            to,
+                        },
                         trigger,
                     );
                 }
@@ -384,8 +393,17 @@ fn run_faulted(
         // 4. Supervised: the mutual-loop margin monitor.
         if let Some(sup_cfg) = sup {
             margin_monitor(
-                sup_cfg, env, cfg, step, &alive, &positions, &mut f1, &mut shift, &mut health,
-                &mut log, plan,
+                sup_cfg,
+                env,
+                cfg,
+                step,
+                &alive,
+                &positions,
+                &mut f1,
+                &mut shift,
+                &mut health,
+                &mut log,
+                plan,
             );
         }
 
@@ -396,7 +414,10 @@ fn run_faulted(
             .zip(&positions)
             .map(|(&i, &pos)| {
                 let base = RelayModel::from_budget(f1[i], shift[i], &env.budget);
-                FleetRelay { model: health[i].degraded_model(&base), pos }
+                FleetRelay {
+                    model: health[i].degraded_model(&base),
+                    pos,
+                }
             })
             .collect();
 
@@ -422,14 +443,23 @@ fn run_faulted(
                         fleet[s_idx].model = health[relay].degraded_model(&base);
                         log.record(
                             step,
-                            RecoveryAction::GainTrim { relay, trimmed_db: trimmed },
+                            RecoveryAction::GainTrim {
+                                relay,
+                                trimmed_db: trimmed,
+                            },
                             trigger,
                         );
                     }
                 }
             }
-            let mut reads =
-                inventory_stop(world, &fleet, s_idx, &health[relay], stop_seed, cfg.max_rounds);
+            let mut reads = inventory_stop(
+                world,
+                &fleet,
+                s_idx,
+                &health[relay],
+                stop_seed,
+                cfg.max_rounds,
+            );
 
             if let Some(sup_cfg) = sup {
                 let mut attempt = 1;
@@ -536,8 +566,8 @@ fn margin_monitor(
     // Attribute the violation: with pristine gains the same fleet must
     // clear the gate, otherwise this is a planning problem (relays
     // passing close), not a fault.
-    let pristine = worst_alive_margin(alive, positions, f1, shift, &|_| plan.gains)
-        .expect("pair exists");
+    let pristine =
+        worst_alive_margin(alive, positions, f1, shift, &|_| plan.gains).expect("pair exists"); // rfly-lint: allow(no-unwrap) -- the caller found a worst pair, so the same pair set is non-empty here.
     if pristine.2.value() < env.margin.value() {
         return;
     }
@@ -585,7 +615,14 @@ fn margin_monitor(
             let trimmed = health[r].gain_drift_db;
             health[r].gain_drift_db = 0.0;
             let t = health[r].last_gain_fault.unwrap_or(trigger);
-            log.record(step, RecoveryAction::GainTrim { relay: r, trimmed_db: trimmed }, t);
+            log.record(
+                step,
+                RecoveryAction::GainTrim {
+                    relay: r,
+                    trimmed_db: trimmed,
+                },
+                t,
+            );
         }
     }
 }
@@ -635,15 +672,26 @@ fn localize_all(
                 .filter_map(|(&(p, _), h)| h.map(|h| (p, h)))
                 .unzip();
             if points.len() < 3 {
-                out.push(LocalizationRecord { epc, relay, method: LocMethod::Unavailable, estimate: None });
+                out.push(LocalizationRecord {
+                    epc,
+                    relay,
+                    method: LocMethod::Unavailable,
+                    estimate: None,
+                });
                 continue;
             }
             let traj = Trajectory::from_points(points);
             if coherent {
-                let est = SarLocalizer::new(f2, env.scene.min, env.scene.max, loc_cfg.loc_resolution_m)
-                    .localize(&traj, &channels)
-                    .map(|(p, _)| p);
-                out.push(LocalizationRecord { epc, relay, method: LocMethod::Sar, estimate: est });
+                let est =
+                    SarLocalizer::new(f2, env.scene.min, env.scene.max, loc_cfg.loc_resolution_m)
+                        .localize(&traj, &channels)
+                        .map(|(p, _)| p);
+                out.push(LocalizationRecord {
+                    epc,
+                    relay,
+                    method: LocMethod::Sar,
+                    estimate: est,
+                });
             } else if sup.is_some() {
                 // The oscillator scrambled the phase but not the
                 // magnitude: fall back to coarse RSSI ranging against
@@ -657,14 +705,17 @@ fn localize_all(
                     region_min: env.scene.min,
                     region_max: env.scene.max,
                     resolution: loc_cfg.loc_resolution_m,
-                    reference_amplitude_1m: (lambda / (4.0 * std::f64::consts::PI)).powi(2)
-                        / local,
+                    reference_amplitude_1m: (lambda / (4.0 * std::f64::consts::PI)).powi(2) / local,
                 };
                 let est = rssi.localize(&traj, &channels);
                 if let Some(trigger) = health[relay].last_phase_fault {
                     log.record(
                         final_step,
-                        RecoveryAction::SarFallback { relay, epc, coherence: coherence[relay] },
+                        RecoveryAction::SarFallback {
+                            relay,
+                            epc,
+                            coherence: coherence[relay],
+                        },
                         trigger,
                     );
                 }
@@ -675,7 +726,12 @@ fn localize_all(
                     estimate: est,
                 });
             } else {
-                out.push(LocalizationRecord { epc, relay, method: LocMethod::Unavailable, estimate: None });
+                out.push(LocalizationRecord {
+                    epc,
+                    relay,
+                    method: LocMethod::Unavailable,
+                    estimate: None,
+                });
             }
         }
     }

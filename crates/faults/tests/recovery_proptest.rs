@@ -99,8 +99,14 @@ fn any_random_schedule_is_survivable_and_auditable() {
             );
         }
         assert_eq!(out.coherence.len(), n_relays);
-        assert!(out.coherence.iter().all(|c| (0.0..=1.0 + 1e-12).contains(c)));
-        assert!(out.steps > 0, "case {case}: mission must take at least one step");
+        assert!(out
+            .coherence
+            .iter()
+            .all(|c| (0.0..=1.0 + 1e-12).contains(c)));
+        assert!(
+            out.steps > 0,
+            "case {case}: mission must take at least one step"
+        );
 
         let (plan2, part2, mut world2, cfg2) = mission(&scene, n_relays, 100 + case);
         let base = run_unsupervised(&mut world2, &plan2, &part2, &env, &cfg2, &schedule);
@@ -137,7 +143,8 @@ fn standard_storms_are_survivable_on_a_three_relay_fleet() {
         );
         assert!(out.log.is_consistent(), "seed {seed}");
         assert!(
-            out.lost_relays.contains(&storm.battery_sag_relay().unwrap()),
+            out.lost_relays
+                .contains(&storm.battery_sag_relay().unwrap()),
             "seed {seed}: the sagged relay must be recorded as lost"
         );
         assert!(

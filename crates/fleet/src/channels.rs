@@ -25,8 +25,10 @@ use rfly_core::relay::gains::{
     allocate, is_stable_with_interferers, worst_pair_margin, ExternalInterferer, GainPlan,
     IsolationBudget,
 };
-use rfly_dsp::units::{Db, Dbm, Hertz};
-use rfly_reader::hopping::{channel_frequency, HopSequence, CHANNEL_SPACING, MAX_DWELL_S, NUM_CHANNELS};
+use rfly_dsp::units::{Db, Dbm, Hertz, Meters};
+use rfly_reader::hopping::{
+    channel_frequency, HopSequence, CHANNEL_SPACING, MAX_DWELL, NUM_CHANNELS,
+};
 use rfly_sim::fleet::{FleetRelay, FLEET_PASSBAND};
 use rfly_sim::world::RelayModel;
 
@@ -110,10 +112,16 @@ impl fmt::Display for ChannelPlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChannelPlanError::NoFeasibleChannel { relay } => {
-                write!(f, "no FCC channel clears the stability gate for relay {relay}")
+                write!(
+                    f,
+                    "no FCC channel clears the stability gate for relay {relay}"
+                )
             }
             ChannelPlanError::UnstablePair { i, j, margin } => {
-                write!(f, "relay pair ({i}, {j}) mutual loop margin {margin} below gate")
+                write!(
+                    f,
+                    "relay pair ({i}, {j}) mutual loop margin {margin} below gate"
+                )
             }
         }
     }
@@ -124,7 +132,7 @@ impl std::error::Error for ChannelPlanError {}
 /// The worst-case (strongest) inter-relay coupling: free-space loss at
 /// the lower of the two carrier frequencies.
 fn coupling(pos_i: Point2, pos_j: Point2, f: Hertz) -> Db {
-    free_space_db(pos_i.distance(pos_j), f)
+    free_space_db(Meters::new(pos_i.distance(pos_j)), f)
 }
 
 /// Worst mutual-loop margin of one candidate pair (all relays run the
@@ -161,7 +169,7 @@ pub fn assign(
     seed: u64,
 ) -> Result<ChannelPlan, ChannelPlanError> {
     let gains = allocate(budget, margin, Dbm::new(-40.0));
-    let order = HopSequence::new(seed, MAX_DWELL_S).order().to_vec();
+    let order = HopSequence::new(seed, MAX_DWELL).order().to_vec();
 
     let mut f1 = Vec::with_capacity(positions.len());
     let mut shift = Vec::with_capacity(positions.len());
@@ -229,7 +237,7 @@ pub fn assign(
                 .iter()
                 .filter(|m| m.i == i || m.j == i)
                 .min_by(|a, b| a.margin.value().total_cmp(&b.margin.value()))
-                .expect("pairs exist when interferers do");
+                .expect("pairs exist when interferers do"); // rfly-lint: allow(no-unwrap) -- this branch runs only with a non-empty interferer set, which yields margins.
             return Err(ChannelPlanError::UnstablePair {
                 i: worst.i,
                 j: worst.j,
@@ -280,7 +288,9 @@ mod tests {
     }
 
     fn grid(n: usize, spacing: f64) -> Vec<Point2> {
-        (0..n).map(|k| Point2::new(spacing * k as f64, 0.0)).collect()
+        (0..n)
+            .map(|k| Point2::new(spacing * k as f64, 0.0))
+            .collect()
     }
 
     #[test]
@@ -305,7 +315,10 @@ mod tests {
         let b = assign(&grid(5, 8.0), &paper_budget(), Db::new(10.0), 7).unwrap();
         assert_eq!(a.f1, b.f1);
         let c = assign(&grid(5, 8.0), &paper_budget(), Db::new(10.0), 8).unwrap();
-        assert!(a.f1 != c.f1, "different seeds should pick different channels");
+        assert!(
+            a.f1 != c.f1,
+            "different seeds should pick different channels"
+        );
     }
 
     #[test]
@@ -324,6 +337,42 @@ mod tests {
             FLEET_PASSBAND,
         );
         assert!(m.value() < 0.0, "co-channel pair stable?! margin {m}");
+    }
+
+    #[test]
+    fn shifts_are_hertz_multiples_of_the_channel_spacing() {
+        // Guards a channel-index-vs-hertz mixup in the Δf math: Δᵢ must
+        // be (2+i)·500 kHz in *hertz*, at least the paper's 1 MHz, and
+        // must land f₂ back on the FCC channel grid.
+        let positions = grid(4, 10.0);
+        let plan = assign(&positions, &paper_budget(), Db::new(10.0), 42).unwrap();
+        for (i, &s) in plan.shift.iter().enumerate() {
+            assert_eq!(s, Hertz(CHANNEL_SPACING.as_hz() * (2 + i) as f64));
+            assert!(s.as_hz() >= 1e6, "paper: Δf of at least 1 MHz");
+            let steps =
+                (plan.f2(i).as_hz() - channel_frequency(0).as_hz()) / CHANNEL_SPACING.as_hz();
+            assert!(
+                (steps - steps.round()).abs() < 1e-6,
+                "f2({i}) off the FCC grid by {} channels",
+                steps - steps.round()
+            );
+        }
+    }
+
+    #[test]
+    fn pair_margin_is_symmetric_in_the_pair() {
+        // The coupling model picks the lower of the two f₁s, so the
+        // margin must not depend on which relay is called `i`.
+        let gains = allocate(&paper_budget(), Db::new(10.0), Dbm::new(-40.0));
+        let (pa, pb) = (Point2::ORIGIN, Point2::new(9.0, 3.0));
+        let fa = (Hertz::mhz(903.0), Hertz::mhz(904.5));
+        let fb = (Hertz::mhz(917.0), Hertz::mhz(919.0));
+        let m_ab = pair_margin(&gains, pa, fa, pb, fb, FLEET_PASSBAND);
+        let m_ba = pair_margin(&gains, pb, fb, pa, fa, FLEET_PASSBAND);
+        assert!(
+            (m_ab.value() - m_ba.value()).abs() < 1e-9,
+            "{m_ab} vs {m_ba}"
+        );
     }
 
     #[test]

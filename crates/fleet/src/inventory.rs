@@ -124,7 +124,13 @@ impl FleetInventory {
         let total: usize = self.per_relay_reads.iter().sum();
         self.per_relay_reads
             .iter()
-            .map(|&r| if total == 0 { 0.0 } else { r as f64 / total as f64 })
+            .map(|&r| {
+                if total == 0 {
+                    0.0
+                } else {
+                    r as f64 / total as f64
+                }
+            })
             .collect()
     }
 }

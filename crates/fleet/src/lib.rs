@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-fleet — multi-relay fleet coordination
 //!
 //! The paper flies *one* drone-borne relay; a warehouse deployment

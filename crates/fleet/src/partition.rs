@@ -157,7 +157,10 @@ mod tests {
         for spot in &scene.tag_spots {
             let owner = p.cell_of(*spot).expect("spot inside the floor");
             assert_eq!(
-                p.cells.iter().filter(|c| c.index < owner && c.contains(*spot)).count(),
+                p.cells
+                    .iter()
+                    .filter(|c| c.index < owner && c.contains(*spot))
+                    .count(),
                 0
             );
         }

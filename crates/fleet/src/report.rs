@@ -12,7 +12,14 @@ pub fn summary_table(outcome: &MissionOutcome, population: usize) -> Table {
     let inv = &outcome.inventory;
     let mut t = Table::new(
         "Fleet mission summary",
-        &["relays", "tags", "read rate", "handoffs", "stops", "mission"],
+        &[
+            "relays",
+            "tags",
+            "read rate",
+            "handoffs",
+            "stops",
+            "mission",
+        ],
     );
     t.row(&[
         inv.per_relay_reads.len().to_string(),
@@ -60,7 +67,13 @@ pub fn margin_histogram(plan: &ChannelPlan) -> Table {
         return t;
     }
     let bins = (((hi - lo) / 10.0).ceil() as usize).clamp(1, 12);
-    histogram("Pairwise interference margins (dB)", &margins, bins, lo, hi + 1e-9)
+    histogram(
+        "Pairwise interference margins (dB)",
+        &margins,
+        bins,
+        lo,
+        hi + 1e-9,
+    )
 }
 
 #[cfg(test)]
@@ -105,7 +118,12 @@ mod tests {
             .to_csv()
             .lines()
             .skip(1)
-            .map(|l| l.rsplit(',').nth(1).and_then(|c| c.parse::<usize>().ok()).unwrap_or(0))
+            .map(|l| {
+                l.rsplit(',')
+                    .nth(1)
+                    .and_then(|c| c.parse::<usize>().ok())
+                    .unwrap_or(0)
+            })
             .sum();
         assert_eq!(total, 3);
     }

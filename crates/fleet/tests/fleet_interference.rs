@@ -4,10 +4,10 @@
 //! cells' tag populations.
 
 use rfly_channel::geometry::Point2;
-use rfly_core::relay::gains::{is_stable_with_interferers, ExternalInterferer, IsolationBudget};
 use rfly_channel::pathloss::free_space_db;
-use rfly_dsp::units::{Db, Hertz};
+use rfly_core::relay::gains::{is_stable_with_interferers, ExternalInterferer, IsolationBudget};
 use rfly_drone::kinematics::MotionLimits;
+use rfly_dsp::units::{Db, Hertz, Meters};
 use rfly_fleet::inventory::{mission_world, run_mission, MissionConfig};
 use rfly_fleet::{assign, partition};
 use rfly_protocol::epc::Epc;
@@ -66,7 +66,7 @@ fn adjacent_shift_pair_is_stable_and_inventories_both_cells() {
     // Both relays pass the extended Eq. 3 gate with the other as an
     // external interferer at the hover-to-hover coupling.
     let coupling = free_space_db(
-        hover[0].distance(hover[1]),
+        Meters::new(hover[0].distance(hover[1])),
         Hertz(plan.f1[0].as_hz().min(plan.f1[1].as_hz())),
     );
     for i in 0..2 {

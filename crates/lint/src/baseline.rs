@@ -1,0 +1,129 @@
+//! Baseline snapshots: the mechanism that lets the gate be green at
+//! merge while a legacy-violation list ages out monotonically.
+//!
+//! A baseline file holds one entry per tolerated finding, keyed by
+//! `(rule, file, trimmed line text)` — line *text*, not line number, so
+//! unrelated edits above a tolerated site don't invalidate the entry.
+//! The gate fails on any finding not covered by the baseline; covered
+//! findings are reported as "baselined". Entries that no longer match
+//! any finding are *stale* and reported so the file only ever shrinks.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// The key a finding is baselined under.
+fn key(f: &Finding) -> String {
+    format!("{}\t{}\t{}", f.rule, f.file, f.line_text)
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Multiset of tolerated finding keys (a file can legitimately have
+    /// two identical lines, each with its own entry).
+    entries: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses the tab-separated baseline format. Blank lines and `#`
+    /// comments are skipped.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *entries.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Serializes findings into baseline file content.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings.iter().map(key).collect();
+        lines.sort();
+        let mut out = String::from(
+            "# rfly-lint baseline: tolerated legacy violations, one per line.\n\
+             # Format: rule<TAB>file<TAB>trimmed source line.\n\
+             # This file must only ever shrink; regenerate with --update-baseline.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Splits findings into `(new, baselined)` and returns the stale
+    /// entry keys left over.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
+        let mut remaining = self.entries.clone();
+        let mut fresh = Vec::new();
+        let mut covered = Vec::new();
+        for f in findings {
+            let k = key(&f);
+            match remaining.get_mut(&k) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    covered.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        let stale: Vec<String> = remaining
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, _)| k)
+            .collect();
+        (fresh, covered, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: &'static str, file: &str, text: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            severity: Severity::Error,
+            line_text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_partition() {
+        let a = finding("no-unwrap", "crates/core/src/x.rs", "a.unwrap();");
+        let b = finding("no-f32", "crates/channel/src/y.rs", "let z: f32 = 1.0;");
+        let bl = Baseline::parse(&Baseline::render(std::slice::from_ref(&a)));
+        let (fresh, covered, stale) = bl.apply(vec![a, b]);
+        assert_eq!(covered.len(), 1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].rule, "no-f32");
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_surfaced() {
+        let a = finding("no-unwrap", "crates/core/src/x.rs", "a.unwrap();");
+        let bl = Baseline::parse(&Baseline::render(&[a]));
+        let (fresh, covered, stale) = bl.apply(vec![]);
+        assert!(fresh.is_empty() && covered.is_empty());
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_lines_need_two_entries() {
+        let a = finding("no-unwrap", "f.rs", "x.unwrap();");
+        let bl = Baseline::parse(&Baseline::render(std::slice::from_ref(&a)));
+        let (fresh, covered, _) = bl.apply(vec![a.clone(), a]);
+        assert_eq!(covered.len(), 1);
+        assert_eq!(fresh.len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! `rfly-lint` — the workspace's offline static-analysis pass.
+//!
+//! The failure modes that silently corrupt an RF reproduction are not
+//! crashes but invariant violations: a dB ratio added to a dBm power, a
+//! `900e3`-vs-`900e6` typo, an `unwrap()` on a degraded-path buffer, or
+//! a nondeterministic RNG that breaks the seeded fault-matrix CI. This
+//! crate makes those invariants machine-checked on every commit: a
+//! small hand-rolled Rust lexer (zero external dependencies, no rustc
+//! plugin) feeds a rule engine that scans every `.rs` file in the
+//! workspace and reports violations with `file:line` spans, stable rule
+//! IDs, and an allowlist escape hatch that *requires* a written
+//! justification:
+//!
+//! ```text
+//! // rfly-lint: allow(no-println) -- CLI rendering seam, no data flows out.
+//! ```
+//!
+//! See DESIGN.md §8 for the rule catalog and the baseline policy.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::Baseline;
+pub use rules::{lint_source, Finding, Severity, RULES};
+
+/// Directories never scanned: build output, VCS metadata, and the
+/// intentionally-violating lint fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results"];
+
+/// Collects every workspace `.rs` file under `root`, skipping build
+/// output and the lint crate's own fixture tree (those files violate
+/// rules on purpose).
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                if path.ends_with("crates/lint/tests/fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace file under `root`, returning findings with
+/// workspace-relative paths.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in collect_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    Ok(findings)
+}

@@ -1,0 +1,109 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! The `rfly-lint` CLI driver.
+//!
+//! ```text
+//! cargo run -p rfly-lint -- --workspace [--baseline <file>] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 = clean (or fully baselined), 1 = new violations or
+//! stale baseline entries, 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rfly_lint::{lint_workspace, Baseline, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--list-rules" => {
+                for (slug, desc) in RULES {
+                    println!("{slug:20} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("pass --workspace to scan the workspace");
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("rfly-lint: IO error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        let path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.tsv"));
+        if let Err(e) = std::fs::write(&path, Baseline::render(&findings)) {
+            eprintln!("rfly-lint: cannot write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "rfly-lint: wrote {} baseline entries to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) => {
+                eprintln!("rfly-lint: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Baseline::default(),
+    };
+    let (fresh, baselined, stale) = baseline.apply(findings);
+
+    for f in &fresh {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    for s in &stale {
+        println!("stale baseline entry (violation fixed — delete the line): {s}");
+    }
+    println!(
+        "rfly-lint: {} new violation(s), {} baselined, {} stale baseline entr(ies)",
+        fresh.len(),
+        baselined.len(),
+        stale.len()
+    );
+    if fresh.is_empty() && stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "rfly-lint: {err}\n\
+         usage: rfly-lint --workspace [--root <dir>] [--baseline <file>] [--update-baseline] [--list-rules]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,147 @@
+//! Fixture-backed tests for every rule: each rule R1–R8 gets one
+//! violating and one conforming example, linted under a synthetic
+//! workspace-relative path that puts it in the rule's scope. The
+//! allowlist mechanism gets justification and expiry coverage, and the
+//! lint crate's own sources must pass a self-check.
+
+use std::fs;
+use std::path::Path;
+
+use rfly_lint::{collect_files, lint_source};
+
+fn fixture(rel: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Rule slugs reported when `rel` is linted as if it lived at
+/// `synthetic_path` in the workspace.
+fn rules_hit(synthetic_path: &str, rel: &str) -> Vec<&'static str> {
+    lint_source(synthetic_path, &fixture(rel))
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn r1_no_unwrap() {
+    let hit = rules_hit("crates/core/src/fixture.rs", "no_unwrap/violating.rs");
+    assert!(hit.contains(&"no-unwrap"), "{hit:?}");
+    assert!(rules_hit("crates/core/src/fixture.rs", "no_unwrap/conforming.rs").is_empty());
+}
+
+#[test]
+fn r1_scoped_to_supervised_crates() {
+    // The same unwrap outside the supervised crates is not flagged.
+    assert!(rules_hit("crates/drone/src/fixture.rs", "no_unwrap/violating.rs").is_empty());
+}
+
+#[test]
+fn r2_no_as_int_cast() {
+    let hit = rules_hit("crates/dsp/src/fixture.rs", "no_as_int_cast/violating.rs");
+    assert!(hit.contains(&"no-as-int-cast"), "{hit:?}");
+    assert!(rules_hit("crates/dsp/src/fixture.rs", "no_as_int_cast/conforming.rs").is_empty());
+    // Off the hot paths the cast is legal.
+    assert!(rules_hit("crates/tag/src/fixture.rs", "no_as_int_cast/violating.rs").is_empty());
+}
+
+#[test]
+fn r3_unit_newtypes() {
+    let hit = rules_hit("crates/tag/src/fixture.rs", "unit_newtypes/violating.rs");
+    assert!(hit.contains(&"unit-newtypes"), "{hit:?}");
+    assert!(rules_hit("crates/tag/src/fixture.rs", "unit_newtypes/conforming.rs").is_empty());
+}
+
+#[test]
+fn r4_determinism() {
+    let hit = rules_hit("crates/tag/src/fixture.rs", "determinism/violating.rs");
+    assert!(hit.contains(&"determinism"), "{hit:?}");
+    assert!(rules_hit("crates/tag/src/fixture.rs", "determinism/conforming.rs").is_empty());
+}
+
+#[test]
+fn r5_crate_attrs() {
+    let hit = rules_hit("crates/fixture/src/lib.rs", "crate_attrs/violating.rs");
+    assert_eq!(
+        hit.iter().filter(|r| **r == "crate-attrs").count(),
+        2,
+        "both missing attributes reported: {hit:?}"
+    );
+    assert!(rules_hit("crates/fixture/src/lib.rs", "crate_attrs/conforming.rs").is_empty());
+    // Non-root files are exempt.
+    assert!(rules_hit("crates/fixture/src/other.rs", "crate_attrs/violating.rs").is_empty());
+}
+
+#[test]
+fn r6_no_println() {
+    let hit = rules_hit("crates/tag/src/fixture.rs", "no_println/violating.rs");
+    assert!(hit.contains(&"no-println"), "{hit:?}");
+    assert!(rules_hit("crates/tag/src/fixture.rs", "no_println/conforming.rs").is_empty());
+    // The bench crate's whole purpose is terminal output.
+    assert!(rules_hit("crates/bench/src/fixture.rs", "no_println/violating.rs").is_empty());
+}
+
+#[test]
+fn r7_no_f32() {
+    let hit = rules_hit("crates/channel/src/fixture.rs", "no_f32/violating.rs");
+    assert!(hit.contains(&"no-f32"), "{hit:?}");
+    assert!(rules_hit("crates/channel/src/fixture.rs", "no_f32/conforming.rs").is_empty());
+    // DSP utility code may use f32 (e.g. RNG sample impls).
+    assert!(rules_hit("crates/dsp/src/fixture.rs", "no_f32/violating.rs").is_empty());
+}
+
+#[test]
+fn r8_no_todo() {
+    let hit = rules_hit("crates/tag/src/fixture.rs", "no_todo/violating.rs");
+    assert!(hit.contains(&"no-todo"), "{hit:?}");
+    assert!(rules_hit("crates/tag/src/fixture.rs", "no_todo/conforming.rs").is_empty());
+    // R8 applies even to test-like files.
+    let hit = rules_hit("tests/fixture.rs", "no_todo/violating.rs");
+    assert!(hit.contains(&"no-todo"), "{hit:?}");
+}
+
+#[test]
+fn justified_allow_suppresses() {
+    assert!(rules_hit("crates/core/src/fixture.rs", "allowlist/justified.rs").is_empty());
+}
+
+#[test]
+fn unjustified_allow_is_flagged() {
+    let hit = rules_hit("crates/core/src/fixture.rs", "allowlist/unjustified.rs");
+    assert!(hit.contains(&"allow-justification"), "{hit:?}");
+}
+
+#[test]
+fn stale_allow_expires() {
+    // Once the violation under an allow is gone, the allow itself
+    // becomes a finding — allowlist entries age out, never accrete.
+    let hit = rules_hit("crates/core/src/fixture.rs", "allowlist/stale.rs");
+    assert!(hit.contains(&"stale-allow"), "{hit:?}");
+}
+
+#[test]
+fn lint_self_check() {
+    // The lint crate must pass its own rules, fixture tree excluded.
+    let crate_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = collect_files(crate_dir).expect("walk the lint crate");
+    assert!(!files.is_empty());
+    for f in &files {
+        assert!(
+            !f.to_string_lossy().contains("tests/fixtures/"),
+            "fixture tree must be excluded from scans: {}",
+            f.display()
+        );
+        let rel = format!(
+            "crates/lint/{}",
+            f.strip_prefix(crate_dir)
+                .expect("under the crate dir")
+                .to_string_lossy()
+                .replace('\\', "/")
+        );
+        let src = fs::read_to_string(f).expect("read source");
+        let findings = lint_source(&rel, &src);
+        assert!(findings.is_empty(), "self-check failed: {findings:?}");
+    }
+}

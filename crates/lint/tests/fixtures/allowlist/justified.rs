@@ -1,0 +1,7 @@
+//! Allowlist fixture: a justified allow suppresses the finding.
+
+/// Returns the first element.
+pub fn first(v: &[u64]) -> u64 {
+    // rfly-lint: allow(no-unwrap) -- fixture: the caller guarantees non-empty input.
+    *v.first().unwrap()
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! R5 fixture: a crate root carrying both attributes.
+
+/// A documented item.
+pub fn item() {}

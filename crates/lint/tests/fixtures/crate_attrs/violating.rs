@@ -1,0 +1,4 @@
+//! R5 fixture: a crate root missing both lint attributes.
+
+/// A documented item.
+pub fn item() {}

@@ -1,0 +1,12 @@
+//! R4 fixture: ordered container, time from the simulation clock.
+
+use std::collections::BTreeMap;
+
+/// Counts occurrences.
+pub fn count(keys: &[u64]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,14 @@
+//! R4 fixture: a wall clock and a hash-ordered container.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Counts occurrences.
+pub fn count(keys: &[u64]) -> HashMap<u64, u64> {
+    let _started = Instant::now();
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

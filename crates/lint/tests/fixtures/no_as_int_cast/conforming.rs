@@ -1,0 +1,6 @@
+//! R2 fixture: the checked conversion helper instead of `as`.
+
+/// Samples per millisecond at `rate`.
+pub fn samples(rate: f64) -> usize {
+    rfly_dsp::cast::floor_usize(rate * 1e-3)
+}

@@ -1,0 +1,6 @@
+//! R2 fixture: a raw truncating cast on a hot path.
+
+/// Samples per millisecond at `rate`.
+pub fn samples(rate: f64) -> usize {
+    (rate * 1e-3) as usize
+}

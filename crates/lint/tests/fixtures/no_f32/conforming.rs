@@ -1,0 +1,6 @@
+//! R7 fixture: link-budget math stays in f64.
+
+/// Sums path gains.
+pub fn sum_gains(gains: &[f64]) -> f64 {
+    gains.iter().sum()
+}

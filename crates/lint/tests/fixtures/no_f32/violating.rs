@@ -1,0 +1,6 @@
+//! R7 fixture: f32 in link-budget math.
+
+/// Sums path gains.
+pub fn sum_gains(gains: &[f32]) -> f32 {
+    gains.iter().sum()
+}

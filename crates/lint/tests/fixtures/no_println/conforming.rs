@@ -1,0 +1,6 @@
+//! R6 fixture: render to a string; the caller decides where it goes.
+
+/// Reports a value.
+pub fn report(v: f64) -> String {
+    format!("v = {v}")
+}

@@ -1,0 +1,6 @@
+//! R6 fixture: terminal output from library code.
+
+/// Reports a value.
+pub fn report(v: f64) {
+    println!("v = {v}");
+}

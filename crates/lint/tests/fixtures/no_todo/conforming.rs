@@ -1,0 +1,6 @@
+//! R8 fixture: finished code.
+
+/// Implemented.
+pub fn later() -> u64 {
+    7
+}

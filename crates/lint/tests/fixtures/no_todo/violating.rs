@@ -1,0 +1,6 @@
+//! R8 fixture: an unfinished-code marker.
+
+/// Not implemented yet.
+pub fn later() {
+    todo!("finish this")
+}

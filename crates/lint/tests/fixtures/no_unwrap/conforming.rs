@@ -1,0 +1,6 @@
+//! R1 fixture: the miss is a value, not a panic.
+
+/// Returns the first element, if any.
+pub fn first(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}

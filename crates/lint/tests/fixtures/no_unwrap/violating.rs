@@ -1,0 +1,6 @@
+//! R1 fixture: a panic on a supervised path.
+
+/// Returns the first element.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! R3 fixture: a unit-suffixed public parameter as raw f64.
+
+/// Tunes the synthesizer.
+pub fn tune(freq_hz: f64) -> f64 {
+    freq_hz * 2.0
+}

@@ -108,7 +108,8 @@ impl Bits {
 
     /// The sub-range `[offset, offset + len)` as a new buffer.
     pub fn slice(&self, offset: usize, len: usize) -> Bits {
-        self.try_slice(offset, len).expect("bit range out of bounds")
+        self.try_slice(offset, len)
+            .expect("bit range out of bounds")
     }
 
     /// Fallible [`Self::slice`]: rejects out-of-bounds ranges instead of
@@ -265,7 +266,11 @@ mod tests {
         assert_eq!(b.try_slice(2, 3).unwrap(), Bits::from_str01("110"));
         assert!(matches!(
             b.try_uint_at(3, 4),
-            Err(ProtocolError::BitRange { offset: 3, width: 4, len: 5 })
+            Err(ProtocolError::BitRange {
+                offset: 3,
+                width: 4,
+                len: 5
+            })
         ));
         assert!(b.try_slice(0, 6).is_err());
         assert!(b.try_uint_at(0, 65).is_err(), "width > 64 rejected");

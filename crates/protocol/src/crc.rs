@@ -96,7 +96,9 @@ mod tests {
             let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let len = 8 + (seed as usize * 7) % 120;
             for _ in 0..len {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 body.push(x >> 63 == 1);
             }
             let framed = append_crc16(&body);

@@ -49,6 +49,9 @@ pub enum ProtocolError {
         /// Bytes available.
         n_bytes: usize,
     },
+    /// A capture held no decodable PIE frame — a decode miss, the
+    /// expected outcome for truncated, corrupted, or frameless input.
+    NoFrame,
 }
 
 impl fmt::Display for ProtocolError {
@@ -75,6 +78,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::NotEnoughBytes { n_bits, n_bytes } => {
                 write!(f, "{n_bits} bits requested from {n_bytes} bytes")
             }
+            ProtocolError::NoFrame => {
+                write!(f, "no decodable PIE frame in the capture")
+            }
         }
     }
 }
@@ -93,7 +99,10 @@ mod tests {
             len: 20,
         };
         let msg = e.to_string();
-        assert!(msg.contains("16") && msg.contains('8') && msg.contains("20"), "{msg}");
+        assert!(
+            msg.contains("16") && msg.contains('8') && msg.contains("20"),
+            "{msg}"
+        );
         assert!(ProtocolError::InvalidDepth(0.0).to_string().contains("0"));
     }
 

@@ -20,6 +20,11 @@ pub const PREAMBLE_HALVES: [bool; 12] = [
     true, true, false, true, false, false, true, false, false, false, true, true,
 ];
 
+/// The trailing half-symbol level of [`PREAMBLE_HALVES`] — the state
+/// the FM0 data decoder continues from. Const-indexed, so the
+/// non-emptiness is checked at compile time.
+pub const LAST_PREAMBLE_HALF: bool = PREAMBLE_HALVES[PREAMBLE_HALVES.len() - 1];
+
 /// Number of pilot-tone zero symbols prepended when TRext = 1.
 pub const PILOT_SYMBOLS: usize = 12;
 
@@ -158,7 +163,7 @@ pub fn find_reply(
     let bits = decode_data(
         &levels[data_start..],
         samples_per_symbol,
-        *PREAMBLE_HALVES.last().expect("non-empty"),
+        LAST_PREAMBLE_HALF,
         n_bits,
     )?;
     Some((data_start, bits))

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-protocol — the EPC Class-1 Generation-2 air protocol
 //!
 //! RFly's relay is *transparent to the RFID protocol* (§1 of the paper):

@@ -129,7 +129,11 @@ pub fn decode_data(
         let start = sym * samples_per_symbol + half_idx * samples_per_symbol / 2;
         let mut acc = 0.0;
         for k in 0..m {
-            let sc = if (k + half_idx * m) % 2 == 1 { -1.0 } else { 1.0 };
+            let sc = if (k + half_idx * m) % 2 == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             let chunk = &levels[start + k * half_sc..start + (k + 1) * half_sc];
             let mean = chunk.iter().sum::<f64>() / half_sc as f64;
             acc += sc * if mean > thr { 1.0 } else { -1.0 };
@@ -215,8 +219,7 @@ mod tests {
             for pattern in ["0", "1", "0011", "101010", "1101001010011101"] {
                 let p = Bits::from_str01(pattern);
                 let wave = encode_reply(&p, enc, false, sps);
-                let (_, bits) =
-                    find_reply(&wave, enc, false, sps, p.len()).expect("reply found");
+                let (_, bits) = find_reply(&wave, enc, false, sps, p.len()).expect("reply found");
                 assert_eq!(bits, p, "{enc:?} pattern {pattern}");
             }
         }

@@ -9,6 +9,8 @@
 //! the query's spectrum fits inside the ≤125 kHz band of the paper's
 //! Fig. 4.
 
+use rfly_dsp::units::Seconds;
+
 use crate::bits::Bits;
 use crate::error::ProtocolError;
 use crate::timing::LinkTiming;
@@ -73,7 +75,8 @@ impl PieEncoder {
     /// to the ≲125 kHz of Fig. 4; square edges splatter 1/f² sidelobes
     /// across the band. Must stay well under PW or the low pulses fill
     /// in.
-    pub fn with_edge_time(mut self, edge_s: f64) -> Result<Self, ProtocolError> {
+    pub fn with_edge_time(mut self, edge: Seconds) -> Result<Self, ProtocolError> {
+        let edge_s = edge.value();
         if !(edge_s >= 0.0 && edge_s < self.pw_s) {
             return Err(ProtocolError::OversizeEdge {
                 edge_s,
@@ -107,9 +110,10 @@ impl PieEncoder {
     }
 
     /// Encodes a full frame: start sequence, payload bits, and a
-    /// trailing stretch of unmodulated carrier (`tail_s` seconds) during
+    /// trailing stretch of unmodulated carrier (`tail`) during
     /// which the tag replies.
-    pub fn encode(&self, start: FrameStart, payload: &Bits, tail_s: f64) -> Vec<f64> {
+    pub fn encode(&self, start: FrameStart, payload: &Bits, tail: Seconds) -> Vec<f64> {
+        let tail_s = tail.value();
         let mut out = Vec::new();
         // Lead with unmodulated carrier (readers keep the carrier up
         // between commands — Gen2's T4 requires ≥ 2·RTcal of it). This
@@ -139,8 +143,8 @@ impl PieEncoder {
     }
 
     /// A stretch of plain continuous wave (no modulation).
-    pub fn continuous_wave(&self, duration_s: f64) -> Vec<f64> {
-        vec![1.0; self.samples(duration_s)]
+    pub fn continuous_wave(&self, duration: Seconds) -> Vec<f64> {
+        vec![1.0; self.samples(duration.value())]
     }
 }
 
@@ -154,10 +158,7 @@ fn smooth_edges(envelope: &mut Vec<f64>, edge_len: usize) {
         return;
     }
     let kernel: Vec<f64> = (0..edge_len)
-        .map(|i| {
-            0.5 - 0.5
-                * (std::f64::consts::TAU * i as f64 / (edge_len - 1) as f64).cos()
-        })
+        .map(|i| 0.5 - 0.5 * (std::f64::consts::TAU * i as f64 / (edge_len - 1) as f64).cos())
         .collect();
     let norm: f64 = kernel.iter().sum();
     let n = envelope.len();
@@ -286,97 +287,111 @@ mod tests {
 
     const FS: f64 = 4e6;
 
-    fn encoder() -> PieEncoder {
-        PieEncoder::new(LinkTiming::default_profile(), FS).expect("default profile is legal")
+    fn encoder() -> Result<PieEncoder, ProtocolError> {
+        PieEncoder::new(LinkTiming::default_profile(), FS)
     }
 
     #[test]
-    fn preamble_frame_roundtrips() {
-        let payload = Bits::from_str01("1000" .repeat(5).as_str());
-        let wave = encoder().encode(FrameStart::Preamble, &payload, 100e-6);
-        let frame = decode(&wave, FS).expect("frame decodes");
+    fn preamble_frame_roundtrips() -> Result<(), ProtocolError> {
+        let payload = Bits::from_str01("1000".repeat(5).as_str());
+        let wave = encoder()?.encode(FrameStart::Preamble, &payload, Seconds::new(100e-6));
+        let frame = decode(&wave, FS).ok_or(ProtocolError::NoFrame)?;
         assert_eq!(frame.bits, payload);
-        assert!(frame.trcal_s.is_some());
+        let trcal = frame.trcal_s.ok_or(ProtocolError::NoFrame)?;
         let t = LinkTiming::default_profile();
         assert!((frame.rtcal_s - t.rtcal_s).abs() / t.rtcal_s < 0.02);
-        assert!((frame.trcal_s.unwrap() - t.trcal_s).abs() / t.trcal_s < 0.02);
+        assert!((trcal - t.trcal_s).abs() / t.trcal_s < 0.02);
+        Ok(())
     }
 
     #[test]
-    fn frame_sync_has_no_trcal() {
+    fn frame_sync_has_no_trcal() -> Result<(), ProtocolError> {
         let payload = Bits::from_str01("0100");
-        let wave = encoder().encode(FrameStart::FrameSync, &payload, 50e-6);
-        let frame = decode(&wave, FS).expect("frame decodes");
+        let wave = encoder()?.encode(FrameStart::FrameSync, &payload, Seconds::new(50e-6));
+        let frame = decode(&wave, FS).ok_or(ProtocolError::NoFrame)?;
         assert_eq!(frame.bits, payload);
         assert!(frame.trcal_s.is_none());
+        Ok(())
     }
 
     #[test]
-    fn all_bit_patterns_roundtrip() {
+    fn all_bit_patterns_roundtrip() -> Result<(), ProtocolError> {
         for pattern in ["0", "1", "01", "10", "0000", "1111", "1011001110001111"] {
             let payload = Bits::from_str01(pattern);
-            let wave = encoder().encode(FrameStart::FrameSync, &payload, 20e-6);
-            let frame = decode(&wave, FS).expect(pattern);
+            let wave = encoder()?.encode(FrameStart::FrameSync, &payload, Seconds::new(20e-6));
+            let Some(frame) = decode(&wave, FS) else {
+                panic!("pattern {pattern} failed to decode");
+            };
             assert_eq!(frame.bits, payload, "pattern {pattern}");
         }
+        Ok(())
     }
 
     #[test]
-    fn partial_depth_still_decodes() {
-        let enc = encoder().with_depth(0.8).unwrap();
+    fn partial_depth_still_decodes() -> Result<(), ProtocolError> {
+        let enc = encoder()?.with_depth(0.8)?;
         let payload = Bits::from_str01("110010");
-        let wave = enc.encode(FrameStart::Preamble, &payload, 20e-6);
-        let frame = decode(&wave, FS).expect("decodes at 80% depth");
+        let wave = enc.encode(FrameStart::Preamble, &payload, Seconds::new(20e-6));
+        let frame = decode(&wave, FS).ok_or(ProtocolError::NoFrame)?;
         assert_eq!(frame.bits, payload);
         // Envelope low level is 0.2, not 0.
         assert!(wave.iter().cloned().fold(f64::MAX, f64::min) > 0.15);
+        Ok(())
     }
 
     #[test]
-    fn end_sample_is_near_true_end() {
+    fn end_sample_is_near_true_end() -> Result<(), ProtocolError> {
         let payload = Bits::from_str01("1010");
-        let enc = encoder();
+        let enc = encoder()?;
         let tail = 100e-6;
-        let wave = enc.encode(FrameStart::FrameSync, &payload, tail);
-        let frame = decode(&wave, FS).unwrap();
+        let wave = enc.encode(FrameStart::FrameSync, &payload, Seconds::new(tail));
+        let frame = decode(&wave, FS).ok_or(ProtocolError::NoFrame)?;
         let tail_samples = (tail * FS) as usize;
         let true_end = wave.len() - tail_samples;
         let err = frame.end_sample.abs_diff(true_end);
         assert!(err <= 4, "end estimate off by {err} samples");
+        Ok(())
     }
 
     #[test]
-    fn continuous_wave_is_flat() {
-        let cw = encoder().continuous_wave(10e-6);
+    fn continuous_wave_is_flat() -> Result<(), ProtocolError> {
+        let cw = encoder()?.continuous_wave(Seconds::new(10e-6));
         assert_eq!(cw.len(), 40);
         assert!(cw.iter().all(|&v| v == 1.0));
         assert!(decode(&cw, FS).is_none(), "no frame in CW");
+        Ok(())
     }
 
     #[test]
-    fn truncated_waveform_rejected() {
+    fn truncated_waveform_rejected() -> Result<(), ProtocolError> {
         let payload = Bits::from_str01("10110");
-        let wave = encoder().encode(FrameStart::Preamble, &payload, 0.0);
+        let wave = encoder()?.encode(FrameStart::Preamble, &payload, Seconds::new(0.0));
         // Chop off everything after the delimiter.
         assert!(decode(&wave[..80], FS).is_none());
+        Ok(())
     }
 
     #[test]
-    fn fast_profile_roundtrips() {
-        let enc = PieEncoder::new(LinkTiming::fast_profile(), FS).unwrap();
+    fn fast_profile_roundtrips() -> Result<(), ProtocolError> {
+        let enc = PieEncoder::new(LinkTiming::fast_profile(), FS)?;
         let payload = Bits::from_str01("100011101");
-        let frame = decode(&enc.encode(FrameStart::Preamble, &payload, 10e-6), FS).unwrap();
+        let frame = decode(
+            &enc.encode(FrameStart::Preamble, &payload, Seconds::new(10e-6)),
+            FS,
+        )
+        .ok_or(ProtocolError::NoFrame)?;
         assert_eq!(frame.bits, payload);
+        Ok(())
     }
 
     #[test]
-    fn illegal_configurations_return_errors() {
+    fn illegal_configurations_return_errors() -> Result<(), ProtocolError> {
         assert!(matches!(
-            encoder().with_depth(0.0),
+            encoder()?.with_depth(0.0),
             Err(ProtocolError::InvalidDepth(_))
         ));
         assert!(matches!(
-            encoder().with_depth(1.5),
+            encoder()?.with_depth(1.5),
             Err(ProtocolError::InvalidDepth(_))
         ));
         assert!(matches!(
@@ -387,17 +402,17 @@ mod tests {
             PieEncoder::new(LinkTiming::default_profile(), f64::NAN),
             Err(ProtocolError::NonPositiveSampleRate(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn shaped_edges_still_decode() {
-        let enc = encoder()
-            .with_depth(0.9)
-            .and_then(|e| e.with_edge_time(2e-6))
-            .unwrap();
+    fn shaped_edges_still_decode() -> Result<(), ProtocolError> {
+        let enc = encoder()?
+            .with_depth(0.9)?
+            .with_edge_time(Seconds::new(2e-6))?;
         let payload = Bits::from_str01("1011001110001111");
-        let wave = enc.encode(FrameStart::Preamble, &payload, 50e-6);
-        let frame = decode(&wave, FS).expect("shaped frame decodes");
+        let wave = enc.encode(FrameStart::Preamble, &payload, Seconds::new(50e-6));
+        let frame = decode(&wave, FS).ok_or(ProtocolError::NoFrame)?;
         assert_eq!(frame.bits, payload);
         // Edges are actually smooth: no adjacent-sample jumps near the
         // full modulation depth.
@@ -406,14 +421,16 @@ mod tests {
             .map(|w| (w[1] - w[0]).abs())
             .fold(0.0f64, f64::max);
         assert!(max_step < 0.5, "max step {max_step} — edges not shaped");
+        Ok(())
     }
 
     #[test]
-    fn oversize_edge_rejected() {
+    fn oversize_edge_rejected() -> Result<(), ProtocolError> {
         assert!(matches!(
-            encoder().with_edge_time(10e-6),
+            encoder()?.with_edge_time(Seconds::new(10e-6)),
             Err(ProtocolError::OversizeEdge { .. })
         ));
+        Ok(())
     }
 
     #[test]

@@ -151,7 +151,9 @@ mod tests {
         let mut q = QAlgorithm::default_start();
         let mut x: u64 = 0x12345;
         let mut rand01 = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..3000 {

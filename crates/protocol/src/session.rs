@@ -209,7 +209,10 @@ mod tests {
     fn sel_filter_fields() {
         assert_eq!(SelFilter::from_field(0b00), SelFilter::All);
         assert_eq!(SelFilter::from_field(0b01), SelFilter::All);
-        assert_eq!(SelFilter::from_field(SelFilter::Selected.field()), SelFilter::Selected);
+        assert_eq!(
+            SelFilter::from_field(SelFilter::Selected.field()),
+            SelFilter::Selected
+        );
         assert_eq!(
             SelFilter::from_field(SelFilter::NotSelected.field()),
             SelFilter::NotSelected

@@ -7,8 +7,8 @@
 //! the protocol behaviour directly testable, including the collision
 //! arbitration the relay must transparently forward.
 
-use rfly_dsp::rng::StdRng;
 use rfly_dsp::rng::Rng;
+use rfly_dsp::rng::StdRng;
 
 use crate::bits::Bits;
 use crate::commands::{Command, MemBank, SelectTarget};
@@ -218,8 +218,8 @@ impl TagMachine {
                     }
                 }
                 self.session = Some(*session);
-                let participates = sel.matches(self.flags.selected)
-                    && self.flags.inventoried(*session) == *target;
+                let participates =
+                    sel.matches(self.flags.selected) && self.flags.inventoried(*session) == *target;
                 if participates {
                     self.enter_slot(*q)
                 } else {

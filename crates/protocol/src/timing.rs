@@ -6,6 +6,8 @@
 //! backscatter at a link frequency up to 640 kHz, leaving a filterable
 //! gap between them.
 
+use rfly_dsp::units::Hertz;
+
 /// Divide ratio advertised in the Query command: BLF = DR / TRcal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DivideRatio {
@@ -84,8 +86,8 @@ impl TagEncoding {
     }
 
     /// Effective bit rate for a given backscatter link frequency.
-    pub fn bit_rate(self, blf_hz: f64) -> f64 {
-        blf_hz / self.m() as f64
+    pub fn bit_rate(self, blf: Hertz) -> f64 {
+        blf.as_hz() / self.m() as f64
     }
 }
 
@@ -247,8 +249,8 @@ mod tests {
         ] {
             assert_eq!(TagEncoding::from_field(e.field()), e);
         }
-        assert_eq!(TagEncoding::Fm0.bit_rate(640e3), 640e3);
-        assert_eq!(TagEncoding::Miller4.bit_rate(640e3), 160e3);
+        assert_eq!(TagEncoding::Fm0.bit_rate(Hertz(640e3)), 640e3);
+        assert_eq!(TagEncoding::Miller4.bit_rate(Hertz(640e3)), 160e3);
     }
 
     #[test]

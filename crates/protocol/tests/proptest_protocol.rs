@@ -3,6 +3,7 @@
 //! external property-testing framework).
 
 use rfly_dsp::rng::{Rng, StdRng};
+use rfly_dsp::units::Seconds;
 
 use rfly_protocol::bits::Bits;
 use rfly_protocol::commands::{Command, MemBank, SelectTarget};
@@ -186,7 +187,7 @@ fn pie_roundtrips_arbitrary_payloads() {
         let enc = PieEncoder::new(LinkTiming::default_profile(), 4e6)
             .and_then(|e| e.with_depth(0.9))
             .expect("legal encoder");
-        let wave = enc.encode(FrameStart::Preamble, &payload, 30e-6);
+        let wave = enc.encode(FrameStart::Preamble, &payload, Seconds::new(30e-6));
         let frame = pie_decode(&wave, 4e6).expect("decodes");
         assert_eq!(frame.bits, payload);
     }

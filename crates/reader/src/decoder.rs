@@ -12,8 +12,8 @@ use std::fmt;
 use rfly_dsp::units::Db;
 use rfly_dsp::Complex;
 use rfly_protocol::bits::Bits;
-use rfly_protocol::{fm0, miller};
 use rfly_protocol::timing::TagEncoding;
+use rfly_protocol::{fm0, miller};
 
 /// A successfully decoded backscatter reply.
 #[derive(Debug, Clone)]
@@ -127,10 +127,12 @@ pub fn decode_backscatter(
         .map(|&s| (s * h_unit.conj()).re)
         .collect();
     let bits = match encoding {
-        TagEncoding::Fm0 => {
-            let last = *fm0::PREAMBLE_HALVES.last().expect("non-empty");
-            fm0::decode_data(&projected, samples_per_symbol, last, n_bits)
-        }
+        TagEncoding::Fm0 => fm0::decode_data(
+            &projected,
+            samples_per_symbol,
+            fm0::LAST_PREAMBLE_HALF,
+            n_bits,
+        ),
         _ => miller::decode_data(&projected, encoding, samples_per_symbol, n_bits),
     }
     .ok_or(DecodeError::DataDecodeFailed)?;
@@ -212,11 +214,10 @@ mod tests {
     }
 
     #[test]
-    fn clean_decode_recovers_bits_and_channel() {
+    fn clean_decode_recovers_bits_and_channel() -> Result<(), DecodeError> {
         let h = Complex::from_polar(0.02, 1.234);
         let (bits, samples) = capture("1011001110001111", h, false, 0.0, 0);
-        let d = decode_backscatter(&samples, TagEncoding::Fm0, false, SPS, 16)
-            .expect("clean capture decodes");
+        let d = decode_backscatter(&samples, TagEncoding::Fm0, false, SPS, 16)?;
         assert_eq!(d.bits, bits);
         assert!(
             rfly_dsp::complex::phase_distance(d.channel.arg(), h.arg()) < 0.02,
@@ -225,22 +226,23 @@ mod tests {
         );
         assert!((d.channel.abs() - h.abs()).abs() / h.abs() < 0.05);
         assert!(d.snr.value() > 30.0);
+        Ok(())
     }
 
     #[test]
-    fn noisy_decode_still_works_at_moderate_snr() {
+    fn noisy_decode_still_works_at_moderate_snr() -> Result<(), DecodeError> {
         let h = Complex::from_polar(0.05, -0.7);
         // Per-sample SNR of the differential signal ≈ (0.05/2)²/noise.
         let noise = 2e-5; // ≈ 15 dB per-sample on the ±h/2 signal
         let (bits, samples) = capture("1100101001011100", h, true, noise, 42);
-        let d = decode_backscatter(&samples, TagEncoding::Fm0, true, SPS, 16)
-            .expect("decodes at moderate SNR");
+        let d = decode_backscatter(&samples, TagEncoding::Fm0, true, SPS, 16)?;
         assert_eq!(d.bits, bits);
         assert!(rfly_dsp::complex::phase_distance(d.channel.arg(), h.arg()) < 0.1);
+        Ok(())
     }
 
     #[test]
-    fn phase_estimate_tracks_channel_rotation() {
+    fn phase_estimate_tracks_channel_rotation() -> Result<(), DecodeError> {
         // The property localization depends on: rotating the channel
         // rotates the estimate 1:1.
         let mut prev = None;
@@ -248,7 +250,7 @@ mod tests {
             let phase = k as f64 * std::f64::consts::FRAC_PI_4 - std::f64::consts::PI;
             let h = Complex::from_polar(0.03, phase);
             let (_, samples) = capture("1010110010101100", h, false, 0.0, 0);
-            let d = decode_backscatter(&samples, TagEncoding::Fm0, false, SPS, 16).unwrap();
+            let d = decode_backscatter(&samples, TagEncoding::Fm0, false, SPS, 16)?;
             if let Some(p) = prev {
                 let delta = rfly_dsp::complex::wrap_phase(d.channel.arg() - p);
                 assert!(
@@ -258,10 +260,11 @@ mod tests {
             }
             prev = Some(d.channel.arg());
         }
+        Ok(())
     }
 
     #[test]
-    fn miller_capture_decodes() {
+    fn miller_capture_decodes() -> Result<(), DecodeError> {
         let bits = Bits::from_str01("1010011101001011");
         let h = Complex::from_polar(0.02, 0.5);
         let sps = 32;
@@ -270,10 +273,10 @@ mod tests {
         for (i, &l) in levels.iter().enumerate() {
             samples[200 + i] += h * l;
         }
-        let d = decode_backscatter(&samples, TagEncoding::Miller4, false, sps, 16)
-            .expect("miller decodes");
+        let d = decode_backscatter(&samples, TagEncoding::Miller4, false, sps, 16)?;
         assert_eq!(d.bits, bits);
         assert!(rfly_dsp::complex::phase_distance(d.channel.arg(), 0.5) < 0.05);
+        Ok(())
     }
 
     #[test]
@@ -309,12 +312,13 @@ mod tests {
     }
 
     #[test]
-    fn snr_estimate_orders_with_noise() {
+    fn snr_estimate_orders_with_noise() -> Result<(), DecodeError> {
         let h = Complex::from_polar(0.05, 0.1);
         let (_, clean) = capture("1010101010101010", h, false, 1e-7, 1);
         let (_, noisy) = capture("1010101010101010", h, false, 1e-5, 2);
-        let dc = decode_backscatter(&clean, TagEncoding::Fm0, false, SPS, 16).unwrap();
-        let dn = decode_backscatter(&noisy, TagEncoding::Fm0, false, SPS, 16).unwrap();
+        let dc = decode_backscatter(&clean, TagEncoding::Fm0, false, SPS, 16)?;
+        let dn = decode_backscatter(&noisy, TagEncoding::Fm0, false, SPS, 16)?;
         assert!(dc.snr.value() > dn.snr.value() + 10.0);
+        Ok(())
     }
 }

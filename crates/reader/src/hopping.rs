@@ -8,10 +8,10 @@
 //! This module provides the channel plan and deterministic
 //! pseudo-random hop sequences the relay can track.
 
-use rfly_dsp::rng::StdRng;
 use rfly_dsp::rng::SliceRandom;
+use rfly_dsp::rng::StdRng;
 
-use rfly_dsp::units::Hertz;
+use rfly_dsp::units::{Hertz, Seconds};
 
 /// Number of FCC hopping channels.
 pub const NUM_CHANNELS: usize = 50;
@@ -23,7 +23,7 @@ pub const CHANNEL_SPACING: Hertz = Hertz(500e3);
 pub const FIRST_CHANNEL: Hertz = Hertz(902.75e6);
 
 /// Maximum dwell per channel, seconds.
-pub const MAX_DWELL_S: f64 = 0.4;
+pub const MAX_DWELL: Seconds = Seconds(0.4);
 
 /// The center frequency of FCC channel `index`.
 pub fn channel_frequency(index: usize) -> Hertz {
@@ -43,20 +43,23 @@ pub fn all_channels() -> Vec<Hertz> {
 pub struct HopSequence {
     order: Vec<usize>,
     position: usize,
-    /// Dwell time per hop, seconds.
-    pub dwell_s: f64,
+    /// Dwell time per hop.
+    pub dwell: Seconds,
 }
 
 impl HopSequence {
     /// Creates a sequence from a seed (the "prespecified pattern").
-    pub fn new(seed: u64, dwell_s: f64) -> Self {
-        assert!(dwell_s > 0.0 && dwell_s <= MAX_DWELL_S, "illegal dwell");
+    pub fn new(seed: u64, dwell: Seconds) -> Self {
+        assert!(
+            dwell.value() > 0.0 && dwell.value() <= MAX_DWELL.value(),
+            "illegal dwell"
+        );
         let mut order: Vec<usize> = (0..NUM_CHANNELS).collect();
         order.shuffle(&mut StdRng::seed_from_u64(seed));
         Self {
             order,
             position: 0,
-            dwell_s,
+            dwell,
         }
     }
 
@@ -71,11 +74,11 @@ impl HopSequence {
         self.current()
     }
 
-    /// The frequency in use at absolute time `t_s` (assuming hopping
+    /// The frequency in use at absolute time `t` (assuming hopping
     /// started at t = 0) — what a relay tracking the pattern computes.
-    pub fn frequency_at(&self, t_s: f64) -> Hertz {
-        assert!(t_s >= 0.0);
-        let hops = (t_s / self.dwell_s) as usize;
+    pub fn frequency_at(&self, t: Seconds) -> Hertz {
+        assert!(t.value() >= 0.0);
+        let hops = (t.value() / self.dwell.value()) as usize;
         let idx = (self.position + hops) % self.order.len();
         channel_frequency(self.order[idx])
     }
@@ -106,7 +109,7 @@ mod tests {
 
     #[test]
     fn sequence_is_a_permutation() {
-        let s = HopSequence::new(3, 0.4);
+        let s = HopSequence::new(3, Seconds(0.4));
         let mut sorted = s.order().to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
@@ -114,16 +117,16 @@ mod tests {
 
     #[test]
     fn sequences_differ_by_seed_but_are_reproducible() {
-        let a = HopSequence::new(1, 0.4);
-        let b = HopSequence::new(2, 0.4);
-        let a2 = HopSequence::new(1, 0.4);
+        let a = HopSequence::new(1, Seconds(0.4));
+        let b = HopSequence::new(2, Seconds(0.4));
+        let a2 = HopSequence::new(1, Seconds(0.4));
         assert_ne!(a.order(), b.order());
         assert_eq!(a.order(), a2.order());
     }
 
     #[test]
     fn hop_cycles_through_all_channels() {
-        let mut s = HopSequence::new(7, 0.4);
+        let mut s = HopSequence::new(7, Seconds(0.4));
         let mut seen = std::collections::HashSet::new();
         seen.insert(s.current().as_hz() as u64);
         for _ in 0..49 {
@@ -131,23 +134,23 @@ mod tests {
         }
         assert_eq!(seen.len(), 50);
         // 51st hop wraps to the start.
-        let first = HopSequence::new(7, 0.4).current();
+        let first = HopSequence::new(7, Seconds(0.4)).current();
         assert_eq!(s.hop(), first);
     }
 
     #[test]
     fn frequency_at_tracks_dwell() {
-        let s = HopSequence::new(9, 0.4);
-        assert_eq!(s.frequency_at(0.0), s.current());
-        assert_eq!(s.frequency_at(0.39), s.current());
+        let s = HopSequence::new(9, Seconds(0.4));
+        assert_eq!(s.frequency_at(Seconds(0.0)), s.current());
+        assert_eq!(s.frequency_at(Seconds(0.39)), s.current());
         let mut s2 = s.clone();
         let next = s2.hop();
-        assert_eq!(s.frequency_at(0.41), next);
+        assert_eq!(s.frequency_at(Seconds(0.41)), next);
     }
 
     #[test]
     #[should_panic(expected = "illegal dwell")]
     fn overlong_dwell_rejected() {
-        let _ = HopSequence::new(0, 0.5);
+        let _ = HopSequence::new(0, Seconds(0.5));
     }
 }

@@ -7,8 +7,8 @@
 //! unmodified with and without the relay — the paper's transparency
 //! claim, made structural.
 
-use rfly_dsp::rng::StdRng;
 use rfly_dsp::rng::Rng;
+use rfly_dsp::rng::StdRng;
 
 use rfly_dsp::units::Db;
 use rfly_dsp::Complex;
@@ -136,8 +136,8 @@ impl InventoryController {
                         >= CAPTURE_MARGIN_DB
                 {
                     // Capture: decode the strongest against interference.
-                    let sinr = Db::from_linear(obs[best].channel.norm_sq() / rest)
-                        .min(obs[best].snr);
+                    let sinr =
+                        Db::from_linear(obs[best].channel.norm_sq() / rest).min(obs[best].snr);
                     if self.decodes(sinr) {
                         return (SlotOutcome::Single, Some(&obs[best]));
                     }
@@ -224,11 +224,7 @@ impl InventoryController {
     /// Runs rounds until one completes with no replies at all (the
     /// population is fully inventoried for this target) or `max_rounds`
     /// is hit. Returns every read collected.
-    pub fn run_until_quiet(
-        &mut self,
-        medium: &mut dyn Medium,
-        max_rounds: usize,
-    ) -> Vec<TagRead> {
+    pub fn run_until_quiet(&mut self, medium: &mut dyn Medium, max_rounds: usize) -> Vec<TagRead> {
         let mut all = Vec::new();
         for _ in 0..max_rounds {
             let stats = self.run_round(medium);

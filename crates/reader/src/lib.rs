@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-reader — a software-defined EPC Gen2 RFID reader
 //!
 //! The paper implements its reader on USRP N210s, adapting the

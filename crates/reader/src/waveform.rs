@@ -5,6 +5,7 @@
 //! The waveforms produced here are what feeds the relay's downlink path
 //! in the sample-level experiments.
 
+use rfly_dsp::units::Seconds;
 use rfly_dsp::Complex;
 use rfly_protocol::commands::Command;
 use rfly_protocol::error::ProtocolError;
@@ -41,22 +42,22 @@ impl WaveformBuilder {
     }
 
     /// Encodes a command as a complex baseband waveform, followed by
-    /// `tail_s` seconds of CW for the tag to reply into. Query commands
+    /// `tail` of CW for the tag to reply into. Query commands
     /// get the full preamble (they carry TRcal); everything else gets a
     /// frame-sync.
-    pub fn command(&self, cmd: &Command, tail_s: f64) -> Vec<Complex> {
+    pub fn command(&self, cmd: &Command, tail: Seconds) -> Vec<Complex> {
         let start = match cmd {
             Command::Query { .. } => FrameStart::Preamble,
             _ => FrameStart::FrameSync,
         };
-        let envelope = self.encoder.encode(start, &cmd.encode(), tail_s);
+        let envelope = self.encoder.encode(start, &cmd.encode(), tail);
         envelope.into_iter().map(Complex::from_re).collect()
     }
 
     /// Plain continuous wave.
-    pub fn continuous_wave(&self, duration_s: f64) -> Vec<Complex> {
+    pub fn continuous_wave(&self, duration: Seconds) -> Vec<Complex> {
         self.encoder
-            .continuous_wave(duration_s)
+            .continuous_wave(duration)
             .into_iter()
             .map(Complex::from_re)
             .collect()
@@ -89,7 +90,7 @@ mod tests {
             target: cfg.target,
             q: 4,
         };
-        let wave = builder().command(&cmd, 100e-6);
+        let wave = builder().command(&cmd, Seconds::new(100e-6));
         let frame = pie::decode(&envelope(&wave), cfg.sample_rate).expect("PIE decodes");
         assert!(frame.trcal_s.is_some(), "Query carries TRcal");
         assert_eq!(Command::decode(&frame.bits), Some(cmd));
@@ -100,7 +101,7 @@ mod tests {
         let cmd = Command::QueryRep {
             session: Session::S1,
         };
-        let wave = builder().command(&cmd, 50e-6);
+        let wave = builder().command(&cmd, Seconds::new(50e-6));
         let frame = pie::decode(&envelope(&wave), 4e6).expect("decodes");
         assert!(frame.trcal_s.is_none());
         assert_eq!(Command::decode(&frame.bits), Some(cmd));
@@ -108,20 +109,22 @@ mod tests {
 
     #[test]
     fn waveform_is_real_valued_at_baseband() {
-        let wave = builder().command(&Command::Nak, 10e-6);
+        let wave = builder().command(&Command::Nak, Seconds::new(10e-6));
         assert!(wave.iter().all(|s| s.im == 0.0));
     }
 
     #[test]
     fn cw_is_constant_dc() {
-        let cw = builder().continuous_wave(25e-6);
+        let cw = builder().continuous_wave(Seconds::new(25e-6));
         assert_eq!(cw.len(), 100);
-        assert!(cw.iter().all(|s| (*s - Complex::from_re(1.0)).abs() < 1e-12));
+        assert!(cw
+            .iter()
+            .all(|s| (*s - Complex::from_re(1.0)).abs() < 1e-12));
     }
 
     #[test]
     fn modulation_depth_is_90_percent() {
-        let wave = builder().command(&Command::Nak, 0.0);
+        let wave = builder().command(&Command::Nak, Seconds::new(0.0));
         let env = envelope(&wave);
         let min = env.iter().cloned().fold(f64::MAX, f64::min);
         assert!((min - 0.1).abs() < 1e-9, "low level = {min}");

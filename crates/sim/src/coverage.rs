@@ -9,7 +9,7 @@
 
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
-use rfly_dsp::units::{Db, Dbm};
+use rfly_dsp::units::{Db, Dbm, Meters};
 
 use crate::scene::Scene;
 use crate::world::RelayModel;
@@ -27,8 +27,7 @@ impl Coverage {
         if self.covered_by.is_empty() {
             return 1.0;
         }
-        self.covered_by.iter().filter(|c| c.is_some()).count() as f64
-            / self.covered_by.len() as f64
+        self.covered_by.iter().filter(|c| c.is_some()).count() as f64 / self.covered_by.len() as f64
     }
 
     /// Indices of uncovered spots.
@@ -48,12 +47,7 @@ pub const TAG_THRESHOLD: Dbm = Dbm(-15.0);
 /// through `env`, assuming the relay transmits at its PA limit (the
 /// §6.1 policy maximizes downlink output whenever the reader link
 /// supports it).
-pub fn powers(
-    env: &Environment,
-    relay: &RelayModel,
-    relay_pos: Point2,
-    tag_pos: Point2,
-) -> bool {
+pub fn powers(env: &Environment, relay: &RelayModel, relay_pos: Point2, tag_pos: Point2) -> bool {
     let h2 = env.trace(relay_pos, tag_pos, relay.f2).channel(relay.f2);
     let incident = relay.pa_limit + relay.antenna_gain + Db::from_linear(h2.norm_sq());
     incident.value() >= TAG_THRESHOLD.value()
@@ -77,14 +71,15 @@ pub fn analyze(
     Coverage { covered_by }
 }
 
-/// Plans an all-aisles scan of a scene, sampled every `spacing_m`, and
+/// Plans an all-aisles scan of a scene, sampled every `spacing`, and
 /// reports the positions plus the coverage of the scene's tag spots.
 pub fn plan_scene_scan(
     scene: &Scene,
     relay: &RelayModel,
-    spacing_m: f64,
+    spacing: Meters,
 ) -> (Vec<Point2>, Coverage) {
-    assert!(spacing_m > 0.0);
+    assert!(spacing.value() > 0.0);
+    let spacing_m = spacing.value();
     let mut positions = Vec::new();
     for aisle in &scene.aisles {
         let n = (aisle.length() / spacing_m).ceil() as usize + 1;
@@ -120,7 +115,7 @@ mod tests {
         // With aisles on both sides of each row, a full scan powers
         // every canonical tag spot.
         let scene = Scene::warehouse(30.0, 20.0, 3);
-        let (positions, cov) = plan_scene_scan(&scene, &relay(), 1.0);
+        let (positions, cov) = plan_scene_scan(&scene, &relay(), Meters::new(1.0));
         assert!(!positions.is_empty());
         assert_eq!(
             cov.fraction(),
@@ -155,6 +150,9 @@ mod tests {
         assert!((cov.fraction() - 0.5).abs() < 1e-12);
         assert_eq!(cov.uncovered(), vec![1]);
         // Empty spot list counts as fully covered.
-        assert_eq!(analyze(&env, &relay(), &[Point2::ORIGIN], &[]).fraction(), 1.0);
+        assert_eq!(
+            analyze(&env, &relay(), &[Point2::ORIGIN], &[]).fraction(),
+            1.0
+        );
     }
 }

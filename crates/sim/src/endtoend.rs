@@ -114,6 +114,7 @@ impl ScenarioBuilder {
     ///
     /// Panics if no trajectory was provided or no tag placed.
     pub fn build(self) -> Scenario {
+        // rfly-lint: allow(no-unwrap) -- documented builder contract: build() panics without a flight path.
         let trajectory = self.trajectory.expect("a scenario needs a flight path");
         assert!(
             !self.tag_positions.is_empty(),
@@ -129,9 +130,9 @@ impl ScenarioBuilder {
         let relay = self
             .relay
             .unwrap_or_else(|| RelayModel::prototype(self.config.frequency));
-        let region = self.search_region.unwrap_or_else(|| {
-            auto_region(&self.scene, &trajectory, &self.tag_positions)
-        });
+        let region = self
+            .search_region
+            .unwrap_or_else(|| auto_region(&self.scene, &trajectory, &self.tag_positions));
         let world = PhasorWorld::new(
             self.scene.environment.clone(),
             self.reader_pos,
@@ -164,15 +165,21 @@ fn auto_region(scene: &Scene, traj: &Trajectory, tags: &[Point2]) -> (Point2, Po
         min = Point2::new(min.x.min(p.x), min.y.min(p.y));
         max = Point2::new(max.x.max(p.x), max.y.max(p.y));
     }
-    let mut lo = Point2::new((min.x - 2.0).max(scene.min.x), (min.y - 2.0).max(scene.min.y));
-    let mut hi = Point2::new((max.x + 2.0).min(scene.max.x), (max.y + 2.0).min(scene.max.y));
+    let mut lo = Point2::new(
+        (min.x - 2.0).max(scene.min.x),
+        (min.y - 2.0).max(scene.min.y),
+    );
+    let mut hi = Point2::new(
+        (max.x + 2.0).min(scene.max.x),
+        (max.y + 2.0).min(scene.max.y),
+    );
 
     let ty: Vec<f64> = traj.points().iter().map(|p| p.y).collect();
     let tx: Vec<f64> = traj.points().iter().map(|p| p.x).collect();
-    let y_span = ty.iter().cloned().fold(f64::MIN, f64::max)
-        - ty.iter().cloned().fold(f64::MAX, f64::min);
-    let x_span = tx.iter().cloned().fold(f64::MIN, f64::max)
-        - tx.iter().cloned().fold(f64::MAX, f64::min);
+    let y_span =
+        ty.iter().cloned().fold(f64::MIN, f64::max) - ty.iter().cloned().fold(f64::MAX, f64::min);
+    let x_span =
+        tx.iter().cloned().fold(f64::MIN, f64::max) - tx.iter().cloned().fold(f64::MAX, f64::min);
     if y_span < 0.1 {
         let line_y = ty[0];
         if tags.iter().all(|p| p.y > line_y) {
@@ -212,7 +219,7 @@ impl Scenario {
     /// relay.
     pub fn run(mut self) -> ScenarioOutcome {
         let k = self.trajectory.len();
-        let mut tracks: std::collections::HashMap<Epc, ReadTrack> = Default::default();
+        let mut tracks: std::collections::BTreeMap<Epc, ReadTrack> = Default::default();
         for (idx, pos) in self.trajectory.points().to_vec().into_iter().enumerate() {
             self.world.power_cycle_tags();
             let mut controller = InventoryController::new(
@@ -222,9 +229,7 @@ impl Scenario {
             let mut medium = self.world.relayed_medium(pos);
             let reads = controller.run_until_quiet(&mut medium, 6);
             for r in reads {
-                tracks
-                    .entry(r.epc)
-                    .or_insert_with(|| vec![None; k])[idx] = Some(r.channel);
+                tracks.entry(r.epc).or_insert_with(|| vec![None; k])[idx] = Some(r.channel);
             }
         }
         ScenarioOutcome {
@@ -253,7 +258,7 @@ pub struct LocalizationResult {
 #[derive(Debug)]
 pub struct ScenarioOutcome {
     trajectory: Trajectory,
-    tracks: std::collections::HashMap<Epc, ReadTrack>,
+    tracks: std::collections::BTreeMap<Epc, ReadTrack>,
     region: (Point2, Point2),
     resolution: f64,
     frequency: Hertz,
@@ -322,7 +327,12 @@ impl ScenarioOutcome {
             return None;
         }
         let traj = Trajectory::from_points(kept.iter().map(|&i| positions[i]).collect());
-        let localizer = SarLocalizer::new(self.frequency, self.region.0, self.region.1, self.resolution);
+        let localizer = SarLocalizer::new(
+            self.frequency,
+            self.region.0,
+            self.region.1,
+            self.resolution,
+        );
         let (estimate, _) = localizer.localize(&traj, &channels)?;
         let truth = self
             .truths

@@ -100,23 +100,24 @@ mod tests {
         let mc = MonteCarlo::new(9);
         let all: Vec<f64> = mc.run(10, |_, rng| rng.gen());
         // Re-running only trial 7 reproduces the same draw.
-        let one: Vec<f64> = MonteCarlo::new(9).run(10, |i, rng| {
-            if i == 7 {
-                rng.gen()
-            } else {
-                0.0
-            }
-        });
+        let one: Vec<f64> =
+            MonteCarlo::new(9).run(10, |i, rng| if i == 7 { rng.gen() } else { 0.0 });
         assert_eq!(all[7], one[7]);
     }
 
     #[test]
     fn seed_arg_parsing() {
-        let args: Vec<String> = ["prog", "--seed", "123"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--seed", "123"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(seed_from_args(&args, 7), 123);
         let none: Vec<String> = vec!["prog".into()];
         assert_eq!(seed_from_args(&none, 7), 7);
-        let bad: Vec<String> = ["prog", "--seed", "xyz"].iter().map(|s| s.to_string()).collect();
+        let bad: Vec<String> = ["prog", "--seed", "xyz"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(seed_from_args(&bad, 7), 7);
     }
 }

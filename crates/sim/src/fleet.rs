@@ -20,7 +20,7 @@
 //! observation's SNR — which is why the fleet channel assigner spreads
 //! the relays across the FCC hopping plan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rfly_channel::geometry::Point2;
 use rfly_channel::phasor::{coherent_sum, incoherent_power_sum};
@@ -101,8 +101,13 @@ impl<'a> FleetMedium<'a> {
         let eirps = self.eirps();
         let serving_pos = self.relays[self.serving].pos;
         let f2_s = self.relays[self.serving].model.f2;
-        let positions: Vec<Point2> =
-            self.world.tags.tags().iter().map(|t| t.position()).collect();
+        let positions: Vec<Point2> = self
+            .world
+            .tags
+            .tags()
+            .iter()
+            .map(|t| t.position())
+            .collect();
         self.tag_rf = positions
             .iter()
             .map(|&p| {
@@ -147,7 +152,12 @@ impl<'a> FleetMedium<'a> {
             + self.world.config.antenna_gain
             + Db::from_linear(self.h1[i].norm_sq())
             + r.antenna_gain;
-        Db::new(r.gains.downlink.value().min(r.pa_limit.value() - p_in.value()))
+        Db::new(
+            r.gains
+                .downlink
+                .value()
+                .min(r.pa_limit.value() - p_in.value()),
+        )
     }
 
     /// Radiated downlink EIRP of every relay (output + antenna gain).
@@ -161,9 +171,12 @@ impl<'a> FleetMedium<'a> {
     /// coherent within each f₂ group, incoherent across groups.
     pub fn incident_at(&self, tag_pos: Point2) -> Dbm {
         let eirps = self.eirps();
-        Dbm::from_milliwatts(fleet_incident_mw(&self.relays, &eirps, tag_pos, |pos, f| {
-            self.world.one_way(pos, tag_pos, f)
-        }))
+        Dbm::from_milliwatts(fleet_incident_mw(
+            &self.relays,
+            &eirps,
+            tag_pos,
+            |pos, f| self.world.one_way(pos, tag_pos, f),
+        ))
     }
 
     /// Interference power reaching the reader through the serving
@@ -205,7 +218,7 @@ fn fleet_incident_mw(
     at: Point2,
     mut trace: impl FnMut(Point2, Hertz) -> Complex,
 ) -> f64 {
-    let mut groups: HashMap<u64, Vec<Complex>> = HashMap::new();
+    let mut groups: BTreeMap<u64, Vec<Complex>> = BTreeMap::new();
     for (r, &eirp) in relays.iter().zip(eirps) {
         if r.pos.distance(at) > INCIDENT_CULL_M {
             continue;
@@ -330,7 +343,10 @@ mod tests {
 
     fn world_with_tag(tag_pos: Point2, seed: u64) -> PhasorWorld {
         let mut tags = TagPopulation::new();
-        tags.add(PassiveTag::new(Epc::from_index(1), 7, tag_pos), "test".into());
+        tags.add(
+            PassiveTag::new(Epc::from_index(1), 7, tag_pos),
+            "test".into(),
+        );
         PhasorWorld::new(
             Environment::free_space(),
             Point2::ORIGIN,

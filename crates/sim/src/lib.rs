@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-sim — end-to-end RFly system simulation
 //!
 //! Glues every substrate into runnable experiments: warehouse [`scene`]s,

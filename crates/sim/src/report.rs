@@ -86,7 +86,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -100,9 +104,9 @@ impl Table {
 
     /// Prints the table to stdout, optionally followed by CSV.
     pub fn print(&self, with_csv: bool) {
-        println!("{}", self.render());
+        println!("{}", self.render()); // rfly-lint: allow(no-println) -- the CLI rendering seam the bench binaries call.
         if with_csv {
-            println!("--- CSV ---\n{}", self.to_csv());
+            println!("--- CSV ---\n{}", self.to_csv()); // rfly-lint: allow(no-println) -- the CLI rendering seam the bench binaries call.
         }
     }
 }
@@ -126,11 +130,7 @@ pub fn histogram(title: &str, values: &[f64], bins: usize, min: f64, max: f64) -
     for (i, &c) in counts.iter().enumerate() {
         let lo = min + width * i as f64;
         let bar = "#".repeat((c * 40).div_ceil(peak).min(40));
-        table.row(&[
-            format!("[{lo:.1}, {:.1})", lo + width),
-            c.to_string(),
-            bar,
-        ]);
+        table.row(&[format!("[{lo:.1}, {:.1})", lo + width), c.to_string(), bar]);
     }
     table
 }

@@ -15,7 +15,7 @@ use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
 use rfly_core::relay::relay::{Relay, RelayConfig};
 use rfly_dsp::noise::add_awgn;
-use rfly_dsp::units::Hertz;
+use rfly_dsp::units::{Hertz, Seconds};
 use rfly_dsp::Complex;
 use rfly_protocol::commands::Command;
 use rfly_protocol::epc::{parse_epc_reply, parse_rn16, Epc};
@@ -111,7 +111,7 @@ impl SampleLink {
         let start = self.clock;
 
         // Reader → air → relay downlink → air → tag.
-        let tail = 1.2e-3;
+        let tail = Seconds::new(1.2e-3);
         let tx = self.builder.command(cmd, tail);
         let at_relay: Vec<Complex> = tx.iter().map(|&s| s * self.h1).collect();
         let relayed = self.relay.forward_downlink(&at_relay, start);

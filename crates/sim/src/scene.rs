@@ -147,7 +147,11 @@ mod tests {
         // Same side: LoS plus shelf reflection.
         let c = Point2::new(10.0, y_shelf - 1.0);
         let ps = s.environment.trace(a, c, Hertz::mhz(915.0));
-        assert!(ps.len() >= 2, "expected direct + reflection, got {}", ps.len());
+        assert!(
+            ps.len() >= 2,
+            "expected direct + reflection, got {}",
+            ps.len()
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! reader stack runs against either — the paper's protocol-transparency
 //! claim, enforced by the type system.
 
-use rfly_dsp::rng::StdRng;
 use rfly_dsp::rng::Rng;
+use rfly_dsp::rng::StdRng;
 
 use rfly_channel::environment::Environment;
 use rfly_channel::geometry::Point2;
@@ -22,7 +22,7 @@ use rfly_channel::link::Backscatter;
 use rfly_core::relay::embedded_tag::EmbeddedRfid;
 use rfly_core::relay::gains::{allocate, GainPlan, IsolationBudget, PA_COMPRESSION};
 use rfly_dsp::noise::noise_sample;
-use rfly_dsp::units::{Db, Dbm, Hertz};
+use rfly_dsp::units::{Db, Dbm, Hertz, Seconds};
 use rfly_dsp::Complex;
 use rfly_protocol::commands::Command;
 use rfly_protocol::epc::Epc;
@@ -161,7 +161,7 @@ impl PhasorWorld {
     /// the drone moves (session-0 inventory state decays).
     pub fn power_cycle_tags(&mut self) {
         for t in self.tags.tags_mut() {
-            t.illuminate(Dbm::new(-90.0), 1.0);
+            t.illuminate(Dbm::new(-90.0), Seconds::new(1.0));
         }
         self.embedded.power_cycle();
     }
@@ -365,8 +365,7 @@ impl Medium for DirectMedium<'_> {
             .collect();
         let mut obs = Vec::new();
         for (h, incident, reply) in replies {
-            let p_rx =
-                incident + bs.gain() + Db::from_linear(h.norm_sq()) + budget.rx_gain;
+            let p_rx = incident + bs.gain() + Db::from_linear(h.norm_sq()) + budget.rx_gain;
             let snr = p_rx - budget.noise_floor();
             let channel = self
                 .world
@@ -389,7 +388,10 @@ mod tests {
 
     fn world_with_tag(tag_pos: Point2, reader_pos: Point2, seed: u64) -> PhasorWorld {
         let mut tags = TagPopulation::new();
-        tags.add(PassiveTag::new(Epc::from_index(1), 7, tag_pos), "test".into());
+        tags.add(
+            PassiveTag::new(Epc::from_index(1), 7, tag_pos),
+            "test".into(),
+        );
         PhasorWorld::new(
             Environment::free_space(),
             reader_pos,
@@ -401,7 +403,8 @@ mod tests {
     }
 
     fn inventory(medium: &mut dyn Medium, seed: u64) -> Vec<rfly_reader::inventory::TagRead> {
-        let mut c = InventoryController::new(ReaderConfig::usrp_default(), StdRng::seed_from_u64(seed));
+        let mut c =
+            InventoryController::new(ReaderConfig::usrp_default(), StdRng::seed_from_u64(seed));
         c.run_until_quiet(medium, 10)
     }
 
@@ -462,8 +465,14 @@ mod tests {
         let r1 = inventory(&mut w.relayed_medium(Point2::new(29.0, 0.0)), 6);
         w.power_cycle_tags();
         let r2 = inventory(&mut w.relayed_medium(Point2::new(29.0, 0.0)), 7);
-        let e1 = r1.iter().find(|r| r.epc == PhasorWorld::embedded_epc()).unwrap();
-        let e2 = r2.iter().find(|r| r.epc == PhasorWorld::embedded_epc()).unwrap();
+        let e1 = r1
+            .iter()
+            .find(|r| r.epc == PhasorWorld::embedded_epc())
+            .unwrap();
+        let e2 = r2
+            .iter()
+            .find(|r| r.epc == PhasorWorld::embedded_epc())
+            .unwrap();
         let d = rfly_dsp::complex::phase_distance(e1.channel.arg(), e2.channel.arg());
         assert!(d < 0.05, "phase differs by {d} rad");
     }

@@ -8,7 +8,7 @@
 //! hysteresis (a charged storage cap rides through brief envelope dips
 //! such as PIE low pulses).
 
-use rfly_dsp::units::Dbm;
+use rfly_dsp::units::{Dbm, Seconds};
 
 /// State of a tag's energy-harvesting front end.
 #[derive(Debug, Clone)]
@@ -17,10 +17,10 @@ pub struct Harvester {
     pub threshold: Dbm,
     /// Time of continuous above-threshold illumination required before
     /// the chip logic boots, seconds.
-    pub charge_time_s: f64,
+    pub charge_time: Seconds,
     /// How long a booted chip survives below-threshold power (storage
     /// capacitor), seconds.
-    pub holdup_s: f64,
+    pub holdup: Seconds,
     charged_s: f64,
     starved_s: f64,
     powered: bool,
@@ -30,16 +30,16 @@ impl Harvester {
     /// An Alien-Squiggle-class harvester: −15 dBm threshold, ~300 µs
     /// charge-up, ~100 µs hold-up.
     pub fn passive_tag() -> Self {
-        Self::new(Dbm::new(-15.0), 300e-6, 100e-6)
+        Self::new(Dbm::new(-15.0), Seconds::new(300e-6), Seconds::new(100e-6))
     }
 
     /// Creates a harvester with explicit parameters.
-    pub fn new(threshold: Dbm, charge_time_s: f64, holdup_s: f64) -> Self {
-        assert!(charge_time_s >= 0.0 && holdup_s >= 0.0);
+    pub fn new(threshold: Dbm, charge_time: Seconds, holdup: Seconds) -> Self {
+        assert!(charge_time.value() >= 0.0 && holdup.value() >= 0.0);
         Self {
             threshold,
-            charge_time_s,
-            holdup_s,
+            charge_time,
+            holdup,
             charged_s: 0.0,
             starved_s: 0.0,
             powered: false,
@@ -51,16 +51,17 @@ impl Harvester {
         self.powered
     }
 
-    /// Advances the model by `dt_s` seconds of illumination at
+    /// Advances the model by `dt` of illumination at
     /// `incident` power. Returns `true` if the chip lost power during
     /// this step (i.e. a power cycle the protocol machine must see).
-    pub fn step(&mut self, incident: Dbm, dt_s: f64) -> bool {
+    pub fn step(&mut self, incident: Dbm, dt: Seconds) -> bool {
+        let dt_s = dt.value();
         assert!(dt_s >= 0.0);
         let above = incident.value() >= self.threshold.value();
         if above {
             self.starved_s = 0.0;
             self.charged_s += dt_s;
-            if !self.powered && self.charged_s >= self.charge_time_s {
+            if !self.powered && self.charged_s >= self.charge_time.value() {
                 self.powered = true;
             }
             false
@@ -68,7 +69,7 @@ impl Harvester {
             self.charged_s = 0.0;
             if self.powered {
                 self.starved_s += dt_s;
-                if self.starved_s > self.holdup_s {
+                if self.starved_s > self.holdup.value() {
                     self.powered = false;
                     self.starved_s = 0.0;
                     return true;
@@ -100,9 +101,9 @@ mod tests {
     fn cold_tag_boots_after_charge_time() {
         let mut h = Harvester::passive_tag();
         assert!(!h.powered());
-        h.step(Dbm::new(-10.0), 100e-6);
+        h.step(Dbm::new(-10.0), Seconds::new(100e-6));
         assert!(!h.powered(), "not yet charged");
-        h.step(Dbm::new(-10.0), 250e-6);
+        h.step(Dbm::new(-10.0), Seconds::new(250e-6));
         assert!(h.powered(), "charged after 350 µs total");
     }
 
@@ -110,7 +111,7 @@ mod tests {
     fn below_threshold_never_boots() {
         let mut h = Harvester::passive_tag();
         for _ in 0..100 {
-            h.step(Dbm::new(-15.1), 1e-3);
+            h.step(Dbm::new(-15.1), Seconds::new(1e-3));
         }
         assert!(!h.powered());
     }
@@ -118,7 +119,7 @@ mod tests {
     #[test]
     fn exactly_at_threshold_counts() {
         let mut h = Harvester::passive_tag();
-        h.step(Dbm::new(-15.0), 1e-3);
+        h.step(Dbm::new(-15.0), Seconds::new(1e-3));
         assert!(h.powered());
         assert!(h.sustains(Dbm::new(-15.0)));
         assert!(!h.sustains(Dbm::new(-15.01)));
@@ -127,10 +128,10 @@ mod tests {
     #[test]
     fn holdup_rides_through_pie_low_pulses() {
         let mut h = Harvester::passive_tag();
-        h.step(Dbm::new(-10.0), 1e-3);
+        h.step(Dbm::new(-10.0), Seconds::new(1e-3));
         assert!(h.powered());
         // A 12.5 µs delimiter at zero power: well within 100 µs hold-up.
-        let lost = h.step(Dbm::new(-90.0), 12.5e-6);
+        let lost = h.step(Dbm::new(-90.0), Seconds::new(12.5e-6));
         assert!(!lost);
         assert!(h.powered());
     }
@@ -138,32 +139,32 @@ mod tests {
     #[test]
     fn long_starvation_power_cycles() {
         let mut h = Harvester::passive_tag();
-        h.step(Dbm::new(-10.0), 1e-3);
-        let lost = h.step(Dbm::new(-90.0), 200e-6);
+        h.step(Dbm::new(-10.0), Seconds::new(1e-3));
+        let lost = h.step(Dbm::new(-90.0), Seconds::new(200e-6));
         assert!(lost, "power-cycle must be reported");
         assert!(!h.powered());
         // Needs a full recharge afterwards.
-        h.step(Dbm::new(-10.0), 100e-6);
+        h.step(Dbm::new(-10.0), Seconds::new(100e-6));
         assert!(!h.powered());
-        h.step(Dbm::new(-10.0), 300e-6);
+        h.step(Dbm::new(-10.0), Seconds::new(300e-6));
         assert!(h.powered());
     }
 
     #[test]
     fn interrupted_charging_restarts() {
         let mut h = Harvester::passive_tag();
-        h.step(Dbm::new(-10.0), 200e-6); // partial charge
-        h.step(Dbm::new(-50.0), 10e-6); // dip resets charge integral
-        h.step(Dbm::new(-10.0), 200e-6);
+        h.step(Dbm::new(-10.0), Seconds::new(200e-6)); // partial charge
+        h.step(Dbm::new(-50.0), Seconds::new(10e-6)); // dip resets charge integral
+        h.step(Dbm::new(-10.0), Seconds::new(200e-6));
         assert!(!h.powered(), "charge integral must restart after a dip");
-        h.step(Dbm::new(-10.0), 100e-6);
+        h.step(Dbm::new(-10.0), Seconds::new(100e-6));
         assert!(h.powered());
     }
 
     #[test]
     fn reset_goes_cold() {
         let mut h = Harvester::passive_tag();
-        h.step(Dbm::new(-5.0), 1e-3);
+        h.step(Dbm::new(-5.0), Seconds::new(1e-3));
         assert!(h.powered());
         h.reset();
         assert!(!h.powered());

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # rfly-tag — passive RFID tag physics
 //!
 //! Wraps the pure protocol engine of `rfly-protocol` in the physics that

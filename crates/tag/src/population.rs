@@ -6,7 +6,7 @@
 //! ("a local database that maps each RFID's unique ID to the object it
 //! is attached to").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rfly_channel::geometry::Point2;
 use rfly_protocol::epc::Epc;
@@ -17,7 +17,7 @@ use crate::tag::PassiveTag;
 #[derive(Debug, Default)]
 pub struct TagPopulation {
     tags: Vec<PassiveTag>,
-    database: HashMap<Epc, String>,
+    database: BTreeMap<Epc, String>,
 }
 
 impl TagPopulation {

@@ -2,7 +2,7 @@
 //! placed at a position in the scene.
 
 use rfly_channel::geometry::Point2;
-use rfly_dsp::units::Dbm;
+use rfly_dsp::units::{Dbm, Seconds};
 use rfly_dsp::Complex;
 use rfly_protocol::commands::Command;
 use rfly_protocol::epc::Epc;
@@ -87,7 +87,7 @@ impl PassiveTag {
         }
         if !self.harvester.powered() {
             // Steady illumination assumed between commands: charge up.
-            self.harvester.step(incident, self.harvester.charge_time_s);
+            self.harvester.step(incident, self.harvester.charge_time);
         }
         self.machine.handle(cmd)
     }
@@ -119,10 +119,10 @@ impl PassiveTag {
     }
 
     /// Sample-level power bookkeeping while listening: advances the
-    /// harvester through `dt_s` at `incident`; reports a power cycle to
+    /// harvester through `dt` at `incident`; reports a power cycle to
     /// the protocol machine.
-    pub fn illuminate(&mut self, incident: Dbm, dt_s: f64) {
-        if self.harvester.step(incident, dt_s) {
+    pub fn illuminate(&mut self, incident: Dbm, dt: Seconds) {
+        if self.harvester.step(incident, dt) {
             self.machine.power_cycle();
         }
     }
@@ -219,7 +219,7 @@ mod tests {
     fn illumination_dynamics_power_cycle() {
         let mut t = tag();
         t.respond(&query(), Dbm::new(-10.0)).unwrap();
-        t.illuminate(Dbm::new(-60.0), 1e-3); // 1 ms starvation
+        t.illuminate(Dbm::new(-60.0), Seconds::new(1e-3)); // 1 ms starvation
         assert!(!t.powered());
         assert_eq!(t.state(), TagState::Ready);
     }

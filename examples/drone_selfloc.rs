@@ -10,12 +10,11 @@
 //!
 //! Run with: `cargo run --release --example drone_selfloc`
 
-
 use rfly::channel::geometry::Point2;
 use rfly::channel::phasor::PathSet;
 use rfly::core::loc::selfloc::SelfLocalizer;
 use rfly::drone::tracking::{observe_trajectory, Tracker};
-use rfly::dsp::units::Hertz;
+use rfly::dsp::units::{Hertz, Meters};
 use rfly::dsp::Complex;
 
 fn main() {
@@ -36,7 +35,7 @@ fn main() {
     let c0 = Complex::from_polar(0.3, 1.1);
     let channels: Vec<Complex> = truth
         .iter()
-        .map(|p| c0 * PathSet::line_of_sight(p.distance(reader), 0.01).round_trip(f1))
+        .map(|p| c0 * PathSet::line_of_sight(Meters::new(p.distance(reader)), 0.01).round_trip(f1))
         .collect();
 
     // The drone's belief: odometry measures *relative* motion well
@@ -59,11 +58,14 @@ fn main() {
             .sqrt()
     };
     let before = rms(&believed, &truth);
-    println!("position error before correction : {:.3} m RMS (unknown takeoff anchor)", before);
+    println!(
+        "position error before correction : {:.3} m RMS (unknown takeoff anchor)",
+        before
+    );
 
     // RF drift correction: match the half-link phases against the
     // believed trajectory shape.
-    let sl = SelfLocalizer::new(f1, 0.6, 0.02);
+    let sl = SelfLocalizer::new(f1, Meters::new(0.6), 0.02);
     let corrected = sl
         .corrected_trajectory(reader, &believed, &channels)
         .expect("correction found");

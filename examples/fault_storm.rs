@@ -24,9 +24,9 @@
 
 use rfly::channel::geometry::Point2;
 use rfly::core::relay::gains::IsolationBudget;
+use rfly::drone::kinematics::MotionLimits;
 use rfly::dsp::rng::{Rng, StdRng};
 use rfly::dsp::units::Db;
-use rfly::drone::kinematics::MotionLimits;
 use rfly::faults::supervisor::{run_supervised, run_unsupervised, LocMethod, MissionEnv};
 use rfly::faults::{FaultKind, FaultSchedule, ResilientOutcome, SupervisorConfig};
 use rfly::fleet::inventory::{mission_world, MissionConfig};
@@ -81,12 +81,19 @@ fn main() {
         seed,
         time_budget_s: None,
     };
-    let env = MissionEnv { scene: &scene, budget, margin: MARGIN, limits };
+    let env = MissionEnv {
+        scene: &scene,
+        budget,
+        margin: MARGIN,
+        limits,
+    };
     let sup_cfg = SupervisorConfig::default();
 
     let base_steps = (part.duration() / cfg.sample_interval_s).ceil() as usize + 1;
     let storm = FaultSchedule::storm(seed, N_RELAYS, base_steps);
-    let dead = storm.battery_sag_relay().expect("the storm kills one drone");
+    let dead = storm
+        .battery_sag_relay()
+        .expect("the storm kills one drone");
     println!(
         "seed {seed}: {} scheduled faults over {base_steps} steps; relay {dead} will sag\n",
         storm.events().len()
@@ -122,7 +129,10 @@ fn main() {
         .map(|t| t.epc())
         .collect();
     let cell_rate = |out: &ResilientOutcome| {
-        cell_tags.iter().filter(|&&e| out.inventory.get(e).is_some()).count() as f64
+        cell_tags
+            .iter()
+            .filter(|&&e| out.inventory.get(e).is_some())
+            .count() as f64
             / cell_tags.len().max(1) as f64
     };
     // "Losing the cell outright" = after the sag, the cell stops
@@ -139,7 +149,9 @@ fn main() {
         cell_tags
             .iter()
             .filter(|&&e| {
-                out.inventory.get(e).is_some_and(|r| r.first_seen.step > sag_step)
+                out.inventory
+                    .get(e)
+                    .is_some_and(|r| r.first_seen.step > sag_step)
             })
             .count()
     };
@@ -203,7 +215,10 @@ fn main() {
         sup.log.is_consistent() && unsup.log.is_consistent(),
         "every recovery must cite a prior fault"
     );
-    assert!(sup.lost_relays.contains(&dead), "the sagged drone goes home");
+    assert!(
+        sup.lost_relays.contains(&dead),
+        "the sagged drone goes home"
+    );
     assert!(
         sup.log.count("repartition") >= 1 && sup.log.count("cell-handoff") >= 1,
         "the supervisor must re-partition around the dead relay"

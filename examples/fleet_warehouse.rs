@@ -20,12 +20,12 @@
 
 use rfly::channel::geometry::Point2;
 use rfly::core::relay::gains::IsolationBudget;
+use rfly::drone::kinematics::MotionLimits;
 use rfly::dsp::rng::{Rng, StdRng};
 use rfly::dsp::units::Db;
 use rfly::fleet::inventory::{mission_world, run_mission, MissionConfig, MissionOutcome};
 use rfly::fleet::report::{margin_histogram, per_relay_table, summary_table};
 use rfly::fleet::{assign, partition, ChannelPlan, Partition};
-use rfly::drone::kinematics::MotionLimits;
 use rfly::sim::scene::Scene;
 use rfly::tag::population::TagPopulation;
 
@@ -65,8 +65,8 @@ fn fly(
     cfg: &MissionConfig,
 ) -> (ChannelPlan, Partition, MissionOutcome) {
     let budget = paper_budget();
-    let cells = partition(scene, n_relays, MotionLimits::indoor_drone())
-        .expect("cells fit the floor");
+    let cells =
+        partition(scene, n_relays, MotionLimits::indoor_drone()).expect("cells fit the floor");
     let hover: Vec<Point2> = cells.cells.iter().map(|c| c.center()).collect();
     let plan = assign(&hover, &budget, MARGIN, SEED).expect("feasible channel plan");
     let mut world = mission_world(

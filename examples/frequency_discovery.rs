@@ -10,7 +10,7 @@
 use rfly::core::relay::freq_discovery::FrequencyDiscovery;
 use rfly::dsp::buffer::add;
 use rfly::dsp::osc::Nco;
-use rfly::dsp::units::Hertz;
+use rfly::dsp::units::{Hertz, Seconds};
 use rfly::dsp::Complex;
 use rfly::reader::hopping::HopSequence;
 
@@ -21,7 +21,7 @@ fn main() {
     let grid: Vec<Hertz> = (-3..=3).map(|k| Hertz::khz(500.0 * k as f64)).collect();
 
     // Reader A (strong) at +1.0 MHz; reader B (6 dB weaker) at −0.5 MHz.
-    let mut fd = FrequencyDiscovery::new(grid.clone(), fs);
+    let mut fd = FrequencyDiscovery::new(grid.clone(), Hertz(fs));
     let n = fd.sweep_len();
     println!(
         "sweep consumes {} samples = {:.1} ms of signal ({} candidates)",
@@ -44,16 +44,23 @@ fn main() {
 
     // Footnote 3: once the frequency at one instant is known, the relay
     // tracks the reader's prespecified hopping pattern.
-    let pattern = HopSequence::new(77, 0.4);
-    println!("\nreader hop pattern (dwell {} ms):", pattern.dwell_s * 1e3);
+    let pattern = HopSequence::new(77, Seconds::new(0.4));
+    println!(
+        "\nreader hop pattern (dwell {} ms):",
+        pattern.dwell.value() * 1e3
+    );
     for k in 0..6 {
         let t = k as f64 * 0.4 + 0.01;
-        println!("  t = {:.2} s -> {}", t, pattern.frequency_at(t));
+        println!(
+            "  t = {:.2} s -> {}",
+            t,
+            pattern.frequency_at(Seconds::new(t))
+        );
     }
     // The relay's prediction at t matches an independently advanced copy.
     let mut live = pattern.clone();
     live.hop();
     live.hop();
-    assert_eq!(pattern.frequency_at(0.85), live.current());
+    assert_eq!(pattern.frequency_at(Seconds::new(0.85)), live.current());
     println!("\nOK: relay locks the strongest reader and tracks its hops.");
 }

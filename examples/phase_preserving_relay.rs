@@ -27,7 +27,11 @@ fn relayed_phase(relay: &mut Relay, trial: usize) -> Option<f64> {
     }
     let up = relay.forward_uplink(&uplink_in, start);
     let d = decode_backscatter(&up, TagEncoding::Fm0, false, 8, PAYLOAD.len()).ok()?;
-    assert_eq!(d.bits, Bits::from_str01(PAYLOAD), "bits must survive the relay");
+    assert_eq!(
+        d.bits,
+        Bits::from_str01(PAYLOAD),
+        "bits must survive the relay"
+    );
     Some(d.channel.arg())
 }
 
@@ -47,7 +51,11 @@ fn main() {
     for t in 0..6 {
         let m = relayed_phase(&mut mirrored, t).expect("decodes");
         let p = relayed_phase(&mut plain, t).expect("decodes");
-        println!("{t:>5}   {:>7.2}°      {:>7.2}°", m.to_degrees(), p.to_degrees());
+        println!(
+            "{t:>5}   {:>7.2}°      {:>7.2}°",
+            m.to_degrees(),
+            p.to_degrees()
+        );
         m_phases.push(m);
         p_phases.push(p);
         mirrored.reset();

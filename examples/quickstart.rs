@@ -14,7 +14,10 @@ fn main() {
     let tag = Point2::new(40.0, 3.0);
     let flight = Trajectory::line(Point2::new(38.0, 1.0), Point2::new(41.0, 1.0), 31);
 
-    println!("reader at {reader}; tag at {tag} ({:.1} m away)", reader.distance(tag));
+    println!(
+        "reader at {reader}; tag at {tag} ({:.1} m away)",
+        reader.distance(tag)
+    );
     println!(
         "drone pass: {} -> {} ({} measurement positions)",
         flight.points()[0],
@@ -32,7 +35,10 @@ fn main() {
 
     println!();
     println!("relay seen by reader : {}", outcome.relay_seen());
-    println!("tag read rate        : {:.0} %", outcome.read_rate() * 100.0);
+    println!(
+        "tag read rate        : {:.0} %",
+        outcome.read_rate() * 100.0
+    );
 
     let loc = outcome.localization().expect("tag localized");
     println!("estimated position   : {}", loc.estimate);

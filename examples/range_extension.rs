@@ -3,7 +3,6 @@
 //!
 //! Run with: `cargo run --release --example range_extension`
 
-
 use rfly::channel::environment::Environment;
 use rfly::channel::geometry::Point2;
 use rfly::protocol::epc::Epc;
@@ -17,7 +16,10 @@ fn try_read(distance: f64, use_relay: bool, seed: u64) -> bool {
     let config = ReaderConfig::usrp_default();
     let tag_pos = Point2::new(distance, 0.0);
     let mut tags = TagPopulation::new();
-    tags.add(PassiveTag::new(Epc::from_index(0), seed, tag_pos), "item".into());
+    tags.add(
+        PassiveTag::new(Epc::from_index(0), seed, tag_pos),
+        "item".into(),
+    );
     let mut world = PhasorWorld::new(
         Environment::free_space(),
         Point2::ORIGIN,
@@ -39,14 +41,21 @@ fn try_read(distance: f64, use_relay: bool, seed: u64) -> bool {
 }
 
 fn main() {
-    println!("{:>10}  {:>10}  {:>12}", "distance", "no relay", "with relay");
+    println!(
+        "{:>10}  {:>10}  {:>12}",
+        "distance", "no relay", "with relay"
+    );
     println!("{}", "-".repeat(38));
     let trials: usize = 10;
     let mut crossover_plain = None;
     let mut last_relay_ok = 0.0;
     for d in [2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 25.0, 50.0, 100.0, 150.0] {
-        let plain = (0..trials).filter(|&t| try_read(d, false, 100 + t as u64)).count();
-        let relayed = (0..trials).filter(|&t| try_read(d, true, 200 + t as u64)).count();
+        let plain = (0..trials)
+            .filter(|&t| try_read(d, false, 100 + t as u64))
+            .count();
+        let relayed = (0..trials)
+            .filter(|&t| try_read(d, true, 200 + t as u64))
+            .count();
         println!(
             "{:>8} m  {:>9.0}%  {:>11.0}%",
             d,

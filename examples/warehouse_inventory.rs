@@ -62,7 +62,10 @@ fn main() {
     }
     let outcome = builder.build().run();
 
-    println!("\n{:<8} {:>10} {:>24} {:>10}", "item", "read rate", "estimated position", "error");
+    println!(
+        "\n{:<8} {:>10} {:>24} {:>10}",
+        "item", "read rate", "estimated position", "error"
+    );
     println!("{}", "-".repeat(58));
     let mut read_count = 0;
     let mut localized = 0;

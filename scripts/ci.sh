@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -13,6 +16,11 @@ cargo test --offline --workspace -q
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== rfly-lint (workspace invariants; see DESIGN.md §8) =="
+# Hard gate: any violation not covered by the committed baseline — and
+# any stale baseline entry — fails the build. The baseline only shrinks.
+cargo run --release --offline -p rfly-lint -- --workspace --baseline lint-baseline.tsv
 
 echo "== fault matrix (3 seeds) =="
 # The fault_storm example is self-asserting: it exits non-zero on any

@@ -90,8 +90,14 @@ mod tests {
     #[test]
     fn question_mark_lifts_layer_errors() {
         assert_eq!(try_chain().unwrap(), 0b1010);
-        let err: RflyError = rfly_protocol::Bits::new().try_uint_at(0, 8).unwrap_err().into();
-        assert!(matches!(err, RflyError::Protocol(ProtocolError::BitRange { .. })));
+        let err: RflyError = rfly_protocol::Bits::new()
+            .try_uint_at(0, 8)
+            .unwrap_err()
+            .into();
+        assert!(matches!(
+            err,
+            RflyError::Protocol(ProtocolError::BitRange { .. })
+        ));
         assert!(err.to_string().starts_with("protocol:"));
         assert!(std::error::Error::source(&err).is_some());
     }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # RFly — drone relays for battery-free networks
 //!
 //! A complete Rust reproduction of *"Drone Relays for Battery-Free

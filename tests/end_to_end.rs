@@ -26,7 +26,11 @@ fn long_range_scenario(seed: u64) -> rfly::sim::endtoend::Scenario {
 fn headline_result_50m_read_and_submeter_localization() {
     let outcome = long_range_scenario(11).run();
     assert!(outcome.relay_seen(), "embedded tag must be decodable");
-    assert!(outcome.read_rate() > 0.9, "read rate {}", outcome.read_rate());
+    assert!(
+        outcome.read_rate() > 0.9,
+        "read rate {}",
+        outcome.read_rate()
+    );
     let loc = outcome.localization().expect("localized");
     assert!(loc.error_m < 0.3, "error {} m", loc.error_m);
 }
@@ -62,7 +66,11 @@ fn no_mirror_relay_breaks_localization_not_communication() {
     // ...but the phase is garbage, so localization misses grossly (if
     // it produces anything at all).
     if let Some(loc) = outcome.localization() {
-        assert!(loc.error_m > 0.5, "no-mirror localized too well: {}", loc.error_m);
+        assert!(
+            loc.error_m > 0.5,
+            "no-mirror localized too well: {}",
+            loc.error_m
+        );
     }
 }
 
@@ -110,11 +118,18 @@ fn warehouse_scene_with_shelving_still_works() {
             Point2::new(16.5, aisle_y),
             31,
         ))
-        .search_region(Point2::new(12.0, aisle_y + 0.1), Point2::new(18.0, shelf_y + 0.5))
+        .search_region(
+            Point2::new(12.0, aisle_y + 0.1),
+            Point2::new(18.0, shelf_y + 0.5),
+        )
         .seed(9)
         .build()
         .run();
-    assert!(outcome.read_rate() > 0.8, "read rate {}", outcome.read_rate());
+    assert!(
+        outcome.read_rate() > 0.8,
+        "read rate {}",
+        outcome.read_rate()
+    );
     let loc = outcome.localization().expect("localized under multipath");
     assert!(loc.error_m < 0.5, "error {} m", loc.error_m);
 }

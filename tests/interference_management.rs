@@ -17,7 +17,7 @@ fn relay_locks_strongest_reader_and_filters_the_rest() {
     // Reader A on the relay's current channel (baseband 0); reader B
     // one FCC channel up (+500 kHz), 8 dB weaker.
     let grid: Vec<Hertz> = (-3..=3).map(|k| Hertz::khz(500.0 * k as f64)).collect();
-    let mut fd = FrequencyDiscovery::new(grid, FS);
+    let mut fd = FrequencyDiscovery::new(grid, Hertz(FS));
     let n = 40_000.max(fd.sweep_len());
     let a = Nco::new(Hertz::khz(0.0), FS).block(n);
     let b: Vec<Complex> = Nco::new(Hertz::khz(500.0), FS)
@@ -29,7 +29,11 @@ fn relay_locks_strongest_reader_and_filters_the_rest() {
 
     // 1. Eq. 5 sweep: the relay discovers reader A's center frequency.
     let lock = fd.sweep(&mixed).expect("locks");
-    assert_eq!(lock.frequency, Hertz::khz(0.0), "must lock the stronger reader");
+    assert_eq!(
+        lock.frequency,
+        Hertz::khz(0.0),
+        "must lock the stronger reader"
+    );
 
     // 2. With the downconversion at A's frequency, the downlink LPF
     //    passes A and rejects B.
@@ -69,11 +73,11 @@ fn relay_retunes_when_the_locked_reader_hops() {
     // sweep on fresh signal and follows.
     let grid: Vec<Hertz> = (-3..=3).map(|k| Hertz::khz(500.0 * k as f64)).collect();
 
-    let mut fd1 = FrequencyDiscovery::new(grid.clone(), FS);
+    let mut fd1 = FrequencyDiscovery::new(grid.clone(), Hertz(FS));
     let sig1 = Nco::new(Hertz::khz(-1000.0), FS).block(fd1.sweep_len());
     assert_eq!(fd1.sweep(&sig1).unwrap().frequency, Hertz::khz(-1000.0));
 
-    let mut fd2 = FrequencyDiscovery::new(grid, FS);
+    let mut fd2 = FrequencyDiscovery::new(grid, Hertz(FS));
     let sig2 = Nco::new(Hertz::khz(1500.0), FS).block(fd2.sweep_len());
     assert_eq!(fd2.sweep(&sig2).unwrap().frequency, Hertz::khz(1500.0));
 }

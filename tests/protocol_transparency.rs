@@ -3,7 +3,6 @@
 //! same commands, including Select-based filtering — runs against the
 //! direct medium and the relayed medium.
 
-
 use rfly::channel::environment::Environment;
 use rfly::channel::geometry::Point2;
 use rfly::protocol::bits::Bits;

@@ -4,7 +4,7 @@
 //! decode. No phasor shortcuts anywhere in this file.
 
 use rfly::core::relay::relay::{Relay, RelayConfig};
-use rfly::dsp::units::Hertz;
+use rfly::dsp::units::{Hertz, Seconds};
 use rfly::dsp::Complex;
 use rfly::protocol::bits::Bits;
 use rfly::protocol::commands::Command;
@@ -43,7 +43,7 @@ fn tag_hears(waveform: &[Complex]) -> Option<(Command, usize)> {
 #[test]
 fn reader_waveform_is_tag_decodable() {
     let builder = WaveformBuilder::new(&ReaderConfig::usrp_default());
-    let wave = builder.command(&test_query(), 400e-6);
+    let wave = builder.command(&test_query(), Seconds::new(400e-6));
     let (cmd, _) = tag_hears(&wave).expect("tag decodes the PIE query");
     assert_eq!(cmd, test_query());
 }
@@ -61,7 +61,7 @@ fn full_chain_reader_to_tag_to_relay_to_reader() {
     let mut tag = TagMachine::new(Epc::from_index(9), 5);
 
     // 1. Reader transmits the query with a CW tail for the reply.
-    let tx = builder.command(&test_query(), 900e-6);
+    let tx = builder.command(&test_query(), Seconds::new(900e-6));
 
     // 2. The relay's downlink forwards it (downconvert → LPF →
     //    upconvert at f₂).
@@ -103,9 +103,10 @@ fn full_chain_reader_to_tag_to_relay_to_reader() {
     let epc_bits = epc_reply.frame().clone();
     let epc_levels = rfly::protocol::fm0::encode_reply(&epc_bits, false, SPS);
     let mut uplink2 = vec![Complex::default(); epc_levels.len() + 2048];
-    let cw = relay.forward_downlink(&builder.continuous_wave(
-        uplink2.len() as f64 / FS,
-    ), 0);
+    let cw = relay.forward_downlink(
+        &builder.continuous_wave(Seconds::new(uplink2.len() as f64 / FS)),
+        0,
+    );
     for (i, &l) in epc_levels.iter().enumerate() {
         uplink2[600 + i] = cw[600 + i] * l;
     }
@@ -124,7 +125,7 @@ fn phasor_channel_matches_sample_level_decode() {
     // recover h (amplitude and phase).
     use rfly::channel::phasor::PathSet;
     let f = Hertz::mhz(915.0);
-    let ps = PathSet::line_of_sight(7.3, 0.004); // 7.3 m, weak return
+    let ps = PathSet::line_of_sight(rfly::dsp::units::Meters::new(7.3), 0.004); // 7.3 m, weak return
     let h = ps.round_trip(f);
 
     let bits = Bits::from_str01("1011001110001111");
@@ -133,8 +134,7 @@ fn phasor_channel_matches_sample_level_decode() {
     for (i, &l) in levels.iter().enumerate() {
         capture[600 + i] += h * l;
     }
-    let d = decode_backscatter(&capture, TagEncoding::Fm0, false, SPS, 16)
-        .expect("decodes");
+    let d = decode_backscatter(&capture, TagEncoding::Fm0, false, SPS, 16).expect("decodes");
     assert!(
         rfly::dsp::complex::phase_distance(d.channel.arg(), h.arg()) < 0.02,
         "phase mismatch: {} vs {}",
