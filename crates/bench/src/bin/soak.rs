@@ -1,0 +1,177 @@
+//! The soak-and-shrink harness: fly N seeded random fault storms
+//! through the journaled supervised mission, check every run against
+//! the invariant catalog, and auto-shrink each violation to a minimal
+//! repro under `results/repros/`.
+//!
+//! Per seed the soak also exercises the replay machinery itself: the
+//! journal must round-trip byte-for-byte, and a sealed journal must
+//! replay against a live re-run with zero divergence — so a soak run
+//! doubles as a determinism audit over fresh mission data.
+//!
+//! Run with: `cargo run --release --bin soak -- [--seeds N] [--steps N]
+//! [--events N] [--out DIR]`
+//!
+//! Exits non-zero on any *internal* failure (a journal that does not
+//! round-trip, a replay divergence, a shrink that errors). Invariant
+//! violations are the soak's product, not its failure mode: each one is
+//! shrunk and written out.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rfly_faults::FaultSchedule;
+use rfly_replay::divergence::verify_replay;
+use rfly_replay::invariant::{Invariant, InvariantHarness};
+use rfly_replay::journal::Journal;
+use rfly_replay::runner::{run_full, Scenario};
+use rfly_replay::shrink::{repro_to_text, shrink};
+use rfly_sim::report::Table;
+
+struct Args {
+    seeds: u64,
+    steps: usize,
+    events: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 8,
+        steps: 12,
+        events: 12,
+        out: PathBuf::from("results/repros"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn catalog() -> Vec<Invariant> {
+    vec![
+        Invariant::CoverageRetention { min_ratio: 0.8 },
+        Invariant::MarginGate { floor_db: 6.0 },
+        Invariant::NoDuplicateEpcs,
+    ]
+}
+
+fn soak_one(seed: u64, args: &Args, table: &mut Table) -> Result<bool, String> {
+    let scenario = Scenario::small(seed);
+    let schedule = FaultSchedule::random(seed, scenario.n_relays, args.steps, args.events);
+    let run = run_full(&scenario, &schedule)?;
+
+    // Determinism audit on fresh data: codec round-trip + live replay.
+    let text = run.journal.to_text();
+    let parsed = Journal::from_text(&text).map_err(|e| format!("seed {seed}: {e}"))?;
+    if parsed != run.journal || parsed.to_text() != text {
+        return Err(format!("seed {seed}: journal does not round-trip"));
+    }
+    if let Some(div) = verify_replay(&run.journal, &schedule)? {
+        return Err(format!(
+            "seed {seed}: replay diverged at step {} field {}: {}",
+            div.step, div.field, div.detail
+        ));
+    }
+
+    let harness = InvariantHarness::new(scenario.clone(), catalog())?;
+    let Some(violation) = harness.evaluate(&run) else {
+        table.row(&[
+            seed.to_string(),
+            run.outcome.inventory.unique_tags().to_string(),
+            run.outcome.log.recoveries.len().to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        return Ok(false);
+    };
+
+    let result = shrink(&harness, &schedule)?;
+    let repro = repro_to_text(&scenario, &result);
+    let path = args.out.join(format!("repro-seed{seed}.txt"));
+    fs::write(&path, &repro).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    table.row(&[
+        seed.to_string(),
+        run.outcome.inventory.unique_tags().to_string(),
+        run.outcome.log.recoveries.len().to_string(),
+        violation.invariant.to_string(),
+        format!(
+            "{}->{}ev/{}p",
+            args.events,
+            result.schedule.events().len(),
+            result.probes
+        ),
+        path.display().to_string(),
+    ]);
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            eprintln!("usage: soak [--seeds N] [--steps N] [--events N] [--out DIR]");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = fs::create_dir_all(&args.out) {
+        eprintln!("soak: creating {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut table = Table::new(
+        "Soak-and-shrink: seeded random storms vs the invariant catalog",
+        &[
+            "seed",
+            "unique",
+            "recoveries",
+            "violation",
+            "shrink",
+            "repro",
+        ],
+    );
+    let mut violations = 0usize;
+    for seed in 1..=args.seeds {
+        match soak_one(seed, &args, &mut table) {
+            Ok(true) => violations += 1,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("soak: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    table.print(false);
+    println!(
+        "{} seeds soaked, {} violation(s) shrunk to {}",
+        args.seeds,
+        violations,
+        args.out.display()
+    );
+    ExitCode::SUCCESS
+}

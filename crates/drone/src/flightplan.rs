@@ -86,6 +86,13 @@ impl FlightPlan {
         &self.waypoints
     }
 
+    /// The motion limits the plan was built with — with
+    /// [`Self::waypoints`], everything a serialized mission checkpoint
+    /// needs to rebuild the plan via [`Self::new`].
+    pub fn limits(&self) -> MotionLimits {
+        self.limits
+    }
+
     /// Total mission duration, seconds (no hover time between legs).
     pub fn duration(&self) -> f64 {
         self.legs().map(|l| l.duration()).sum()

@@ -41,11 +41,13 @@ pub mod inject;
 pub mod log;
 pub mod schedule;
 pub mod supervisor;
+pub mod text;
 
 pub use inject::{FaultyMedium, RelayHealth};
 pub use log::{LoggedRecovery, RecoveryAction, ResilienceLog};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
 pub use supervisor::{
-    run_supervised, run_unsupervised, LocMethod, LocalizationRecord, MissionEnv, ResilientOutcome,
-    SupervisorConfig,
+    run_supervised, run_unsupervised, LocMethod, LocalizationRecord, MissionEnv, MissionSnapshot,
+    MissionState, ReadRecord, ResilientOutcome, StepRecord, StepTrack, SupervisorConfig,
 };
+pub use text::ParseError;

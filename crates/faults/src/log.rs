@@ -11,6 +11,7 @@ use rfly_protocol::epc::Epc;
 use rfly_sim::report::Table;
 
 use crate::schedule::FaultEvent;
+use crate::text::{epc_hex, fmt_f64, Fields, ParseError};
 
 /// One recovery action the mission supervisor can take.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +90,86 @@ impl RecoveryAction {
             RecoveryAction::SarFallback { .. } => "sar-fallback",
         }
     }
+
+    /// The stable text form: an ASCII action token plus `key=value`
+    /// parameters (the display name's `Δ` stays out of the wire format
+    /// so journals are pure ASCII). Round-trips via [`Self::parse`].
+    pub fn to_text(&self) -> String {
+        match *self {
+            RecoveryAction::Retry { relay, attempt } => {
+                format!("retry relay={relay} attempt={attempt}")
+            }
+            RecoveryAction::GainTrim { relay, trimmed_db } => {
+                format!("gain-trim relay={relay} db={}", fmt_f64(trimmed_db))
+            }
+            RecoveryAction::DeltaFReassign {
+                pair,
+                margin_before_db,
+                margin_after_db,
+            } => format!(
+                "df-reassign i={} j={} before={} after={}",
+                pair.0,
+                pair.1,
+                fmt_f64(margin_before_db),
+                fmt_f64(margin_after_db)
+            ),
+            RecoveryAction::Repartition {
+                dead_relay,
+                survivors,
+            } => format!("repartition dead={dead_relay} survivors={survivors}"),
+            RecoveryAction::CellHandoff { cell, from, to } => {
+                format!("cell-handoff cell={cell} from={from} to={to}")
+            }
+            RecoveryAction::RouteHold { relay } => format!("route-hold relay={relay}"),
+            RecoveryAction::SarFallback {
+                relay,
+                epc,
+                coherence,
+            } => format!(
+                "sar-fallback relay={relay} epc={} coherence={}",
+                epc_hex(epc),
+                fmt_f64(coherence)
+            ),
+        }
+    }
+
+    /// Parses the [`Self::to_text`] form from a token cursor.
+    pub fn parse(fields: &mut Fields<'_>) -> Result<Self, ParseError> {
+        let tok = fields.tok("recovery action")?;
+        Ok(match tok {
+            "retry" => RecoveryAction::Retry {
+                relay: fields.kv_usize("relay")?,
+                attempt: fields.kv_usize("attempt")?,
+            },
+            "gain-trim" => RecoveryAction::GainTrim {
+                relay: fields.kv_usize("relay")?,
+                trimmed_db: fields.kv_f64("db")?,
+            },
+            "df-reassign" => RecoveryAction::DeltaFReassign {
+                pair: (fields.kv_usize("i")?, fields.kv_usize("j")?),
+                margin_before_db: fields.kv_f64("before")?,
+                margin_after_db: fields.kv_f64("after")?,
+            },
+            "repartition" => RecoveryAction::Repartition {
+                dead_relay: fields.kv_usize("dead")?,
+                survivors: fields.kv_usize("survivors")?,
+            },
+            "cell-handoff" => RecoveryAction::CellHandoff {
+                cell: fields.kv_usize("cell")?,
+                from: fields.kv_usize("from")?,
+                to: fields.kv_usize("to")?,
+            },
+            "route-hold" => RecoveryAction::RouteHold {
+                relay: fields.kv_usize("relay")?,
+            },
+            "sar-fallback" => RecoveryAction::SarFallback {
+                relay: fields.kv_usize("relay")?,
+                epc: fields.kv_epc("epc")?,
+                coherence: fields.kv_f64("coherence")?,
+            },
+            other => return Err(fields.error(format!("unknown recovery action {other:?}"))),
+        })
+    }
 }
 
 /// One recovery, time-stamped and linked to its triggering fault.
@@ -102,8 +183,28 @@ pub struct LoggedRecovery {
     pub trigger: usize,
 }
 
+impl LoggedRecovery {
+    /// The stable one-line form: `a <step> <trigger> <action…>`.
+    pub fn to_line(&self) -> String {
+        format!("a {} {} {}", self.step, self.trigger, self.action.to_text())
+    }
+
+    /// Parses [`Self::to_line`]; `line_no` is for error reporting.
+    pub fn from_line(line: &str, line_no: usize) -> Result<Self, ParseError> {
+        let mut f = Fields::new(line, line_no);
+        f.expect_tok("a")?;
+        let rec = LoggedRecovery {
+            step: f.usize("step")?,
+            trigger: f.usize("trigger id")?,
+            action: RecoveryAction::parse(&mut f)?,
+        };
+        f.finish()?;
+        Ok(rec)
+    }
+}
+
 /// The mission's structured fault-and-recovery record.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResilienceLog {
     /// Faults that actually struck (in application order).
     pub faults: Vec<FaultEvent>,
@@ -155,6 +256,64 @@ impl ResilienceLog {
             .iter()
             .filter(|r| r.action.name() == name)
             .count()
+    }
+
+    /// The stable text form: a header, one `f` line per fault struck,
+    /// one `a` line per recovery (both in recorded order), and an `end`
+    /// footer. Journals embed this block verbatim; round-trips via
+    /// [`Self::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("resilience-log v1\n");
+        for f in &self.faults {
+            s.push_str(&f.to_line());
+            s.push('\n');
+        }
+        for r in &self.recoveries {
+            s.push_str(&r.to_line());
+            s.push('\n');
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parses the [`Self::to_text`] form.
+    pub fn from_text(text: &str) -> Result<Self, ParseError> {
+        let mut lines = text.lines().enumerate();
+        let (n, header) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(1, "empty log text"))?;
+        if header.trim() != "resilience-log v1" {
+            return Err(ParseError::new(n + 1, format!("bad header {header:?}")));
+        }
+        let mut log = ResilienceLog::new();
+        let mut ended = false;
+        for (n, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "end" {
+                ended = true;
+                break;
+            }
+            match line.split_whitespace().next() {
+                Some("f") => log.faults.push(FaultEvent::from_line(line, n + 1)?),
+                Some("a") => log.recoveries.push(LoggedRecovery::from_line(line, n + 1)?),
+                _ => {
+                    return Err(ParseError::new(
+                        n + 1,
+                        format!("expected an `f` or `a` record, found {line:?}"),
+                    ))
+                }
+            }
+        }
+        if !ended {
+            return Err(ParseError::new(
+                text.lines().count(),
+                "missing `end` footer",
+            ));
+        }
+        Ok(log)
     }
 
     /// A summary table: faults applied and recoveries per category.
@@ -223,6 +382,75 @@ mod tests {
             0,
         );
         assert!(!log.is_consistent(), "recovery precedes the fault");
+    }
+
+    #[test]
+    fn text_form_round_trips_a_full_log() {
+        let mut log = ResilienceLog::new();
+        log.record_fault(&FaultEvent {
+            id: 0,
+            step: 1,
+            relay: 2,
+            kind: FaultKind::Gen2Drop {
+                p_drop: 0.8137,
+                steps: 4,
+            },
+        });
+        log.record_fault(&fault(1, 3));
+        let actions = [
+            RecoveryAction::Retry {
+                relay: 2,
+                attempt: 1,
+            },
+            RecoveryAction::GainTrim {
+                relay: 1,
+                trimmed_db: 12.75,
+            },
+            RecoveryAction::DeltaFReassign {
+                pair: (0, 2),
+                margin_before_db: -1.0 / 3.0,
+                margin_after_db: 11.5,
+            },
+            RecoveryAction::Repartition {
+                dead_relay: 0,
+                survivors: 3,
+            },
+            RecoveryAction::CellHandoff {
+                cell: 0,
+                from: 0,
+                to: 2,
+            },
+            RecoveryAction::RouteHold { relay: 1 },
+            RecoveryAction::SarFallback {
+                relay: 1,
+                epc: Epc::from_index(7),
+                coherence: 0.2183,
+            },
+        ];
+        for (k, a) in actions.into_iter().enumerate() {
+            log.record(4 + k, a, 1);
+        }
+
+        let text = log.to_text();
+        let back = ResilienceLog::from_text(&text).expect("parses");
+        assert_eq!(back.faults, log.faults);
+        assert_eq!(back.recoveries, log.recoveries);
+        // Serialized bytes are stable across the round trip.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_logs() {
+        assert!(ResilienceLog::from_text("").is_err());
+        assert!(ResilienceLog::from_text("resilience-log v2\nend\n").is_err());
+        assert!(ResilienceLog::from_text("resilience-log v1\n").is_err());
+        let err = ResilienceLog::from_text("resilience-log v1\nz 1 2\nend\n")
+            .expect_err("unknown record");
+        assert_eq!(err.line, 2);
+        assert!(
+            ResilienceLog::from_text("resilience-log v1\na 4 0 warp-jump x=1\nend\n").is_err(),
+            "unknown action"
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@
 
 use rfly_dsp::rng::{Rng, SliceRandom, StdRng};
 
+use crate::text::{fmt_f64, Fields, ParseError};
+
 /// One way a relay, its uplink, or its drone can degrade.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
@@ -86,6 +88,151 @@ pub enum FaultKind {
     BatterySag,
 }
 
+impl FaultKind {
+    /// The stable text form: a kind token followed by `key=value`
+    /// parameters, e.g. `deep-fade db=18 steps=4`. Floats use shortest
+    /// round-trip [`fmt_f64`], so `parse` rebuilds the identical kind.
+    pub fn to_text(&self) -> String {
+        match *self {
+            FaultKind::PhaseGlitch { rad } => format!("phase-glitch rad={}", fmt_f64(rad)),
+            FaultKind::CfoDrift { rad, steps } => {
+                format!("cfo-drift rad={} steps={steps}", fmt_f64(rad))
+            }
+            FaultKind::GainDrift { db } => format!("gain-drift db={}", fmt_f64(db)),
+            FaultKind::PaSag { db } => format!("pa-sag db={}", fmt_f64(db)),
+            FaultKind::DeepFade { db, steps } => {
+                format!("deep-fade db={} steps={steps}", fmt_f64(db))
+            }
+            FaultKind::NoiseBurst { p_corrupt, steps } => {
+                format!("noise-burst p={} steps={steps}", fmt_f64(p_corrupt))
+            }
+            FaultKind::Gen2Drop { p_drop, steps } => {
+                format!("gen2-drop p={} steps={steps}", fmt_f64(p_drop))
+            }
+            FaultKind::TrackingDropout { steps } => format!("tracking-dropout steps={steps}"),
+            FaultKind::WindGust { dx_m, dy_m, steps } => format!(
+                "wind-gust dx={} dy={} steps={steps}",
+                fmt_f64(dx_m),
+                fmt_f64(dy_m)
+            ),
+            FaultKind::BatterySag => "battery-sag".into(),
+        }
+    }
+
+    /// Parses the [`Self::to_text`] form from a token cursor.
+    pub fn parse(fields: &mut Fields<'_>) -> Result<Self, ParseError> {
+        let tok = fields.tok("fault kind")?;
+        Ok(match tok {
+            "phase-glitch" => FaultKind::PhaseGlitch {
+                rad: fields.kv_f64("rad")?,
+            },
+            "cfo-drift" => FaultKind::CfoDrift {
+                rad: fields.kv_f64("rad")?,
+                steps: fields.kv_usize("steps")?,
+            },
+            "gain-drift" => FaultKind::GainDrift {
+                db: fields.kv_f64("db")?,
+            },
+            "pa-sag" => FaultKind::PaSag {
+                db: fields.kv_f64("db")?,
+            },
+            "deep-fade" => FaultKind::DeepFade {
+                db: fields.kv_f64("db")?,
+                steps: fields.kv_usize("steps")?,
+            },
+            "noise-burst" => FaultKind::NoiseBurst {
+                p_corrupt: fields.kv_f64("p")?,
+                steps: fields.kv_usize("steps")?,
+            },
+            "gen2-drop" => FaultKind::Gen2Drop {
+                p_drop: fields.kv_f64("p")?,
+                steps: fields.kv_usize("steps")?,
+            },
+            "tracking-dropout" => FaultKind::TrackingDropout {
+                steps: fields.kv_usize("steps")?,
+            },
+            "wind-gust" => FaultKind::WindGust {
+                dx_m: fields.kv_f64("dx")?,
+                dy_m: fields.kv_f64("dy")?,
+                steps: fields.kv_usize("steps")?,
+            },
+            "battery-sag" => FaultKind::BatterySag,
+            other => return Err(fields.error(format!("unknown fault kind {other:?}"))),
+        })
+    }
+
+    /// A strictly weaker variant for delta-debugging: halves severities
+    /// (radians, dB, probabilities, gust offsets) and durations.
+    /// Returns `None` at the weakening floor — repeated application
+    /// always terminates, which the shrinker's progress bound needs.
+    pub fn weakened(&self) -> Option<FaultKind> {
+        const MIN_RAD: f64 = 0.05;
+        const MIN_DB: f64 = 0.5;
+        const MIN_P: f64 = 0.02;
+        const MIN_M: f64 = 0.1;
+        fn halve(x: f64, min: f64) -> Option<f64> {
+            let h = x / 2.0;
+            (h.abs() >= min).then_some(h)
+        }
+        fn halve_steps(s: usize) -> Option<usize> {
+            (s > 1).then_some(s / 2)
+        }
+        match *self {
+            FaultKind::PhaseGlitch { rad } => {
+                halve(rad, MIN_RAD).map(|rad| FaultKind::PhaseGlitch { rad })
+            }
+            FaultKind::CfoDrift { rad, steps } => match (halve(rad, MIN_RAD), halve_steps(steps)) {
+                (None, None) => None,
+                (r, s) => Some(FaultKind::CfoDrift {
+                    rad: r.unwrap_or(rad),
+                    steps: s.unwrap_or(steps),
+                }),
+            },
+            FaultKind::GainDrift { db } => halve(db, MIN_DB).map(|db| FaultKind::GainDrift { db }),
+            FaultKind::PaSag { db } => halve(db, MIN_DB).map(|db| FaultKind::PaSag { db }),
+            FaultKind::DeepFade { db, steps } => match (halve(db, MIN_DB), halve_steps(steps)) {
+                (None, None) => None,
+                (d, s) => Some(FaultKind::DeepFade {
+                    db: d.unwrap_or(db),
+                    steps: s.unwrap_or(steps),
+                }),
+            },
+            FaultKind::NoiseBurst { p_corrupt, steps } => {
+                match (halve(p_corrupt, MIN_P), halve_steps(steps)) {
+                    (None, None) => None,
+                    (p, s) => Some(FaultKind::NoiseBurst {
+                        p_corrupt: p.unwrap_or(p_corrupt),
+                        steps: s.unwrap_or(steps),
+                    }),
+                }
+            }
+            FaultKind::Gen2Drop { p_drop, steps } => {
+                match (halve(p_drop, MIN_P), halve_steps(steps)) {
+                    (None, None) => None,
+                    (p, s) => Some(FaultKind::Gen2Drop {
+                        p_drop: p.unwrap_or(p_drop),
+                        steps: s.unwrap_or(steps),
+                    }),
+                }
+            }
+            FaultKind::TrackingDropout { steps } => {
+                halve_steps(steps).map(|steps| FaultKind::TrackingDropout { steps })
+            }
+            FaultKind::WindGust { dx_m, dy_m, steps } => {
+                match (halve(dx_m, MIN_M), halve(dy_m, MIN_M), halve_steps(steps)) {
+                    (None, None, None) => None,
+                    (x, y, s) => Some(FaultKind::WindGust {
+                        dx_m: x.unwrap_or(dx_m),
+                        dy_m: y.unwrap_or(dy_m),
+                        steps: s.unwrap_or(steps),
+                    }),
+                }
+            }
+            FaultKind::BatterySag => None,
+        }
+    }
+}
+
 /// One scheduled fault: which relay, when, what.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {
@@ -98,6 +245,33 @@ pub struct FaultEvent {
     pub relay: usize,
     /// What breaks.
     pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// The stable one-line form: `f <id> <step> <relay> <kind…>`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "f {} {} {} {}",
+            self.id,
+            self.step,
+            self.relay,
+            self.kind.to_text()
+        )
+    }
+
+    /// Parses [`Self::to_line`]; `line_no` is for error reporting.
+    pub fn from_line(line: &str, line_no: usize) -> Result<Self, ParseError> {
+        let mut f = Fields::new(line, line_no);
+        f.expect_tok("f")?;
+        let ev = FaultEvent {
+            id: f.usize("event id")?,
+            step: f.usize("step")?,
+            relay: f.usize("relay")?,
+            kind: FaultKind::parse(&mut f)?,
+        };
+        f.finish()?;
+        Ok(ev)
+    }
 }
 
 /// A deterministic fault schedule for one mission.
@@ -250,6 +424,62 @@ impl FaultSchedule {
         Self { events }
     }
 
+    /// Recomposes a schedule from explicit events (the shrinker's
+    /// seam: decompose with [`Self::events`], drop or weaken some,
+    /// recompose here). Event ids are kept as given so a shrunk
+    /// repro's log still cites the original storm's event numbering;
+    /// they must stay unique.
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        let mut ids: Vec<usize> = events.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), events.len(), "duplicate fault event ids");
+        Self { events }
+    }
+
+    /// The stable text form: a header, one [`FaultEvent::to_line`] per
+    /// event, and an `end` footer. Round-trips via [`Self::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("fault-schedule v1\n");
+        for e in &self.events {
+            s.push_str(&e.to_line());
+            s.push('\n');
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parses the [`Self::to_text`] form.
+    pub fn from_text(text: &str) -> Result<Self, ParseError> {
+        let mut lines = text.lines().enumerate();
+        let (n, header) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(1, "empty schedule text"))?;
+        if header.trim() != "fault-schedule v1" {
+            return Err(ParseError::new(n + 1, format!("bad header {header:?}")));
+        }
+        let mut events = Vec::new();
+        let mut ended = false;
+        for (n, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "end" {
+                ended = true;
+                break;
+            }
+            events.push(FaultEvent::from_line(line, n + 1)?);
+        }
+        if !ended {
+            return Err(ParseError::new(
+                text.lines().count(),
+                "missing `end` footer",
+            ));
+        }
+        Ok(Self::from_events(events))
+    }
+
     /// All scheduled events.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -324,6 +554,57 @@ mod tests {
         for e in s.at(1) {
             assert_eq!(e.step, 1);
         }
+    }
+
+    #[test]
+    fn text_form_round_trips_storms_and_random_schedules() {
+        for sched in [
+            FaultSchedule::none(),
+            FaultSchedule::storm(9, 4, 40),
+            FaultSchedule::random(123, 3, 30, 17),
+        ] {
+            let text = sched.to_text();
+            let back = FaultSchedule::from_text(&text).expect("parses");
+            assert_eq!(back.events(), sched.events());
+            // And the re-serialized bytes are stable.
+            assert_eq!(back.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(FaultSchedule::from_text("").is_err(), "empty");
+        assert!(
+            FaultSchedule::from_text("bogus v1\nend\n").is_err(),
+            "header"
+        );
+        assert!(
+            FaultSchedule::from_text("fault-schedule v1\n").is_err(),
+            "missing footer"
+        );
+        assert!(
+            FaultSchedule::from_text("fault-schedule v1\nf 0 1 0 warp-core\nend\n").is_err(),
+            "unknown kind"
+        );
+        let err = FaultSchedule::from_text("fault-schedule v1\nf 0 x 0 battery-sag\nend\n")
+            .expect_err("bad step");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn weakening_always_terminates_and_weakens() {
+        let sched = FaultSchedule::random(5, 3, 30, 40);
+        for e in sched.events() {
+            let mut k = e.kind;
+            let mut hops = 0;
+            while let Some(w) = k.weakened() {
+                assert_ne!(w, k, "weakened() must change the kind");
+                k = w;
+                hops += 1;
+                assert!(hops < 64, "weakening ladder failed to terminate for {k:?}");
+            }
+        }
+        assert!(FaultKind::BatterySag.weakened().is_none());
     }
 
     #[test]

@@ -50,8 +50,8 @@ use rfly_sim::scene::Scene;
 use rfly_sim::world::{PhasorWorld, RelayModel};
 
 use crate::inject::{FaultyMedium, RelayHealth};
-use crate::log::{RecoveryAction, ResilienceLog};
-use crate::schedule::FaultSchedule;
+use crate::log::{LoggedRecovery, RecoveryAction, ResilienceLog};
+use crate::schedule::{FaultEvent, FaultSchedule};
 
 /// The supervisor's reaction knobs.
 #[derive(Debug, Clone, Copy)]
@@ -110,7 +110,7 @@ pub enum LocMethod {
 }
 
 /// One tag's end-of-mission localization outcome.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalizationRecord {
     /// The tag.
     pub epc: Epc,
@@ -141,12 +141,95 @@ pub struct ResilientOutcome {
     pub localization: Vec<LocalizationRecord>,
 }
 
-/// One stop's measurements through one relay.
+/// One stop's measurements through one relay — the unit of SAR track
+/// data a mission checkpoint must carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTrack {
+    /// Where the relay believed it hovered (the position SAR uses).
+    pub pos: Point2,
+    /// Embedded-RFID channel observations at this stop (the coherence
+    /// probe).
+    pub embedded: Vec<Complex>,
+    /// Deduplicated environment-tag channels observed at this stop.
+    pub tags: Vec<(Epc, Complex)>,
+}
+
+/// One environment-tag read as the mission journal records it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadRecord {
+    /// The serving relay (original fleet index).
+    pub relay: usize,
+    /// The tag read.
+    pub epc: Epc,
+    /// The observed through-relay channel estimate.
+    pub channel: Complex,
+    /// The observed SNR.
+    pub snr: Db,
+}
+
+/// Everything observable about one executed mission step — what
+/// `rfly-replay` journals, and what its divergence detector compares
+/// field by field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// The step index just executed.
+    pub step: usize,
+    /// Faults that struck this step (in application order).
+    pub faults: Vec<FaultEvent>,
+    /// Recovery actions this step (in order).
+    pub recoveries: Vec<LoggedRecovery>,
+    /// The fleet's worst alive mutual-loop pair `(i, j, margin_db)`
+    /// under degraded gains, before any recovery this step.
+    pub margin: Option<(usize, usize, f64)>,
+    /// Environment-tag reads merged into the inventory this step.
+    pub reads: Vec<ReadRecord>,
+    /// The world's observation-noise RNG state after the step — the
+    /// cheapest divergence probe (any extra or missing draw shows here).
+    pub rng: [u64; 4],
+    /// Whether the mission ended with this step.
+    pub done: bool,
+}
+
+/// The supervisor-level half of a mission checkpoint: every mutable
+/// field of [`MissionState`], public so `rfly-replay` can serialize it.
+/// The world-level half is [`rfly_sim::world::WorldSnapshot`].
 #[derive(Debug, Clone)]
-struct StepTrack {
-    pos: Point2,
-    embedded: Vec<Complex>,
-    tags: Vec<(Epc, Complex)>,
+pub struct MissionSnapshot {
+    /// Next step index to execute.
+    pub step: usize,
+    /// Steps completed so far.
+    pub steps: usize,
+    /// Mission clock at the last completed step, seconds.
+    pub duration_s: f64,
+    /// The runaway-guard step cap.
+    pub step_cap: usize,
+    /// Whether the mission has ended.
+    pub done: bool,
+    /// Per-relay accumulated damage.
+    pub health: Vec<RelayHealth>,
+    /// The fault-and-recovery record so far.
+    pub log: ResilienceLog,
+    /// The deduplicated inventory so far.
+    pub inventory: FleetInventory,
+    /// Per-relay SAR track data so far.
+    pub tracks: Vec<Vec<StepTrack>>,
+    /// Current per-relay downlink carriers (Δf re-assignment rewrites
+    /// these mid-flight).
+    pub f1: Vec<Hertz>,
+    /// Current per-relay frequency shifts.
+    pub shift: Vec<Hertz>,
+    /// The §6.1 gain allocation the channel plan was designed with.
+    pub base_gains: GainPlan,
+    /// Current flight plans (re-partitioning rewrites these).
+    pub plans: Vec<FlightPlan>,
+    /// Current cell assignment.
+    pub cells: Vec<Cell>,
+    /// Per-relay mission time at which its current route started.
+    pub route_start: Vec<f64>,
+    /// Per-relay accumulated route-hold time.
+    pub hold: Vec<f64>,
+    /// Per-relay last tracked position (goes stale through a dropout).
+    pub believed: Vec<Point2>,
 }
 
 /// Flies the mission under `schedule` with the supervisor active.
@@ -270,52 +353,169 @@ fn track_coherence(track: &[StepTrack]) -> f64 {
     }
 }
 
-fn run_faulted(
-    world: &mut PhasorWorld,
-    plan: &ChannelPlan,
-    part: &Partition,
-    env: &MissionEnv<'_>,
-    cfg: &MissionConfig,
-    schedule: &FaultSchedule,
-    sup: Option<&SupervisorConfig>,
-) -> ResilientOutcome {
-    let n = part.len();
-    assert_eq!(plan.f1.len(), n, "one channel pair per cell");
-    let loc_cfg = sup.copied().unwrap_or_default();
+/// The full mutable state of one mission in flight, advanced one step
+/// at a time.
+///
+/// [`run_supervised`] is a thin loop over [`Self::advance`]; the
+/// stepper exists so `rfly-replay` can journal each [`StepRecord`],
+/// checkpoint at step boundaries ([`Self::snapshot`] +
+/// [`rfly_sim::world::PhasorWorld::snapshot`]), and resume a killed
+/// mission bit-identically ([`Self::from_snapshot`] +
+/// [`rfly_sim::world::PhasorWorld::restore`]).
+#[derive(Debug, Clone)]
+pub struct MissionState {
+    n: usize,
+    step: usize,
+    steps: usize,
+    duration_s: f64,
+    step_cap: usize,
+    done: bool,
+    health: Vec<RelayHealth>,
+    log: ResilienceLog,
+    inventory: FleetInventory,
+    tracks: Vec<Vec<StepTrack>>,
+    f1: Vec<Hertz>,
+    shift: Vec<Hertz>,
+    base_gains: GainPlan,
+    plans: Vec<FlightPlan>,
+    cells: Vec<Cell>,
+    route_start: Vec<f64>,
+    hold: Vec<f64>,
+    believed: Vec<Point2>,
+}
 
-    let mut health: Vec<RelayHealth> = vec![RelayHealth::new(); n];
-    let mut log = ResilienceLog::new();
-    let mut inventory = FleetInventory::new(n);
-    let mut tracks: Vec<Vec<StepTrack>> = vec![Vec::new(); n];
+impl MissionState {
+    /// Fresh mission state at step 0.
+    pub fn new(plan: &ChannelPlan, part: &Partition, cfg: &MissionConfig) -> Self {
+        let n = part.len();
+        assert_eq!(plan.f1.len(), n, "one channel pair per cell");
+        let plans: Vec<FlightPlan> = part.plans.clone();
+        let believed: Vec<Point2> = plans.iter().map(|p| p.position_at(0.0)).collect();
+        // Hard cap: repartitions may lengthen the mission, but never
+        // past 3× the fault-free step count (a runaway guard, not a
+        // tuning knob).
+        let base_steps = (part.duration() / cfg.sample_interval_s).ceil() as usize + 1;
+        Self {
+            n,
+            step: 0,
+            steps: 0,
+            duration_s: 0.0,
+            step_cap: base_steps * 3,
+            done: false,
+            health: vec![RelayHealth::new(); n],
+            log: ResilienceLog::new(),
+            inventory: FleetInventory::new(n),
+            tracks: vec![Vec::new(); n],
+            f1: plan.f1.clone(),
+            shift: plan.shift.clone(),
+            base_gains: plan.gains,
+            plans,
+            cells: part.cells.clone(),
+            route_start: vec![0.0; n],
+            hold: vec![0.0; n],
+            believed,
+        }
+    }
 
-    // Mutable mission state the supervisor may rewrite mid-flight.
-    let mut f1 = plan.f1.clone();
-    let mut shift = plan.shift.clone();
-    let mut plans: Vec<FlightPlan> = part.plans.clone();
-    let mut cells: Vec<Cell> = part.cells.clone();
-    let mut route_start = vec![0.0f64; n];
-    let mut hold = vec![0.0f64; n];
-    let mut believed: Vec<Point2> = plans.iter().map(|p| p.position_at(0.0)).collect();
+    /// Whether the mission has ended (no further [`Self::advance`]).
+    pub fn finished(&self) -> bool {
+        self.done
+    }
 
-    // Hard cap: repartitions may lengthen the mission, but never past
-    // 3× the fault-free step count (a runaway guard, not a tuning knob).
-    let base_steps = (part.duration() / cfg.sample_interval_s).ceil() as usize + 1;
-    let step_cap = base_steps * 3;
+    /// The next step index to execute.
+    pub fn step(&self) -> usize {
+        self.step
+    }
 
-    let mut steps = 0usize;
-    let mut duration_s = 0.0f64;
-    for step in 0..step_cap {
+    /// The fault-and-recovery record so far.
+    pub fn log(&self) -> &ResilienceLog {
+        &self.log
+    }
+
+    /// The deduplicated inventory so far.
+    pub fn inventory(&self) -> &FleetInventory {
+        &self.inventory
+    }
+
+    /// Captures the supervisor-level checkpoint half. Pair it with
+    /// [`rfly_sim::world::PhasorWorld::snapshot`] taken at the same
+    /// step boundary.
+    pub fn snapshot(&self) -> MissionSnapshot {
+        MissionSnapshot {
+            step: self.step,
+            steps: self.steps,
+            duration_s: self.duration_s,
+            step_cap: self.step_cap,
+            done: self.done,
+            health: self.health.clone(),
+            log: self.log.clone(),
+            inventory: self.inventory.clone(),
+            tracks: self.tracks.clone(),
+            f1: self.f1.clone(),
+            shift: self.shift.clone(),
+            base_gains: self.base_gains,
+            plans: self.plans.clone(),
+            cells: self.cells.clone(),
+            route_start: self.route_start.clone(),
+            hold: self.hold.clone(),
+            believed: self.believed.clone(),
+        }
+    }
+
+    /// Rebuilds mission state from a checkpoint.
+    pub fn from_snapshot(snap: MissionSnapshot) -> Self {
+        Self {
+            n: snap.health.len(),
+            step: snap.step,
+            steps: snap.steps,
+            duration_s: snap.duration_s,
+            step_cap: snap.step_cap,
+            done: snap.done,
+            health: snap.health,
+            log: snap.log,
+            inventory: snap.inventory,
+            tracks: snap.tracks,
+            f1: snap.f1,
+            shift: snap.shift,
+            base_gains: snap.base_gains,
+            plans: snap.plans,
+            cells: snap.cells,
+            route_start: snap.route_start,
+            hold: snap.hold,
+            believed: snap.believed,
+        }
+    }
+
+    /// Executes one mission step: faults strike, the supervisor (if
+    /// any) reacts, every surviving relay flies an inventory stop, and
+    /// transient faults run down. Returns the step's journal record.
+    ///
+    /// Must not be called after [`Self::finished`] turns true.
+    pub fn advance(
+        &mut self,
+        world: &mut PhasorWorld,
+        env: &MissionEnv<'_>,
+        cfg: &MissionConfig,
+        schedule: &FaultSchedule,
+        sup: Option<&SupervisorConfig>,
+    ) -> StepRecord {
+        assert!(!self.done, "advance() on a finished mission");
+        let n = self.n;
+        let step = self.step;
         let t = step as f64 * cfg.sample_interval_s;
+        let faults_mark = self.log.faults.len();
+        let recoveries_mark = self.log.recoveries.len();
+        let mut reads_record: Vec<ReadRecord> = Vec::new();
 
         // 1. This step's faults strike.
         let mut newly_dead = Vec::new();
         for ev in schedule.at(step) {
-            if !health[ev.relay].alive {
+            if !self.health[ev.relay].alive {
                 continue;
             }
-            health[ev.relay].apply(ev);
-            log.record_fault(ev);
-            if !health[ev.relay].alive {
+            self.health[ev.relay].apply(ev);
+            self.log.record_fault(ev);
+            if !self.health[ev.relay].alive {
                 newly_dead.push(ev.relay);
             }
         }
@@ -323,21 +523,21 @@ fn run_faulted(
         // 2. Supervised: re-partition around any relay that went home.
         if sup.is_some() {
             for &dead in &newly_dead {
-                let alive: Vec<usize> = (0..n).filter(|&i| health[i].alive).collect();
+                let alive: Vec<usize> = (0..n).filter(|&i| self.health[i].alive).collect();
                 // rfly-lint: allow(no-unwrap) -- relays enter newly_dead only after a battery fault is recorded.
-                let trigger = health[dead].battery_fault.expect("sag was recorded");
+                let trigger = self.health[dead].battery_fault.expect("sag was recorded");
                 if alive.is_empty() {
                     break;
                 }
                 if let Ok(newp) = partition(env.scene, alive.len(), env.limits) {
-                    let orphaned = cells[dead];
+                    let orphaned = self.cells[dead];
                     for (k, &r) in alive.iter().enumerate() {
-                        plans[r] = newp.plans[k].clone();
-                        cells[r] = newp.cells[k];
-                        route_start[r] = t;
-                        hold[r] = 0.0;
+                        self.plans[r] = newp.plans[k].clone();
+                        self.cells[r] = newp.cells[k];
+                        self.route_start[r] = t;
+                        self.hold[r] = 0.0;
                     }
-                    log.record(
+                    self.log.record(
                         step,
                         RecoveryAction::Repartition {
                             dead_relay: dead,
@@ -348,9 +548,9 @@ fn run_faulted(
                     let to = alive
                         .iter()
                         .copied()
-                        .find(|&r| cells[r].contains(orphaned.center()))
+                        .find(|&r| self.cells[r].contains(orphaned.center()))
                         .unwrap_or(alive[0]);
-                    log.record(
+                    self.log.record(
                         step,
                         RecoveryAction::CellHandoff {
                             cell: dead,
@@ -363,49 +563,73 @@ fn run_faulted(
             }
         }
 
-        let alive: Vec<usize> = (0..n).filter(|&i| health[i].alive).collect();
+        let alive: Vec<usize> = (0..n).filter(|&i| self.health[i].alive).collect();
         if alive.is_empty() {
-            break;
+            self.done = true;
+            return StepRecord {
+                step,
+                faults: self.log.faults[faults_mark..].to_vec(),
+                recoveries: self.log.recoveries[recoveries_mark..].to_vec(),
+                margin: None,
+                reads: reads_record,
+                rng: world.rng_state(),
+                done: true,
+            };
         }
 
         // 3. Where every surviving drone actually is (wind included) —
         // and, supervised, hold any drone the tracker has lost.
         let mut positions: Vec<Point2> = Vec::with_capacity(alive.len());
         for &i in &alive {
-            if sup.is_some() && health[i].tracking_lost() {
-                hold[i] += cfg.sample_interval_s;
-                if let Some(trigger) = health[i].last_tracking_fault {
-                    log.record(step, RecoveryAction::RouteHold { relay: i }, trigger);
+            if sup.is_some() && self.health[i].tracking_lost() {
+                self.hold[i] += cfg.sample_interval_s;
+                if let Some(trigger) = self.health[i].last_tracking_fault {
+                    self.log
+                        .record(step, RecoveryAction::RouteHold { relay: i }, trigger);
                 }
             }
-            let t_eff = (t - route_start[i] - hold[i]).clamp(0.0, plans[i].duration());
-            let (gx, gy) = health[i].gust_offset();
-            let p = plans[i].position_at(t_eff);
+            let t_eff =
+                (t - self.route_start[i] - self.hold[i]).clamp(0.0, self.plans[i].duration());
+            let (gx, gy) = self.health[i].gust_offset();
+            let p = self.plans[i].position_at(t_eff);
             let pos = Point2::new(p.x + gx, p.y + gy);
             positions.push(pos);
-            if !(health[i].tracking_lost() && sup.is_none()) {
+            if !(self.health[i].tracking_lost() && sup.is_none()) {
                 // Unsupervised drones fly on through a dropout, so
                 // their recorded track goes stale.
-                believed[i] = pos;
+                self.believed[i] = pos;
             }
         }
 
-        // 4. Supervised: the mutual-loop margin monitor.
-        if let Some(sup_cfg) = sup {
-            margin_monitor(
-                sup_cfg,
-                env,
-                cfg,
-                step,
-                &alive,
-                &positions,
-                &mut f1,
-                &mut shift,
-                &mut health,
-                &mut log,
-                plan,
-            );
-        }
+        // 4. The mutual-loop margin monitor. The worst degraded margin
+        // is always computed (it is a journaled observable); only the
+        // supervised run acts on it.
+        let margin_record = {
+            let drift: Vec<f64> = self.health.iter().map(|h| h.gain_drift_db).collect();
+            let base_gains = self.base_gains;
+            let degraded = |i: usize| GainPlan {
+                downlink: base_gains.downlink + Db::new(drift[i]),
+                uplink: base_gains.uplink,
+            };
+            let worst = worst_alive_margin(&alive, &positions, &self.f1, &self.shift, &degraded);
+            if let Some(sup_cfg) = sup {
+                margin_monitor(
+                    sup_cfg,
+                    env,
+                    cfg,
+                    step,
+                    &alive,
+                    &positions,
+                    worst,
+                    base_gains,
+                    &mut self.f1,
+                    &mut self.shift,
+                    &mut self.health,
+                    &mut self.log,
+                );
+            }
+            worst.map(|(i, j, m)| (i, j, m.value()))
+        };
 
         // 5. Build the (degraded) fleet and inventory through each
         // surviving relay in turn.
@@ -413,9 +637,9 @@ fn run_faulted(
             .iter()
             .zip(&positions)
             .map(|(&i, &pos)| {
-                let base = RelayModel::from_budget(f1[i], shift[i], &env.budget);
+                let base = RelayModel::from_budget(self.f1[i], self.shift[i], &env.budget);
                 FleetRelay {
-                    model: health[i].degraded_model(&base),
+                    model: self.health[i].degraded_model(&base),
                     pos,
                 }
             })
@@ -429,19 +653,20 @@ fn run_faulted(
             // re-tune can fix a self-loop — the only cure is
             // re-programming the VGA chain back to its allocation.
             if sup.is_some()
-                && health[relay].gain_drift_db > 0.0
+                && self.health[relay].gain_drift_db > 0.0
                 && !FleetMedium::new(world, fleet.clone(), s_idx).stable()
             {
-                let base = RelayModel::from_budget(f1[relay], shift[relay], &env.budget);
+                let base = RelayModel::from_budget(self.f1[relay], self.shift[relay], &env.budget);
                 let mut pristine = fleet.clone();
                 pristine[s_idx].model = base;
                 if FleetMedium::new(world, pristine, s_idx).stable() {
-                    if let Some(trigger) = health[relay].last_gain_fault {
-                        let trimmed = health[relay].gain_drift_db;
-                        health[relay].gain_drift_db = 0.0;
-                        let base = RelayModel::from_budget(f1[relay], shift[relay], &env.budget);
-                        fleet[s_idx].model = health[relay].degraded_model(&base);
-                        log.record(
+                    if let Some(trigger) = self.health[relay].last_gain_fault {
+                        let trimmed = self.health[relay].gain_drift_db;
+                        self.health[relay].gain_drift_db = 0.0;
+                        let base =
+                            RelayModel::from_budget(self.f1[relay], self.shift[relay], &env.budget);
+                        fleet[s_idx].model = self.health[relay].degraded_model(&base);
+                        self.log.record(
                             step,
                             RecoveryAction::GainTrim {
                                 relay,
@@ -456,7 +681,7 @@ fn run_faulted(
                 world,
                 &fleet,
                 s_idx,
-                &health[relay],
+                &self.health[relay],
                 stop_seed,
                 cfg.max_rounds,
             );
@@ -464,17 +689,18 @@ fn run_faulted(
             if let Some(sup_cfg) = sup {
                 let mut attempt = 1;
                 while attempt <= sup_cfg.max_retries
-                    && health[relay].uplink_faulted()
+                    && self.health[relay].uplink_faulted()
                     && !reads.iter().any(|r| r.epc != PhasorWorld::embedded_epc())
                 {
-                    if let Some(trigger) = health[relay].last_uplink_fault {
-                        log.record(step, RecoveryAction::Retry { relay, attempt }, trigger);
+                    if let Some(trigger) = self.health[relay].last_uplink_fault {
+                        self.log
+                            .record(step, RecoveryAction::Retry { relay, attempt }, trigger);
                     }
                     reads = inventory_stop(
                         world,
                         &fleet,
                         s_idx,
-                        &health[relay],
+                        &self.health[relay],
                         stop_seed ^ ((attempt as u64) << 32),
                         cfg.max_rounds,
                     );
@@ -483,7 +709,7 @@ fn run_faulted(
             }
 
             let mut st = StepTrack {
-                pos: believed[relay],
+                pos: self.believed[relay],
                 embedded: Vec::new(),
                 tags: Vec::new(),
             };
@@ -491,53 +717,103 @@ fn run_faulted(
                 if read.epc == PhasorWorld::embedded_epc() {
                     st.embedded.push(read.channel);
                 } else {
-                    inventory.observe(read, relay, step);
+                    self.inventory.observe(read, relay, step);
+                    reads_record.push(ReadRecord {
+                        relay,
+                        epc: read.epc,
+                        channel: read.channel,
+                        snr: read.snr,
+                    });
                     if !st.tags.iter().any(|&(e, _)| e == read.epc) {
                         st.tags.push((read.epc, read.channel));
                     }
                 }
             }
             if !st.embedded.is_empty() {
-                tracks[relay].push(st);
+                self.tracks[relay].push(st);
             }
             world.power_cycle_tags();
         }
 
         // 6. Transient faults run down; mission-over check.
-        for h in health.iter_mut() {
+        for h in self.health.iter_mut() {
             h.tick();
         }
-        steps += 1;
-        duration_s = t;
+        self.steps += 1;
+        self.duration_s = t;
+        self.step += 1;
         let end_time = alive
             .iter()
-            .map(|&i| route_start[i] + hold[i] + plans[i].duration())
+            .map(|&i| self.route_start[i] + self.hold[i] + self.plans[i].duration())
             .fold(0.0f64, f64::max);
-        if t >= end_time {
-            break;
+        if t >= end_time || self.step >= self.step_cap {
+            self.done = true;
+        }
+
+        StepRecord {
+            step,
+            faults: self.log.faults[faults_mark..].to_vec(),
+            recoveries: self.log.recoveries[recoveries_mark..].to_vec(),
+            margin: margin_record,
+            reads: reads_record,
+            rng: world.rng_state(),
+            done: self.done,
         }
     }
 
-    // 7. End of mission: coherence-gated localization.
-    let coherence: Vec<f64> = tracks.iter().map(|trk| track_coherence(trk)).collect();
-    let localization = localize_all(
-        &tracks, &coherence, &f1, &shift, env, sup, &loc_cfg, &health, steps, &mut log,
-    );
-
-    ResilientOutcome {
-        inventory,
-        steps,
-        duration_s,
-        log,
-        lost_relays: (0..n).filter(|&i| !health[i].alive).collect(),
-        coherence,
-        localization,
+    /// Step 7 — end of mission: coherence-gated localization, then the
+    /// outcome.
+    pub fn into_outcome(
+        mut self,
+        env: &MissionEnv<'_>,
+        sup: Option<&SupervisorConfig>,
+    ) -> ResilientOutcome {
+        let loc_cfg = sup.copied().unwrap_or_default();
+        let coherence: Vec<f64> = self.tracks.iter().map(|trk| track_coherence(trk)).collect();
+        let localization = localize_all(
+            &self.tracks,
+            &coherence,
+            &self.f1,
+            &self.shift,
+            env,
+            sup,
+            &loc_cfg,
+            &self.health,
+            self.steps,
+            &mut self.log,
+        );
+        ResilientOutcome {
+            inventory: self.inventory,
+            steps: self.steps,
+            duration_s: self.duration_s,
+            log: self.log,
+            lost_relays: (0..self.n).filter(|&i| !self.health[i].alive).collect(),
+            coherence,
+            localization,
+        }
     }
 }
 
-/// Step 4: recompute the worst alive mutual-loop margin with degraded
-/// gains; on a fault-attributable violation, try Δf re-assignment,
-/// then fall back to re-programming the drifted VGA chain.
+fn run_faulted(
+    world: &mut PhasorWorld,
+    plan: &ChannelPlan,
+    part: &Partition,
+    env: &MissionEnv<'_>,
+    cfg: &MissionConfig,
+    schedule: &FaultSchedule,
+    sup: Option<&SupervisorConfig>,
+) -> ResilientOutcome {
+    let mut state = MissionState::new(plan, part, cfg);
+    while !state.finished() {
+        let _ = state.advance(world, env, cfg, schedule, sup);
+    }
+    state.into_outcome(env, sup)
+}
+
+/// Step 4: act on the worst alive mutual-loop margin (precomputed by
+/// [`MissionState::advance`] with degraded gains): on a
+/// fault-attributable violation, try Δf re-assignment, then fall back
+/// to re-programming the drifted VGA chain.
 #[allow(clippy::too_many_arguments)]
 fn margin_monitor(
     sup_cfg: &SupervisorConfig,
@@ -546,18 +822,19 @@ fn margin_monitor(
     step: usize,
     alive: &[usize],
     positions: &[Point2],
+    worst: Option<(usize, usize, Db)>,
+    base_gains: GainPlan,
     f1: &mut [Hertz],
     shift: &mut [Hertz],
     health: &mut [RelayHealth],
     log: &mut ResilienceLog,
-    plan: &ChannelPlan,
 ) {
     let drift: Vec<f64> = health.iter().map(|h| h.gain_drift_db).collect();
     let degraded = |i: usize| GainPlan {
-        downlink: plan.gains.downlink + Db::new(drift[i]),
-        uplink: plan.gains.uplink,
+        downlink: base_gains.downlink + Db::new(drift[i]),
+        uplink: base_gains.uplink,
     };
-    let Some((wi, wj, m)) = worst_alive_margin(alive, positions, f1, shift, &degraded) else {
+    let Some((wi, wj, m)) = worst else {
         return;
     };
     if m.value() >= env.margin.value() {
@@ -567,7 +844,7 @@ fn margin_monitor(
     // clear the gate, otherwise this is a planning problem (relays
     // passing close), not a fault.
     let pristine =
-        worst_alive_margin(alive, positions, f1, shift, &|_| plan.gains).expect("pair exists"); // rfly-lint: allow(no-unwrap) -- the caller found a worst pair, so the same pair set is non-empty here.
+        worst_alive_margin(alive, positions, f1, shift, &|_| base_gains).expect("pair exists"); // rfly-lint: allow(no-unwrap) -- the caller found a worst pair, so the same pair set is non-empty here.
     if pristine.2.value() < env.margin.value() {
         return;
     }
@@ -741,6 +1018,7 @@ fn localize_all(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::FaultKind;
     use rfly_dsp::rng::Rng;
     use rfly_tag::population::TagPopulation;
 
@@ -814,6 +1092,168 @@ mod tests {
             "intact oscillators stay coherent: {:?}",
             out.coherence
         );
+        assert!(out.log.is_consistent());
+    }
+
+    /// Drives a mission through the public stepper, collecting every
+    /// step record — the journal-side view of the mission.
+    fn drive(
+        world: &mut PhasorWorld,
+        plan: &ChannelPlan,
+        part: &Partition,
+        env: &MissionEnv<'_>,
+        cfg: &MissionConfig,
+        schedule: &FaultSchedule,
+        sup: Option<&SupervisorConfig>,
+    ) -> (Vec<StepRecord>, ResilientOutcome) {
+        let mut state = MissionState::new(plan, part, cfg);
+        let mut records = Vec::new();
+        while !state.finished() {
+            records.push(state.advance(world, env, cfg, schedule, sup));
+        }
+        (records, state.into_outcome(env, sup))
+    }
+
+    /// The nondeterminism audit's pin: the supervised mission is a pure
+    /// function of (seed, schedule) — no wall clocks, no iteration-order
+    /// dependence, no RNG reuse. Two identically-constructed runs must
+    /// agree on every journaled field, bit for bit.
+    #[test]
+    fn same_seed_twice_is_bit_identical() {
+        let run = || {
+            let (scene, plan, part, mut world, cfg) = small_mission(2, 11);
+            let env = MissionEnv {
+                scene: &scene,
+                budget: paper_budget(),
+                margin: Db::new(10.0),
+                limits: MotionLimits::indoor_drone(),
+            };
+            let storm = FaultSchedule::storm(11, 2, 12);
+            let sup = SupervisorConfig::default();
+            drive(&mut world, &plan, &part, &env, &cfg, &storm, Some(&sup))
+        };
+        let (rec_a, out_a) = run();
+        let (rec_b, out_b) = run();
+        assert_eq!(rec_a, rec_b, "step records diverged between runs");
+        assert_eq!(out_a.log, out_b.log);
+        assert_eq!(out_a.inventory, out_b.inventory);
+        assert_eq!(out_a.steps, out_b.steps);
+        assert_eq!(
+            out_a.duration_s.to_bits(),
+            out_b.duration_s.to_bits(),
+            "duration must be bit-identical"
+        );
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out_a.coherence), bits(&out_b.coherence));
+        assert_eq!(out_a.localization, out_b.localization);
+    }
+
+    /// Checkpoint/resume at every step boundary k: snapshotting, then
+    /// resuming into a *freshly constructed* world, must reproduce the
+    /// uninterrupted run's remaining step records bit-identically.
+    #[test]
+    fn snapshot_resume_mid_mission_is_bit_identical() {
+        let seed = 13;
+        let build = || {
+            let (scene, plan, part, world, cfg) = small_mission(2, seed);
+            (scene, plan, part, world, cfg)
+        };
+        let (scene, plan, part, mut world, cfg) = build();
+        let env = MissionEnv {
+            scene: &scene,
+            budget: paper_budget(),
+            margin: Db::new(10.0),
+            limits: MotionLimits::indoor_drone(),
+        };
+        let storm = FaultSchedule::storm(seed, 2, 12);
+        let sup = SupervisorConfig::default();
+
+        // The uninterrupted run, with a checkpoint captured at k = 2.
+        let kill_at = 2usize;
+        let mut state = MissionState::new(&plan, &part, &cfg);
+        let mut full_records = Vec::new();
+        let mut checkpoint = None;
+        while !state.finished() {
+            if state.step() == kill_at {
+                checkpoint = Some((state.snapshot(), world.snapshot()));
+            }
+            full_records.push(state.advance(&mut world, &env, &cfg, &storm, Some(&sup)));
+        }
+        let (mission_snap, world_snap) = checkpoint.expect("mission ran past the checkpoint step");
+
+        // The crash: a brand-new world, restored from the checkpoint.
+        let (_, _, _, mut world2, _) = build();
+        world2.restore(&world_snap).expect("same construction");
+        let mut resumed = MissionState::from_snapshot(mission_snap);
+        let mut tail_records = Vec::new();
+        while !resumed.finished() {
+            tail_records.push(resumed.advance(&mut world2, &env, &cfg, &storm, Some(&sup)));
+        }
+        assert_eq!(
+            tail_records,
+            full_records[kill_at..].to_vec(),
+            "resumed remainder diverged from the uninterrupted run"
+        );
+    }
+
+    /// The give-up path: an uplink fault that outlasts every retry. The
+    /// supervisor must record exactly `max_retries` attempts per starved
+    /// stop, then move on — and the jammed relay contributes nothing
+    /// while the fault is active.
+    #[test]
+    fn retries_exhaust_against_a_total_uplink_outage() {
+        let (scene, plan, part, mut world, cfg) = small_mission(2, 21);
+        let env = MissionEnv {
+            scene: &scene,
+            budget: paper_budget(),
+            margin: Db::new(10.0),
+            limits: MotionLimits::indoor_drone(),
+        };
+        // A certain-drop fault on relay 0 covering the whole mission:
+        // no retry can ever succeed.
+        let jam = FaultSchedule::from_events(vec![FaultEvent {
+            id: 0,
+            step: 0,
+            relay: 0,
+            kind: FaultKind::Gen2Drop {
+                p_drop: 1.0,
+                steps: 1000,
+            },
+        }]);
+        let sup = SupervisorConfig {
+            max_retries: 2,
+            ..SupervisorConfig::default()
+        };
+        let (records, out) = drive(&mut world, &plan, &part, &env, &cfg, &jam, Some(&sup));
+
+        assert_eq!(
+            out.inventory.per_relay_reads[0], 0,
+            "a 100%-drop uplink must yield zero reads through relay 0"
+        );
+        assert!(
+            out.inventory.per_relay_reads[1] > 0,
+            "the healthy relay still covers its cell"
+        );
+        // Every step starves relay 0, so every step exhausts the retry
+        // budget: exactly max_retries logged attempts per step, ending
+        // at attempt == max_retries (the give-up).
+        assert_eq!(out.log.count("retry"), sup.max_retries * out.steps);
+        for rec in &records {
+            let attempts: Vec<usize> = rec
+                .recoveries
+                .iter()
+                .filter_map(|r| match r.action {
+                    RecoveryAction::Retry { relay: 0, attempt } => Some(attempt),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(attempts, vec![1, 2], "step {}: bounded backoff", rec.step);
+            assert!(
+                rec.reads.iter().all(|r| r.relay != 0),
+                "step {}: no reads through the jammed relay",
+                rec.step
+            );
+        }
         assert!(out.log.is_consistent());
     }
 

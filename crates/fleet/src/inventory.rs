@@ -33,7 +33,7 @@ pub struct Sighting {
 }
 
 /// One tag's global inventory record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagRecord {
     /// The tag's EPC.
     pub epc: Epc,
@@ -51,7 +51,7 @@ pub struct TagRecord {
 }
 
 /// The deduplicated fleet-wide inventory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetInventory {
     records: BTreeMap<Epc, TagRecord>,
     /// Successful reads credited to each relay.
@@ -89,6 +89,16 @@ impl FleetInventory {
                 handoffs: 0,
                 best_snr: read.snr,
             });
+    }
+
+    /// Rebuilds an inventory from its parts — the mission-checkpoint
+    /// seam: [`Self::records`] + `per_relay_reads` fully determine an
+    /// inventory, so a parsed checkpoint reconstructs it exactly.
+    pub fn from_parts(records: Vec<TagRecord>, per_relay_reads: Vec<usize>) -> Self {
+        Self {
+            records: records.into_iter().map(|r| (r.epc, r)).collect(),
+            per_relay_reads,
+        }
     }
 
     /// Number of distinct EPCs inventoried.

@@ -114,6 +114,31 @@ impl TagFlags {
     pub fn power_cycle(&mut self) {
         self.inventoried[0] = InventoriedFlag::A;
     }
+
+    /// Packs the flag set into 5 bits (S0..S3 inventoried, then SL) —
+    /// the persistent tag state a mission checkpoint must carry.
+    pub fn snapshot(&self) -> u8 {
+        let mut bits = 0u8;
+        for (k, f) in self.inventoried.iter().enumerate() {
+            if f.bit() {
+                bits |= 1 << k;
+            }
+        }
+        if self.selected {
+            bits |= 1 << 4;
+        }
+        bits
+    }
+
+    /// Rebuilds a flag set from [`Self::snapshot`] bits.
+    pub fn from_snapshot(bits: u8) -> Self {
+        let mut flags = Self::new();
+        for (k, f) in flags.inventoried.iter_mut().enumerate() {
+            *f = InventoriedFlag::from_bit(bits & (1 << k) != 0);
+        }
+        flags.selected = bits & (1 << 4) != 0;
+        flags
+    }
 }
 
 /// The Sel field of a Query: which tags (by SL flag) participate.
@@ -224,5 +249,21 @@ mod tests {
         let mut f = TagFlags::new();
         f.set_inventoried(Session::S3, InventoriedFlag::B);
         assert_eq!(f.inventoried(Session::S3), InventoriedFlag::B);
+    }
+
+    #[test]
+    fn flag_snapshot_round_trips_every_combination() {
+        for bits in 0u8..32 {
+            let f = TagFlags::from_snapshot(bits);
+            assert_eq!(f.snapshot(), bits);
+        }
+        let mut f = TagFlags::new();
+        f.set_inventoried(Session::S1, InventoriedFlag::B);
+        f.selected = true;
+        let g = TagFlags::from_snapshot(f.snapshot());
+        for s in Session::ALL {
+            assert_eq!(g.inventoried(s), f.inventoried(s));
+        }
+        assert_eq!(g.selected, f.selected);
     }
 }

@@ -150,6 +150,26 @@ impl TagMachine {
         self.slot
     }
 
+    /// The machine's RNG stream state — the only tag-side state that
+    /// survives a power cycle besides the persistent session flags, so
+    /// a step-boundary mission checkpoint captures exactly this plus
+    /// [`TagFlags::snapshot`].
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the RNG stream captured by [`Self::rng_state`]; the
+    /// machine's subsequent slot and RN16 draws continue that stream
+    /// bit-identically.
+    pub fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
+    /// Overwrites the persistent flag set (checkpoint restore).
+    pub fn restore_flags(&mut self, flags: TagFlags) {
+        self.flags = flags;
+    }
+
     /// Models loss of power: back to Ready, session-0 flag decays.
     pub fn power_cycle(&mut self) {
         if self.state != TagState::Killed {

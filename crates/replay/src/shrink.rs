@@ -1,0 +1,226 @@
+//! The delta-debugging fault-schedule shrinker.
+//!
+//! Given a schedule that makes the invariant harness flag a violation,
+//! [`shrink`] minimizes it while the harness *still flags the same
+//! invariant*:
+//!
+//! 1. **Event removal to fixed point** — greedily drop one event at a
+//!    time, keeping a removal exactly when the reduced schedule still
+//!    violates; repeat full passes until none succeeds.
+//! 2. **Per-event weakening** — walk each survivor down its
+//!    [`rfly_faults::FaultKind::weakened`] ladder (halved severities
+//!    and durations, floored) as far as the violation survives.
+//! 3. **One more removal pass** — weakening can make an event
+//!    redundant.
+//!
+//! Every probe is one deterministic supervised mission, so the whole
+//! shrink is deterministic: the same input schedule always reduces to
+//! the same minimal repro. Event ids are preserved, so a minimized
+//! event is traceable back to the original storm.
+
+use rfly_faults::schedule::FaultEvent;
+use rfly_faults::FaultSchedule;
+
+use crate::invariant::{InvariantHarness, Violation};
+use crate::runner::Scenario;
+
+/// The outcome of a shrink session.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized schedule (still violating).
+    pub schedule: FaultSchedule,
+    /// The violation the minimized schedule still triggers.
+    pub violation: Violation,
+    /// Harness probes spent (mission re-runs).
+    pub probes: usize,
+}
+
+/// Minimizes `schedule` while `harness` still flags the same invariant.
+///
+/// Errors if the input schedule does not violate anything to begin
+/// with, or if a probe mission fails to build.
+pub fn shrink(
+    harness: &InvariantHarness,
+    schedule: &FaultSchedule,
+) -> Result<ShrinkResult, String> {
+    let mut probes = 0usize;
+    let initial = {
+        probes += 1;
+        harness
+            .check(schedule)?
+            .ok_or_else(|| "the input schedule does not violate any invariant".to_string())?
+    };
+    let mut prober = Prober {
+        harness,
+        target: initial.invariant,
+        probes,
+    };
+    let mut events = schedule.events().to_vec();
+    let mut violation = initial;
+
+    prober.removal_pass(&mut events, &mut violation)?;
+
+    // Weakening: walk each event down its ladder while the violation
+    // survives.
+    for i in 0..events.len() {
+        while let Some(weaker) = events[i].kind.weakened() {
+            let mut candidate = events.clone();
+            candidate[i].kind = weaker;
+            if let Some(v) = prober.still(&candidate)? {
+                events = candidate;
+                violation = v;
+            } else {
+                break;
+            }
+        }
+    }
+
+    prober.removal_pass(&mut events, &mut violation)?;
+
+    Ok(ShrinkResult {
+        schedule: FaultSchedule::from_events(events),
+        violation,
+        probes: prober.probes,
+    })
+}
+
+/// The shrink session's probe oracle: counts missions flown and accepts
+/// only violations of the *original* invariant (a reduction that trades
+/// one violation for a different one is rejected — the repro must
+/// reproduce the failure being triaged).
+struct Prober<'a> {
+    harness: &'a InvariantHarness,
+    target: &'static str,
+    probes: usize,
+}
+
+impl Prober<'_> {
+    /// Does `events` still violate the target invariant?
+    fn still(&mut self, events: &[FaultEvent]) -> Result<Option<Violation>, String> {
+        self.probes += 1;
+        let v = self
+            .harness
+            .check(&FaultSchedule::from_events(events.to_vec()))?;
+        Ok(v.filter(|v| v.invariant == self.target))
+    }
+
+    /// Greedy single-event removal, repeated to fixed point.
+    fn removal_pass(
+        &mut self,
+        events: &mut Vec<FaultEvent>,
+        violation: &mut Violation,
+    ) -> Result<(), String> {
+        loop {
+            let mut removed_any = false;
+            let mut i = 0;
+            while i < events.len() {
+                let mut candidate = events.clone();
+                candidate.remove(i);
+                if let Some(v) = self.still(&candidate)? {
+                    *events = candidate;
+                    *violation = v;
+                    removed_any = true;
+                    // Do not advance: the event now at `i` is untried.
+                } else {
+                    i += 1;
+                }
+            }
+            if !removed_any {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The minimal-repro file format: the scenario line, the violated
+/// invariant, and the minimized schedule — everything a later session
+/// needs to reproduce the violation with one [`crate::runner::run_full`]
+/// call.
+pub fn repro_to_text(scenario: &Scenario, result: &ShrinkResult) -> String {
+    let mut s = String::from("rfly-repro v1\n");
+    s.push_str(&scenario.to_line());
+    s.push('\n');
+    s.push_str(&format!(
+        "invariant {} {}\n",
+        result.violation.invariant, result.violation.detail
+    ));
+    s.push_str(&result.schedule.to_text());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::Invariant;
+    use rfly_faults::schedule::{FaultEvent, FaultKind};
+
+    /// A hand-built storm whose only load-bearing event is one gain
+    /// drift: unsupervised, a 38 dB drift collapses the mutual-loop
+    /// margin below a 90 dB floor for the rest of the mission, while
+    /// the phase-glitch decoys never touch the margin. Removal must
+    /// strip the decoys, and weakening must walk the drift down the
+    /// halving ladder to the smallest value still under the floor.
+    #[test]
+    fn shrinker_reduces_a_padded_schedule_to_its_core() {
+        let scn = Scenario {
+            supervised: false,
+            ..Scenario::small(3)
+        };
+        let harness =
+            InvariantHarness::new(scn.clone(), vec![Invariant::MarginGate { floor_db: 90.0 }])
+                .expect("baseline");
+
+        let mut events = vec![FaultEvent {
+            id: 0,
+            step: 1,
+            relay: 0,
+            kind: FaultKind::GainDrift { db: 38.0 },
+        }];
+        // Decoys: oscillator transients that never move the margin.
+        for id in 1..8 {
+            events.push(FaultEvent {
+                id,
+                step: id % 3,
+                relay: 1,
+                kind: FaultKind::PhaseGlitch { rad: 0.5 },
+            });
+        }
+        let storm = FaultSchedule::from_events(events);
+        assert!(
+            harness.check(&storm).expect("runs").is_some(),
+            "a 38 dB unsupervised drift must break the 90 dB margin floor"
+        );
+
+        let a = shrink(&harness, &storm).expect("shrinks");
+        assert_eq!(a.violation.invariant, "margin-gate");
+        assert_eq!(
+            a.schedule.events().len(),
+            1,
+            "only the gain drift is load-bearing: {:?}",
+            a.schedule.events()
+        );
+        let FaultKind::GainDrift { db } = a.schedule.events()[0].kind else {
+            panic!("unexpected minimized kind {:?}", a.schedule.events()[0]);
+        };
+        assert!(
+            db < 38.0,
+            "weakening must have walked the drift down, got {db}"
+        );
+        assert_eq!(a.schedule.events()[0].id, 0, "original id preserved");
+
+        // Determinism: same input, same minimal repro, same probe count.
+        let b = shrink(&harness, &storm).expect("shrinks");
+        assert_eq!(a.schedule.to_text(), b.schedule.to_text());
+        assert_eq!(a.probes, b.probes);
+    }
+
+    #[test]
+    fn non_violating_schedule_is_an_error() {
+        let harness = InvariantHarness::new(
+            Scenario::small(3),
+            vec![Invariant::CoverageRetention { min_ratio: 0.1 }],
+        )
+        .expect("baseline");
+        assert!(shrink(&harness, &FaultSchedule::none()).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! The crash-consistency property: a mission killed at any step
+//! boundary, checkpointed *through the serialized text form*, and
+//! resumed in a fresh process-equivalent (new world, state rebuilt only
+//! from the parsed checkpoint) produces a journal byte-identical to the
+//! uninterrupted run's.
+//!
+//! Kill steps are drawn deterministically from each seed (no ambient
+//! randomness — this test must itself be replayable).
+
+use rfly_faults::FaultSchedule;
+use rfly_replay::checkpoint::Checkpoint;
+use rfly_replay::divergence::first_divergence;
+use rfly_replay::journal::Journal;
+use rfly_replay::runner::{resume, run_full, run_killed, Scenario};
+
+/// Deterministic pseudo-random kill steps for a seed: a splitmix64
+/// walk, mapped into the mission's step range.
+fn kill_steps(seed: u64, total_steps: usize, n: usize) -> Vec<usize> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            // 1..=total_steps: step 0 is covered explicitly below, and
+            // total_steps kills at the finish line (resume is a no-op
+            // tail).
+            1 + (z as usize) % total_steps
+        })
+        .collect()
+}
+
+#[test]
+fn killed_and_resumed_journal_is_byte_identical() {
+    for seed in [13u64, 29, 47] {
+        let scn = Scenario::small(seed);
+        let storm = FaultSchedule::storm(seed, 2, 12);
+        let full = run_full(&scn, &storm).expect("uninterrupted run");
+        let full_text = full.journal.to_text();
+        let total = full.journal.steps.len();
+        assert!(total >= 3, "seed {seed}: mission too short to kill");
+
+        let mut kills = kill_steps(seed, total, 3);
+        kills.push(0); // killed before the first step ever ran
+        for kill in kills {
+            let (partial, cp) = run_killed(&scn, &storm, kill).expect("killed run");
+            assert_eq!(
+                partial.steps.len(),
+                kill.min(total),
+                "seed {seed}: kill at {kill} journals exactly the completed steps"
+            );
+
+            // The checkpoint crosses the crash as text.
+            let cp_text = cp.to_text();
+            let cp_parsed = Checkpoint::from_text(&cp_text).expect("checkpoint parses");
+            assert_eq!(
+                cp_parsed.to_text(),
+                cp_text,
+                "seed {seed}: checkpoint text is re-serialization-stable"
+            );
+
+            // So does the partial journal.
+            let partial_parsed =
+                Journal::from_text(&partial.to_text()).expect("partial journal parses");
+
+            let resumed = resume(&scn, &storm, &cp_parsed, partial_parsed).expect("resumed run");
+            assert_eq!(
+                first_divergence(&full.journal, &resumed.journal),
+                None,
+                "seed {seed}, kill {kill}: resumed journal diverged"
+            );
+            assert_eq!(
+                resumed.journal.to_text(),
+                full_text,
+                "seed {seed}, kill {kill}: resumed journal is not byte-identical"
+            );
+            assert_eq!(
+                resumed.outcome.inventory, full.outcome.inventory,
+                "seed {seed}, kill {kill}: inventories diverged"
+            );
+            assert_eq!(
+                resumed.outcome.log, full.outcome.log,
+                "seed {seed}, kill {kill}: resilience logs diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_past_the_finish_line_is_a_completed_run() {
+    let scn = Scenario::small(13);
+    let storm = FaultSchedule::storm(13, 2, 12);
+    let full = run_full(&scn, &storm).expect("uninterrupted run");
+    let (partial, cp) = run_killed(&scn, &storm, usize::MAX).expect("killed run");
+    assert_eq!(partial.steps.len(), full.journal.steps.len());
+    assert!(cp.mission.done, "mission finished before the kill step");
+    let resumed = resume(&scn, &storm, &cp, partial).expect("resume is a no-op tail");
+    assert_eq!(resumed.journal.to_text(), full.journal.to_text());
+}

@@ -1,0 +1,68 @@
+//! The golden shrink: a seeded 12-event random storm that breaks the
+//! supervised mission's 80% coverage-retention bar must minimize to the
+//! committed repro fixture, byte for byte.
+//!
+//! If an intentional behavior change moves this fixture, re-generate it
+//! by printing `repro_to_text(...)` from this test and committing the
+//! new text — but treat any unexplained drift as a determinism
+//! regression.
+
+use rfly_faults::FaultSchedule;
+use rfly_replay::invariant::{Invariant, InvariantHarness, Violation};
+use rfly_replay::runner::{run_full, Scenario};
+use rfly_replay::shrink::{repro_to_text, shrink};
+
+const GOLDEN: &str = include_str!("fixtures/golden-repro.txt");
+
+fn catalog() -> Vec<Invariant> {
+    vec![
+        Invariant::CoverageRetention { min_ratio: 0.8 },
+        Invariant::MarginGate { floor_db: 6.0 },
+    ]
+}
+
+#[test]
+fn golden_storm_shrinks_to_the_committed_repro() {
+    let scn = Scenario::small(3);
+    let harness = InvariantHarness::new(scn.clone(), catalog()).expect("baseline");
+    let storm = FaultSchedule::random(7, 2, 12, 12);
+    assert_eq!(storm.events().len(), 12);
+    assert!(
+        harness.check(&storm).expect("runs").is_some(),
+        "the golden storm must violate an invariant"
+    );
+
+    let result = shrink(&harness, &storm).expect("shrinks");
+    assert!(
+        result.schedule.events().len() <= 3,
+        "12 events must minimize to at most 3, got {}",
+        result.schedule.events().len()
+    );
+    assert_eq!(result.violation.invariant, "coverage-retention");
+    assert_eq!(
+        repro_to_text(&scn, &result),
+        GOLDEN,
+        "the minimal repro drifted from the committed fixture"
+    );
+}
+
+#[test]
+fn committed_repro_still_reproduces_its_violation() {
+    // The fixture is not just a regression anchor — it must actually
+    // reproduce: parse its scenario and schedule, fly the mission, and
+    // re-derive the recorded violation.
+    let mut lines = GOLDEN.lines();
+    assert_eq!(lines.next(), Some("rfly-repro v1"));
+    let scn = Scenario::from_line(lines.next().expect("scenario line"), 2).expect("parses");
+    let inv_line = lines.next().expect("invariant line");
+    let recorded_name = inv_line.split_whitespace().nth(1).expect("invariant name");
+    let schedule_text: String = lines.map(|l| format!("{l}\n")).collect();
+    let schedule = FaultSchedule::from_text(&schedule_text).expect("schedule parses");
+
+    let harness = InvariantHarness::new(scn.clone(), catalog()).expect("baseline");
+    let run = run_full(&scn, &schedule).expect("repro mission runs");
+    let Violation { invariant, .. } = harness
+        .evaluate(&run)
+        .expect("the committed repro must still violate");
+    assert_eq!(invariant, recorded_name);
+}

@@ -184,6 +184,63 @@ impl PhasorWorld {
         h + noise_sample(&mut self.rng, noise_power)
     }
 
+    /// Captures the world's cross-step mutable state at a step
+    /// boundary: the observation-noise RNG plus every tag machine's RNG
+    /// stream and persistent Gen2 flags (the embedded RFID included).
+    ///
+    /// Tag *protocol* state is canonical at a step boundary — every
+    /// inventory stop ends in [`Self::power_cycle_tags`], which resets
+    /// harvesters and machines — so a snapshot taken there, restored
+    /// into an identically-constructed world, continues the simulation
+    /// bit-identically (the `rfly-replay` crash-consistency property).
+    pub fn snapshot(&self) -> WorldSnapshot {
+        WorldSnapshot {
+            rng: self.rng_state(),
+            embedded_rng: self.embedded.rng_state(),
+            embedded_flags: self.embedded.flags_snapshot(),
+            tags: self
+                .tags
+                .tags()
+                .iter()
+                .map(|t| TagSnapshot {
+                    epc: t.epc(),
+                    rng: t.rng_state(),
+                    flags: t.flags_snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The observation-noise RNG stream state — the cheapest possible
+    /// divergence probe: any extra or missing draw anywhere in a step
+    /// shows up here.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a [`Self::snapshot`] into this world. The world must
+    /// have been constructed identically to the snapshotted one (same
+    /// scene, tags, and seed); tag identity is checked by EPC.
+    pub fn restore(&mut self, snap: &WorldSnapshot) -> Result<(), WorldRestoreError> {
+        if snap.tags.len() != self.tags.len() {
+            return Err(WorldRestoreError::TagCountMismatch {
+                world: self.tags.len(),
+                snapshot: snap.tags.len(),
+            });
+        }
+        for (tag, ts) in self.tags.tags_mut().iter_mut().zip(&snap.tags) {
+            if tag.epc() != ts.epc {
+                return Err(WorldRestoreError::EpcMismatch { snapshot: ts.epc });
+            }
+            tag.restore_rng_state(ts.rng);
+            tag.restore_flags_snapshot(ts.flags);
+        }
+        self.embedded.restore_rng_state(snap.embedded_rng);
+        self.embedded.restore_flags_snapshot(snap.embedded_flags);
+        self.rng = StdRng::from_state(snap.rng);
+        Ok(())
+    }
+
     /// A medium with the relay hovering at `relay_pos`.
     pub fn relayed_medium(&mut self, relay_pos: Point2) -> RelayedMedium<'_> {
         let h1 = self.one_way(self.reader_pos, relay_pos, self.relay.f1);
@@ -199,6 +256,63 @@ impl PhasorWorld {
         DirectMedium { world: self }
     }
 }
+
+/// One tag's cross-step mutable state (see [`PhasorWorld::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSnapshot {
+    /// The tag's EPC (identity check on restore).
+    pub epc: Epc,
+    /// The tag machine's RNG stream state.
+    pub rng: [u64; 4],
+    /// The persistent Gen2 flags, packed per `TagFlags::snapshot`.
+    pub flags: u8,
+}
+
+/// The world's cross-step mutable state at a step boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldSnapshot {
+    /// The observation-noise RNG state.
+    pub rng: [u64; 4],
+    /// The embedded RFID machine's RNG stream state.
+    pub embedded_rng: [u64; 4],
+    /// The embedded RFID's persistent flags, packed.
+    pub embedded_flags: u8,
+    /// Per-environment-tag state, in population order.
+    pub tags: Vec<TagSnapshot>,
+}
+
+/// Why a [`PhasorWorld::restore`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldRestoreError {
+    /// The snapshot's tag count differs from the world's.
+    TagCountMismatch {
+        /// Tags in the world being restored into.
+        world: usize,
+        /// Tags recorded in the snapshot.
+        snapshot: usize,
+    },
+    /// A snapshot entry's EPC does not match the world's tag at the
+    /// same population index.
+    EpcMismatch {
+        /// The snapshot entry's EPC.
+        snapshot: Epc,
+    },
+}
+
+impl std::fmt::Display for WorldRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldRestoreError::TagCountMismatch { world, snapshot } => {
+                write!(f, "snapshot has {snapshot} tags, world has {world}")
+            }
+            WorldRestoreError::EpcMismatch { snapshot } => {
+                write!(f, "snapshot tag {snapshot:?} not at its world index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorldRestoreError {}
 
 /// Reader ↔ relay ↔ tags.
 #[derive(Debug)]
@@ -496,6 +610,45 @@ mod tests {
             .map(|w| rfly_dsp::complex::phase_distance(w[0], w[1]))
             .fold(0.0f64, f64::max);
         assert!(max_d > 0.5, "no-mirror phases aligned: {max_d}");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Drive a world for a few stops, snapshot, then compare the
+        // continued run against a fresh world fast-forwarded by restore.
+        let mut w = world_with_tag(Point2::new(30.0, 0.0), Point2::ORIGIN, 21);
+        for k in 0..3 {
+            let _ = inventory(&mut w.relayed_medium(Point2::new(29.0, 0.0)), 50 + k);
+            w.power_cycle_tags();
+        }
+        let snap = w.snapshot();
+        let tail = inventory(&mut w.relayed_medium(Point2::new(29.0, 0.0)), 99);
+
+        let mut w2 = world_with_tag(Point2::new(30.0, 0.0), Point2::ORIGIN, 21);
+        w2.restore(&snap).expect("identical construction");
+        let tail2 = inventory(&mut w2.relayed_medium(Point2::new(29.0, 0.0)), 99);
+
+        assert_eq!(tail.len(), tail2.len());
+        for (a, b) in tail.iter().zip(&tail2) {
+            assert_eq!(a.epc, b.epc);
+            assert_eq!(a.channel, b.channel, "channel phasors must match in bits");
+            assert_eq!(a.snr.value().to_bits(), b.snr.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_world() {
+        let w = world_with_tag(Point2::new(30.0, 0.0), Point2::ORIGIN, 22);
+        let snap = w.snapshot();
+        let mut other = world_with_tag(Point2::new(30.0, 0.0), Point2::ORIGIN, 22);
+        other.tags.add(
+            PassiveTag::new(Epc::from_index(2), 9, Point2::new(5.0, 0.0)),
+            "extra".into(),
+        );
+        assert!(matches!(
+            other.restore(&snap),
+            Err(WorldRestoreError::TagCountMismatch { .. })
+        ));
     }
 
     #[test]

@@ -66,6 +66,27 @@ impl PassiveTag {
         self.machine.state()
     }
 
+    /// The protocol machine's RNG stream state (mission checkpoints).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.machine.rng_state()
+    }
+
+    /// Restores the RNG stream captured by [`Self::rng_state`].
+    pub fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.machine.restore_rng_state(state);
+    }
+
+    /// The persistent Gen2 flag set, packed (mission checkpoints).
+    pub fn flags_snapshot(&self) -> u8 {
+        self.machine.flags().snapshot()
+    }
+
+    /// Restores the flag set captured by [`Self::flags_snapshot`].
+    pub fn restore_flags_snapshot(&mut self, bits: u8) {
+        self.machine
+            .restore_flags(rfly_protocol::session::TagFlags::from_snapshot(bits));
+    }
+
     /// The backscatter modulator in use.
     pub fn modulator(&self) -> &BackscatterModulator {
         &self.modulator

@@ -36,4 +36,12 @@ done
 echo "== fault injector overhead (<5% on the clean hot path) =="
 cargo run --release --offline -p rfly-bench --bin ext_fault_overhead | tail -2
 
+echo "== soak-and-shrink smoke (3 seeds, bounded steps) =="
+# Three seeded random storms through the journaled supervised mission:
+# every journal must round-trip byte-for-byte and replay with zero
+# divergence; any invariant violation is auto-shrunk to a minimal repro
+# under results/repros/. Exits non-zero on any determinism failure.
+cargo run --release --offline -p rfly-bench --bin soak -- \
+  --seeds 3 --steps 10 --events 12 --out results/repros
+
 echo "CI green."

@@ -25,6 +25,10 @@
 //! * [`faults`] — seeded fault injection and the degradation-aware
 //!   mission supervisor (retry, Δf re-tune, re-partitioning, SAR→RSSI
 //!   localization fallback) with an auditable resilience log.
+//! * [`replay`] — deterministic mission record/replay: the append-only
+//!   mission journal, checkpoint/resume at step boundaries, the
+//!   divergence detector, and the delta-debugging fault-schedule
+//!   shrinker that minimizes failing storms to committed repro files.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +69,7 @@ pub use rfly_faults as faults;
 pub use rfly_fleet as fleet;
 pub use rfly_protocol as protocol;
 pub use rfly_reader as reader;
+pub use rfly_replay as replay;
 pub use rfly_sim as sim;
 pub use rfly_tag as tag;
 
