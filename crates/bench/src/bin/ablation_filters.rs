@@ -14,8 +14,8 @@ use rfly_core::relay::relay::{Relay, RelayConfig};
 use rfly_dsp::units::{Db, Dbm, Hertz};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("ablation_filters", 2017);
+    let seed = bench.seed();
 
     let mut table = Table::new(
         "Ablation: filter spec -> isolation -> gains -> range",
@@ -64,11 +64,12 @@ fn main() {
             format!("{range:.0} m"),
         ]);
     }
-    table.print(true);
+    bench.table("main", table, true);
     println!(
         "Conclusion: inter-link isolation tracks the filter stopband ~dB-for-dB\n\
          until the RF feed-through floor (the intra-link bypass) takes over;\n\
          past that point better filters buy nothing — matching §7.1's\n\
          observation that intra-link leakage is the binding constraint."
     );
+    bench.finish();
 }

@@ -19,8 +19,8 @@ use rfly_dsp::Complex;
 const F2: Hertz = Hertz(916e6);
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("ablation_grid", 2017);
+    let seed = bench.seed();
     let trials = 10;
     let mc = MonteCarlo::new(seed);
     let env = Environment::free_space();
@@ -73,7 +73,7 @@ fn main() {
         format!("{:.0} ms", t_mr / trials as f64 * 1e3),
         format!("{agree}/{trials}"),
     ]);
-    table.print(true);
+    bench.table("main", table, true);
 
     assert!(t_mr < t_exh, "multires must be faster");
     assert!(agree >= trials * 8 / 10, "estimates must agree");
@@ -81,4 +81,5 @@ fn main() {
         "Conclusion: {:.1}x speedup at matching accuracy.",
         t_exh / t_mr
     );
+    bench.finish();
 }

@@ -36,8 +36,8 @@ fn trial(mirrored: bool, seed: u64, rng: &mut rfly_dsp::rng::StdRng) -> Option<f
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("ablation_mirror", 2017);
+    let seed = bench.seed();
     let trials = 20;
     let mc = MonteCarlo::new(seed);
 
@@ -70,7 +70,7 @@ fn main() {
         fmt_m(n.median()),
         fmt_m(n.quantile(0.9)),
     ]);
-    table.print(true);
+    bench.table("main", table, true);
 
     assert!(m.median() < 0.3, "mirrored localization must work");
     assert!(
@@ -83,4 +83,5 @@ fn main() {
         "Conclusion: without phase preservation the SAR projection integrates\n\
          random phases — the relay *decodes* tags but cannot localize them."
     );
+    bench.finish();
 }

@@ -18,8 +18,8 @@ use rfly_dsp::Complex;
 const F2: Hertz = Hertz(916e6);
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("ablation_peak_selection", 2017);
+    let seed = bench.seed();
     let trials = 30;
     let mc = MonteCarlo::new(seed);
 
@@ -82,7 +82,7 @@ fn main() {
             ((1.0 - high.fraction_below(0.5)) * trials as f64).round()
         ),
     ]);
-    table.print(true);
+    bench.table("main", table, true);
 
     assert!(near.median() < 0.3, "nearest rule must localize");
     assert!(
@@ -90,4 +90,5 @@ fn main() {
         "highest-peak must show ghost failures"
     );
     println!("Conclusion: ghosts are farther from the trajectory than the truth;\nselecting by proximity rejects them, selecting by strength does not.");
+    bench.finish();
 }

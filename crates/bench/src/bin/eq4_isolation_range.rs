@@ -9,6 +9,7 @@ use rfly_channel::pathloss::range_for_isolation;
 use rfly_dsp::units::{Db, Hertz};
 
 fn main() {
+    let mut bench = Bench::new("eq4_isolation_range", 0);
     let f = Hertz::mhz(915.0);
     let mut table = Table::new(
         "Eq. 4: maximum reader-relay range vs isolation (915 MHz)",
@@ -31,11 +32,20 @@ fn main() {
             paper.to_string(),
         ]);
     }
-    table.print(true);
+    bench.table("main", table, true);
     println!(
         "Shape check: every +20 dB of isolation buys 10x of range; the\n\
          Fig. 9 prototype medians (64-110 dB) support ranges of {:.0}-{:.0} m.",
         range_for_isolation(Db::new(64.0), f).value(),
         range_for_isolation(Db::new(110.0), f).value(),
     );
+    bench.metric(
+        "range_at_64db_m",
+        range_for_isolation(Db::new(64.0), f).value(),
+    );
+    bench.metric(
+        "range_at_110db_m",
+        range_for_isolation(Db::new(110.0), f).value(),
+    );
+    bench.finish();
 }

@@ -1,33 +1,32 @@
-//! Extension — fault-injector overhead: the cost of wrapping the relay
-//! hot path in [`FaultyMedium`] when **no** fault is active.
+//! Extension — fault-injector overhead: the cost of stacking a
+//! [`FaultLayer`] on the relay hot path when **no** fault is active.
 //!
 //! The supervisor keeps the injector in the loop for the whole
 //! mission, so its zero-fault tax is paid on every Gen2 transaction of
 //! every inventory stop. The clean path must therefore be near-free: a
 //! single `gen_bool(0.0)` draw and a guard that skips the whole
 //! perturbation loop. This binary times full inventory stops through a
-//! bare [`FleetMedium`] and through `FaultyMedium::inactive` over the
-//! same world, interleaved to cancel thermal/cache drift, and asserts
-//! the overhead stays **under 5%**.
+//! bare [`FleetMedium`] and through `FaultLayer::inactive` layered on
+//! the same world, interleaved to cancel thermal/cache drift, and
+//! asserts the overhead stays **under 5%**.
 //!
 //! Run with: `cargo run --release --bin ext_fault_overhead`
 
 use std::time::Instant;
 
+use rfly_bench::prelude::*;
 use rfly_channel::geometry::Point2;
-use rfly_core::relay::gains::IsolationBudget;
 use rfly_drone::kinematics::MotionLimits;
-use rfly_dsp::rng::{Rng, StdRng};
+use rfly_dsp::rng::StdRng;
 use rfly_dsp::units::Db;
-use rfly_faults::FaultyMedium;
+use rfly_faults::FaultLayer;
 use rfly_fleet::inventory::mission_world;
 use rfly_fleet::{assign, partition};
 use rfly_reader::inventory::InventoryController;
+use rfly_reader::medium::MediumExt;
 use rfly_sim::fleet::{FleetMedium, FleetRelay};
-use rfly_sim::report::Table;
 use rfly_sim::scene::Scene;
 use rfly_sim::world::{PhasorWorld, RelayModel};
-use rfly_tag::population::TagPopulation;
 
 const N_TAGS: usize = 60;
 const ROUNDS_PER_STOP: usize = 3;
@@ -35,29 +34,13 @@ const STOPS: usize = 60;
 const TRIALS: usize = 5;
 const SEED: u64 = 42;
 
-fn paper_budget() -> IsolationBudget {
-    IsolationBudget {
-        intra_downlink: Db::new(77.0),
-        intra_uplink: Db::new(64.0),
-        inter_downlink: Db::new(110.0),
-        inter_uplink: Db::new(92.0),
-    }
-}
-
 fn build() -> (PhasorWorld, Vec<FleetRelay>) {
     let scene = Scene::warehouse(20.0, 16.0, 3);
     let budget = paper_budget();
     let part = partition(&scene, 2, MotionLimits::indoor_drone()).expect("cells fit");
     let hover: Vec<Point2> = part.cells.iter().map(|c| c.center()).collect();
     let plan = assign(&hover, &budget, Db::new(10.0), SEED).expect("feasible plan");
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let positions: Vec<Point2> = (0..N_TAGS)
-        .map(|_| {
-            let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
-            Point2::new(spot.x + rng.gen_range(-0.8..0.8), spot.y)
-        })
-        .collect();
-    let tags = TagPopulation::generate(N_TAGS, &positions, SEED ^ 0xF1EE7);
+    let tags = shelf_items(&scene, N_TAGS, SEED, None);
     let world = mission_world(&scene, Point2::new(1.0, 1.0), tags, &plan, &budget, SEED);
     let fleet: Vec<FleetRelay> = hover
         .iter()
@@ -95,8 +78,8 @@ fn run_wrapped(world: &mut PhasorWorld, fleet: &[FleetRelay]) -> (f64, usize) {
             world.config.clone(),
             StdRng::seed_from_u64(SEED ^ stop as u64),
         );
-        let medium = FleetMedium::new(world, fleet.to_vec(), stop % fleet.len());
-        let mut faulty = FaultyMedium::inactive(medium, SEED ^ stop as u64);
+        let mut faulty = FleetMedium::new(world, fleet.to_vec(), stop % fleet.len())
+            .layer(FaultLayer::inactive(SEED ^ stop as u64));
         reads += ctrl.run_until_quiet(&mut faulty, ROUNDS_PER_STOP).len();
         world.power_cycle_tags();
     }
@@ -104,6 +87,7 @@ fn run_wrapped(world: &mut PhasorWorld, fleet: &[FleetRelay]) -> (f64, usize) {
 }
 
 fn main() {
+    let mut bench = Bench::new("ext_fault_overhead", SEED);
     // Warm-up, and the transparency check: from identical world
     // states, the inactive injector must not change a single read.
     let (mut world, fleet) = build();
@@ -145,7 +129,7 @@ fn main() {
         format!("{:.2}", 1e3 * wrapped_best),
         format!("{:.4}", wrapped_best / bare_best),
     ]);
-    t.print(false);
+    bench.table("main", t, false);
 
     let overhead = wrapped_best / bare_best - 1.0;
     println!(
@@ -157,5 +141,7 @@ fn main() {
         "inactive injector overhead must stay <5%, measured {:.2}%",
         100.0 * overhead
     );
+    bench.metric("zero_fault_overhead_pct", 100.0 * overhead);
     println!("overhead gate passed (<5%)");
+    bench.finish();
 }

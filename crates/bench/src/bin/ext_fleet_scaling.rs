@@ -12,54 +12,131 @@
 //! Each row reports the fleet's tightest pairwise Eq. 3 mutual-loop
 //! margin; the assigner enforces margin ≥ 10 dB, so every printed
 //! fleet is stable by construction.
+//!
+//! The sweep's fleet sizes are independent missions over independent
+//! worlds, so they run on scoped threads — and because every mission is
+//! a pure function of its seed, the parallel sweep must produce
+//! **bit-identical rows** to the serial one, which this binary asserts
+//! before printing (the serial/parallel wall-clock ratio lands in the
+//! bench report as `parallel_speedup`).
 
+use std::time::Instant;
+
+use rfly_bench::prelude::*;
 use rfly_channel::geometry::Point2;
-use rfly_core::relay::gains::IsolationBudget;
 use rfly_drone::kinematics::MotionLimits;
-use rfly_dsp::rng::{Rng, StdRng};
-use rfly_dsp::units::Db;
+use rfly_dsp::units::{Db, Meters};
 use rfly_fleet::inventory::{mission_world, run_mission, MissionConfig};
 use rfly_fleet::{assign, partition};
-use rfly_sim::report::Table;
 use rfly_sim::scene::Scene;
-use rfly_tag::population::TagPopulation;
 
 const N_TAGS: usize = 200;
 const MARGIN: Db = Db(10.0);
 const SEED: u64 = 7;
+const MAX_FLEET: usize = 8;
 
-fn paper_budget() -> IsolationBudget {
-    IsolationBudget {
-        intra_downlink: Db::new(77.0),
-        intra_uplink: Db::new(64.0),
-        inter_downlink: Db::new(110.0),
-        inter_uplink: Db::new(92.0),
-    }
+/// One fleet size's row, or the reason the sweep stops there.
+fn sweep_row(scene: &Scene, n: usize, cfg: &MissionConfig) -> Result<Vec<String>, String> {
+    let budget = paper_budget();
+    let cells = partition(scene, n, MotionLimits::indoor_drone())
+        .map_err(|e| format!("{n} relays: partition infeasible ({e})"))?;
+    let hover: Vec<Point2> = cells.cells.iter().map(|c| c.center()).collect();
+    let plan = assign(&hover, &budget, MARGIN, SEED)
+        .map_err(|e| format!("{n} relays: no stable channel plan ({e})"))?;
+    let mut world = mission_world(
+        scene,
+        Point2::new(1.0, 1.0),
+        shelf_items(scene, N_TAGS, SEED, Some(Meters::new(0.5))),
+        &plan,
+        &budget,
+        cfg.seed,
+    );
+    let outcome = run_mission(&mut world, &plan, &cells, &budget, cfg);
+    let read = outcome.inventory.unique_tags();
+    let rate = 100.0 * outcome.inventory.read_rate(N_TAGS);
+    let per_min = read as f64 / (outcome.duration_s / 60.0);
+    let margin = plan
+        .min_margin()
+        .map(|m| format!("{:.1}", m.value()))
+        .unwrap_or_else(|| "n/a".into());
+    Ok(vec![
+        n.to_string(),
+        format!("{:.0}", outcome.duration_s),
+        outcome.steps.to_string(),
+        read.to_string(),
+        format!("{rate:.1}"),
+        format!("{per_min:.1}"),
+        outcome.inventory.handoffs().to_string(),
+        margin,
+    ])
 }
 
-fn items(scene: &Scene, n: usize, seed: u64) -> TagPopulation {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let positions: Vec<Point2> = (0..n)
-        .map(|_| {
-            let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
-            Point2::new(
-                spot.x + rng.gen_range(-0.8..0.8),
-                spot.y - rng.gen_range(0.0..0.5),
-            )
-        })
-        .collect();
-    TagPopulation::generate(n, &positions, seed ^ 0xF1EE7)
+/// The whole sweep serially, preserving the historic stop-at-first-
+/// infeasible semantics.
+fn sweep_serial(scene: &Scene, cfg: &MissionConfig) -> (Vec<Vec<String>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for n in 1..=MAX_FLEET {
+        match sweep_row(scene, n, cfg) {
+            Ok(row) => rows.push(row),
+            Err(note) => {
+                notes.push(format!("{note}; stopping sweep"));
+                break;
+            }
+        }
+    }
+    (rows, notes)
+}
+
+/// The same sweep with one scoped thread per fleet size, truncated at
+/// the first infeasible size to match the serial semantics.
+fn sweep_parallel(scene: &Scene, cfg: &MissionConfig) -> (Vec<Vec<String>>, Vec<String>) {
+    let results: Vec<Result<Vec<String>, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..=MAX_FLEET)
+            .map(|n| s.spawn(move || sweep_row(scene, n, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for r in results {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(note) => {
+                notes.push(format!("{note}; stopping sweep"));
+                break;
+            }
+        }
+    }
+    (rows, notes)
 }
 
 fn main() {
+    let mut bench = Bench::new("ext_fleet_scaling", SEED);
     let scene = Scene::paper_building();
-    let budget = paper_budget();
     let cfg = MissionConfig {
         sample_interval_s: 4.0,
         max_rounds: 2,
         seed: SEED,
         time_budget_s: None,
     };
+
+    let t0 = Instant::now();
+    let (serial_rows, serial_notes) = sweep_serial(&scene, &cfg);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (parallel_rows, parallel_notes) = sweep_parallel(&scene, &cfg);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial_rows, parallel_rows,
+        "the parallel sweep must be bit-identical to the serial one"
+    );
+    assert_eq!(serial_notes, parallel_notes);
 
     let mut table = Table::new(
         "ext — fleet scaling, 30x40 m warehouse, 200 tags",
@@ -74,50 +151,21 @@ fn main() {
             "min margin (dB)",
         ],
     );
-
-    for n in 1..=8usize {
-        let cells = match partition(&scene, n, MotionLimits::indoor_drone()) {
-            Ok(c) => c,
-            Err(e) => {
-                println!("{n} relays: partition infeasible ({e}); stopping sweep");
-                break;
-            }
-        };
-        let hover: Vec<Point2> = cells.cells.iter().map(|c| c.center()).collect();
-        let plan = match assign(&hover, &budget, MARGIN, SEED) {
-            Ok(p) => p,
-            Err(e) => {
-                println!("{n} relays: no stable channel plan ({e}); stopping sweep");
-                break;
-            }
-        };
-        let mut world = mission_world(
-            &scene,
-            Point2::new(1.0, 1.0),
-            items(&scene, N_TAGS, SEED),
-            &plan,
-            &budget,
-            cfg.seed,
-        );
-        let outcome = run_mission(&mut world, &plan, &cells, &budget, &cfg);
-        let read = outcome.inventory.unique_tags();
-        let rate = 100.0 * outcome.inventory.read_rate(N_TAGS);
-        let per_min = read as f64 / (outcome.duration_s / 60.0);
-        let margin = plan
-            .min_margin()
-            .map(|m| format!("{:.1}", m.value()))
-            .unwrap_or_else(|| "n/a".into());
-        table.row(&[
-            n.to_string(),
-            format!("{:.0}", outcome.duration_s),
-            outcome.steps.to_string(),
-            read.to_string(),
-            format!("{rate:.1}"),
-            format!("{per_min:.1}"),
-            outcome.inventory.handoffs().to_string(),
-            margin,
-        ]);
+    for row in &parallel_rows {
+        table.row(row);
     }
+    for note in &parallel_notes {
+        println!("{note}");
+    }
+    bench.table("main", table, true);
 
-    table.print(true);
+    let speedup = serial_s / parallel_s;
+    println!(
+        "\nsweep wall-clock: serial {:.2} s, parallel {:.2} s ({speedup:.2}x, rows bit-identical)",
+        serial_s, parallel_s
+    );
+    bench.metric("serial_s", serial_s);
+    bench.metric("parallel_s", parallel_s);
+    bench.metric("parallel_speedup", speedup);
+    bench.finish();
 }

@@ -14,8 +14,8 @@ use rfly_dsp::units::{Hertz, Meters};
 use rfly_dsp::Complex;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("ext_selfloc", 2017);
+    let seed = bench.seed();
     let trials = 25;
     let f1 = Hertz::mhz(915.0);
     let reader = Point2::ORIGIN;
@@ -67,7 +67,7 @@ fn main() {
         fmt_m(after.median()),
         fmt_m(after.quantile(0.9)),
     ]);
-    table.print(true);
+    bench.table("main", table, true);
 
     assert!(
         after.median() < before.median() / 2.0,
@@ -77,4 +77,5 @@ fn main() {
         "Conclusion: the half-link channels the system measures anyway can\n\
          anchor the drone's odometry — §9's future-work direction holds up."
     );
+    bench.finish();
 }

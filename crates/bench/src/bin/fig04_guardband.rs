@@ -17,6 +17,7 @@ use rfly_protocol::pie::{FrameStart, PieEncoder};
 use rfly_protocol::timing::LinkTiming;
 
 fn main() {
+    let mut bench = Bench::new("fig04_guardband", 0);
     let fs = 4e6;
 
     // The query: a representative 22-bit Query frame, PIE-encoded,
@@ -66,7 +67,7 @@ fn main() {
             fmt_db(reply_psd.relative_db_at(Hertz(f)).value()),
         ]);
     }
-    table.print(true);
+    bench.table("main", table, true);
 
     let query_bw = query_psd.occupied_bandwidth(0.99);
     let reply_low = reply_psd.band_power_fraction(Hertz(-150e3), Hertz(150e3));
@@ -84,6 +85,9 @@ fn main() {
         "response power at 300-700 kHz: {:.1} % (the subcarrier band)",
         reply_sub * 100.0
     );
+    bench.metric("query_occupied_bw_khz", query_bw / 1e3);
+    bench.metric("reply_subcarrier_fraction", reply_sub);
     assert!(query_bw <= 130e3, "query must fit the paper's 125 kHz");
     assert!(reply_sub > 0.5, "response must concentrate at the BLF");
+    bench.finish();
 }

@@ -51,6 +51,7 @@ fn run_case(name: &str, env: &Environment, tag: Point2) -> f64 {
 }
 
 fn main() {
+    let mut bench = Bench::new("fig06_heatmaps", 0);
     // (a) Line of sight: free space.
     let los_env = Environment::free_space();
     let tag = Point2::new(1.3, 1.2);
@@ -75,7 +76,10 @@ fn main() {
         fmt_m(e_mp),
         "ghosts rejected".into(),
     ]);
-    table.print(true);
+    bench.table("main", table, true);
+    bench.metric("los_error_m", e_los);
+    bench.metric("multipath_error_m", e_mp);
     assert!(e_los < 0.07, "LoS error {e_los} m exceeds the paper's 7 cm");
     assert!(e_mp < 0.3, "multipath error {e_mp} m — ghost not rejected");
+    bench.finish();
 }

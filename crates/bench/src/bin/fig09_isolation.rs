@@ -15,8 +15,8 @@ use rfly_dsp::units::Hertz;
 use rfly_sim::experiment::trial_seed;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("fig09_isolation", 2017);
+    let seed = bench.seed();
     let trials = 100;
 
     let paths = [
@@ -66,7 +66,7 @@ fn main() {
             "{name}: improvement below the paper's 50 dB headline"
         );
     }
-    table.print(true);
+    bench.table("main", table, true);
 
     // Also emit one full CDF (inter-downlink) as a plottable series.
     let cdf_vals: Vec<f64> = mc.run_seeded(trials, |_, s| {
@@ -81,5 +81,6 @@ fn main() {
     for (v, p) in stats.cdf().into_iter().step_by(10) {
         cdf.row(&[fmt_db(v), format!("{p:.2}")]);
     }
-    cdf.print(false);
+    bench.table("cdf", cdf, false);
+    bench.finish();
 }

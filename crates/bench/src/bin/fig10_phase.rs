@@ -83,8 +83,8 @@ fn errors_deg(phases: &[f64]) -> Vec<f64> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("fig10_phase", 2017);
+    let seed = bench.seed();
     let trials = 50;
 
     let mirrored = errors_deg(&run(true, seed, trials));
@@ -116,7 +116,7 @@ fn main() {
         format!("{:.1}°", n.quantile(0.99)),
         "~random (≤180°)".into(),
     ]);
-    table.print(true);
+    bench.table("main", table, true);
 
     println!(
         "Shape check: mirrored errors are ~{}x smaller than no-mirror.",
@@ -124,4 +124,5 @@ fn main() {
     );
     assert!(m.median() < 3.0, "mirrored phase must be ~sub-degree");
     assert!(n.median() > 20.0, "no-mirror phase must be ~random");
+    bench.finish();
 }

@@ -73,8 +73,8 @@ fn trial(mode: Mode, distance: f64, seed: u64, rng: &mut rfly_dsp::rng::StdRng) 
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("fig11_readrate", 2017);
+    let seed = bench.seed();
     let trials = 60;
     let mc = MonteCarlo::new(seed);
 
@@ -108,7 +108,7 @@ fn main() {
         ]);
         series.push((d, rates));
     }
-    table.print(true);
+    bench.table("main", table, true);
 
     // Shape checks against the paper.
     let at = |d: f64| series.iter().find(|(x, _)| *x == d).unwrap().1;
@@ -127,4 +127,5 @@ fn main() {
         "Shape check: range gain ≈ {}x (no-relay dies ~5-10 m; relayed LoS alive at 50+ m).",
         (50.0f64 / 5.0).round()
     );
+    bench.finish();
 }

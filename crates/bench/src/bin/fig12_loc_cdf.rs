@@ -13,8 +13,8 @@ use rfly_dsp::units::Db;
 use rfly_sim::scene::Scene;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("fig12_loc_cdf", 2017);
+    let seed = bench.seed();
     let trials = 100;
     let scene = Scene::paper_building();
     let mc = MonteCarlo::new(seed);
@@ -109,13 +109,13 @@ fn main() {
         fmt_m(stats.quantile(0.99)),
         "-".into(),
     ]);
-    table.print(true);
+    bench.table("main", table, true);
 
     let mut cdf = Table::new("Fig. 12 CDF series", &["error", "CDF"]);
     for (v, p) in stats.cdf().into_iter().step_by(5) {
         cdf.row(&[fmt_m(v), format!("{p:.2}")]);
     }
-    cdf.print(false);
+    bench.table("cdf", cdf, false);
 
     // A handful of placements remain out of coverage (tag deep in the
     // racks with no feasible reader position) — the real system has the
@@ -132,4 +132,5 @@ fn main() {
         stats.quantile(0.9)
     );
     println!("Shape check: sub-meter accuracy at building scale, median tens of cm.");
+    bench.finish();
 }

@@ -16,8 +16,8 @@ use rfly_dsp::rng::Rng;
 use rfly_dsp::units::{Db, Meters};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("fig13_aperture", 2017);
+    let seed = bench.seed();
     let trials = 20;
     let mc = MonteCarlo::new(seed);
     // The robot drives across a lab room: drywall perimeter plus a
@@ -97,7 +97,7 @@ fn main() {
         sar_medians.push(sar.median());
         rssi_medians.push(rssi.median());
     }
-    table.print(true);
+    bench.table("main", table, true);
 
     // Shape checks.
     assert!(
@@ -117,4 +117,5 @@ fn main() {
         "Shape check: SAR improves monotonically with aperture; RSSI is {ratio:.0}x worse at 2.5 m \
          (paper: ~20x)."
     );
+    bench.finish();
 }

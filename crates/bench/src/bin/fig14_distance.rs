@@ -21,8 +21,8 @@ use rfly_dsp::rng::Rng;
 use rfly_dsp::units::{Db, Hertz, Meters};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = seed_from_args(&args, 2017);
+    let mut bench = Bench::from_args("fig14_distance", 2017);
+    let seed = bench.seed();
     let trials = 50;
     let mc = MonteCarlo::new(seed);
     let env = Environment::free_space();
@@ -96,7 +96,7 @@ fn main() {
         ]);
         sar_by_d.push((d, sar.median(), sar.quantile(0.9), rssi.median()));
     }
-    table.print(true);
+    bench.table("main", table, true);
 
     // Shape checks: error grows with distance, stays sub-meter at 40 m,
     // and RSSI stays far worse throughout.
@@ -110,4 +110,5 @@ fn main() {
     println!(
         "Shape check: error grows with projected distance (SNR), SAR stays sub-meter at 40 m."
     );
+    bench.finish();
 }

@@ -20,6 +20,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use rfly_bench::harness::Bench;
 use rfly_faults::FaultSchedule;
 use rfly_replay::divergence::verify_replay;
 use rfly_replay::invariant::{Invariant, InvariantHarness};
@@ -144,6 +145,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let mut bench = Bench::new("soak", args.seeds);
     let mut table = Table::new(
         "Soak-and-shrink: seeded random storms vs the invariant catalog",
         &[
@@ -166,12 +168,15 @@ fn main() -> ExitCode {
             }
         }
     }
-    table.print(false);
+    bench.table("main", table, false);
+    bench.metric("seeds", args.seeds as f64);
+    bench.metric("violations", violations as f64);
     println!(
         "{} seeds soaked, {} violation(s) shrunk to {}",
         args.seeds,
         violations,
         args.out.display()
     );
+    bench.finish();
     ExitCode::SUCCESS
 }

@@ -23,10 +23,12 @@ use rfly_dsp::Complex;
 use rfly_reader::config::ReaderConfig;
 use rfly_sim::world::{PhasorWorld, RelayModel};
 
+pub mod harness;
 pub mod micro;
 
 /// Re-export shim (keeps binary imports short).
 pub mod prelude {
+    pub use crate::harness::{paper_budget, shelf_items, Bench};
     pub use rfly_core::loc::error::ErrorStats;
     pub use rfly_sim::experiment::{seed_from_args, MonteCarlo};
     pub use rfly_sim::report::{fmt_db, fmt_m, fmt_pct, Table};

@@ -91,6 +91,9 @@ impl SarLocalizer {
         if channels.is_empty() || channels.iter().all(|h| h.norm_sq() == 0.0) {
             return None;
         }
+        let _span = rfly_obs::span("loc.sar.localize");
+        rfly_obs::counter_add("loc.sar.passes", 1);
+        rfly_obs::counter_add("loc.sar.measurements", channels.len() as u64);
         let map = self.heatmap(trajectory, channels);
         let est = super::peaks::select_nearest_peak(&map, trajectory)?;
         Some((est, map))

@@ -71,6 +71,18 @@ pub fn allocate(budget: &IsolationBudget, margin: Db, expected_input: Dbm) -> Ga
     let total_cap = budget.inter_downlink + budget.inter_uplink - margin;
     let uplink = Db::new(ul_cap_stability.min(total_cap - downlink).value().max(0.0));
 
+    if rfly_obs::is_active() {
+        rfly_obs::event(
+            "relay.gain_allocate",
+            vec![
+                ("downlink_db", rfly_obs::Value::F64(downlink.value())),
+                ("uplink_db", rfly_obs::Value::F64(uplink.value())),
+                ("margin_db", rfly_obs::Value::F64(margin.value())),
+            ],
+        );
+        rfly_obs::observe_db("relay.downlink_gain_db", downlink);
+        rfly_obs::observe_db("relay.uplink_gain_db", uplink);
+    }
     GainPlan { downlink, uplink }
 }
 

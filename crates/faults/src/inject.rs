@@ -1,17 +1,20 @@
 //! Fault application: per-relay accumulated health and the
-//! [`FaultyMedium`] decorator that perturbs the air interface.
+//! [`FaultLayer`] middleware that perturbs the air interface.
 //!
 //! Faults act at two levels, matching where the real failure lives:
 //!
 //! * **Hardware state** ([`RelayHealth::degraded_model`]) — gain drift,
 //!   PA sag, and oscillator damage rewrite the relay's phasor model, so
-//!   the unmodified [`rfly_sim::fleet::FleetMedium`] physics (PA caps,
+//!   the unmodified [`rfly_sim::medium::WorldMedium`] physics (PA caps,
 //!   Eq. 3 gates, fleet leakage) responds to them with no special
 //!   cases.
-//! * **Air interface** ([`FaultyMedium`]) — transaction drops, deep
-//!   fades, frame corruption, and phase scatter wrap the medium behind
-//!   the same [`Medium`] trait the reader stack already consumes, so
-//!   the whole inventory engine runs unmodified under fault.
+//! * **Air interface** ([`FaultLayer`]) — transaction drops, deep
+//!   fades, frame corruption, and phase scatter are one
+//!   [`rfly_reader::medium::MediumLayer`] in the medium middleware
+//!   stack (`base.layer(FaultLayer::new(..))`), behind the same
+//!   [`Medium`] trait the reader stack already consumes, so the whole
+//!   inventory engine runs unmodified under fault. [`FaultyMedium`] is
+//!   the stacked type's name.
 
 use rfly_dsp::rng::{Rng, StdRng};
 use rfly_dsp::units::Db;
@@ -19,6 +22,7 @@ use rfly_dsp::Complex;
 use rfly_protocol::bits::Bits;
 use rfly_protocol::commands::Command;
 use rfly_reader::inventory::{Medium, Observation};
+use rfly_reader::medium::{Layered, MediumLayer};
 use rfly_sim::world::RelayModel;
 
 use crate::schedule::{FaultEvent, FaultKind};
@@ -230,12 +234,11 @@ impl Default for RelayHealth {
     }
 }
 
-/// A [`Medium`] decorator that injects uplink faults into every
-/// transaction of the wrapped medium: seeded, so a mission under fault
-/// is exactly reproducible.
+/// The fault-injection middleware: perturbs every transaction of the
+/// medium below it in the stack. Seeded, so a mission under fault is
+/// exactly reproducible.
 #[derive(Debug)]
-pub struct FaultyMedium<M: Medium> {
-    inner: M,
+pub struct FaultLayer {
     drop_p: f64,
     fade: Db,
     corrupt_p: f64,
@@ -243,12 +246,10 @@ pub struct FaultyMedium<M: Medium> {
     rng: StdRng,
 }
 
-impl<M: Medium> FaultyMedium<M> {
-    /// Wraps `inner` with the uplink faults currently active in
-    /// `health`.
-    pub fn new(inner: M, health: &RelayHealth, seed: u64) -> Self {
+impl FaultLayer {
+    /// A layer applying the uplink faults currently active in `health`.
+    pub fn new(health: &RelayHealth, seed: u64) -> Self {
         Self {
-            inner,
             drop_p: if health.drop_steps_left > 0 {
                 health.drop_p
             } else {
@@ -269,11 +270,10 @@ impl<M: Medium> FaultyMedium<M> {
         }
     }
 
-    /// Wraps `inner` with no active faults — the zero-fault hot path
-    /// whose overhead the `ext_fault_overhead` benchmark bounds.
-    pub fn inactive(inner: M, seed: u64) -> Self {
+    /// A layer with no active faults — the zero-fault hot path whose
+    /// overhead the `ext_fault_overhead` benchmark bounds.
+    pub fn inactive(seed: u64) -> Self {
         Self {
-            inner,
             drop_p: 0.0,
             fade: Db::new(0.0),
             corrupt_p: 0.0,
@@ -281,12 +281,13 @@ impl<M: Medium> FaultyMedium<M> {
             rng: StdRng::seed_from_u64(seed ^ 0xFA_17),
         }
     }
-
-    /// The wrapped medium.
-    pub fn inner(&self) -> &M {
-        &self.inner
-    }
 }
+
+/// A medium with a [`FaultLayer`] stacked on it — the historical name
+/// for the faulted air interface. Build with
+/// `medium.layer(FaultLayer::new(&health, seed))` (via
+/// [`rfly_reader::medium::MediumExt::layer`]) or `Layered::new`.
+pub type FaultyMedium<M> = Layered<M, FaultLayer>;
 
 /// Flips one random bit of `frame` (a CRC-breaking corruption: the
 /// reader's parser rejects the frame and the slot reads as a
@@ -301,13 +302,13 @@ fn flip_random_bit(frame: &Bits, rng: &mut StdRng) -> Bits {
     Bits::from_bools(&bools)
 }
 
-impl<M: Medium> Medium for FaultyMedium<M> {
-    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
+impl MediumLayer for FaultLayer {
+    fn process(&mut self, cmd: &Command, inner: &mut dyn Medium) -> Vec<Observation> {
         if self.drop_p > 0.0 && self.rng.gen_bool(self.drop_p) {
             // The whole Gen2 transaction times out.
             return Vec::new();
         }
-        let mut obs = self.inner.transact(cmd);
+        let mut obs = inner.transact(cmd);
         if self.fade.value() != 0.0 || self.corrupt_p > 0.0 || self.phase_scatter_rad > 0.0 {
             for o in obs.iter_mut() {
                 o.snr = o.snr - self.fade;
@@ -329,6 +330,7 @@ impl<M: Medium> Medium for FaultyMedium<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rfly_reader::medium::MediumExt;
 
     /// A medium that always answers with one fixed observation.
     struct FixedMedium;
@@ -404,10 +406,10 @@ mod tests {
             p_drop: 1.0,
             steps: 3,
         }));
-        let mut m = FaultyMedium::new(FixedMedium, &h, 1);
+        let mut m = FixedMedium.layer(FaultLayer::new(&h, 1));
         assert!(m.transact(&Command::Nak).is_empty());
 
-        let mut clean = FaultyMedium::inactive(FixedMedium, 1);
+        let mut clean = FixedMedium.layer(FaultLayer::inactive(1));
         let obs = clean.transact(&Command::Nak);
         assert_eq!(obs.len(), 1);
         assert_eq!(obs[0].snr.value(), 20.0);
@@ -422,7 +424,7 @@ mod tests {
             p_corrupt: 1.0,
             steps: 3,
         }));
-        let mut m = FaultyMedium::new(FixedMedium, &h, 2);
+        let mut m = FixedMedium.layer(FaultLayer::new(&h, 2));
         let obs = m.transact(&Command::Nak);
         assert_eq!(obs[0].snr.value(), 8.0);
         assert!(obs[0].frame != Bits::from_str01("1011001110001111"));

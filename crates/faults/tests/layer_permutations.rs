@@ -1,0 +1,198 @@
+//! Property test: the medium middleware stack is permutation-robust.
+//!
+//! Any legal ordering of the fault, instrumentation, and tap layers
+//! over the scripted [`MockMedium`] must be a pure function of its
+//! seeds — two runs of the same stack with the same seeds produce
+//! bit-identical reads — and stacks built only from transparent layers
+//! must match the bare medium exactly. The stack is driven through
+//! `dyn MediumLayer`, which also pins down that every layer stays
+//! object-safe.
+
+use rfly_dsp::rng::StdRng;
+use rfly_dsp::units::Db;
+use rfly_faults::inject::{FaultLayer, RelayHealth};
+use rfly_faults::schedule::{FaultEvent, FaultKind};
+use rfly_protocol::commands::Command;
+use rfly_reader::config::ReaderConfig;
+use rfly_reader::inventory::{InventoryController, Medium, Observation, TagRead};
+use rfly_reader::medium::{MediumLayer, MockMedium, ObsLayer, Tap};
+
+/// A dynamically-ordered layer stack: `layers[0]` is outermost.
+struct Stack {
+    layers: Vec<Box<dyn MediumLayer>>,
+    base: MockMedium,
+}
+
+/// Applies `layers` outermost-first down to `base`.
+fn descend(
+    layers: &mut [Box<dyn MediumLayer>],
+    base: &mut MockMedium,
+    cmd: &Command,
+) -> Vec<Observation> {
+    match layers.split_first_mut() {
+        None => base.transact(cmd),
+        Some((outer, rest)) => {
+            struct Rest<'a> {
+                layers: &'a mut [Box<dyn MediumLayer>],
+                base: &'a mut MockMedium,
+            }
+            impl Medium for Rest<'_> {
+                fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
+                    descend(self.layers, self.base, cmd)
+                }
+            }
+            outer.process(cmd, &mut Rest { layers: rest, base })
+        }
+    }
+}
+
+impl Medium for Stack {
+    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
+        descend(&mut self.layers, &mut self.base, cmd)
+    }
+}
+
+/// The three layer species a stack may compose, in any order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Fault,
+    Obs,
+    Tap,
+}
+
+/// A health with every air-interface fault class active at once.
+fn storm_health() -> RelayHealth {
+    let ev = |id, kind| FaultEvent {
+        id,
+        step: 0,
+        relay: 0,
+        kind,
+    };
+    let mut h = RelayHealth::new();
+    h.apply(&ev(0, FaultKind::DeepFade { db: 6.0, steps: 64 }));
+    h.apply(&ev(
+        1,
+        FaultKind::NoiseBurst {
+            p_corrupt: 0.3,
+            steps: 64,
+        },
+    ));
+    h.apply(&ev(
+        2,
+        FaultKind::Gen2Drop {
+            p_drop: 0.2,
+            steps: 64,
+        },
+    ));
+    h.apply(&ev(3, FaultKind::PhaseGlitch { rad: 0.4 }));
+    h
+}
+
+fn make_layer(kind: Kind, seed: u64, health: &RelayHealth) -> Box<dyn MediumLayer> {
+    match kind {
+        Kind::Fault => Box::new(FaultLayer::new(health, seed)),
+        Kind::Obs => Box::new(ObsLayer::new()),
+        Kind::Tap => Box::new(Tap::new(|_: &Command, _: &[Observation]| {})),
+    }
+}
+
+/// A full inventory run over the stack `perm`, everything seeded.
+fn run(perm: &[Kind], seed: u64) -> Vec<TagRead> {
+    let health = storm_health();
+    let mut stack = Stack {
+        layers: perm.iter().map(|&k| make_layer(k, seed, &health)).collect(),
+        base: MockMedium::new(8, Db::new(18.0)),
+    };
+    let mut c = InventoryController::new(ReaderConfig::usrp_default(), StdRng::seed_from_u64(seed));
+    c.run_until_quiet(&mut stack, 12)
+}
+
+fn assert_identical(a: &[TagRead], b: &[TagRead], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: read counts diverge");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.epc, y.epc, "{what}: EPC order diverges");
+        assert_eq!(x.channel, y.channel, "{what}: channels diverge");
+        assert_eq!(
+            x.snr.value().to_bits(),
+            y.snr.value().to_bits(),
+            "{what}: SNRs diverge"
+        );
+    }
+}
+
+/// Every ordered selection (with and without each species) of the
+/// three layer kinds: the permutation-legal stacks.
+fn all_stacks() -> Vec<Vec<Kind>> {
+    use Kind::*;
+    let mut stacks: Vec<Vec<Kind>> = vec![vec![]];
+    for one in [Fault, Obs, Tap] {
+        stacks.push(vec![one]);
+    }
+    for a in [Fault, Obs, Tap] {
+        for b in [Fault, Obs, Tap] {
+            if a != b {
+                stacks.push(vec![a, b]);
+            }
+        }
+    }
+    for a in [Fault, Obs, Tap] {
+        for b in [Fault, Obs, Tap] {
+            for c in [Fault, Obs, Tap] {
+                if a != b && b != c && a != c {
+                    stacks.push(vec![a, b, c]);
+                }
+            }
+        }
+    }
+    stacks
+}
+
+#[test]
+fn every_layer_permutation_is_deterministic_per_seed() {
+    for perm in all_stacks() {
+        for seed in [1u64, 7, 42] {
+            let first = run(&perm, seed);
+            let second = run(&perm, seed);
+            assert_identical(&first, &second, &format!("{perm:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn transparent_stacks_match_the_bare_medium() {
+    use Kind::*;
+    for seed in [1u64, 7, 42] {
+        let bare = run(&[], seed);
+        assert!(!bare.is_empty(), "the bare medium must yield reads");
+        for perm in [vec![Obs], vec![Tap], vec![Obs, Tap], vec![Tap, Obs]] {
+            let stacked = run(&perm, seed);
+            assert_identical(&bare, &stacked, &format!("{perm:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn faulted_stacks_perturb_but_stay_reproducible() {
+    // With the storm health active, the fault layer must actually bite
+    // (fewer or different reads than bare for at least one seed) while
+    // remaining exactly reproducible — covered above; here we pin the
+    // "perturbs at all" half so a silently inert FaultLayer fails.
+    use Kind::*;
+    let mut any_difference = false;
+    for seed in [1u64, 7, 42] {
+        let bare = run(&[], seed);
+        let faulted = run(&[Fault], seed);
+        let same = bare.len() == faulted.len()
+            && bare
+                .iter()
+                .zip(&faulted)
+                .all(|(a, b)| a.epc == b.epc && a.snr.value().to_bits() == b.snr.value().to_bits());
+        if !same {
+            any_difference = true;
+        }
+    }
+    assert!(
+        any_difference,
+        "an active fault layer never changed a single run"
+    );
+}

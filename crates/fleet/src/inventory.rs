@@ -70,12 +70,14 @@ impl FleetInventory {
     /// Merges one read observed through `relay` at mission `step`.
     pub fn observe(&mut self, read: &TagRead, relay: usize, step: usize) {
         self.per_relay_reads[relay] += 1;
+        rfly_obs::counter_add("fleet.reads", 1);
         let at = Sighting { step, relay };
         self.records
             .entry(read.epc)
             .and_modify(|r| {
                 if r.last_seen.relay != relay {
                     r.handoffs += 1;
+                    rfly_obs::counter_add("fleet.handoffs", 1);
                 }
                 r.last_seen = at;
                 r.reads += 1;
@@ -207,8 +209,10 @@ pub fn run_mission(
     };
     let steps = (duration / cfg.sample_interval_s).ceil() as usize + 1;
 
+    let _span = rfly_obs::span("fleet.mission");
     let mut inventory = FleetInventory::new(n);
     for step in 0..steps {
+        rfly_obs::counter_add("fleet.stops", n as u64);
         let t = (step as f64 * cfg.sample_interval_s).min(duration);
         let positions: Vec<Point2> = partition
             .plans

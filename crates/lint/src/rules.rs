@@ -87,7 +87,7 @@ pub const RULES: &[(&str, &str)] = &[
 
 /// Crates whose non-test code must be panic-free (R1): these run the
 /// supervised/degraded paths the fault harness exercises.
-const R1_CRATES: &[&str] = &["core", "faults", "fleet", "replay", "sim"];
+const R1_CRATES: &[&str] = &["core", "faults", "fleet", "obs", "replay", "sim"];
 
 /// Path prefixes counted as DSP/relay hot paths for R2.
 const R2_PREFIXES: &[&str] = &["crates/dsp/src/", "crates/core/src/relay/"];

@@ -39,6 +39,15 @@ fn r1_scoped_to_supervised_crates() {
 }
 
 #[test]
+fn r1_covers_the_obs_crate() {
+    // rfly-obs probes run inline on every supervised transaction, so
+    // the crate joined the R1 panic-freedom set.
+    let hit = rules_hit("crates/obs/src/fixture.rs", "no_unwrap/violating.rs");
+    assert!(hit.contains(&"no-unwrap"), "{hit:?}");
+    assert!(rules_hit("crates/obs/src/fixture.rs", "no_unwrap/conforming.rs").is_empty());
+}
+
+#[test]
 fn r2_no_as_int_cast() {
     let hit = rules_hit("crates/dsp/src/fixture.rs", "no_as_int_cast/violating.rs");
     assert!(hit.contains(&"no-as-int-cast"), "{hit:?}");

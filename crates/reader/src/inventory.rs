@@ -218,6 +218,16 @@ impl InventoryController {
                 });
             }
         }
+        if rfly_obs::is_active() {
+            rfly_obs::counter_add("reader.rounds", 1);
+            rfly_obs::counter_add("reader.slots.empty", stats.empty as u64);
+            rfly_obs::counter_add("reader.slots.single", stats.singles as u64);
+            rfly_obs::counter_add("reader.slots.collision", stats.collisions as u64);
+            rfly_obs::counter_add("reader.reads", stats.reads.len() as u64);
+            for read in &stats.reads {
+                rfly_obs::observe_db("reader.read_snr_db", read.snr);
+            }
+        }
         stats
     }
 
@@ -357,6 +367,108 @@ mod tests {
             let p = decode_probability(Db::new(s as f64), floor);
             assert!(p >= prev);
             prev = p;
+        }
+    }
+
+    #[test]
+    fn decode_probability_saturates_cleanly_at_extreme_snr() {
+        let floor = Db::new(3.0);
+        // ±inf-adjacent inputs: the logistic saturates to exactly 0 or
+        // 1 (never NaN), even when the exponent itself overflows.
+        assert_eq!(decode_probability(Db::new(1e308), floor), 1.0);
+        assert_eq!(decode_probability(Db::new(-1e308), floor), 0.0);
+        assert_eq!(
+            decode_probability(Db::new(f64::MAX), Db::new(-f64::MAX)),
+            1.0
+        );
+        assert_eq!(
+            decode_probability(Db::new(-f64::MAX), Db::new(f64::MAX)),
+            0.0
+        );
+        // The knee sits at exactly a coin flip whenever snr == floor,
+        // for any floor.
+        for f in [-40.0, 0.0, 3.0, 97.5] {
+            assert_eq!(decode_probability(Db::new(f), Db::new(f)), 0.5);
+        }
+    }
+
+    /// One reply whose channel power is `power_db` above 0 dB-ref.
+    fn obs_at(power_db: f64, snr: Db) -> Observation {
+        Observation {
+            frame: Bits::from_str01("1010110010101100"),
+            channel: Complex::from_polar(Db::new(power_db).amplitude(), 0.0),
+            snr,
+        }
+    }
+
+    #[test]
+    fn capture_effect_rescues_only_above_the_margin() {
+        // Strongest reply a hair above the capture margin: the capture
+        // branch fires, and at sky-high SNR the slot resolves Single to
+        // the strongest observation.
+        let mut c = controller(7);
+        let above = vec![
+            obs_at(CAPTURE_MARGIN_DB + 0.05, Db::new(200.0)),
+            obs_at(0.0, Db::new(200.0)),
+        ];
+        let (outcome, winner) = c.resolve(&above);
+        assert_eq!(outcome, SlotOutcome::Single);
+        assert_eq!(winner.expect("captured winner").channel, above[0].channel);
+
+        // A hair below the margin: never rescued, no matter the SNR or
+        // the decode draw.
+        for seed in 0..32 {
+            let mut c = controller(seed);
+            let below = vec![
+                obs_at(CAPTURE_MARGIN_DB - 0.05, Db::new(200.0)),
+                obs_at(0.0, Db::new(200.0)),
+            ];
+            let (outcome, winner) = c.resolve(&below);
+            assert_eq!(outcome, SlotOutcome::Collision);
+            assert!(winner.is_none());
+        }
+    }
+
+    #[test]
+    fn equal_power_collision_is_never_captured() {
+        // Three equal-power replies: the best-to-rest ratio is ~-3 dB,
+        // far under the margin.
+        for seed in 0..16 {
+            let mut c = controller(400 + seed);
+            let slot = vec![
+                obs_at(0.0, Db::new(200.0)),
+                obs_at(0.0, Db::new(200.0)),
+                obs_at(0.0, Db::new(200.0)),
+            ];
+            let (outcome, _) = c.resolve(&slot);
+            assert_eq!(outcome, SlotOutcome::Collision);
+        }
+    }
+
+    #[test]
+    fn captured_decode_runs_at_the_weaker_of_margin_and_snr() {
+        // The power ratio clears the margin by 54 dB, but the reply's
+        // own post-integration SNR is hopeless: the decode SINR is
+        // min(ratio, snr), so capture must still fail.
+        for seed in 0..32 {
+            let mut c = controller(100 + seed);
+            let slot = vec![obs_at(60.0, Db::new(-200.0)), obs_at(0.0, Db::new(-200.0))];
+            let (outcome, winner) = c.resolve(&slot);
+            assert_eq!(outcome, SlotOutcome::Collision);
+            assert!(winner.is_none());
+        }
+    }
+
+    #[test]
+    fn single_reply_at_hopeless_snr_reads_as_collision() {
+        // A lone undecodable reply is energy-without-decode: the Q
+        // algorithm must see Collision, not Empty.
+        for seed in 0..16 {
+            let mut c = controller(200 + seed);
+            let slot = [obs_at(0.0, Db::new(-200.0))];
+            let (outcome, winner) = c.resolve(&slot);
+            assert_eq!(outcome, SlotOutcome::Collision);
+            assert!(winner.is_none());
         }
     }
 

@@ -15,6 +15,10 @@
 //! * [`inventory`] — the Q-algorithm inventory controller over an
 //!   abstract [`inventory::Medium`], producing [`inventory::TagRead`]s
 //!   (EPC + complex channel + SNR) for the localizer.
+//! * [`medium`] — the composable middleware stack over [`Medium`]:
+//!   cross-cutting behaviors (fault injection, instrumentation,
+//!   journal taps) are [`medium::MediumLayer`]s stacked with
+//!   [`medium::MediumExt::layer`] over one shared propagation core.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +27,9 @@ pub mod config;
 pub mod decoder;
 pub mod hopping;
 pub mod inventory;
+pub mod medium;
 pub mod waveform;
 
 pub use config::ReaderConfig;
 pub use inventory::{InventoryController, Medium, Observation, TagRead};
+pub use medium::{Layered, MediumExt, MediumLayer, ObsLayer, Tap};

@@ -200,6 +200,7 @@ pub struct Run {
 /// Flies `scenario` under `schedule` start to finish, journaling every
 /// step.
 pub fn run_full(scenario: &Scenario, schedule: &FaultSchedule) -> Result<Run, String> {
+    let _span = rfly_obs::span("replay.run_full");
     let mut m = scenario.build()?;
     let sup = SupervisorConfig::default();
     let sup_opt = scenario.supervised.then_some(&sup);
@@ -213,6 +214,7 @@ pub fn run_full(scenario: &Scenario, schedule: &FaultSchedule) -> Result<Run, St
     let mut journal = Journal::begin(scenario.clone());
     while !state.finished() {
         let rec = state.advance(&mut m.world, &env, &m.cfg, schedule, sup_opt);
+        rfly_obs::counter_add("replay.steps_journaled", 1);
         journal.push(&rec);
     }
     let outcome = state.into_outcome(&env, sup_opt);
@@ -261,6 +263,8 @@ pub fn resume(
     checkpoint: &Checkpoint,
     mut journal: Journal,
 ) -> Result<Run, String> {
+    let _span = rfly_obs::span("replay.resume");
+    rfly_obs::counter_add("replay.resumes", 1);
     let mut m = scenario.build()?;
     m.world
         .restore(&checkpoint.world)
@@ -276,6 +280,7 @@ pub fn resume(
     let mut state = MissionState::from_snapshot(checkpoint.mission.clone());
     while !state.finished() {
         let rec = state.advance(&mut m.world, &env, &m.cfg, schedule, sup_opt);
+        rfly_obs::counter_add("replay.steps_journaled", 1);
         journal.push(&rec);
     }
     let outcome = state.into_outcome(&env, sup_opt);

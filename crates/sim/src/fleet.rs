@@ -1,343 +1,34 @@
-//! Multi-relay medium: one warehouse, one reader, N drone-borne relays.
+//! Multi-relay medium names: one warehouse, one reader, N drone-borne
+//! relays.
 //!
-//! [`FleetMedium`] generalizes [`crate::world::RelayedMedium`] to a
-//! fleet. Every relay in the fleet radiates its downlink carrier
-//! continuously (the reader infrastructure keeps each relay's f₁
-//! illuminated so its tags stay powered), so a tag hears the *sum* of
-//! all relay downlinks:
-//!
-//! * relays sharing a tag-side frequency f₂ add **coherently** — their
-//!   fields superpose phasor-wise and can cancel
-//!   ([`rfly_channel::phasor::coherent_sum`]);
-//! * relays on distinct f₂ add **incoherently** — the beat terms
-//!   time-average out and only powers add
-//!   ([`rfly_channel::phasor::incoherent_power_sum`]).
-//!
-//! Inventory is TDM: the reader singulates through one *serving* relay
-//! at a time. The other relays' carriers leak into the serving uplink
-//! after the chain filters' Δf rejection
-//! ([`rfly_core::relay::gains::offset_rejection`]) and degrade every
-//! observation's SNR — which is why the fleet channel assigner spreads
-//! the relays across the FCC hopping plan.
+//! The fleet physics — coherent/incoherent downlink superposition,
+//! Δf-rejected uplink leakage, TDM serving — lives in the shared
+//! propagation core, [`crate::medium::WorldMedium`]. This module keeps
+//! the fleet-facing names ([`FleetMedium`], [`FleetRelay`],
+//! [`FLEET_PASSBAND`]) and the fleet behavior tests.
 
-use std::collections::BTreeMap;
+use crate::medium::WorldMedium;
 
-use rfly_channel::geometry::Point2;
-use rfly_channel::phasor::{coherent_sum, incoherent_power_sum};
-use rfly_core::relay::gains::offset_rejection;
-use rfly_dsp::rng::Rng;
-use rfly_dsp::units::{Db, Dbm, Hertz};
-use rfly_dsp::Complex;
-use rfly_protocol::commands::Command;
-use rfly_reader::inventory::{Medium, Observation};
+pub use crate::medium::{FleetRelay, FLEET_PASSBAND};
 
-use crate::world::{PhasorWorld, RelayModel};
-
-/// The chain's passband width seen by an offset interferer: twice the
-/// default `RelayConfig` BPF half-bandwidth (±200 kHz).
-pub const FLEET_PASSBAND: Hertz = Hertz(400e3);
-
-/// One fleet member: a relay build and where its drone hovers.
-#[derive(Debug, Clone)]
-pub struct FleetRelay {
-    /// The relay's phasor-level model (frequencies, gains, caps).
-    pub model: RelayModel,
-    /// Drone hover position.
-    pub pos: Point2,
-}
-
-/// Reader ↔ serving relay ↔ tags, with the rest of the fleet radiating.
-#[derive(Debug)]
-pub struct FleetMedium<'a> {
-    world: &'a mut PhasorWorld,
-    relays: Vec<FleetRelay>,
-    serving: usize,
-    /// One-way reader→relay channel at each relay's f₁.
-    h1: Vec<Complex>,
-    passband: Hertz,
-    /// Per-tag cache for this stop (geometry is frozen while the
-    /// medium lives): fleet-summed incident power and the serving
-    /// relay's one-way tag channel. Tracing these once per medium
-    /// instead of once per transact is what keeps a warehouse mission
-    /// tractable.
-    tag_rf: Vec<(Dbm, Complex)>,
-    /// Cached fleet leakage into the serving uplink, linear mW.
-    leakage_mw: f64,
-}
-
-impl<'a> FleetMedium<'a> {
-    /// Builds the medium: traces reader→relay channels for every fleet
-    /// member, caches every tag's RF state, and serves through
-    /// `relays[serving]`.
-    pub fn new(world: &'a mut PhasorWorld, relays: Vec<FleetRelay>, serving: usize) -> Self {
-        assert!(serving < relays.len(), "serving index out of range");
-        let h1 = relays
-            .iter()
-            .map(|r| world.one_way(world.reader_pos, r.pos, r.model.f1))
-            .collect();
-        let mut medium = Self {
-            world,
-            relays,
-            serving,
-            h1,
-            passband: FLEET_PASSBAND,
-            tag_rf: Vec::new(),
-            leakage_mw: 0.0,
-        };
-        medium.refresh();
-        medium
-    }
-
-    /// Overrides the filter passband used for Δf rejection.
-    pub fn with_passband(mut self, passband: Hertz) -> Self {
-        self.passband = passband;
-        self.refresh();
-        self
-    }
-
-    /// Re-traces the per-stop caches (tag incident power, serving tag
-    /// channels, fleet leakage).
-    fn refresh(&mut self) {
-        let eirps = self.eirps();
-        let serving_pos = self.relays[self.serving].pos;
-        let f2_s = self.relays[self.serving].model.f2;
-        let positions: Vec<Point2> = self
-            .world
-            .tags
-            .tags()
-            .iter()
-            .map(|t| t.position())
-            .collect();
-        self.tag_rf = positions
-            .iter()
-            .map(|&p| {
-                let incident =
-                    Dbm::from_milliwatts(fleet_incident_mw(&self.relays, &eirps, p, |pos, f| {
-                        self.world.one_way(pos, p, f)
-                    }));
-                let h2 = self.world.one_way(serving_pos, p, f2_s);
-                (incident, h2)
-            })
-            .collect();
-        self.leakage_mw = self.interference_mw();
-    }
-
-    /// The serving relay.
-    pub fn serving(&self) -> &FleetRelay {
-        &self.relays[self.serving]
-    }
-
-    /// The serving relay's Eq. 3 stability gate (same check as the
-    /// single-relay medium).
-    pub fn stable(&self) -> bool {
-        let loss = -Db::from_linear(self.h1[self.serving].norm_sq()).value();
-        loss <= self.serving().model.stability_isolation.value()
-    }
-
-    /// Relay `i`'s PA-capped downlink output power at its tag-side port.
-    fn relay_output(&self, i: usize) -> Dbm {
-        let r = &self.relays[i].model;
-        let p_in = self.world.config.tx_power
-            + self.world.config.antenna_gain
-            + Db::from_linear(self.h1[i].norm_sq())
-            + r.antenna_gain;
-        let amplified = p_in + r.gains.downlink;
-        Dbm::new(amplified.value().min(r.pa_limit.value()))
-    }
-
-    /// Relay `i`'s effective downlink amplitude gain after the PA cap.
-    fn effective_downlink_gain(&self, i: usize) -> Db {
-        let r = &self.relays[i].model;
-        let p_in = self.world.config.tx_power
-            + self.world.config.antenna_gain
-            + Db::from_linear(self.h1[i].norm_sq())
-            + r.antenna_gain;
-        Db::new(
-            r.gains
-                .downlink
-                .value()
-                .min(r.pa_limit.value() - p_in.value()),
-        )
-    }
-
-    /// Radiated downlink EIRP of every relay (output + antenna gain).
-    fn eirps(&self) -> Vec<Dbm> {
-        (0..self.relays.len())
-            .map(|i| self.relay_output(i) + self.relays[i].model.antenna_gain)
-            .collect()
-    }
-
-    /// Total downlink power incident on a tag from the whole fleet:
-    /// coherent within each f₂ group, incoherent across groups.
-    pub fn incident_at(&self, tag_pos: Point2) -> Dbm {
-        let eirps = self.eirps();
-        Dbm::from_milliwatts(fleet_incident_mw(
-            &self.relays,
-            &eirps,
-            tag_pos,
-            |pos, f| self.world.one_way(pos, tag_pos, f),
-        ))
-    }
-
-    /// Interference power reaching the reader through the serving
-    /// relay's uplink from every other relay's downlink carrier,
-    /// attenuated by the chain's Δf rejection. Linear milliwatts.
-    fn interference_mw(&self) -> f64 {
-        let s = self.serving;
-        let sm = &self.relays[s].model;
-        let reader_side = Db::from_linear(self.h1[s].norm_sq()) + self.world.config.antenna_gain;
-        incoherent_power_sum((0..self.relays.len()).filter(|&j| j != s).map(|j| {
-            let jm = &self.relays[j].model;
-            let coupling = self
-                .world
-                .one_way(self.relays[j].pos, self.relays[s].pos, jm.f2);
-            let offset = Hertz(jm.f2.as_hz() - sm.f2.as_hz());
-            let leak = self.relay_output(j)
-                + jm.antenna_gain
-                + Db::from_linear(coupling.norm_sq())
-                + sm.antenna_gain
-                + sm.gains.uplink
-                - offset_rejection(offset, self.passband)
-                + reader_side;
-            leak.milliwatts()
-        }))
-    }
-}
-
-/// Beyond this relay→tag distance a 29 dBm downlink is ≥ 20 dB under
-/// the −15 dBm power-up threshold, so the relay's field is skipped
-/// (saves an environment trace per relay per tag per transaction).
-const INCIDENT_CULL_M: f64 = 25.0;
-
-/// The fleet-summed incident power (mW) at one point: groups the relay
-/// fields by tag-side frequency, sums each group coherently, then adds
-/// group powers incoherently.
-fn fleet_incident_mw(
-    relays: &[FleetRelay],
-    eirps: &[Dbm],
-    at: Point2,
-    mut trace: impl FnMut(Point2, Hertz) -> Complex,
-) -> f64 {
-    let mut groups: BTreeMap<u64, Vec<Complex>> = BTreeMap::new();
-    for (r, &eirp) in relays.iter().zip(eirps) {
-        if r.pos.distance(at) > INCIDENT_CULL_M {
-            continue;
-        }
-        let h2 = trace(r.pos, r.model.f2);
-        let amp = eirp.milliwatts().sqrt();
-        groups
-            .entry(r.model.f2.as_hz().to_bits())
-            .or_default()
-            .push(h2 * amp);
-    }
-    incoherent_power_sum(
-        groups
-            .into_values()
-            .map(|fields| coherent_sum(fields).norm_sq()),
-    )
-}
-
-impl Medium for FleetMedium<'_> {
-    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
-        if !self.stable() {
-            return Vec::new();
-        }
-        let s = self.serving;
-        let g_dl_eff = self.effective_downlink_gain(s);
-        let g_ul = self.relays[s].model.gains.uplink;
-        let ant = self.relays[s].model.antenna_gain;
-        let serving_eirp = self.relay_output(s) + self.relays[s].model.antenna_gain;
-        let relay_phase = if self.relays[s].model.mirrored {
-            self.relays[s].model.hw_constant
-        } else {
-            Complex::cis(
-                self.world
-                    .rng
-                    .gen_range(-std::f64::consts::PI..std::f64::consts::PI),
-            )
-        };
-        let snr_penalty = self.relays[s].model.snr_penalty;
-        let bs_gain = self.world.backscatter.gain();
-        let reader_gain = self.world.config.antenna_gain;
-        let h1 = self.h1[s];
-
-        // Effective noise floor: receiver noise plus the fleet's leaked
-        // carriers, summed in linear power.
-        let noise_floor = self.world.config.link_budget().noise_floor();
-        let denom = Dbm::from_milliwatts(noise_floor.milliwatts() + self.leakage_mw);
-
-        let tag_rf = &self.tag_rf;
-        let replies: Vec<(Complex, Dbm, _)> = self
-            .world
-            .tags
-            .tags_mut()
-            .iter_mut()
-            .zip(tag_rf)
-            .filter_map(|(tag, &(incident_total, h2))| {
-                // Powering is fleet-wide; the decoded backscatter rides
-                // the serving relay's carrier only.
-                let incident_serving = serving_eirp + Db::from_linear(h2.norm_sq());
-                let reply = tag.respond(cmd, incident_total)?;
-                Some((h2, incident_serving, reply))
-            })
-            .collect();
-
-        let mut obs = Vec::new();
-        for (h2, incident, reply) in replies {
-            let p_rx = incident
-                + bs_gain
-                + Db::from_linear(h2.norm_sq())
-                + ant // serving uplink RX antenna
-                + g_ul
-                + ant // serving uplink TX antenna
-                + Db::from_linear(h1.norm_sq())
-                + reader_gain;
-            let snr = p_rx - denom - snr_penalty;
-            let h = h1 * h1 * h2 * h2 * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
-            let channel = self.world.observe_channel(h, snr);
-            obs.push(Observation {
-                frame: reply.frame().clone(),
-                channel,
-                snr,
-            });
-        }
-
-        // The serving relay's embedded RFID (reserved EPC; the fleet
-        // inventory engine filters it out of the global inventory).
-        if let Some(reply) = self.world.embedded.handle(cmd) {
-            let local = self.relays[s].model.embedded_local;
-            let p_rx = self.relay_output(s)
-                + ant
-                + Db::from_linear(local.norm_sq())
-                + bs_gain
-                + Db::from_linear(local.norm_sq())
-                + ant
-                + g_ul
-                + ant
-                + Db::from_linear(h1.norm_sq())
-                + reader_gain;
-            let snr = p_rx - denom - snr_penalty;
-            let h = h1 * h1 * local * local * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
-            let channel = self.world.observe_channel(h, snr);
-            obs.push(Observation {
-                frame: reply.frame().clone(),
-                channel,
-                snr,
-            });
-        }
-
-        obs
-    }
-}
+/// Reader ↔ serving relay ↔ tags, with the rest of the fleet
+/// radiating: the fleet view of [`WorldMedium`]. Construct with
+/// [`WorldMedium::new`] / [`WorldMedium::fleet`].
+pub type FleetMedium<'a> = WorldMedium<'a>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::world::{PhasorWorld, RelayModel};
     use rfly_channel::environment::Environment;
+    use rfly_channel::geometry::Point2;
     use rfly_dsp::rng::StdRng;
+    use rfly_dsp::units::Hertz;
+    use rfly_protocol::commands::Command;
     use rfly_protocol::epc::Epc;
     use rfly_reader::config::ReaderConfig;
     use rfly_reader::inventory::InventoryController;
+    use rfly_reader::inventory::Medium;
     use rfly_tag::population::TagPopulation;
     use rfly_tag::tag::PassiveTag;
 

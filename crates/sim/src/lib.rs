@@ -2,8 +2,11 @@
 //! # rfly-sim — end-to-end RFly system simulation
 //!
 //! Glues every substrate into runnable experiments: warehouse [`scene`]s,
-//! a phasor-level [`world`] implementing the reader's `Medium` trait
-//! with and without the relay, high-level [`endtoend`] scenarios
+//! a phasor-level [`world`] whose single propagation core
+//! ([`medium::WorldMedium`]) implements the reader's `Medium` trait
+//! in every topology (direct, single relay, fleet) — cross-cutting
+//! behaviors stack on it as `rfly_reader::medium` layers — plus
+//! high-level [`endtoend`] scenarios
 //! (fly → inventory → disentangle → localize), a seeded Monte-Carlo
 //! [`experiment`] runner, [`metrics`], and tabular [`report`] output for
 //! the per-figure benchmark binaries.
@@ -15,6 +18,7 @@ pub mod coverage;
 pub mod endtoend;
 pub mod experiment;
 pub mod fleet;
+pub mod medium;
 pub mod metrics;
 pub mod report;
 pub mod sample_link;
@@ -24,5 +28,6 @@ pub mod world;
 
 pub use endtoend::{Scenario, ScenarioBuilder, ScenarioOutcome};
 pub use fleet::{FleetMedium, FleetRelay};
+pub use medium::WorldMedium;
 pub use scene::Scene;
 pub use world::PhasorWorld;

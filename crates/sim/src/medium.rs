@@ -1,0 +1,446 @@
+//! The one propagation core behind every air interface.
+//!
+//! [`WorldMedium`] is the **single** `impl Medium` in the workspace
+//! that contains propagation physics. Every topology the paper and its
+//! extensions exercise is a configuration of this core:
+//!
+//! * [`WorldMedium::direct`] — reader ↔ tags, no relay (the Fig. 11
+//!   baseline);
+//! * [`WorldMedium::relayed`] — reader ↔ one drone-borne relay ↔ tags
+//!   (a fleet of one);
+//! * [`WorldMedium::fleet`] — reader ↔ serving relay ↔ tags with the
+//!   rest of the fleet radiating: coherent/incoherent downlink
+//!   superposition, Δf-rejected uplink leakage, TDM serving.
+//!
+//! Everything *around* propagation — fault injection, instrumentation,
+//! transaction taps — is a `rfly_reader::medium::MediumLayer` stacked
+//! on top (`base.layer(faults).layer(obs).layer(tap)`), so behaviors
+//! compose instead of each re-implementing the physics glue.
+//!
+//! Physics notes (unchanged from the pre-refactor media): every relay
+//! radiates its downlink carrier continuously, so a tag hears the
+//! *sum* of all relay downlinks — coherent within a shared tag-side
+//! frequency f₂ ([`rfly_channel::phasor::coherent_sum`]), incoherent
+//! across distinct f₂ ([`rfly_channel::phasor::incoherent_power_sum`]).
+//! Inventory is TDM through one serving relay; the other relays'
+//! carriers leak into the serving uplink after the chain filters' Δf
+//! rejection ([`rfly_core::relay::gains::offset_rejection`]).
+
+use std::collections::BTreeMap;
+
+use rfly_channel::geometry::Point2;
+use rfly_channel::phasor::{coherent_sum, incoherent_power_sum};
+use rfly_core::relay::gains::offset_rejection;
+use rfly_dsp::rng::Rng;
+use rfly_dsp::units::{Db, Dbm, Hertz};
+use rfly_dsp::Complex;
+use rfly_protocol::commands::Command;
+use rfly_reader::inventory::{Medium, Observation};
+
+use crate::world::{PhasorWorld, RelayModel};
+
+/// The chain's passband width seen by an offset interferer: twice the
+/// default `RelayConfig` BPF half-bandwidth (±200 kHz).
+pub const FLEET_PASSBAND: Hertz = Hertz(400e3);
+
+/// One fleet member: a relay build and where its drone hovers.
+#[derive(Debug, Clone)]
+pub struct FleetRelay {
+    /// The relay's phasor-level model (frequencies, gains, caps).
+    pub model: RelayModel,
+    /// Drone hover position.
+    pub pos: Point2,
+}
+
+/// Beyond this relay→tag distance a 29 dBm downlink is ≥ 20 dB under
+/// the −15 dBm power-up threshold, so the relay's field is skipped
+/// (saves an environment trace per relay per tag per transaction).
+const INCIDENT_CULL_M: f64 = 25.0;
+
+/// The fleet-summed incident power (mW) at one point: groups the relay
+/// fields by tag-side frequency, sums each group coherently, then adds
+/// group powers incoherently.
+fn fleet_incident_mw(
+    relays: &[FleetRelay],
+    eirps: &[Dbm],
+    at: Point2,
+    mut trace: impl FnMut(Point2, Hertz) -> Complex,
+) -> f64 {
+    let mut groups: BTreeMap<u64, Vec<Complex>> = BTreeMap::new();
+    for (r, &eirp) in relays.iter().zip(eirps) {
+        if r.pos.distance(at) > INCIDENT_CULL_M {
+            continue;
+        }
+        let h2 = trace(r.pos, r.model.f2);
+        let amp = eirp.milliwatts().sqrt();
+        groups
+            .entry(r.model.f2.as_hz().to_bits())
+            .or_default()
+            .push(h2 * amp);
+    }
+    incoherent_power_sum(
+        groups
+            .into_values()
+            .map(|fields| coherent_sum(fields).norm_sq()),
+    )
+}
+
+/// The relayed link state: the fleet, the serving index, and the
+/// per-stop RF caches (geometry is frozen while the medium lives —
+/// tracing once per medium instead of once per transact is what keeps
+/// a warehouse mission tractable).
+#[derive(Debug)]
+struct RelayLink {
+    relays: Vec<FleetRelay>,
+    serving: usize,
+    /// One-way reader→relay channel at each relay's f₁.
+    h1: Vec<Complex>,
+    passband: Hertz,
+    /// Per-tag cache: fleet-summed incident power and the serving
+    /// relay's one-way tag channel.
+    tag_rf: Vec<(Dbm, Complex)>,
+    /// Cached fleet leakage into the serving uplink, linear mW.
+    leakage_mw: f64,
+}
+
+impl RelayLink {
+    /// Re-traces the per-stop caches (tag incident power, serving tag
+    /// channels, fleet leakage).
+    fn refresh(&mut self, world: &PhasorWorld) {
+        let eirps = self.eirps(world);
+        let serving_pos = self.relays[self.serving].pos;
+        let f2_s = self.relays[self.serving].model.f2;
+        let positions: Vec<Point2> = world.tags.tags().iter().map(|t| t.position()).collect();
+        self.tag_rf = positions
+            .iter()
+            .map(|&p| {
+                let incident =
+                    Dbm::from_milliwatts(fleet_incident_mw(&self.relays, &eirps, p, |pos, f| {
+                        world.one_way(pos, p, f)
+                    }));
+                let h2 = world.one_way(serving_pos, p, f2_s);
+                (incident, h2)
+            })
+            .collect();
+        self.leakage_mw = self.interference_mw(world);
+    }
+
+    /// The serving relay's Eq. 3 stability gate.
+    fn stable(&self) -> bool {
+        let loss = -Db::from_linear(self.h1[self.serving].norm_sq()).value();
+        loss <= self.relays[self.serving].model.stability_isolation.value()
+    }
+
+    /// Relay `i`'s PA-capped downlink output power at its tag-side port.
+    fn relay_output(&self, world: &PhasorWorld, i: usize) -> Dbm {
+        let r = &self.relays[i].model;
+        let p_in = world.config.tx_power
+            + world.config.antenna_gain
+            + Db::from_linear(self.h1[i].norm_sq())
+            + r.antenna_gain;
+        let amplified = p_in + r.gains.downlink;
+        Dbm::new(amplified.value().min(r.pa_limit.value()))
+    }
+
+    /// Relay `i`'s effective downlink amplitude gain after the PA cap.
+    fn effective_downlink_gain(&self, world: &PhasorWorld, i: usize) -> Db {
+        let r = &self.relays[i].model;
+        let p_in = world.config.tx_power
+            + world.config.antenna_gain
+            + Db::from_linear(self.h1[i].norm_sq())
+            + r.antenna_gain;
+        Db::new(
+            r.gains
+                .downlink
+                .value()
+                .min(r.pa_limit.value() - p_in.value()),
+        )
+    }
+
+    /// Radiated downlink EIRP of every relay (output + antenna gain).
+    fn eirps(&self, world: &PhasorWorld) -> Vec<Dbm> {
+        (0..self.relays.len())
+            .map(|i| self.relay_output(world, i) + self.relays[i].model.antenna_gain)
+            .collect()
+    }
+
+    /// Interference power reaching the reader through the serving
+    /// relay's uplink from every other relay's downlink carrier,
+    /// attenuated by the chain's Δf rejection. Linear milliwatts.
+    fn interference_mw(&self, world: &PhasorWorld) -> f64 {
+        let s = self.serving;
+        let sm = &self.relays[s].model;
+        let reader_side = Db::from_linear(self.h1[s].norm_sq()) + world.config.antenna_gain;
+        incoherent_power_sum((0..self.relays.len()).filter(|&j| j != s).map(|j| {
+            let jm = &self.relays[j].model;
+            let coupling = world.one_way(self.relays[j].pos, self.relays[s].pos, jm.f2);
+            let offset = Hertz(jm.f2.as_hz() - sm.f2.as_hz());
+            let leak = self.relay_output(world, j)
+                + jm.antenna_gain
+                + Db::from_linear(coupling.norm_sq())
+                + sm.antenna_gain
+                + sm.gains.uplink
+                - offset_rejection(offset, self.passband)
+                + reader_side;
+            leak.milliwatts()
+        }))
+    }
+}
+
+/// Which link topology the core is simulating.
+#[derive(Debug)]
+enum Link {
+    /// Reader ↔ tags, no relay.
+    Direct,
+    /// Reader ↔ serving relay ↔ tags, rest of the fleet radiating.
+    Relayed(RelayLink),
+}
+
+/// The shared propagation core: the only `impl Medium` carrying
+/// physics. See the module docs for the topology constructors.
+#[derive(Debug)]
+pub struct WorldMedium<'a> {
+    world: &'a mut PhasorWorld,
+    link: Link,
+}
+
+impl<'a> WorldMedium<'a> {
+    /// Reader ↔ tags directly (the no-relay baseline).
+    pub fn direct(world: &'a mut PhasorWorld) -> Self {
+        Self {
+            world,
+            link: Link::Direct,
+        }
+    }
+
+    /// Reader ↔ relay ↔ tags with the world's relay build hovering at
+    /// `relay_pos`: a fleet of one.
+    pub fn relayed(world: &'a mut PhasorWorld, relay_pos: Point2) -> Self {
+        let model = world.relay.clone();
+        Self::fleet(
+            world,
+            vec![FleetRelay {
+                model,
+                pos: relay_pos,
+            }],
+            0,
+        )
+    }
+
+    /// Reader ↔ `relays[serving]` ↔ tags, with every other fleet member
+    /// radiating its downlink carrier. Traces reader→relay channels for
+    /// every member and caches every tag's RF state.
+    pub fn fleet(world: &'a mut PhasorWorld, relays: Vec<FleetRelay>, serving: usize) -> Self {
+        assert!(serving < relays.len(), "serving index out of range");
+        let h1 = relays
+            .iter()
+            .map(|r| world.one_way(world.reader_pos, r.pos, r.model.f1))
+            .collect();
+        let mut link = RelayLink {
+            relays,
+            serving,
+            h1,
+            passband: FLEET_PASSBAND,
+            tag_rf: Vec::new(),
+            leakage_mw: 0.0,
+        };
+        link.refresh(world);
+        Self {
+            world,
+            link: Link::Relayed(link),
+        }
+    }
+
+    /// Back-compat constructor (the pre-refactor `FleetMedium::new`
+    /// signature): identical to [`Self::fleet`].
+    pub fn new(world: &'a mut PhasorWorld, relays: Vec<FleetRelay>, serving: usize) -> Self {
+        Self::fleet(world, relays, serving)
+    }
+
+    /// Overrides the filter passband used for Δf rejection (no effect
+    /// on a direct link).
+    pub fn with_passband(mut self, passband: Hertz) -> Self {
+        if let Link::Relayed(link) = &mut self.link {
+            link.passband = passband;
+            link.refresh(self.world);
+        }
+        self
+    }
+
+    /// The serving relay, if this is a relayed link.
+    pub fn serving(&self) -> Option<&FleetRelay> {
+        match &self.link {
+            Link::Direct => None,
+            Link::Relayed(link) => Some(&link.relays[link.serving]),
+        }
+    }
+
+    /// The Eq. 3 stability gate: path loss below the serving relay's
+    /// isolation. A direct link is always stable; a ringing relay
+    /// forwards nothing useful.
+    pub fn stable(&self) -> bool {
+        match &self.link {
+            Link::Direct => true,
+            Link::Relayed(link) => link.stable(),
+        }
+    }
+
+    /// Total downlink power incident on a tag from the whole fleet:
+    /// coherent within each f₂ group, incoherent across groups. On a
+    /// direct link, the reader's own EIRP through the scene.
+    pub fn incident_at(&self, tag_pos: Point2) -> Dbm {
+        match &self.link {
+            Link::Direct => {
+                let budget = self.world.config.link_budget();
+                let h = self
+                    .world
+                    .one_way(self.world.reader_pos, tag_pos, self.world.relay.f1);
+                budget.eirp() + Db::from_linear(h.norm_sq())
+            }
+            Link::Relayed(link) => {
+                let eirps = link.eirps(self.world);
+                Dbm::from_milliwatts(fleet_incident_mw(
+                    &link.relays,
+                    &eirps,
+                    tag_pos,
+                    |pos, f| self.world.one_way(pos, tag_pos, f),
+                ))
+            }
+        }
+    }
+}
+
+/// Reader ↔ tags with no relay in the loop.
+fn direct_transact(world: &mut PhasorWorld, cmd: &Command) -> Vec<Observation> {
+    let f1 = world.relay.f1;
+    let reader_pos = world.reader_pos;
+    let budget = world.config.link_budget();
+    let bs = world.backscatter;
+    let shadow_amp = (-world.reader_link_extra_loss).amplitude();
+    let env = world.environment.clone();
+    let replies: Vec<(Complex, Dbm, _)> = world
+        .tags
+        .tags_mut()
+        .iter_mut()
+        .filter_map(|tag| {
+            let h = env.trace(reader_pos, tag.position(), f1).channel(f1) * shadow_amp;
+            let incident = budget.eirp() + Db::from_linear(h.norm_sq());
+            let reply = tag.respond(cmd, incident)?;
+            Some((h, incident, reply))
+        })
+        .collect();
+    let mut obs = Vec::new();
+    for (h, incident, reply) in replies {
+        let p_rx = incident + bs.gain() + Db::from_linear(h.norm_sq()) + budget.rx_gain;
+        let snr = p_rx - budget.noise_floor();
+        let channel = world.observe_channel(h * h * bs.gain().amplitude(), snr);
+        obs.push(Observation {
+            frame: reply.frame().clone(),
+            channel,
+            snr,
+        });
+    }
+    obs
+}
+
+/// Reader ↔ serving relay ↔ tags, with the rest of the fleet radiating.
+fn fleet_transact(world: &mut PhasorWorld, link: &RelayLink, cmd: &Command) -> Vec<Observation> {
+    if !link.stable() {
+        return Vec::new();
+    }
+    let s = link.serving;
+    let g_dl_eff = link.effective_downlink_gain(world, s);
+    let g_ul = link.relays[s].model.gains.uplink;
+    let ant = link.relays[s].model.antenna_gain;
+    let serving_eirp = link.relay_output(world, s) + link.relays[s].model.antenna_gain;
+    let relay_phase = if link.relays[s].model.mirrored {
+        link.relays[s].model.hw_constant
+    } else {
+        Complex::cis(
+            world
+                .rng
+                .gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+        )
+    };
+    let snr_penalty = link.relays[s].model.snr_penalty;
+    let bs_gain = world.backscatter.gain();
+    let reader_gain = world.config.antenna_gain;
+    let h1 = link.h1[s];
+
+    // Effective noise floor: receiver noise plus the fleet's leaked
+    // carriers, summed in linear power.
+    let noise_floor = world.config.link_budget().noise_floor();
+    let denom = Dbm::from_milliwatts(noise_floor.milliwatts() + link.leakage_mw);
+
+    let tag_rf = &link.tag_rf;
+    let replies: Vec<(Complex, Dbm, _)> = world
+        .tags
+        .tags_mut()
+        .iter_mut()
+        .zip(tag_rf)
+        .filter_map(|(tag, &(incident_total, h2))| {
+            // Powering is fleet-wide; the decoded backscatter rides
+            // the serving relay's carrier only.
+            let incident_serving = serving_eirp + Db::from_linear(h2.norm_sq());
+            let reply = tag.respond(cmd, incident_total)?;
+            Some((h2, incident_serving, reply))
+        })
+        .collect();
+
+    let mut obs = Vec::new();
+    for (h2, incident, reply) in replies {
+        let p_rx = incident
+            + bs_gain
+            + Db::from_linear(h2.norm_sq())
+            + ant // serving uplink RX antenna
+            + g_ul
+            + ant // serving uplink TX antenna
+            + Db::from_linear(h1.norm_sq())
+            + reader_gain;
+        let snr = p_rx - denom - snr_penalty;
+        let h = h1 * h1 * h2 * h2 * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
+        let channel = world.observe_channel(h, snr);
+        obs.push(Observation {
+            frame: reply.frame().clone(),
+            channel,
+            snr,
+        });
+    }
+
+    // The serving relay's embedded RFID (reserved EPC; the fleet
+    // inventory engine filters it out of the global inventory).
+    if let Some(reply) = world.embedded.handle(cmd) {
+        let local = link.relays[s].model.embedded_local;
+        let p_rx = link.relay_output(world, s)
+            + ant
+            + Db::from_linear(local.norm_sq())
+            + bs_gain
+            + Db::from_linear(local.norm_sq())
+            + ant
+            + g_ul
+            + ant
+            + Db::from_linear(h1.norm_sq())
+            + reader_gain;
+        let snr = p_rx - denom - snr_penalty;
+        let h = h1 * h1 * local * local * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
+        let channel = world.observe_channel(h, snr);
+        obs.push(Observation {
+            frame: reply.frame().clone(),
+            channel,
+            snr,
+        });
+    }
+
+    obs
+}
+
+impl Medium for WorldMedium<'_> {
+    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
+        rfly_obs::counter_add("sim.transactions", 1);
+        let world = &mut *self.world;
+        match &mut self.link {
+            Link::Direct => direct_transact(world, cmd),
+            Link::Relayed(link) => fleet_transact(world, link, cmd),
+        }
+    }
+}

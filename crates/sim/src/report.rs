@@ -36,6 +36,21 @@ impl Table {
         self.row(&v);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

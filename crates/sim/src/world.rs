@@ -1,19 +1,22 @@
 //! The phasor-level world: geometry + link budgets + protocol, exposed
-//! to the reader stack through its `Medium` trait.
+//! to the reader stack through the one propagation core,
+//! [`crate::medium::WorldMedium`].
 //!
-//! Two media are provided over the same world state:
+//! Two convenience constructors cover the paper's two baselines over
+//! the same world state:
 //!
-//! * [`DirectMedium`] — reader ↔ tags with no relay (the Fig. 11
-//!   baseline),
-//! * [`RelayedMedium`] — reader ↔ relay ↔ tags, with the drone-borne
-//!   relay at a given position, the embedded RFID, the §6.1 gain plan,
-//!   the PA compression cap and the Eq. 3 stability gate.
+//! * [`PhasorWorld::direct_medium`] — reader ↔ tags with no relay (the
+//!   Fig. 11 baseline),
+//! * [`PhasorWorld::relayed_medium`] — reader ↔ relay ↔ tags, with the
+//!   drone-borne relay at a given position, the embedded RFID, the §6.1
+//!   gain plan, the PA compression cap and the Eq. 3 stability gate —
+//!   a fleet of one.
 //!
-//! Because both implement the same trait, the identical unmodified
-//! reader stack runs against either — the paper's protocol-transparency
-//! claim, enforced by the type system.
+//! Both return the same [`WorldMedium`] type behind the same `Medium`
+//! trait, so the identical unmodified reader stack runs against either
+//! — the paper's protocol-transparency claim, enforced by the type
+//! system.
 
-use rfly_dsp::rng::Rng;
 use rfly_dsp::rng::StdRng;
 
 use rfly_channel::environment::Environment;
@@ -24,11 +27,19 @@ use rfly_core::relay::gains::{allocate, GainPlan, IsolationBudget, PA_COMPRESSIO
 use rfly_dsp::noise::noise_sample;
 use rfly_dsp::units::{Db, Dbm, Hertz, Seconds};
 use rfly_dsp::Complex;
-use rfly_protocol::commands::Command;
 use rfly_protocol::epc::Epc;
 use rfly_reader::config::ReaderConfig;
-use rfly_reader::inventory::{Medium, Observation};
 use rfly_tag::population::TagPopulation;
+
+use crate::medium::WorldMedium;
+
+/// Reader ↔ relay ↔ tags: the single-relay view of [`WorldMedium`]
+/// (kept as a name for the paper's §4 terminology).
+pub type RelayedMedium<'a> = WorldMedium<'a>;
+
+/// Reader ↔ tags directly (no relay): the baseline view of
+/// [`WorldMedium`].
+pub type DirectMedium<'a> = WorldMedium<'a>;
 
 /// Phasor-level parameters of the relay build flown in a scenario.
 #[derive(Debug, Clone)]
@@ -241,19 +252,15 @@ impl PhasorWorld {
         Ok(())
     }
 
-    /// A medium with the relay hovering at `relay_pos`.
+    /// A medium with the relay hovering at `relay_pos` (a fleet of
+    /// one over the shared propagation core).
     pub fn relayed_medium(&mut self, relay_pos: Point2) -> RelayedMedium<'_> {
-        let h1 = self.one_way(self.reader_pos, relay_pos, self.relay.f1);
-        RelayedMedium {
-            relay_pos,
-            h1,
-            world: self,
-        }
+        WorldMedium::relayed(self, relay_pos)
     }
 
     /// A medium with no relay (the baseline).
     pub fn direct_medium(&mut self) -> DirectMedium<'_> {
-        DirectMedium { world: self }
+        WorldMedium::direct(self)
     }
 }
 
@@ -314,190 +321,10 @@ impl std::fmt::Display for WorldRestoreError {
 
 impl std::error::Error for WorldRestoreError {}
 
-/// Reader ↔ relay ↔ tags.
-#[derive(Debug)]
-pub struct RelayedMedium<'a> {
-    world: &'a mut PhasorWorld,
-    relay_pos: Point2,
-    /// One-way reader→relay channel at f₁ (traced once per position).
-    h1: Complex,
-}
-
-impl RelayedMedium<'_> {
-    /// The Eq. 3 stability check for this position: path loss below the
-    /// isolation. A ringing relay forwards nothing useful.
-    pub fn stable(&self) -> bool {
-        let loss = -Db::from_linear(self.h1.norm_sq()).value();
-        loss <= self.world.relay.stability_isolation.value()
-    }
-
-    /// The relayed-query output power at the relay's tag-side antenna
-    /// port (PA-capped).
-    fn relay_output(&self) -> Dbm {
-        let w = &self.world;
-        let p_in = w.config.tx_power
-            + w.config.antenna_gain
-            + Db::from_linear(self.h1.norm_sq())
-            + w.relay.antenna_gain;
-        let amplified = p_in + w.relay.gains.downlink;
-        Dbm::new(amplified.value().min(w.relay.pa_limit.value()))
-    }
-
-    /// The *effective* downlink amplitude gain after the PA cap.
-    fn effective_downlink_gain(&self) -> Db {
-        let w = &self.world;
-        let p_in = w.config.tx_power
-            + w.config.antenna_gain
-            + Db::from_linear(self.h1.norm_sq())
-            + w.relay.antenna_gain;
-        Db::new(
-            w.relay
-                .gains
-                .downlink
-                .value()
-                .min(w.relay.pa_limit.value() - p_in.value()),
-        )
-    }
-}
-
-impl Medium for RelayedMedium<'_> {
-    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
-        if !self.stable() {
-            return Vec::new();
-        }
-        let f2 = self.world.relay.f2;
-        let relay_pos = self.relay_pos;
-        let p_out = self.relay_output();
-        let g_dl_eff = self.effective_downlink_gain();
-        // The per-transaction relay phase: constant when mirrored,
-        // random otherwise (the Fig. 10 distinction).
-        let relay_phase = if self.world.relay.mirrored {
-            self.world.relay.hw_constant
-        } else {
-            Complex::cis(
-                self.world
-                    .rng
-                    .gen_range(-std::f64::consts::PI..std::f64::consts::PI),
-            )
-        };
-        let g_ul = self.world.relay.gains.uplink;
-        let ant = self.world.relay.antenna_gain;
-        let bs_gain = self.world.backscatter.gain();
-        let noise_floor = self.world.config.link_budget().noise_floor();
-        let reader_gain = self.world.config.antenna_gain;
-        let h1 = self.h1;
-
-        let mut obs = Vec::new();
-
-        // Environment tags.
-        let env = self.world.environment.clone();
-        let replies: Vec<(Complex, Dbm, _)> = self
-            .world
-            .tags
-            .tags_mut()
-            .iter_mut()
-            .filter_map(|tag| {
-                let h2 = env.trace(relay_pos, tag.position(), f2).channel(f2);
-                let incident = p_out + ant + Db::from_linear(h2.norm_sq());
-                let reply = tag.respond(cmd, incident)?;
-                Some((h2, incident, reply))
-            })
-            .collect();
-        for (h2, incident, reply) in replies {
-            let p_rx = incident
-                + bs_gain
-                + Db::from_linear(h2.norm_sq())
-                + ant // relay uplink RX antenna
-                + g_ul
-                + ant // relay uplink TX antenna
-                + Db::from_linear(h1.norm_sq())
-                + reader_gain;
-            let snr = p_rx - noise_floor - self.world.relay.snr_penalty;
-            // Round-trip phasor: out (h1·g_dl·h2) and back (h2·g_ul·h1),
-            // times the relay's chain constant.
-            let h = h1 * h1 * h2 * h2 * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
-            let channel = self.world.observe_channel(h, snr);
-            obs.push(Observation {
-                frame: reply.frame().clone(),
-                channel,
-                snr,
-            });
-        }
-
-        // The embedded RFID: always within the relay's powering range.
-        if let Some(reply) = self.world.embedded.handle(cmd) {
-            let local = self.world.relay.embedded_local;
-            let p_rx = p_out
-                + ant
-                + Db::from_linear(local.norm_sq())
-                + bs_gain
-                + Db::from_linear(local.norm_sq())
-                + ant
-                + g_ul
-                + ant
-                + Db::from_linear(h1.norm_sq())
-                + reader_gain;
-            let snr = p_rx - noise_floor - self.world.relay.snr_penalty;
-            let h = h1 * h1 * local * local * g_dl_eff.amplitude() * g_ul.amplitude() * relay_phase;
-            let channel = self.world.observe_channel(h, snr);
-            obs.push(Observation {
-                frame: reply.frame().clone(),
-                channel,
-                snr,
-            });
-        }
-
-        obs
-    }
-}
-
-/// Reader ↔ tags directly (no relay).
-#[derive(Debug)]
-pub struct DirectMedium<'a> {
-    world: &'a mut PhasorWorld,
-}
-
-impl Medium for DirectMedium<'_> {
-    fn transact(&mut self, cmd: &Command) -> Vec<Observation> {
-        let f1 = self.world.relay.f1;
-        let reader_pos = self.world.reader_pos;
-        let budget = self.world.config.link_budget();
-        let bs = self.world.backscatter;
-        let shadow_amp = (-self.world.reader_link_extra_loss).amplitude();
-        let env = self.world.environment.clone();
-        let replies: Vec<(Complex, Dbm, _)> = self
-            .world
-            .tags
-            .tags_mut()
-            .iter_mut()
-            .filter_map(|tag| {
-                let h = env.trace(reader_pos, tag.position(), f1).channel(f1) * shadow_amp;
-                let incident = budget.eirp() + Db::from_linear(h.norm_sq());
-                let reply = tag.respond(cmd, incident)?;
-                Some((h, incident, reply))
-            })
-            .collect();
-        let mut obs = Vec::new();
-        for (h, incident, reply) in replies {
-            let p_rx = incident + bs.gain() + Db::from_linear(h.norm_sq()) + budget.rx_gain;
-            let snr = p_rx - budget.noise_floor();
-            let channel = self
-                .world
-                .observe_channel(h * h * bs.gain().amplitude(), snr);
-            obs.push(Observation {
-                frame: reply.frame().clone(),
-                channel,
-                snr,
-            });
-        }
-        obs
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfly_reader::inventory::InventoryController;
+    use rfly_reader::inventory::{InventoryController, Medium};
     use rfly_tag::tag::PassiveTag;
 
     fn world_with_tag(tag_pos: Point2, reader_pos: Point2, seed: u64) -> PhasorWorld {

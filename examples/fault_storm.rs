@@ -115,7 +115,12 @@ fn main() {
         }
     };
     let clean = fly(&FaultSchedule::none(), true);
+    // The supervised storm flies instrumented: every layer of the stack
+    // feeds the recorder, and the mission's metric report lands under
+    // results/obs/ in both text and JSON.
+    rfly::obs::install(rfly::obs::Recorder::new(&format!("fault_storm_seed{seed}")));
     let sup = fly(&storm, true);
+    let recorder = rfly::obs::take().expect("recorder was installed");
     let unsup = fly(&storm, false);
 
     // Per-cell accounting: which fraction of the dead relay's original
@@ -238,5 +243,13 @@ fn main() {
         post_sag(&unsup),
         post_sag(&sup)
     );
+    let report = rfly::obs::Report::from_recorder(&recorder);
+    match report.write_to_dir(
+        std::path::Path::new("results/obs"),
+        &format!("fault_storm_seed{seed}"),
+    ) {
+        Ok((txt, _json)) => println!("\nobs metric report: {}", txt.display()),
+        Err(e) => eprintln!("\nobs metric report not written: {e}"),
+    }
     println!("\nall fault-storm gates passed (seed {seed})");
 }

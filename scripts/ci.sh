@@ -33,6 +33,15 @@ for seed in 42 7 1234; do
   target/release/examples/fault_storm "$seed" >/dev/null
 done
 
+echo "== obs metric reports (fault_storm, DESIGN.md §10) =="
+# The fault matrix runs with an rfly-obs recorder installed; each
+# mission must have written its structured metric report.
+for seed in 42 7 1234; do
+  test -s "results/obs/fault_storm_seed${seed}.txt"
+  test -s "results/obs/fault_storm_seed${seed}.json"
+done
+head -n 4 results/obs/fault_storm_seed42.txt
+
 echo "== fault injector overhead (<5% on the clean hot path) =="
 cargo run --release --offline -p rfly-bench --bin ext_fault_overhead | tail -2
 

@@ -29,6 +29,9 @@
 //!   mission journal, checkpoint/resume at step boundaries, the
 //!   divergence detector, and the delta-debugging fault-schedule
 //!   shrinker that minimizes failing storms to committed repro files.
+//! * [`obs`] — zero-dependency structured instrumentation: monotonic
+//!   counters, unit-typed histograms, ordered events and spans, and a
+//!   deterministic text/JSON metric-report exporter (`results/obs/`).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@ pub use rfly_drone as drone;
 pub use rfly_dsp as dsp;
 pub use rfly_faults as faults;
 pub use rfly_fleet as fleet;
+pub use rfly_obs as obs;
 pub use rfly_protocol as protocol;
 pub use rfly_reader as reader;
 pub use rfly_replay as replay;
