@@ -19,6 +19,12 @@
 //! **bit-identical rows** to the serial one, which this binary asserts
 //! before printing (the serial/parallel wall-clock ratio lands in the
 //! bench report as `parallel_speedup`).
+//!
+//! Thread spawn/join overhead can exceed the win on small sweeps, so
+//! the binary times *both* paths, reports whichever was faster as the
+//! default (`default_path_serial`), and raises `parallel_regression`
+//! in `BENCH_report.json` whenever `parallel_speedup < 1.0` — a
+//! sub-1.0 "speedup" must be impossible to miss.
 
 use std::time::Instant;
 
@@ -151,21 +157,47 @@ fn main() {
             "min margin (dB)",
         ],
     );
-    for row in &parallel_rows {
+    // Rows are bit-identical, so "which path" only decides wall-clock;
+    // report whichever was actually faster as the default.
+    let serial_is_default = serial_s <= parallel_s;
+    let (rows, notes) = if serial_is_default {
+        (&serial_rows, &serial_notes)
+    } else {
+        (&parallel_rows, &parallel_notes)
+    };
+    for row in rows {
         table.row(row);
     }
-    for note in &parallel_notes {
+    for note in notes {
         println!("{note}");
     }
     bench.table("main", table, true);
 
     let speedup = serial_s / parallel_s;
     println!(
-        "\nsweep wall-clock: serial {:.2} s, parallel {:.2} s ({speedup:.2}x, rows bit-identical)",
-        serial_s, parallel_s
+        "\nsweep wall-clock: serial {serial_s:.2} s, parallel {parallel_s:.2} s \
+         ({speedup:.2}x, rows bit-identical); default path: {}",
+        if serial_is_default {
+            "serial"
+        } else {
+            "parallel"
+        }
     );
+    let regression = speedup < 1.0;
+    if regression {
+        println!(
+            "WARNING: parallel sweep is SLOWER than serial ({speedup:.2}x < 1.00x) — \
+             thread overhead exceeds the win at this sweep size; \
+             `parallel_regression` raised in BENCH_report.json"
+        );
+    }
     bench.metric("serial_s", serial_s);
     bench.metric("parallel_s", parallel_s);
     bench.metric("parallel_speedup", speedup);
+    bench.metric(
+        "default_path_serial",
+        if serial_is_default { 1.0 } else { 0.0 },
+    );
+    bench.metric("parallel_regression", if regression { 1.0 } else { 0.0 });
     bench.finish();
 }

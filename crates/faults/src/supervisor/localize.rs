@@ -46,7 +46,7 @@ pub struct LocalizationRecord {
 }
 
 /// The outcome of a mission flown under fault.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct ResilientOutcome {
     /// The deduplicated global inventory.
     pub inventory: FleetInventory,

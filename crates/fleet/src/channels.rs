@@ -54,6 +54,11 @@ pub struct ChannelPlan {
     pub gains: GainPlan,
     /// All pairwise mutual-loop margins (i < j).
     pub margins: Vec<PairMargin>,
+    /// Extra per-relay SNR penalty on every relayed observation, dB
+    /// (e.g. a dense external-interferer field raising the noise floor
+    /// around one relay). [`assign`] fills it with zeros; scenario
+    /// compilation may raise it. Applied by [`Self::fleet`].
+    pub snr_penalty: Vec<Db>,
 }
 
 impl ChannelPlan {
@@ -79,9 +84,12 @@ impl ChannelPlan {
             .iter()
             .zip(&self.shift)
             .zip(positions)
-            .map(|((&f1, &shift), &pos)| FleetRelay {
-                model: RelayModel::from_budget(f1, shift, budget),
-                pos,
+            .enumerate()
+            .map(|(i, ((&f1, &shift), &pos))| {
+                let mut model = RelayModel::from_budget(f1, shift, budget);
+                model.snr_penalty =
+                    model.snr_penalty + self.snr_penalty.get(i).copied().unwrap_or(Db::new(0.0));
+                FleetRelay { model, pos }
             })
             .collect()
     }
@@ -203,6 +211,7 @@ pub fn assign(
 
     let plan = ChannelPlan {
         margins: all_margins(&f1, &shift, positions, &gains),
+        snr_penalty: vec![Db::new(0.0); f1.len()],
         f1,
         shift,
         gains,
@@ -385,5 +394,21 @@ mod tests {
             assert_eq!(r.model.f2, plan.f2(i));
             assert_eq!(r.pos, positions[i]);
         }
+    }
+
+    #[test]
+    fn snr_penalties_flow_into_the_fleet_models() {
+        let positions = grid(3, 12.0);
+        let mut plan = assign(&positions, &paper_budget(), Db::new(10.0), 1).unwrap();
+        // assign() starts every relay clean.
+        assert_eq!(plan.snr_penalty, vec![Db::new(0.0); 3]);
+        let clean = plan.fleet(&paper_budget(), &positions);
+        assert!(clean.iter().all(|r| r.model.snr_penalty == Db::new(0.0)));
+        // A raised penalty reaches exactly the afflicted relay's model.
+        plan.snr_penalty[1] = Db::new(6.5);
+        let fleet = plan.fleet(&paper_budget(), &positions);
+        assert_eq!(fleet[0].model.snr_penalty, Db::new(0.0));
+        assert_eq!(fleet[1].model.snr_penalty, Db::new(6.5));
+        assert_eq!(fleet[2].model.snr_penalty, Db::new(0.0));
     }
 }

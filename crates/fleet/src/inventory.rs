@@ -17,6 +17,7 @@ use rfly_protocol::epc::Epc;
 use rfly_reader::config::ReaderConfig;
 use rfly_reader::inventory::{InventoryController, TagRead};
 use rfly_sim::fleet::{FleetMedium, FleetRelay};
+use rfly_sim::motion::TagMotion;
 use rfly_sim::world::PhasorWorld;
 use rfly_tag::population::TagPopulation;
 
@@ -174,7 +175,7 @@ impl Default for MissionConfig {
 }
 
 /// The outcome of one fleet mission.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct MissionOutcome {
     /// The deduplicated global inventory (embedded-RFID reads filtered
     /// out).
@@ -201,6 +202,30 @@ pub fn run_mission(
     budget: &rfly_core::relay::gains::IsolationBudget,
     cfg: &MissionConfig,
 ) -> MissionOutcome {
+    run_mission_with_motion(
+        scene_world,
+        plan,
+        partition,
+        budget,
+        cfg,
+        &TagMotion::none(),
+    )
+}
+
+/// [`run_mission`] over a world whose tags move: before each inventory
+/// stop, every tag is placed where `motion` carries it at mission time
+/// `t` (a pure function of the tag's initial position and `t`, so the
+/// mission stays a pure function of its seed). With an empty motion
+/// this is exactly [`run_mission`] — no repositioning happens and the
+/// outcome is bit-identical.
+pub fn run_mission_with_motion(
+    scene_world: &mut PhasorWorld,
+    plan: &ChannelPlan,
+    partition: &Partition,
+    budget: &rfly_core::relay::gains::IsolationBudget,
+    cfg: &MissionConfig,
+    motion: &TagMotion,
+) -> MissionOutcome {
     let n = partition.len();
     assert_eq!(plan.f1.len(), n, "one channel pair per cell");
     let duration = match cfg.time_budget_s {
@@ -209,11 +234,28 @@ pub fn run_mission(
     };
     let steps = (duration / cfg.sample_interval_s).ceil() as usize + 1;
 
+    // The belts move tags relative to where the scenario placed them.
+    let homes: Vec<Point2> = if motion.is_empty() {
+        Vec::new()
+    } else {
+        scene_world
+            .tags
+            .tags()
+            .iter()
+            .map(|tag| tag.position())
+            .collect()
+    };
+
     let _span = rfly_obs::span("fleet.mission");
     let mut inventory = FleetInventory::new(n);
     for step in 0..steps {
         rfly_obs::counter_add("fleet.stops", n as u64);
         let t = (step as f64 * cfg.sample_interval_s).min(duration);
+        if !motion.is_empty() {
+            for (tag, &home) in scene_world.tags.tags_mut().iter_mut().zip(&homes) {
+                tag.set_position(motion.position_at(home, t));
+            }
+        }
         let positions: Vec<Point2> = partition
             .plans
             .iter()

@@ -86,8 +86,12 @@ pub const RULES: &[(&str, &str)] = &[
 ];
 
 /// Crates whose non-test code must be panic-free (R1): these run the
-/// supervised/degraded paths the fault harness exercises.
-const R1_CRATES: &[&str] = &["core", "faults", "fleet", "obs", "replay", "sim"];
+/// supervised/degraded paths the fault harness exercises, plus the
+/// scenario front end whose diagnostics must surface as errors, never
+/// panics.
+const R1_CRATES: &[&str] = &[
+    "core", "faults", "fleet", "obs", "replay", "scenario", "sim",
+];
 
 /// Path prefixes counted as DSP/relay hot paths for R2.
 const R2_PREFIXES: &[&str] = &["crates/dsp/src/", "crates/core/src/relay/"];

@@ -48,6 +48,16 @@ fn r1_covers_the_obs_crate() {
 }
 
 #[test]
+fn r1_covers_the_scenario_crate() {
+    // rfly-scenario is the declarative front end for everything the
+    // supervised stack flies: a malformed scenario must come back as a
+    // `file:line` diagnostic, never a panic, so it joined the R1 set.
+    let hit = rules_hit("crates/scenario/src/fixture.rs", "no_unwrap/violating.rs");
+    assert!(hit.contains(&"no-unwrap"), "{hit:?}");
+    assert!(rules_hit("crates/scenario/src/fixture.rs", "no_unwrap/conforming.rs").is_empty());
+}
+
+#[test]
 fn r2_no_as_int_cast() {
     let hit = rules_hit("crates/dsp/src/fixture.rs", "no_as_int_cast/violating.rs");
     assert!(hit.contains(&"no-as-int-cast"), "{hit:?}");

@@ -1,0 +1,429 @@
+//! A hand-rolled parser for the TOML-shaped scenario format.
+//!
+//! The workspace has zero external dependencies by design (DESIGN.md
+//! §2), so the scenario format gets the same treatment as the fault
+//! schedules and mission journals: a small, line-oriented, fully
+//! specified subset parsed by hand. The subset covers what scenario
+//! files need and nothing more:
+//!
+//! * `[table]` and `[[array-of-table]]` section headers,
+//! * `key = value` pairs with bare keys,
+//! * strings (`"…"` with `\"`/`\\` escapes), integers, floats,
+//!   booleans, and single-line (possibly nested) arrays,
+//! * `#` comments and blank lines.
+//!
+//! Every entry remembers its 1-based source line, so the schema layer
+//! can report violations as `file:line: message`.
+
+use crate::ScenarioError;
+
+/// One parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A `[…]` array (may nest).
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` entry with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The bare key.
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line of the entry.
+    pub line: usize,
+}
+
+/// One section: a `[name]` table or one element of an `[[name]]`
+/// array-of-tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// The header name (empty for keys before any header).
+    pub name: String,
+    /// Whether the section came from an `[[name]]` header.
+    pub is_array: bool,
+    /// 1-based source line of the header.
+    pub line: usize,
+    /// The section's entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// A parsed scenario document: sections in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// All sections, in file order.
+    pub sections: Vec<Section>,
+}
+
+impl Document {
+    /// All sections named `name` (array-of-table elements keep order).
+    pub fn all(&self, name: &str) -> Vec<&Section> {
+        self.sections.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The single section named `name`, if present.
+    pub fn one(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError::new(line, message)
+}
+
+/// Parses `src` into a [`Document`].
+pub fn parse(src: &str) -> Result<Document, ScenarioError> {
+    let mut doc = Document::default();
+    let mut current: Option<Section> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(line_no, "unterminated [[section]] header"))?
+                .trim();
+            check_key(name, line_no)?;
+            if let Some(s) = current.take() {
+                doc.sections.push(s);
+            }
+            current = Some(Section {
+                name: name.to_string(),
+                is_array: true,
+                line: line_no,
+                entries: Vec::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "unterminated [section] header"))?
+                .trim();
+            check_key(name, line_no)?;
+            if let Some(s) = current.take() {
+                doc.sections.push(s);
+            }
+            current = Some(Section {
+                name: name.to_string(),
+                is_array: false,
+                line: line_no,
+                entries: Vec::new(),
+            });
+        } else {
+            let (key, value_src) = line
+                .split_once('=')
+                .ok_or_else(|| err(line_no, "expected `key = value`, a [section], or a comment"))?;
+            let key = key.trim();
+            check_key(key, line_no)?;
+            let section = current.get_or_insert_with(|| Section {
+                name: String::new(),
+                is_array: false,
+                line: line_no,
+                entries: Vec::new(),
+            });
+            if section.entries.iter().any(|e| e.key == key) {
+                return Err(err(
+                    line_no,
+                    format!("duplicate key `{key}` in [{}]", section.name),
+                ));
+            }
+            let mut cursor = Cursor::new(value_src.trim(), line_no);
+            let value = cursor.value()?;
+            cursor.finish()?;
+            section.entries.push(Entry {
+                key: key.to_string(),
+                value,
+                line: line_no,
+            });
+        }
+    }
+    if let Some(s) = current.take() {
+        doc.sections.push(s);
+    }
+    Ok(doc)
+}
+
+/// Removes a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Bare keys / section names: ASCII alphanumerics, `_`, `-`, `.`.
+fn check_key(key: &str, line: usize) -> Result<(), ScenarioError> {
+    if key.is_empty() {
+        return Err(err(line, "empty key"));
+    }
+    if let Some(bad) = key
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')))
+    {
+        return Err(err(
+            line,
+            format!("invalid character {bad:?} in key `{key}`"),
+        ));
+    }
+    Ok(())
+}
+
+/// A single-line value cursor.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str, line: usize) -> Self {
+        Self { src, pos: 0, line }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn finish(mut self) -> Result<(), ScenarioError> {
+        self.skip_ws();
+        if self.rest().is_empty() {
+            Ok(())
+        } else {
+            Err(err(
+                self.line,
+                format!("trailing input after value: {:?}", self.rest()),
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ScenarioError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let Some(first) = rest.chars().next() else {
+            return Err(err(self.line, "missing value"));
+        };
+        match first {
+            '"' => self.string(),
+            '[' => self.array(),
+            _ => self.scalar(),
+        }
+    }
+
+    fn string(&mut self) -> Result<Value, ScenarioError> {
+        let bytes = self.rest().as_bytes();
+        debug_assert_eq!(bytes[0], b'"');
+        let mut out = String::new();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => {
+                    self.pos += i + 1;
+                    return Ok(Value::Str(out));
+                }
+                b'\\' => {
+                    let esc = bytes.get(i + 1).copied();
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(err(self.line, "unsupported escape in string")),
+                    }
+                    i += 2;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through intact.
+                    let s = &self.rest()[i..];
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err(self.line, "invalid UTF-8 boundary in string"))?;
+                    out.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        Err(err(self.line, "unterminated string"))
+    }
+
+    fn array(&mut self) -> Result<Value, ScenarioError> {
+        debug_assert!(self.rest().starts_with('['));
+        self.pos += 1;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with(']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            if self.rest().is_empty() {
+                return Err(err(self.line, "unterminated array"));
+            }
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.rest().starts_with(',') {
+                self.pos += 1;
+            } else if !self.rest().starts_with(']') {
+                return Err(err(self.line, "expected `,` or `]` in array"));
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Value, ScenarioError> {
+        let start = self.pos;
+        let rest = self.rest();
+        let end = rest.find([',', ']']).unwrap_or(rest.len());
+        let tok = rest[..end].trim();
+        self.pos = start + rest[..end].trim_end().len();
+        match tok {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            "" => return Err(err(self.line, "missing value")),
+            _ => {}
+        }
+        if let Ok(i) = tok.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(f) = tok.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(Value::Float(f));
+            }
+            return Err(err(self.line, format!("non-finite number `{tok}`")));
+        }
+        Err(err(self.line, format!("cannot parse value `{tok}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+# a scenario
+[scenario]
+name = "demo"  # trailing comment
+seed = 42
+
+[[relay]]
+id = "r0"
+cell = 0
+snr_penalty_db = 1.5
+
+[[relay]]
+id = "r1"
+cell = 1
+active = true
+
+[reader]
+position = [1.0, 2.5]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.sections.len(), 4);
+        let sc = doc.one("scenario").unwrap();
+        assert_eq!(
+            sc.entries[0],
+            Entry {
+                key: "name".into(),
+                value: Value::Str("demo".into()),
+                line: 4
+            }
+        );
+        assert_eq!(sc.entries[1].value, Value::Int(42));
+        let relays: Vec<_> = doc.all("relay");
+        assert_eq!(relays.len(), 2);
+        assert!(relays[0].is_array);
+        assert_eq!(relays[0].entries[2].value, Value::Float(1.5));
+        assert_eq!(relays[1].entries[2].value, Value::Bool(true));
+        let reader = doc.one("reader").unwrap();
+        assert_eq!(
+            reader.entries[0].value,
+            Value::Array(vec![Value::Float(1.0), Value::Float(2.5)])
+        );
+    }
+
+    #[test]
+    fn nested_arrays_parse() {
+        let doc = parse("at = [[1.0, 2.0], [3, 4]]").expect("parses");
+        let v = &doc.sections[0].entries[0].value;
+        let Value::Array(outer) = v else {
+            panic!("not an array: {v:?}")
+        };
+        assert_eq!(outer.len(), 2);
+        assert_eq!(outer[1], Value::Array(vec![Value::Int(3), Value::Int(4)]));
+    }
+
+    #[test]
+    fn strings_support_escapes_and_hash() {
+        let doc = parse(r#"s = "a \"b\" # not a comment""#).unwrap();
+        assert_eq!(
+            doc.sections[0].entries[0].value,
+            Value::Str("a \"b\" # not a comment".into())
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("[scenario]\nname = \"x\"\noops\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate key"));
+        let e = parse("x = [1, 2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("x = nan\n").unwrap_err();
+        assert!(e.message.contains("non-finite"), "{}", e.message);
+        let e = parse("[unclosed\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn floats_and_ints_are_distinguished() {
+        let doc = parse("a = 3\nb = 3.0\nc = -1e3\n").unwrap();
+        let vals: Vec<_> = doc.sections[0].entries.iter().map(|e| &e.value).collect();
+        assert_eq!(vals[0], &Value::Int(3));
+        assert_eq!(vals[1], &Value::Float(3.0));
+        assert_eq!(vals[2], &Value::Float(-1000.0));
+    }
+}

@@ -20,6 +20,7 @@ pub mod experiment;
 pub mod fleet;
 pub mod medium;
 pub mod metrics;
+pub mod motion;
 pub mod report;
 pub mod sample_link;
 pub mod scene;

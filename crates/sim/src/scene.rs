@@ -86,6 +86,180 @@ impl Scene {
         Self::warehouse(30.0, 40.0, 6)
     }
 
+    /// A multi-floor building collapsed onto one plan: `floors` stacked
+    /// warehouse floors of `width × floor_depth` m, separated by
+    /// concrete slabs (modeled as heavy interior walls), each floor
+    /// carrying `shelves` steel shelf rows. The §7.2 building is two
+    /// such floors; this generalizes it.
+    pub fn multi_floor(width: f64, floor_depth: f64, floors: usize, shelves: usize) -> Self {
+        assert!(floors >= 1, "need at least one floor");
+        let mut scene = Self::open_floor(width, floor_depth * floors as f64);
+        scene.aisles.clear();
+        for floor in 0..floors {
+            let base = floor_depth * floor as f64;
+            if floor > 0 {
+                // The slab between floors: concrete, RF-opaque-ish.
+                scene.add_wall(Segment::new(
+                    Point2::new(0.0, base),
+                    Point2::new(width, base),
+                ));
+            }
+            let pitch = floor_depth / (shelves + 1) as f64;
+            for k in 1..=shelves {
+                let y = base + pitch * k as f64;
+                let shelf = Segment::new(Point2::new(2.0, y), Point2::new(width - 2.0, y));
+                scene
+                    .environment
+                    .add(Obstacle::new(shelf, Material::STEEL_SHELF));
+                let n_spots = ((width - 4.0) / 2.0).floor() as usize;
+                for s in 0..n_spots {
+                    scene
+                        .tag_spots
+                        .push(Point2::new(3.0 + 2.0 * s as f64, y - 0.3));
+                }
+                for aisle_y in [y - pitch / 2.0, y + pitch / 2.0] {
+                    if aisle_y > base + 0.5
+                        && aisle_y < base + floor_depth - 0.5
+                        && !scene.aisles.iter().any(|a| (a.a.y - aisle_y).abs() < 1e-9)
+                    {
+                        scene.aisles.push(Segment::new(
+                            Point2::new(1.0, aisle_y),
+                            Point2::new(width - 1.0, aisle_y),
+                        ));
+                    }
+                }
+            }
+        }
+        scene
+    }
+
+    /// An outdoor storage yard: no perimeter walls (free space to the
+    /// horizon), `rows` pallet rows of soft inventory along x with tag
+    /// spots on their faces and an aisle between consecutive rows.
+    pub fn outdoor_aisles(width: f64, depth: f64, rows: usize) -> Self {
+        assert!(width > 0.0 && depth > 0.0);
+        assert!(rows >= 1, "a yard needs at least one pallet row");
+        let mut scene = Self {
+            environment: Environment::free_space(),
+            min: Point2::new(0.0, 0.0),
+            max: Point2::new(width, depth),
+            tag_spots: Vec::new(),
+            aisles: Vec::new(),
+        };
+        let pitch = depth / (rows + 1) as f64;
+        for k in 1..=rows {
+            let y = pitch * k as f64;
+            let row = Segment::new(Point2::new(1.0, y), Point2::new(width - 1.0, y));
+            scene
+                .environment
+                .add(Obstacle::new(row, Material::SOFT_INVENTORY));
+            let n_spots = ((width - 2.0) / 2.0).floor() as usize;
+            for s in 0..n_spots {
+                scene
+                    .tag_spots
+                    .push(Point2::new(2.0 + 2.0 * s as f64, y - 0.3));
+            }
+            for aisle_y in [y - pitch / 2.0, y + pitch / 2.0] {
+                if aisle_y > 0.5
+                    && aisle_y < depth - 0.5
+                    && !scene.aisles.iter().any(|a| (a.a.y - aisle_y).abs() < 1e-9)
+                {
+                    scene.aisles.push(Segment::new(
+                        Point2::new(1.0, aisle_y),
+                        Point2::new(width - 1.0, aisle_y),
+                    ));
+                }
+            }
+        }
+        scene
+    }
+
+    /// A scene from a radio-environment-map-style occupancy grid:
+    /// `rows[r]` is a string of `#` (occupied) and `.` (free) cells,
+    /// each `cell` meters square, row 0 at the bottom (y = 0). Occupied
+    /// runs become steel obstacles, free cells bordering an occupied
+    /// one become tag spots, and every fully-free row becomes a flyable
+    /// aisle. Perimeter concrete walls close the map.
+    ///
+    /// Panics unless all rows are equally long, non-empty, drawn from
+    /// `{'#', '.'}`, and at least one row is fully free (the drones
+    /// need an aisle) — the scenario schema validates these with
+    /// file:line diagnostics before ever reaching this constructor.
+    pub fn occupancy(cell: rfly_dsp::units::Meters, rows: &[&str]) -> Self {
+        let cell = cell.value();
+        assert!(cell > 0.0, "cell size must be positive");
+        assert!(!rows.is_empty(), "occupancy grid needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "occupancy rows must be non-empty");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "occupancy rows must be equally long"
+        );
+        assert!(
+            rows.iter()
+                .flat_map(|r| r.chars())
+                .all(|c| c == '#' || c == '.'),
+            "occupancy cells must be '#' or '.'"
+        );
+        let width = cell * cols as f64;
+        let depth = cell * rows.len() as f64;
+        let mut scene = Self::open_floor(width, depth);
+        scene.aisles.clear();
+
+        let occupied = |r: usize, c: usize| rows[r].as_bytes().get(c).is_some_and(|&b| b == b'#');
+        for (r, row) in rows.iter().enumerate() {
+            let y = cell * (r as f64 + 0.5);
+            // Merge each horizontal run of occupied cells into one
+            // steel obstacle segment.
+            let mut c = 0usize;
+            while c < cols {
+                if occupied(r, c) {
+                    let start = c;
+                    while c < cols && occupied(r, c) {
+                        c += 1;
+                    }
+                    scene.environment.add(Obstacle::new(
+                        Segment::new(
+                            Point2::new(cell * start as f64, y),
+                            Point2::new(cell * c as f64, y),
+                        ),
+                        Material::STEEL_SHELF,
+                    ));
+                } else {
+                    c += 1;
+                }
+            }
+            // Free cells next to occupied ones (same column, adjacent
+            // row, or adjacent column) hold tagged stock.
+            for c in 0..cols {
+                if occupied(r, c) {
+                    continue;
+                }
+                let near = (r > 0 && occupied(r - 1, c))
+                    || (r + 1 < rows.len() && occupied(r + 1, c))
+                    || (c > 0 && occupied(r, c - 1))
+                    || occupied(r, c + 1);
+                if near {
+                    scene
+                        .tag_spots
+                        .push(Point2::new(cell * (c as f64 + 0.5), y));
+                }
+            }
+            // A fully-free row is a flyable aisle.
+            if row.chars().all(|ch| ch == '.') {
+                scene.aisles.push(Segment::new(
+                    Point2::new(cell * 0.5, y),
+                    Point2::new(width - cell * 0.5, y),
+                ));
+            }
+        }
+        assert!(
+            !scene.aisles.is_empty(),
+            "occupancy grid has no fully-free row to fly"
+        );
+        scene
+    }
+
     /// Adds an interior dividing wall (for NLoS experiments), from
     /// `(x0,y)` to `(x1,y)` horizontal or vertical as given.
     pub fn add_wall(&mut self, wall: Segment) {
@@ -158,6 +332,54 @@ mod tests {
     fn paper_building_dimensions() {
         let s = Scene::paper_building();
         assert_eq!(s.max, Point2::new(30.0, 40.0));
+    }
+
+    #[test]
+    fn multi_floor_stacks_warehouse_bands() {
+        let s = Scene::multi_floor(16.0, 10.0, 2, 2);
+        assert_eq!(s.max, Point2::new(16.0, 20.0));
+        // 4 perimeter + 1 slab + 4 shelves.
+        assert_eq!(s.environment.obstacles().len(), 9);
+        // The slab blocks line of sight between floors.
+        assert!(!s
+            .environment
+            .line_of_sight(Point2::new(8.0, 9.0), Point2::new(8.0, 11.0)));
+        assert!(s.tag_spots.iter().all(|p| s.contains(*p)));
+        assert!(s.aisles.len() >= 4, "each floor contributes aisles");
+    }
+
+    #[test]
+    fn outdoor_yard_has_no_perimeter() {
+        let s = Scene::outdoor_aisles(20.0, 15.0, 3);
+        // 3 pallet rows, no walls.
+        assert_eq!(s.environment.obstacles().len(), 3);
+        assert!(!s.tag_spots.is_empty());
+        assert!(s.aisles.len() >= 3);
+        assert!(s.aisles.iter().all(|a| a.a.y > 0.5 && a.a.y < 14.5));
+    }
+
+    #[test]
+    fn occupancy_grid_builds_obstacles_spots_and_aisles() {
+        let s = Scene::occupancy(
+            rfly_dsp::units::Meters::new(2.0),
+            &["........", "..##..#.", "........", ".####...", "........"],
+        );
+        assert_eq!(s.max, Point2::new(16.0, 10.0));
+        // 4 perimeter walls + 3 occupied runs.
+        assert_eq!(s.environment.obstacles().len(), 7);
+        assert_eq!(s.aisles.len(), 3, "three fully-free rows");
+        assert!(!s.tag_spots.is_empty());
+        assert!(s.tag_spots.iter().all(|p| s.contains(*p)));
+        // The run at row 1 blocks crossing it vertically.
+        assert!(!s
+            .environment
+            .line_of_sight(Point2::new(5.0, 1.0), Point2::new(5.0, 5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-free row")]
+    fn occupancy_without_an_aisle_panics() {
+        let _ = Scene::occupancy(rfly_dsp::units::Meters::new(1.0), &["#.", ".#"]);
     }
 
     #[test]

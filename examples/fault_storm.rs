@@ -20,6 +20,11 @@
 //! localization fallback on the phase-glitched relay), while the
 //! unsupervised baseline loses the dead relay's cell outright.
 //!
+//! The supervised mission is also flown a second time from the
+//! declarative scenario file `scenarios/fault_storm_paper.toml`
+//! (re-seeded from argv): its compiled storm and its outcome must be
+//! bit-identical to the hard-coded setup.
+//!
 //! Run with: `cargo run --release --example fault_storm [seed]`
 
 use rfly::channel::geometry::Point2;
@@ -122,6 +127,35 @@ fn main() {
     let sup = fly(&storm, true);
     let recorder = rfly::obs::take().expect("recorder was installed");
     let unsup = fly(&storm, false);
+
+    // The same supervised storm, but loaded from the scenario file
+    // (re-seeded so `cargo run --example fault_storm 7` still matches).
+    let spec_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/fault_storm_paper.toml");
+    let spec = rfly::scenario::load(&spec_path)
+        .expect("scenario file parses")
+        .with_seed(seed);
+    let compiled = rfly::scenario::compile(&spec).expect("scenario compiles");
+    assert_eq!(
+        compiled.faults.events(),
+        storm.events(),
+        "the scenario-compiled storm must match the hard-coded schedule"
+    );
+    let mut scenario_world = compiled.world();
+    let scenario_sup = run_supervised(
+        &mut scenario_world,
+        &compiled.plan,
+        &compiled.partition,
+        &compiled.mission_env(),
+        &compiled.mission,
+        &compiled.faults,
+        &sup_cfg,
+    );
+    assert_eq!(
+        sup, scenario_sup,
+        "scenarios/fault_storm_paper.toml must reproduce the supervised mission bit for bit"
+    );
+    println!("scenario file reproduces the supervised mission bit for bit");
 
     // Per-cell accounting: which fraction of the dead relay's original
     // cell did each mission actually read?

@@ -16,6 +16,11 @@
 //! under the same mission-time budget — the fleet's aggregate read
 //! rate must strictly beat it.
 //!
+//! The fleet mission is also flown a second time from the declarative
+//! scenario file `scenarios/warehouse_paper.toml`; the outcome must be
+//! bit-identical to the hard-coded setup, proving the scenario
+//! compiler is a faithful front end.
+//!
 //! Run with: `cargo run --release --example fleet_warehouse`
 
 use rfly::channel::geometry::Point2;
@@ -99,6 +104,25 @@ fn main() {
         time_budget_s: None,
     };
     let (plan, cells, outcome) = fly(&scene, N_RELAYS, &cfg);
+
+    // The same mission, but loaded from the scenario file.
+    let spec_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/warehouse_paper.toml");
+    let spec = rfly::scenario::load(&spec_path).expect("scenario file parses");
+    let compiled = rfly::scenario::compile(&spec).expect("scenario compiles");
+    let mut scenario_world = compiled.world();
+    let scenario_outcome = run_mission(
+        &mut scenario_world,
+        &compiled.plan,
+        &compiled.partition,
+        &compiled.budget,
+        &compiled.mission,
+    );
+    assert_eq!(
+        outcome, scenario_outcome,
+        "scenarios/warehouse_paper.toml must reproduce the hard-coded mission bit for bit"
+    );
+    println!("scenario file reproduces the hard-coded mission bit for bit\n");
 
     // The single-relay baseline gets the same mission time.
     let solo_cfg = MissionConfig {

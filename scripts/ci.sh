@@ -42,6 +42,12 @@ for seed in 42 7 1234; do
 done
 head -n 4 results/obs/fault_storm_seed42.txt
 
+echo "== scenario corpus (golden metrics; see DESIGN.md §11) =="
+# Compiles and flies every file in scenarios/ and compares the outcome
+# metrics against the committed golden file. Any drift exits 2 with a
+# per-metric diff; bless intended changes with --update locally.
+cargo run --release --offline -p rfly-bench --bin scenario_corpus
+
 echo "== fault injector overhead (<5% on the clean hot path) =="
 cargo run --release --offline -p rfly-bench --bin ext_fault_overhead | tail -2
 

@@ -32,6 +32,11 @@
 //! * [`obs`] — zero-dependency structured instrumentation: monotonic
 //!   counters, unit-typed histograms, ordered events and spans, and a
 //!   deterministic text/JSON metric-report exporter (`results/obs/`).
+//! * [`scenario`] — declarative scenario files: a hand-rolled
+//!   TOML-subset parser with `file:line` diagnostics, a compiler
+//!   lowering validated scenarios onto the fleet/faults stack, and a
+//!   seeded procedural generator for whole scene families
+//!   (`scenarios/` holds the committed corpus).
 //!
 //! ## Quickstart
 //!
@@ -74,6 +79,7 @@ pub use rfly_obs as obs;
 pub use rfly_protocol as protocol;
 pub use rfly_reader as reader;
 pub use rfly_replay as replay;
+pub use rfly_scenario as scenario;
 pub use rfly_sim as sim;
 pub use rfly_tag as tag;
 
