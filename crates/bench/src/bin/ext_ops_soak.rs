@@ -1,0 +1,222 @@
+//! Extension — the continuous-operation soak: fly the committed
+//! `scenarios/ops_continuous.toml` floor for a full simulated day (or
+//! more) through the `rfly-ops` campaign loop and gate the
+//! continuous-operation claims in `BENCH_report.json`:
+//!
+//! - the campaign covers **24 h+** of simulated time,
+//! - served-cell coverage never falls below the configured floor,
+//! - the rotation planner actually rotates (standby swaps > 0),
+//! - the fleet keeps reading tags the whole time (tags/hour > 0).
+//!
+//! The energy model comes from the scenario's `[energy]` section and
+//! the docks from its `[[dock]]` entries — the bench exercises the
+//! whole schema → compile → ops path, not a hand-built scene.
+//!
+//! Run with: `cargo run --release --bin ext_ops_soak -- [--hours H]
+//! [--seeds N]` (defaults: 24 h, the scenario's own seed only).
+//!
+//! The seed drives the random carrier draw in channel assignment, and
+//! draws that land the two cells' carriers within ~1 MHz of each
+//! other are interference-limited to zero reads — so the multi-seed
+//! sweep (`--seeds N`) reports per-seed throughput but the tags/hour
+//! gate binds only on the committed scenario seed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rfly_bench::harness::Bench;
+use rfly_dsp::units::Seconds;
+use rfly_ops::{run_campaign, EnergyModel, OpsConfig, OpsReport};
+use rfly_scenario::{load, EnergySpec};
+use rfly_sim::report::Table;
+
+struct Args {
+    hours: f64,
+    seeds: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        hours: 24.0,
+        seeds: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--hours" => {
+                args.hours = value("--hours")?
+                    .parse()
+                    .map_err(|e| format!("--hours: {e}"))?
+            }
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.hours <= 0.0 || args.seeds == 0 {
+        return Err("--hours must be positive and --seeds at least 1".into());
+    }
+    Ok(args)
+}
+
+/// The scenario's `[energy]` section as the ops crate's model.
+fn energy_model(spec: &EnergySpec) -> EnergyModel {
+    EnergyModel {
+        capacity_j: spec.capacity_j,
+        hover_w: spec.hover_w,
+        tx_w: spec.tx_w,
+        ref_gain_db: spec.ref_gain.value(),
+        tx_w_per_db: spec.tx_w_per_db,
+        per_read_j: spec.per_read_j,
+        charge_w: spec.charge_w,
+        reserve_frac: spec.reserve_frac,
+        ready_frac: spec.ready_frac,
+    }
+}
+
+fn scenario_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/ops_continuous.toml")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ext_ops_soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spec = match load(&scenario_path()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ext_ops_soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(energy_spec) = spec.energy.clone() else {
+        eprintln!("ext_ops_soak: ops_continuous.toml must carry an [energy] section");
+        return ExitCode::FAILURE;
+    };
+    let compiled = match rfly_scenario::compile(&spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ext_ops_soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut bench = Bench::new("ext_ops_soak", spec.seed);
+    // Two standbys (one per dock): the charge budget (2 x 90 W docked)
+    // beats the serve budget (2 x ~75 W airborne), so rotation alone
+    // sustains full coverage indefinitely.
+    let n_cells = spec.n_relays();
+    let base = OpsConfig {
+        n_relays: n_cells + 2,
+        n_cells,
+        n_tags: spec.n_tags(),
+        tick: Seconds::new(300.0),
+        duration: Seconds::new(args.hours * 3600.0),
+        coverage_floor: 0.5,
+        margin: spec.mission.margin,
+        max_rounds: spec.mission.max_rounds.min(2),
+        inventory_every: 1,
+        seed: spec.seed,
+        energy: energy_model(&energy_spec),
+    };
+
+    let mut table = Table::new(
+        "Continuous-operation soak: 2 standbys rotating through 2 cells",
+        &[
+            "seed",
+            "sim h",
+            "rotations",
+            "deaths",
+            "repart",
+            "min cov",
+            "tags/h",
+            "unique",
+        ],
+    );
+    let mut reports: Vec<(u64, OpsReport)> = Vec::new();
+    for k in 0..args.seeds {
+        let mut cfg = base.clone();
+        cfg.seed = spec.seed.wrapping_add(k);
+        let report = match run_campaign(&compiled.scene, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ext_ops_soak: seed {}: {e}", cfg.seed);
+                return ExitCode::FAILURE;
+            }
+        };
+        table.row(&[
+            cfg.seed.to_string(),
+            format!("{:.1}", report.sim_seconds / 3600.0),
+            report.rotations.len().to_string(),
+            report.deaths.to_string(),
+            report.repartitions.to_string(),
+            format!("{:.3}", report.min_coverage),
+            format!("{:.1}", report.reads_per_hour()),
+            report.unique_tags.to_string(),
+        ]);
+        reports.push((cfg.seed, report));
+    }
+    bench.table("main", table, false);
+
+    // The continuous-operation gates, worst case over all seeds.
+    let sim_hours = reports
+        .iter()
+        .map(|(_, r)| r.sim_seconds / 3600.0)
+        .fold(f64::INFINITY, f64::min);
+    let min_coverage = reports
+        .iter()
+        .map(|(_, r)| r.min_coverage)
+        .fold(f64::INFINITY, f64::min);
+    let rotations = reports
+        .iter()
+        .map(|(_, r)| r.rotations.len())
+        .min()
+        .unwrap_or(0);
+    // Throughput binds on the committed scenario seed (the first run);
+    // sweep seeds reshuffle the carrier draw and may be dead air.
+    let tags_per_hour = reports
+        .first()
+        .map(|(_, r)| r.reads_per_hour())
+        .unwrap_or(0.0);
+    bench.metric("sim_hours", sim_hours);
+    bench.metric("min_coverage", min_coverage);
+    bench.metric("coverage_floor", base.coverage_floor);
+    bench.metric("min_rotations", rotations as f64);
+    bench.metric("tags_per_hour", tags_per_hour);
+
+    println!(
+        "\n{} seeds x {:.1} h: min coverage {:.3} (floor {}), {} rotations min, {:.1} tags/h",
+        args.seeds, sim_hours, min_coverage, base.coverage_floor, rotations, tags_per_hour
+    );
+    if args.hours >= 24.0 {
+        assert!(
+            sim_hours >= 24.0,
+            "a full soak must cover 24 h+, covered {sim_hours:.1} h"
+        );
+    }
+    assert!(
+        min_coverage >= base.coverage_floor,
+        "coverage fell to {min_coverage:.3} (floor {})",
+        base.coverage_floor
+    );
+    assert!(
+        rotations > 0,
+        "a soak on 25-minute packs must rotate at least once per seed"
+    );
+    assert!(
+        tags_per_hour > 0.0,
+        "the fleet must keep reading tags for the whole campaign"
+    );
+    println!("continuous-operation gates passed");
+    bench.finish();
+    ExitCode::SUCCESS
+}

@@ -59,6 +59,15 @@ pub enum RecoveryAction {
         /// The surviving relay now covering its center.
         to: usize,
     },
+    /// A sagged power amplifier was re-biased back to its §6.1
+    /// operating point after the output-power detector caught the
+    /// compressed EIRP (the PA-side mirror of [`Self::GainTrim`]).
+    PaRebias {
+        /// The re-biased relay.
+        relay: usize,
+        /// PA headroom restored, dB.
+        restored_db: f64,
+    },
     /// A drone paused on its route while the tracking system had no
     /// fix (position-unknown samples are useless to SAR).
     RouteHold {
@@ -86,6 +95,7 @@ impl RecoveryAction {
             RecoveryAction::DeltaFReassign { .. } => "Δf-reassign",
             RecoveryAction::Repartition { .. } => "repartition",
             RecoveryAction::CellHandoff { .. } => "cell-handoff",
+            RecoveryAction::PaRebias { .. } => "pa-rebias",
             RecoveryAction::RouteHold { .. } => "route-hold",
             RecoveryAction::SarFallback { .. } => "sar-fallback",
         }
@@ -119,6 +129,9 @@ impl RecoveryAction {
             } => format!("repartition dead={dead_relay} survivors={survivors}"),
             RecoveryAction::CellHandoff { cell, from, to } => {
                 format!("cell-handoff cell={cell} from={from} to={to}")
+            }
+            RecoveryAction::PaRebias { relay, restored_db } => {
+                format!("pa-rebias relay={relay} db={}", fmt_f64(restored_db))
             }
             RecoveryAction::RouteHold { relay } => format!("route-hold relay={relay}"),
             RecoveryAction::SarFallback {
@@ -158,6 +171,10 @@ impl RecoveryAction {
                 cell: fields.kv_usize("cell")?,
                 from: fields.kv_usize("from")?,
                 to: fields.kv_usize("to")?,
+            },
+            "pa-rebias" => RecoveryAction::PaRebias {
+                relay: fields.kv_usize("relay")?,
+                restored_db: fields.kv_f64("db")?,
             },
             "route-hold" => RecoveryAction::RouteHold {
                 relay: fields.kv_usize("relay")?,
@@ -326,6 +343,7 @@ impl ResilienceLog {
             "Δf-reassign",
             "repartition",
             "cell-handoff",
+            "pa-rebias",
             "route-hold",
             "sar-fallback",
         ] {
@@ -419,6 +437,10 @@ mod tests {
                 cell: 0,
                 from: 0,
                 to: 2,
+            },
+            RecoveryAction::PaRebias {
+                relay: 2,
+                restored_db: 5.5,
             },
             RecoveryAction::RouteHold { relay: 1 },
             RecoveryAction::SarFallback {

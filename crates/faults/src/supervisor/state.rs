@@ -20,7 +20,7 @@ use rfly_sim::world::{PhasorWorld, RelayModel};
 
 use crate::inject::RelayHealth;
 use crate::log::{LoggedRecovery, RecoveryAction, ResilienceLog};
-use crate::schedule::{FaultEvent, FaultSchedule};
+use crate::schedule::{FaultEvent, FaultKind, FaultSchedule};
 
 use super::localize::{localize_all, track_coherence, ResilientOutcome};
 use super::margin::{margin_monitor, worst_alive_margin};
@@ -515,7 +515,41 @@ impl MissionState {
             world.power_cycle_tags();
         }
 
-        // 6. Transient faults run down; mission-over check.
+        // 6. Supervised: re-bias any sagged power amplifier. PA sag
+        // compresses the relay's EIRP ceiling, so marginal tags stop
+        // powering up — no Δf move or VGA trim can buy that back. The
+        // output-power detector catches the compressed stop and
+        // re-programs the PA bias to its §6.1 point for the next stop
+        // (the sagged stop itself stays journaled as the observable
+        // degradation).
+        if sup.is_some() {
+            for relay in 0..n {
+                let sag = self.health[relay].pa_sag_db;
+                if !self.health[relay].alive || sag <= 0.0 {
+                    continue;
+                }
+                let trigger = self
+                    .log
+                    .faults
+                    .iter()
+                    .rev()
+                    .find(|f| f.relay == relay && matches!(f.kind, FaultKind::PaSag { .. }))
+                    .map(|f| f.id);
+                if let Some(trigger) = trigger {
+                    self.health[relay].pa_sag_db = 0.0;
+                    self.log.record(
+                        step,
+                        RecoveryAction::PaRebias {
+                            relay,
+                            restored_db: sag,
+                        },
+                        trigger,
+                    );
+                }
+            }
+        }
+
+        // 7. Transient faults run down; mission-over check.
         for h in self.health.iter_mut() {
             h.tick();
         }

@@ -8,7 +8,10 @@
 //! exactly when the reduced schedule still violates the *same*
 //! invariant.
 
-use rfly_faults::FaultSchedule;
+use std::collections::BTreeSet;
+
+use rfly_faults::schedule::FaultKind;
+use rfly_faults::{FaultSchedule, RecoveryAction};
 
 use crate::runner::{run_full, Run, Scenario};
 
@@ -31,6 +34,19 @@ pub enum Invariant {
     /// The deduplicated inventory must never report the same EPC twice
     /// (a checkpoint-restore or merge bug, not a fault effect).
     NoDuplicateEpcs,
+    /// The alive fraction of the fleet must never fall below this
+    /// floor at any journaled step — the continuous-operation
+    /// guarantee the `rfly-ops` rotation planner exists to keep.
+    CoverageFloor {
+        /// Minimum `alive_relays / configured_relays`, in [0, 1].
+        min_frac: f64,
+    },
+    /// Every battery death must hand its cell off: some
+    /// [`RecoveryAction::CellHandoff`] in the run must cite the fatal
+    /// battery fault as its trigger, unless the death emptied the
+    /// whole fleet (mission over, nothing left to hand to). A miss
+    /// means a cell sat stranded with survivors still flying.
+    NoStrandedCell,
 }
 
 impl Invariant {
@@ -40,6 +56,8 @@ impl Invariant {
             Invariant::CoverageRetention { .. } => "coverage-retention",
             Invariant::MarginGate { .. } => "margin-gate",
             Invariant::NoDuplicateEpcs => "no-duplicate-epcs",
+            Invariant::CoverageFloor { .. } => "coverage-floor",
+            Invariant::NoStrandedCell => "no-stranded-cell",
         }
     }
 }
@@ -126,6 +144,61 @@ impl InvariantHarness {
                         }
                     }
                 }
+                Invariant::CoverageFloor { min_frac } => {
+                    let n = self.scenario.n_relays;
+                    let mut alive = vec![true; n];
+                    for rec in &run.journal.steps {
+                        for f in &rec.faults {
+                            if matches!(f.kind, FaultKind::BatterySag) && f.relay < n {
+                                alive[f.relay] = false;
+                            }
+                        }
+                        let count = alive.iter().filter(|a| **a).count();
+                        let frac = count as f64 / n as f64;
+                        if frac < min_frac {
+                            return Some(Violation {
+                                invariant: inv.name(),
+                                detail: format!(
+                                    "step {}: {count}/{n} relays alive (coverage {frac:.3} < {min_frac})",
+                                    rec.step
+                                ),
+                            });
+                        }
+                    }
+                }
+                Invariant::NoStrandedCell => {
+                    let handoffs: BTreeSet<usize> = run
+                        .journal
+                        .steps
+                        .iter()
+                        .flat_map(|rec| rec.recoveries.iter())
+                        .filter(|r| matches!(r.action, RecoveryAction::CellHandoff { .. }))
+                        .map(|r| r.trigger)
+                        .collect();
+                    let n = self.scenario.n_relays;
+                    let mut alive = vec![true; n];
+                    for rec in &run.journal.steps {
+                        for f in &rec.faults {
+                            if !matches!(f.kind, FaultKind::BatterySag)
+                                || f.relay >= n
+                                || !alive[f.relay]
+                            {
+                                continue;
+                            }
+                            alive[f.relay] = false;
+                            let survivors = alive.iter().filter(|a| **a).count();
+                            if survivors > 0 && !handoffs.contains(&f.id) {
+                                return Some(Violation {
+                                    invariant: inv.name(),
+                                    detail: format!(
+                                        "relay {} died at step {} (fault {}) with {survivors} survivors and no cell-handoff cites it",
+                                        f.relay, rec.step, f.id
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
                 Invariant::NoDuplicateEpcs => {
                     let mut prev = None;
                     for rec in run.outcome.inventory.records() {
@@ -153,6 +226,8 @@ mod tests {
             Invariant::NoDuplicateEpcs,
             Invariant::CoverageRetention { min_ratio: 0.5 },
             Invariant::MarginGate { floor_db: 0.0 },
+            Invariant::CoverageFloor { min_frac: 0.5 },
+            Invariant::NoStrandedCell,
         ]
     }
 
@@ -161,6 +236,64 @@ mod tests {
         let harness = InvariantHarness::new(Scenario::small(3), catalog()).expect("baseline");
         assert!(harness.baseline_unique() > 0);
         assert_eq!(harness.check(&FaultSchedule::none()).expect("runs"), None);
+    }
+
+    #[test]
+    fn coverage_floor_tracks_battery_deaths() {
+        use rfly_faults::schedule::FaultEvent;
+        let sag = FaultSchedule::from_events(vec![FaultEvent {
+            id: 0,
+            step: 2,
+            relay: 1,
+            kind: FaultKind::BatterySag,
+        }]);
+        // One death out of two relays: coverage 0.5 clears a 0.5
+        // floor but not a 0.9 one.
+        let lenient = InvariantHarness::new(
+            Scenario::small(3),
+            vec![Invariant::CoverageFloor { min_frac: 0.5 }],
+        )
+        .expect("baseline");
+        assert_eq!(lenient.check(&sag).expect("runs"), None);
+        let strict = InvariantHarness::new(
+            Scenario::small(3),
+            vec![Invariant::CoverageFloor { min_frac: 0.9 }],
+        )
+        .expect("baseline");
+        let v = strict.check(&sag).expect("runs").expect("0.5 < 0.9");
+        assert_eq!(v.invariant, "coverage-floor");
+        assert!(v.detail.contains("1/2"), "{}", v.detail);
+    }
+
+    #[test]
+    fn a_supervised_death_hands_its_cell_off_an_unsupervised_one_strands_it() {
+        use rfly_faults::schedule::FaultEvent;
+        let sag = FaultSchedule::from_events(vec![FaultEvent {
+            id: 0,
+            step: 2,
+            relay: 0,
+            kind: FaultKind::BatterySag,
+        }]);
+        let supervised = InvariantHarness::new(Scenario::small(3), vec![Invariant::NoStrandedCell])
+            .expect("baseline");
+        assert_eq!(
+            supervised.check(&sag).expect("runs"),
+            None,
+            "the supervisor's repartition rung must cite the sag"
+        );
+        let unsupervised = InvariantHarness::new(
+            Scenario {
+                supervised: false,
+                ..Scenario::small(3)
+            },
+            vec![Invariant::NoStrandedCell],
+        )
+        .expect("baseline");
+        let v = unsupervised
+            .check(&sag)
+            .expect("runs")
+            .expect("no recovery ladder, so the cell strands");
+        assert_eq!(v.invariant, "no-stranded-cell");
     }
 
     #[test]

@@ -132,6 +132,51 @@ impl Prober<'_> {
     }
 }
 
+/// A parsed repro file: everything [`repro_to_text`] wrote, ready to
+/// re-fly with one [`crate::runner::run_full`] call.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// The scenario the violation was found in.
+    pub scenario: Scenario,
+    /// The violated invariant's name (e.g. `coverage-retention`).
+    pub invariant: String,
+    /// The recorded violation detail.
+    pub detail: String,
+    /// The minimized fault schedule.
+    pub schedule: FaultSchedule,
+}
+
+/// Parses a [`repro_to_text`] file back into its parts — the
+/// re-flying half of the repro round trip, used by regression tests
+/// that hold old soak violations closed.
+pub fn repro_from_text(text: &str) -> Result<Repro, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "rfly-repro v1")) => {}
+        other => return Err(format!("bad repro header {:?}", other.map(|(_, l)| l))),
+    }
+    let (n, scenario_line) = lines.next().ok_or("missing scenario line")?;
+    let scenario =
+        Scenario::from_line(scenario_line, n + 1).map_err(|e| format!("scenario line: {e}"))?;
+    let (_, inv_line) = lines.next().ok_or("missing invariant line")?;
+    let rest = inv_line
+        .strip_prefix("invariant ")
+        .ok_or_else(|| format!("expected an `invariant` line, found {inv_line:?}"))?;
+    let (invariant, detail) = match rest.split_once(' ') {
+        Some((name, detail)) => (name.to_string(), detail.to_string()),
+        None => (rest.to_string(), String::new()),
+    };
+    let schedule_text: String = lines.map(|(_, l)| format!("{l}\n")).collect();
+    let schedule =
+        FaultSchedule::from_text(&schedule_text).map_err(|e| format!("fault schedule: {e}"))?;
+    Ok(Repro {
+        scenario,
+        invariant,
+        detail,
+        schedule,
+    })
+}
+
 /// The minimal-repro file format: the scenario line, the violated
 /// invariant, and the minimized schedule — everything a later session
 /// needs to reproduce the violation with one [`crate::runner::run_full`]
@@ -212,6 +257,96 @@ mod tests {
         let b = shrink(&harness, &storm).expect("shrinks");
         assert_eq!(a.schedule.to_text(), b.schedule.to_text());
         assert_eq!(a.probes, b.probes);
+    }
+
+    /// A stranded-cell storm (battery death with no supervisor)
+    /// padded with decoys: the shrinker must strip everything but the
+    /// fatal sag, and the resulting repro file must round-trip through
+    /// [`repro_from_text`] with the `no-stranded-cell` invariant
+    /// intact — the full shrink → write → re-parse → re-fly loop the
+    /// ops soak bench leans on.
+    #[test]
+    fn stranded_cell_shrink_round_trips_through_its_repro() {
+        let scn = Scenario {
+            supervised: false,
+            ..Scenario::small(3)
+        };
+        let harness =
+            InvariantHarness::new(scn.clone(), vec![Invariant::NoStrandedCell]).expect("baseline");
+        let mut events = vec![FaultEvent {
+            id: 0,
+            step: 2,
+            relay: 0,
+            kind: FaultKind::BatterySag,
+        }];
+        for id in 1..6 {
+            events.push(FaultEvent {
+                id,
+                step: id % 4,
+                relay: 1,
+                kind: FaultKind::DeepFade { db: 3.0, steps: 2 },
+            });
+        }
+        let storm = FaultSchedule::from_events(events);
+        let result = shrink(&harness, &storm).expect("shrinks");
+        assert_eq!(result.violation.invariant, "no-stranded-cell");
+        assert_eq!(
+            result.schedule.events().len(),
+            1,
+            "only the sag is load-bearing: {:?}",
+            result.schedule.events()
+        );
+        assert!(matches!(
+            result.schedule.events()[0].kind,
+            FaultKind::BatterySag
+        ));
+
+        let text = repro_to_text(&scn, &result);
+        let back = repro_from_text(&text).expect("parses");
+        assert_eq!(back.invariant, "no-stranded-cell");
+        assert_eq!(back.scenario, scn);
+        assert_eq!(back.schedule.to_text(), result.schedule.to_text());
+        // Re-flying the parsed repro still violates — the loop closes.
+        let reharness = InvariantHarness::new(back.scenario, vec![Invariant::NoStrandedCell])
+            .expect("baseline");
+        assert!(reharness.check(&back.schedule).expect("runs").is_some());
+    }
+
+    #[test]
+    fn repro_text_round_trips() {
+        let scn = Scenario::small(9);
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent {
+                id: 3,
+                step: 2,
+                relay: 1,
+                kind: FaultKind::PaSag { db: 4.25 },
+            },
+            FaultEvent {
+                id: 5,
+                step: 4,
+                relay: 0,
+                kind: FaultKind::BatterySag,
+            },
+        ]);
+        let result = ShrinkResult {
+            schedule: schedule.clone(),
+            violation: Violation {
+                invariant: "coverage-retention",
+                detail: "retained 3/10 unique tags (ratio 0.300 < 0.8)".to_string(),
+            },
+            probes: 0,
+        };
+        let text = repro_to_text(&scn, &result);
+        let back = repro_from_text(&text).expect("parses");
+        assert_eq!(back.scenario, scn);
+        assert_eq!(back.invariant, "coverage-retention");
+        assert_eq!(back.detail, result.violation.detail);
+        assert_eq!(back.schedule.to_text(), schedule.to_text());
+
+        assert!(repro_from_text("rfly-repro v2\n").is_err());
+        assert!(repro_from_text("").is_err());
+        assert!(repro_from_text(&text.replace("invariant ", "violated ")).is_err());
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Closed soak violations stay closed: every committed repro under
+//! `results/repros/` is re-flown and its recorded invariant must now
+//! *hold* — each file is the shrunk witness of a supervisor gap that a
+//! later PR fixed, kept as a permanent regression anchor.
+//!
+//! (`tests/fixtures/golden-repro.txt` is the opposite kind of fixture —
+//! a violation that is *supposed* to reproduce — and is held by
+//! `shrink_golden.rs`.)
+
+use std::path::PathBuf;
+
+use rfly_replay::invariant::{Invariant, InvariantHarness};
+use rfly_replay::runner::run_full;
+use rfly_replay::shrink::repro_from_text;
+
+fn repros_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/repros")
+}
+
+/// The soak bench's invariant catalog — the bar the repro was shrunk
+/// against, and the bar it must now clear.
+fn catalog() -> Vec<Invariant> {
+    vec![
+        Invariant::CoverageRetention { min_ratio: 0.8 },
+        Invariant::MarginGate { floor_db: 6.0 },
+        Invariant::NoDuplicateEpcs,
+    ]
+}
+
+#[test]
+fn seed3_repro_no_longer_violates_coverage_retention() {
+    // The PR-4 soak flagged seed 3: two pa-sag faults compressed the
+    // relays' PA ceilings and the supervisor had no rung for it, so
+    // marginal tags stayed dark (ratio 0.700 < 0.8). The pa-rebias
+    // recovery closes that hole; re-flying the shrunk repro must now
+    // satisfy the very invariant it recorded.
+    let path = repros_dir().join("repro-seed3.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let repro = repro_from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    assert_eq!(repro.invariant, "coverage-retention");
+    assert!(
+        repro
+            .schedule
+            .events()
+            .iter()
+            .any(|ev| matches!(ev.kind, rfly_faults::FaultKind::PaSag { .. })),
+        "the committed repro must still be the pa-sag witness"
+    );
+
+    let harness = InvariantHarness::new(repro.scenario.clone(), catalog()).expect("baseline");
+    let run = run_full(&repro.scenario, &repro.schedule).expect("repro mission flies");
+    assert_eq!(
+        harness.evaluate(&run),
+        None,
+        "the seed-3 pa-sag repro regressed"
+    );
+}
+
+#[test]
+fn every_committed_repro_stays_closed() {
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(repros_dir()).expect("repros dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("repro text");
+        let repro = repro_from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let harness = InvariantHarness::new(repro.scenario.clone(), catalog()).expect("baseline");
+        let run = run_full(&repro.scenario, &repro.schedule).expect("repro mission flies");
+        assert_eq!(
+            harness.evaluate(&run),
+            None,
+            "{}: a committed repro reopened",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1, "at least repro-seed3.txt must be present");
+}

@@ -113,7 +113,10 @@ impl CompiledScenario {
 
 /// Lowers a validated spec.
 pub fn compile(spec: &ScenarioSpec) -> Result<CompiledScenario, CompileError> {
-    let scene = build_scene(&spec.world);
+    let mut scene = build_scene(&spec.world);
+    for dock in &spec.docks {
+        scene.add_dock(dock.position, dock.slots);
+    }
     let limits = spec.mission.platform.limits();
     let n = spec.relays.len();
 
@@ -421,6 +424,19 @@ count = 220
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].relay, 2);
         assert_eq!(events[0].step, 3);
+    }
+
+    #[test]
+    fn docks_lower_into_the_scene() {
+        let src = format!(
+            "{WAREHOUSE}\n[[dock]]\nposition = [2.0, 2.0]\nslots = 2\n\
+             \n[[dock]]\nposition = [28.0, 2.0]\n"
+        );
+        let spec = parse_str(&src).expect("valid");
+        let c = compile(&spec).expect("compiles");
+        assert_eq!(c.scene.docks.len(), 2);
+        assert_eq!(c.scene.dock_slots(), 3);
+        assert_eq!(c.scene.docks[0].slots, 2);
     }
 
     #[test]

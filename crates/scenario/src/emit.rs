@@ -120,6 +120,19 @@ pub fn emit(spec: &ScenarioSpec) -> String {
         fmt_f64(spec.budget.inter_uplink.value())
     );
 
+    if let Some(e) = &spec.energy {
+        let _ = writeln!(w, "\n[energy]");
+        let _ = writeln!(w, "capacity_j = {}", fmt_f64(e.capacity_j));
+        let _ = writeln!(w, "hover_w = {}", fmt_f64(e.hover_w));
+        let _ = writeln!(w, "tx_w = {}", fmt_f64(e.tx_w));
+        let _ = writeln!(w, "ref_gain_db = {}", fmt_f64(e.ref_gain.value()));
+        let _ = writeln!(w, "tx_w_per_db = {}", fmt_f64(e.tx_w_per_db));
+        let _ = writeln!(w, "per_read_j = {}", fmt_f64(e.per_read_j));
+        let _ = writeln!(w, "charge_w = {}", fmt_f64(e.charge_w));
+        let _ = writeln!(w, "reserve_frac = {}", fmt_f64(e.reserve_frac));
+        let _ = writeln!(w, "ready_frac = {}", fmt_f64(e.ready_frac));
+    }
+
     let _ = writeln!(w, "\n[mission]");
     let _ = writeln!(w, "margin_db = {}", fmt_f64(spec.mission.margin.value()));
     let _ = writeln!(
@@ -146,6 +159,17 @@ pub fn emit(spec: &ScenarioSpec) -> String {
         let _ = writeln!(w, "id = {}", quoted(&relay.id));
         let _ = writeln!(w, "cell = {}", relay.cell);
         let _ = writeln!(w, "snr_penalty_db = {}", fmt_f64(relay.snr_penalty.value()));
+    }
+
+    for dock in &spec.docks {
+        let _ = writeln!(w, "\n[[dock]]");
+        let _ = writeln!(
+            w,
+            "position = [{}, {}]",
+            fmt_f64(dock.position.x),
+            fmt_f64(dock.position.y)
+        );
+        let _ = writeln!(w, "slots = {}", dock.slots);
     }
 
     for group in &spec.tags {
@@ -307,6 +331,14 @@ snr_penalty_db = 2.5
 [[relay]]
 id = "west"
 cell = 0
+
+[energy]
+capacity_j = 90000.0
+reserve_frac = 0.25
+
+[[dock]]
+position = [2.0, 2.0]
+slots = 2
 
 [[tag]]
 count = 24

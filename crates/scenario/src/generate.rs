@@ -120,6 +120,8 @@ pub fn generate(family: Family, seed: u64) -> ScenarioSpec {
             ..MissionSpec::default()
         },
         budget: BudgetSpec::default(),
+        energy: None,
+        docks: Vec::new(),
         faults: FaultsSpec::default(),
     };
 

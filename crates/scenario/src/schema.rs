@@ -41,6 +41,11 @@ pub struct ScenarioSpec {
     pub mission: MissionSpec,
     /// The relays' isolation budget.
     pub budget: BudgetSpec,
+    /// Battery/charging model for continuous operation (`None` =
+    /// single-sortie mission, no energy accounting).
+    pub energy: Option<EnergySpec>,
+    /// Charging docks, in file order (empty = no rotation possible).
+    pub docks: Vec<DockSpec>,
     /// The fault schedule request.
     pub faults: FaultsSpec,
 }
@@ -335,6 +340,56 @@ impl BudgetSpec {
             inter_uplink: self.inter_uplink,
         }
     }
+}
+
+/// The per-relay battery and charging model for continuous-operation
+/// scenarios (defaults mirror `rfly_ops::EnergyModel`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySpec {
+    /// Usable pack capacity, J.
+    pub capacity_j: f64,
+    /// Hover draw, W.
+    pub hover_w: f64,
+    /// Relay TX draw at the reference gain, W.
+    pub tx_w: f64,
+    /// The gain at which `tx_w` is quoted, dB.
+    pub ref_gain: Db,
+    /// Extra TX draw per dB above the reference gain, W/dB.
+    pub tx_w_per_db: f64,
+    /// Energy per successful tag read, J.
+    pub per_read_j: f64,
+    /// Dock charging rate, W.
+    pub charge_w: f64,
+    /// Reserve fraction: a serving relay at or below this charge must
+    /// rotate out.
+    pub reserve_frac: f64,
+    /// Launch-ready fraction: a docked relay below this cannot launch.
+    pub ready_frac: f64,
+}
+
+impl Default for EnergySpec {
+    fn default() -> Self {
+        Self {
+            capacity_j: 108_000.0,
+            hover_w: 72.0,
+            tx_w: 3.0,
+            ref_gain: Db::new(90.0),
+            tx_w_per_db: 0.05,
+            per_read_j: 0.5,
+            charge_w: 90.0,
+            reserve_frac: 0.2,
+            ready_frac: 0.9,
+        }
+    }
+}
+
+/// One charging dock ([`rfly_sim::scene::Dock`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DockSpec {
+    /// Dock position on the floor.
+    pub position: Point2,
+    /// Simultaneous charging slots.
+    pub slots: usize,
 }
 
 /// One explicit fault event (relay referenced by ID).
@@ -742,6 +797,76 @@ pub fn from_document(doc: &Document) -> Result<ScenarioSpec, ScenarioError> {
         None => BudgetSpec::default(),
     };
 
+    // [energy] (optional)
+    let energy = match single(doc, "energy")? {
+        Some(s) => {
+            let d = EnergySpec::default();
+            let mut keys = Keys::new(s);
+            let (capacity, cl) = keys.f64_or("capacity_j", d.capacity_j)?;
+            let (hover, hl) = keys.f64_or("hover_w", d.hover_w)?;
+            let (tx, tl) = keys.f64_or("tx_w", d.tx_w)?;
+            let (ref_gain, _) = keys.f64_or("ref_gain_db", d.ref_gain.value())?;
+            let (slope, slope_line) = keys.f64_or("tx_w_per_db", d.tx_w_per_db)?;
+            let (per_read, read_line) = keys.f64_or("per_read_j", d.per_read_j)?;
+            let (charge, chl) = keys.f64_or("charge_w", d.charge_w)?;
+            let (reserve, reserve_line) = keys.f64_or("reserve_frac", d.reserve_frac)?;
+            let (ready, ready_line) = keys.f64_or("ready_frac", d.ready_frac)?;
+            keys.finish()?;
+            positive(capacity, cl, "`capacity_j`")?;
+            positive(hover, hl, "`hover_w`")?;
+            positive(tx, tl, "`tx_w`")?;
+            positive(charge, chl, "`charge_w`")?;
+            if slope < 0.0 {
+                return Err(err(slope_line, "`tx_w_per_db` must be non-negative"));
+            }
+            if per_read < 0.0 {
+                return Err(err(read_line, "`per_read_j` must be non-negative"));
+            }
+            if !(0.0..1.0).contains(&reserve) {
+                return Err(err(reserve_line, "`reserve_frac` must be in [0, 1)"));
+            }
+            if !(reserve < ready && ready <= 1.0) {
+                return Err(err(
+                    ready_line,
+                    format!(
+                        "`ready_frac` = {ready} must exceed `reserve_frac` = {reserve} and \
+                         be at most 1 (a standby must launch with more than the reserve)"
+                    ),
+                ));
+            }
+            Some(EnergySpec {
+                capacity_j: capacity,
+                hover_w: hover,
+                tx_w: tx,
+                ref_gain: Db::new(ref_gain),
+                tx_w_per_db: slope,
+                per_read_j: per_read,
+                charge_w: charge,
+                reserve_frac: reserve,
+                ready_frac: ready,
+            })
+        }
+        None => None,
+    };
+
+    // [[dock]]
+    let mut docks = Vec::new();
+    for s in doc.all("dock") {
+        let mut keys = Keys::new(s);
+        let e = keys.require("position")?;
+        let p = as_point(e)?;
+        let p_line = e.line;
+        let (slots, slots_line) = keys.usize_or("slots", 1)?;
+        keys.finish()?;
+        if !in_bounds(p) {
+            return Err(err(p_line, format!("dock {}", bounds_msg(p))));
+        }
+        if slots == 0 {
+            return Err(err(slots_line, "a dock needs at least one `slots`"));
+        }
+        docks.push(DockSpec { position: p, slots });
+    }
+
     // [faults] + [[fault]]
     let known_ids: Vec<&str> = relays.iter().map(|r| r.id.as_str()).collect();
     let faults = faults_spec(doc, n_relays, &known_ids)?;
@@ -769,6 +894,8 @@ pub fn from_document(doc: &Document) -> Result<ScenarioSpec, ScenarioError> {
         tags,
         mission,
         budget,
+        energy,
+        docks,
         faults,
     })
 }
@@ -784,6 +911,8 @@ const SECTIONS: &[&str] = &[
     "tag",
     "mission",
     "budget",
+    "energy",
+    "dock",
     "faults",
     "fault",
 ];
@@ -795,6 +924,7 @@ const SINGLETONS: &[&str] = &[
     "interferers",
     "mission",
     "budget",
+    "energy",
     "faults",
 ];
 
@@ -1260,6 +1390,8 @@ count = 12
         assert_eq!(spec.n_tags(), 12);
         assert_eq!(spec.mission, super::MissionSpec::default());
         assert_eq!(spec.budget, super::BudgetSpec::default());
+        assert_eq!(spec.energy, None);
+        assert!(spec.docks.is_empty());
         assert!(!spec.faults.any());
         assert!(matches!(
             spec.tags[0].placement,
@@ -1354,6 +1486,44 @@ storm = true
             format!("{MINIMAL}\n[[fault]]\nstep = 2\nrelay = \"ghost\"\nkind = \"battery-sag\"\n");
         let e = parse_str(&bad).unwrap_err();
         assert!(e.message.contains("unknown relay id \"ghost\""), "{e}");
+    }
+
+    #[test]
+    fn energy_section_fills_defaults_and_checks_thresholds() {
+        let src = format!("{MINIMAL}\n[energy]\ncapacity_j = 90000.0\n");
+        let spec = parse_str(&src).expect("valid");
+        let energy = spec.energy.expect("present");
+        assert_eq!(energy.capacity_j, 90000.0);
+        assert_eq!(energy.hover_w, super::EnergySpec::default().hover_w);
+
+        let bad = format!("{MINIMAL}\n[energy]\nreserve_frac = 0.8\nready_frac = 0.5\n");
+        let e = parse_str(&bad).unwrap_err();
+        assert!(
+            e.message
+                .contains("`ready_frac` = 0.5 must exceed `reserve_frac` = 0.8"),
+            "{e}"
+        );
+        let bad = format!("{MINIMAL}\n[energy]\nhover_w = 0.0\n");
+        let e = parse_str(&bad).unwrap_err();
+        assert!(e.message.contains("`hover_w` must be positive"), "{e}");
+    }
+
+    #[test]
+    fn docks_are_bounds_checked_and_default_to_one_slot() {
+        let src = format!(
+            "{MINIMAL}\n[[dock]]\nposition = [2.0, 2.0]\n\n[[dock]]\nposition = [18.0, 2.0]\nslots = 2\n"
+        );
+        let spec = parse_str(&src).expect("valid");
+        assert_eq!(spec.docks.len(), 2);
+        assert_eq!(spec.docks[0].slots, 1);
+        assert_eq!(spec.docks[1].slots, 2);
+
+        let bad = format!("{MINIMAL}\n[[dock]]\nposition = [25.0, 2.0]\n");
+        let e = parse_str(&bad).unwrap_err();
+        assert!(e.message.contains("dock position (25, 2)"), "{e}");
+        let bad = format!("{MINIMAL}\n[[dock]]\nposition = [2.0, 2.0]\nslots = 0\n");
+        let e = parse_str(&bad).unwrap_err();
+        assert!(e.message.contains("at least one `slots`"), "{e}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn corpus_has_the_promised_coverage() {
         corpus_files("").len() >= 8,
         "the committed corpus must hold at least 8 scenarios"
     );
-    assert_eq!(corpus_files("invalid").len(), 6);
+    assert_eq!(corpus_files("invalid").len(), 7);
 }
 
 #[test]
@@ -64,6 +64,10 @@ fn every_invalid_fixture_fires_its_diagnostic() {
             "cannot be combined with conveyor belts",
         ),
         ("missing_reader.toml", "missing [[reader]] section"),
+        (
+            "ready_below_reserve.toml",
+            "`ready_frac` = 0.15 must exceed `reserve_frac` = 0.3",
+        ),
     ];
     for (file, needle) in expectations {
         let path = corpus_dir().join("invalid").join(file);
@@ -87,6 +91,7 @@ fn invalid_diagnostics_point_at_the_documented_lines() {
         ("tag_out_of_bounds.toml", 22),
         ("unknown_world_kind.toml", 9),
         ("belt_with_faults.toml", 31),
+        ("ready_below_reserve.toml", 17),
     ];
     for (file, expect) in lines {
         let err = load(&corpus_dir().join("invalid").join(file)).expect_err("rejected");

@@ -4,6 +4,18 @@
 use rfly_channel::environment::{Environment, Material, Obstacle};
 use rfly_channel::geometry::{Point2, Segment};
 
+/// A charging dock: a landing pad where a relay can swap off-shift
+/// and recharge. Docks are ground furniture, not RF obstacles — a
+/// parked drone's airframe is below the shelf clutter that already
+/// dominates the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dock {
+    /// Pad position on the floor.
+    pub pos: Point2,
+    /// Simultaneous charging slots on the pad.
+    pub slots: usize,
+}
+
 /// A generated scene: an environment plus semantic positions.
 #[derive(Debug, Clone)]
 pub struct Scene {
@@ -17,6 +29,9 @@ pub struct Scene {
     pub tag_spots: Vec<Point2>,
     /// Aisle centerlines a drone can fly along.
     pub aisles: Vec<Segment>,
+    /// Charging docks for continuous-operation rotations (empty for
+    /// one-shot missions).
+    pub docks: Vec<Dock>,
 }
 
 impl Scene {
@@ -39,6 +54,7 @@ impl Scene {
                 Point2::new(1.0, depth / 2.0),
                 Point2::new(width - 1.0, depth / 2.0),
             )],
+            docks: Vec::new(),
         }
     }
 
@@ -145,6 +161,7 @@ impl Scene {
             max: Point2::new(width, depth),
             tag_spots: Vec::new(),
             aisles: Vec::new(),
+            docks: Vec::new(),
         };
         let pitch = depth / (rows + 1) as f64;
         for k in 1..=rows {
@@ -258,6 +275,21 @@ impl Scene {
             "occupancy grid has no fully-free row to fly"
         );
         scene
+    }
+
+    /// Adds a charging dock at `pos` with `slots` simultaneous
+    /// charging slots. Panics if the pad lies outside the floor or has
+    /// no slots — the scenario schema validates both with file:line
+    /// diagnostics before ever reaching this.
+    pub fn add_dock(&mut self, pos: Point2, slots: usize) {
+        assert!(self.contains(pos), "dock pad outside the floor");
+        assert!(slots >= 1, "a dock needs at least one slot");
+        self.docks.push(Dock { pos, slots });
+    }
+
+    /// Total charging slots across all docks.
+    pub fn dock_slots(&self) -> usize {
+        self.docks.iter().map(|d| d.slots).sum()
     }
 
     /// Adds an interior dividing wall (for NLoS experiments), from
@@ -380,6 +412,26 @@ mod tests {
     #[should_panic(expected = "fully-free row")]
     fn occupancy_without_an_aisle_panics() {
         let _ = Scene::occupancy(rfly_dsp::units::Meters::new(1.0), &["#.", ".#"]);
+    }
+
+    #[test]
+    fn docks_are_semantic_not_rf() {
+        let mut s = Scene::warehouse(20.0, 16.0, 2);
+        let obstacles_before = s.environment.obstacles().len();
+        s.add_dock(Point2::new(1.0, 1.0), 2);
+        s.add_dock(Point2::new(19.0, 15.0), 1);
+        assert_eq!(s.docks.len(), 2);
+        assert_eq!(s.dock_slots(), 3);
+        // A dock never perturbs propagation.
+        assert_eq!(s.environment.obstacles().len(), obstacles_before);
+        assert!(s.docks.iter().all(|d| s.contains(d.pos)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the floor")]
+    fn out_of_bounds_dock_panics() {
+        let mut s = Scene::open_floor(10.0, 10.0);
+        s.add_dock(Point2::new(-1.0, 5.0), 1);
     }
 
     #[test]

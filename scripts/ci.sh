@@ -51,6 +51,18 @@ cargo run --release --offline -p rfly-bench --bin scenario_corpus
 echo "== fault injector overhead (<5% on the clean hot path) =="
 cargo run --release --offline -p rfly-bench --bin ext_fault_overhead | tail -2
 
+echo "== ops model check (exhaustive rotation-supervisor proof) =="
+# BFS-enumerates the abstracted dock-rotation state space over a
+# ladder of fleet shapes; any stranded cell, dock overflow, retry
+# divergence, or deadlock exits non-zero with a counterexample trace.
+cargo run --release --offline -p rfly-bench --bin ops_check | tail -3
+
+echo "== ops soak smoke (2 simulated hours, rotation + coverage gates) =="
+# The full 24 h soak runs locally via the same binary with no flags;
+# CI flies a 2 h slice with the identical coverage-floor, rotation,
+# and tags/hour gates.
+cargo run --release --offline -p rfly-bench --bin ext_ops_soak -- --hours 2 | tail -2
+
 echo "== soak-and-shrink smoke (3 seeds, bounded steps) =="
 # Three seeded random storms through the journaled supervised mission:
 # every journal must round-trip byte-for-byte and replay with zero
