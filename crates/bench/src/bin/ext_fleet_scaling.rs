@@ -191,9 +191,9 @@ fn main() {
              `parallel_regression` raised in BENCH_report.json"
         );
     }
-    bench.metric("serial_s", serial_s);
-    bench.metric("parallel_s", parallel_s);
-    bench.metric("parallel_speedup", speedup);
+    bench.metric("serial_s", serial_s); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
+    bench.metric("parallel_s", parallel_s); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
+    bench.metric("parallel_speedup", speedup); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
     bench.metric(
         "default_path_serial",
         if serial_is_default { 1.0 } else { 0.0 },

@@ -69,7 +69,7 @@ fn energy_model(spec: &EnergySpec) -> EnergyModel {
         capacity_j: spec.capacity_j,
         hover_w: spec.hover_w,
         tx_w: spec.tx_w,
-        ref_gain_db: spec.ref_gain.value(),
+        ref_gain: spec.ref_gain,
         tx_w_per_db: spec.tx_w_per_db,
         per_read_j: spec.per_read_j,
         charge_w: spec.charge_w,

@@ -1,0 +1,110 @@
+//! Extension — rfly-lint wall-time budget: the v2 analyzer (parse →
+//! workspace index → whole-program rules) must stay cheap enough to
+//! gate every CI run.
+//!
+//! Times a **cold** full-workspace pass (no cache file) and a **warm**
+//! pass served from the content-hash incremental cache written by the
+//! first run, records both into `results/bench/BENCH_report.json`, and
+//! fails the build when either exceeds its budget. The budgets are
+//! deliberately loose multiples of today's measured times (cold ~0.14 s,
+//! warm ~0.03 s in release): they catch an accidental
+//! O(n²) in the call-graph BFS or a cache that stops hitting, not
+//! normal machine-to-machine jitter.
+//!
+//! Run with: `cargo run --release --bin lint_time`
+
+use std::path::Path;
+use std::time::Instant;
+
+use rfly_bench::prelude::*;
+
+/// Cold full-workspace budget, seconds.
+const COLD_BUDGET_S: f64 = 10.0;
+/// Warm-cache budget, seconds: the cache must make re-lints much
+/// cheaper than cold ones, so the bar is tighter.
+const WARM_BUDGET_S: f64 = 5.0;
+const TRIALS: usize = 3;
+
+fn main() {
+    let mut bench = Bench::from_args("lint_time", 42);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let cache = root.join("target").join("rfly-lint-bench-cache.tsv");
+    let _ = std::fs::remove_file(&cache);
+
+    // Cold: no cache file on disk, so every file is parsed + analyzed
+    // and the whole pipeline runs end to end. Best-of to shave jitter.
+    let mut cold_best = f64::MAX;
+    let mut files = 0usize;
+    let mut fns = 0usize;
+    for _ in 0..TRIALS {
+        let _ = std::fs::remove_file(&cache);
+        let t0 = Instant::now();
+        let (findings, stats) =
+            rfly_lint::lint_workspace_cached(&root, Some(&cache)).expect("lint workspace");
+        cold_best = cold_best.min(t0.elapsed().as_secs_f64());
+        files = stats.files;
+        fns = stats.fns_indexed;
+        assert_eq!(stats.cache_hits, 0, "cold run must not hit the cache");
+        // The committed baseline is empty, so the tree itself must be
+        // clean — a dirty tree would make the timing meaningless.
+        let errors = findings
+            .iter()
+            .filter(|f| f.severity == rfly_lint::rules::Severity::Error)
+            .count();
+        assert_eq!(errors, 0, "workspace must lint clean before timing");
+    }
+
+    // Warm: the cache now covers every file; stages 2–3 (index + whole
+    // program rules) still run, per-file parse/analysis is skipped.
+    let mut warm_best = f64::MAX;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        let (_, stats) =
+            rfly_lint::lint_workspace_cached(&root, Some(&cache)).expect("lint workspace");
+        warm_best = warm_best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(stats.cache_misses, 0, "warm run must be fully cached");
+    }
+    let _ = std::fs::remove_file(&cache);
+
+    let mut t = Table::new(
+        "rfly-lint wall time (full workspace)",
+        &["pass", "best s", "budget s", "files", "fns"],
+    );
+    t.row(&[
+        "cold".into(),
+        format!("{cold_best:.3}"),
+        format!("{COLD_BUDGET_S:.1}"),
+        files.to_string(),
+        fns.to_string(),
+    ]);
+    t.row(&[
+        "warm".into(),
+        format!("{warm_best:.3}"),
+        format!("{WARM_BUDGET_S:.1}"),
+        files.to_string(),
+        fns.to_string(),
+    ]);
+    bench.table("main", t, false);
+
+    bench.metric("cold_s", cold_best); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
+    bench.metric("warm_s", warm_best); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
+    bench.metric("cold_budget_s", COLD_BUDGET_S);
+    bench.metric("warm_budget_s", WARM_BUDGET_S);
+    bench.metric("files", files as f64);
+    bench.metric("fns_indexed", fns as f64);
+
+    assert!(
+        cold_best <= COLD_BUDGET_S,
+        "cold lint {cold_best:.3}s blew its {COLD_BUDGET_S:.1}s budget"
+    );
+    assert!(
+        warm_best <= WARM_BUDGET_S,
+        "warm-cache lint {warm_best:.3}s blew its {WARM_BUDGET_S:.1}s budget"
+    );
+    println!("lint time gates passed (cold {cold_best:.3}s, warm {warm_best:.3}s)");
+    bench.finish();
+}

@@ -88,8 +88,8 @@ impl SelfLocalizer {
         for iy in 0..n {
             for ix in 0..n {
                 let o = Point2::new(
-                    -self.window.value() + ix as f64 * self.resolution,
-                    -self.window.value() + iy as f64 * self.resolution,
+                    (Meters::new(ix as f64 * self.resolution) - self.window).value(),
+                    (Meters::new(iy as f64 * self.resolution) - self.window).value(),
                 );
                 let s = self.score(o, reader, believed, embedded_channels);
                 if s > best.1 {

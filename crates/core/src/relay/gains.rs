@@ -89,10 +89,9 @@ pub fn allocate(budget: &IsolationBudget, margin: Db, expected_input: Dbm) -> Ga
 /// Checks that a gain plan keeps every feedback loop below unity by at
 /// least `margin` — the stability condition behind Eq. 3.
 pub fn is_stable(plan: &GainPlan, budget: &IsolationBudget, margin: Db) -> bool {
-    plan.downlink.value() + margin.value() <= budget.intra_downlink.value()
-        && plan.uplink.value() + margin.value() <= budget.intra_uplink.value()
-        && plan.downlink.value() + plan.uplink.value() + margin.value()
-            <= budget.inter_downlink.value() + budget.inter_uplink.value()
+    plan.downlink + margin <= budget.intra_downlink
+        && plan.uplink + margin <= budget.intra_uplink
+        && plan.downlink + plan.uplink + margin <= budget.inter_downlink + budget.inter_uplink
 }
 
 /// An external interferer in a victim relay's feedback budget — in a
@@ -135,7 +134,7 @@ pub fn offset_rejection(offset: Hertz, passband: Hertz) -> Db {
 /// both crossings. Negative means the pair rings regardless of each
 /// relay's own self-interference compliance.
 pub fn mutual_loop_margin(gain_i: Db, gain_j: Db, coupling_loss: Db, rejection: Db) -> Db {
-    Db::new(2.0 * coupling_loss.value() + rejection.value() - gain_i.value() - gain_j.value())
+    coupling_loss + coupling_loss + rejection - gain_i - gain_j
 }
 
 /// The worst-case mutual-loop margin across the four loop topologies a
@@ -155,7 +154,7 @@ pub fn worst_pair_margin(
     coupling_loss: Db,
     passband: Hertz,
 ) -> Db {
-    let off = |out: Hertz, center: Hertz| Hertz(out.as_hz() - center.as_hz());
+    let off = |out: Hertz, center: Hertz| out - center;
     let topologies = [
         // i downlink → j downlink
         (

@@ -87,12 +87,7 @@ pub fn measure_isolation(relay: &mut Relay, path: InterferencePath) -> Db {
     // resolution filter does the same job).
     let out_power = (-25..=25)
         .map(|k| {
-            windowed_power_at(
-                &out[SKIP..],
-                Hertz::hz(out_freq.as_hz() + k as f64 * 100.0),
-                fs,
-            )
-            .value()
+            windowed_power_at(&out[SKIP..], out_freq + Hertz::hz(k as f64 * 100.0), fs).value()
         })
         .fold(f64::MIN, f64::max);
     let attenuation = Db::new(-out_power);

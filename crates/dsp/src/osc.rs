@@ -171,7 +171,7 @@ impl Synthesizer {
 
     /// Carrier frequency offset relative to nominal.
     pub fn cfo(&self) -> Hertz {
-        Hertz::hz(self.actual_hz - self.nominal.as_hz())
+        self.actual() - self.nominal
     }
 
     /// Retunes the synthesizer to a new nominal frequency. The same ppm
@@ -231,7 +231,7 @@ mod rand_distr_walk {
     /// index `n` exists.
     pub fn extend_walk<R: Rng>(walk: &mut Vec<f64>, n: usize, sigma: f64, rng: &mut R) {
         while walk.len() <= n {
-            let last = *walk.last().expect("walk starts non-empty");
+            let last = walk.last().copied().unwrap_or(0.0);
             let step = if sigma > 0.0 {
                 sigma * standard_normal(rng)
             } else {

@@ -84,7 +84,7 @@ pub(super) fn margin_monitor(
     // clear the gate, otherwise this is a planning problem (relays
     // passing close), not a fault.
     let pristine =
-        worst_alive_margin(alive, positions, f1, shift, &|_| base_gains).expect("pair exists"); // rfly-lint: allow(no-unwrap) -- the caller found a worst pair, so the same pair set is non-empty here.
+        worst_alive_margin(alive, positions, f1, shift, &|_| base_gains).expect("pair exists"); // rfly-lint: allow(no-unwrap, transitive-panic) -- the caller found a worst pair, so the same pair set is non-empty here.
     if pristine.2.value() < env.margin.value() {
         return;
     }

@@ -1,0 +1,446 @@
+//! Content-hash incremental cache for the per-file analysis stages.
+//!
+//! Lexing + token rules + parsing + the function pass are pure
+//! functions of a file's bytes, so their outputs — pre-allow findings
+//! and [`FnSummary`] records — are cached keyed by an FNV-1a hash of
+//! the source chained onto [`ENGINE_VERSION`]. On a warm run only
+//! changed files re-analyze; the whole-program passes (call-graph
+//! reachability, taint closure) and allow application always run fresh,
+//! because they depend on the *set* of files, not any single one.
+//!
+//! The on-disk format is a line-oriented TSV under `target/` (never
+//! scanned by the lint walk). It is an optimization, not a source of
+//! truth: any parse hiccup or version mismatch discards the whole cache
+//! silently and the run proceeds cold.
+
+use crate::ast::Vis;
+use crate::index::{CallSite, FnSummary, PanicKind, PanicSite, SinkSite};
+use crate::rules::{Finding, Severity};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Bumped whenever rule logic, the parser, or this format changes —
+/// chained into every content hash so stale caches self-invalidate.
+pub const ENGINE_VERSION: &str = "rfly-lint-v2.0";
+
+const HEADER: &str = "rfly-lint-cache\tv2";
+
+/// One file's cached analysis artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct CacheEntry {
+    /// Pre-allow findings (token rules + intra-procedural semantic).
+    pub findings: Vec<Finding>,
+    /// Function summaries for the workspace index.
+    pub summaries: Vec<FnSummary>,
+}
+
+/// The cache: workspace-relative path → (content hash, artifacts).
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: HashMap<String, (u64, CacheEntry)>,
+    /// Hits/misses this run, for the CLI's stats line.
+    pub hits: usize,
+    /// Files analyzed cold this run.
+    pub misses: usize,
+}
+
+/// FNV-1a over the engine version then the source bytes.
+pub fn content_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in ENGINE_VERSION.bytes().chain(src.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Cache {
+    /// Loads a cache file; any corruption or version mismatch yields an
+    /// empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(_) => return Cache::default(),
+        };
+        parse(&text).unwrap_or_default()
+    }
+
+    /// Looks up a file by content; counts the hit/miss.
+    pub fn get(&mut self, rel: &str, src: &str) -> Option<CacheEntry> {
+        let hash = content_hash(src);
+        match self.entries.get(rel) {
+            Some((h, e)) if *h == hash => {
+                self.hits += 1;
+                Some(e.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a freshly-computed entry.
+    pub fn put(&mut self, rel: String, src: &str, entry: CacheEntry) {
+        self.entries.insert(rel, (content_hash(src), entry));
+    }
+
+    /// Drops entries for files that no longer exist in the walk.
+    pub fn retain_files(&mut self, live: &[String]) {
+        let live: std::collections::HashSet<&str> = live.iter().map(|s| s.as_str()).collect();
+        self.entries.retain(|k, _| live.contains(k.as_str()));
+    }
+
+    /// Writes the cache, creating the parent directory as needed.
+    /// Failures are ignored — the cache is best-effort.
+    pub fn save(&self, path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, self.render());
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        for rel in keys {
+            let (hash, e) = &self.entries[rel];
+            let _ = writeln!(out, "F\t{}\t{hash:016x}", esc(rel));
+            for f in &e.findings {
+                let _ = writeln!(
+                    out,
+                    "f\t{}\t{}\t{}\t{}\t{}",
+                    f.rule,
+                    f.line,
+                    sev_tag(f.severity),
+                    esc(&f.message),
+                    esc(&f.line_text),
+                );
+            }
+            for s in &e.summaries {
+                let _ = writeln!(
+                    out,
+                    "s\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    esc(&s.qual),
+                    s.crate_name,
+                    s.line,
+                    esc(&s.name),
+                    s.impl_ty.as_deref().map(esc).unwrap_or_default(),
+                    vis_tag(s.vis),
+                    s.ret.as_deref().map(esc).unwrap_or_default(),
+                    u8::from(s.det_return),
+                );
+                for p in &s.panics {
+                    let _ = writeln!(
+                        out,
+                        "p\t{}\t{}\t{}\t{}",
+                        esc(&p.what),
+                        kind_tag(p.kind),
+                        p.line,
+                        esc(&p.text),
+                    );
+                }
+                for c in &s.calls {
+                    let _ = writeln!(out, "c\t{}", render_call(c));
+                }
+                for k in &s.sink_sites {
+                    let _ = writeln!(
+                        out,
+                        "k\t{}\t{}\t{}\t{}",
+                        esc(&k.sink),
+                        k.line,
+                        esc(&k.text),
+                        k.local_taints.join(","),
+                    );
+                    for a in &k.call_args {
+                        let _ = writeln!(out, "a\t{}", render_call(a));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_call(c: &CallSite) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}",
+        esc(&c.name),
+        c.recv_ty.as_deref().map(esc).unwrap_or_default(),
+        u8::from(c.via_method),
+        u8::from(c.in_return),
+        c.line,
+    )
+}
+
+fn parse_call(fields: &[&str]) -> Option<CallSite> {
+    if fields.len() != 5 {
+        return None;
+    }
+    Some(CallSite {
+        name: unesc(fields[0]),
+        recv_ty: opt(fields[1]),
+        via_method: fields[2] == "1",
+        in_return: fields[3] == "1",
+        line: fields[4].parse().ok()?,
+    })
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur_file: Option<(String, u64)> = None;
+    let mut entry = CacheEntry::default();
+    let flush = |cur: &mut Option<(String, u64)>, entry: &mut CacheEntry, cache: &mut Cache| {
+        if let Some((rel, hash)) = cur.take() {
+            cache.entries.insert(rel, (hash, std::mem::take(entry)));
+        }
+    };
+    for line in lines {
+        let (tag, rest) = line.split_once('\t')?;
+        let fields: Vec<&str> = rest.split('\t').collect();
+        match tag {
+            "F" => {
+                flush(&mut cur_file, &mut entry, &mut cache);
+                if fields.len() != 2 {
+                    return None;
+                }
+                cur_file = Some((unesc(fields[0]), u64::from_str_radix(fields[1], 16).ok()?));
+            }
+            "f" => {
+                let (rel, _) = cur_file.as_ref()?;
+                if fields.len() != 5 {
+                    return None;
+                }
+                entry.findings.push(Finding {
+                    rule: known_rule(fields[0])?,
+                    file: rel.clone(),
+                    line: fields[1].parse().ok()?,
+                    severity: sev_parse(fields[2])?,
+                    message: unesc(fields[3]),
+                    line_text: unesc(fields[4]),
+                });
+            }
+            "s" => {
+                let (rel, _) = cur_file.as_ref()?;
+                if fields.len() != 8 {
+                    return None;
+                }
+                entry.summaries.push(FnSummary {
+                    qual: unesc(fields[0]),
+                    crate_name: fields[1].to_string(),
+                    file: rel.clone(),
+                    line: fields[2].parse().ok()?,
+                    name: unesc(fields[3]),
+                    impl_ty: opt(fields[4]),
+                    vis: vis_parse(fields[5])?,
+                    is_test: false,
+                    ret: opt(fields[6]),
+                    panics: Vec::new(),
+                    calls: Vec::new(),
+                    det_return: fields[7] == "1",
+                    sink_sites: Vec::new(),
+                });
+            }
+            "p" => {
+                let s = entry.summaries.last_mut()?;
+                if fields.len() != 4 {
+                    return None;
+                }
+                s.panics.push(PanicSite {
+                    what: unesc(fields[0]),
+                    kind: kind_parse(fields[1])?,
+                    line: fields[2].parse().ok()?,
+                    text: unesc(fields[3]),
+                });
+            }
+            "c" => entry.summaries.last_mut()?.calls.push(parse_call(&fields)?),
+            "k" => {
+                let s = entry.summaries.last_mut()?;
+                if fields.len() != 4 {
+                    return None;
+                }
+                s.sink_sites.push(SinkSite {
+                    sink: unesc(fields[0]),
+                    line: fields[1].parse().ok()?,
+                    text: unesc(fields[2]),
+                    local_taints: if fields[3].is_empty() {
+                        Vec::new()
+                    } else {
+                        fields[3].split(',').map(|s| s.to_string()).collect()
+                    },
+                    call_args: Vec::new(),
+                });
+            }
+            "a" => {
+                let sink = entry.summaries.last_mut()?.sink_sites.last_mut()?;
+                sink.call_args.push(parse_call(&fields)?);
+            }
+            _ => return None,
+        }
+    }
+    flush(&mut cur_file, &mut entry, &mut cache);
+    Some(cache)
+}
+
+/// Cached rules round-trip through the static [`crate::rules::RULES`]
+/// table so `Finding.rule` stays `&'static str`.
+fn known_rule(slug: &str) -> Option<&'static str> {
+    crate::rules::RULES
+        .iter()
+        .map(|(s, _)| *s)
+        .chain(["allow-justification", "stale-allow"])
+        .find(|s| *s == slug)
+}
+
+fn opt(field: &str) -> Option<String> {
+    if field.is_empty() {
+        None
+    } else {
+        Some(unesc(field))
+    }
+}
+
+fn sev_tag(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "E",
+        Severity::Warning => "W",
+    }
+}
+
+fn sev_parse(s: &str) -> Option<Severity> {
+    match s {
+        "E" => Some(Severity::Error),
+        "W" => Some(Severity::Warning),
+        _ => None,
+    }
+}
+
+fn vis_tag(v: Vis) -> &'static str {
+    match v {
+        Vis::Pub => "P",
+        Vis::Scoped => "S",
+        Vis::Private => "-",
+    }
+}
+
+fn vis_parse(s: &str) -> Option<Vis> {
+    match s {
+        "P" => Some(Vis::Pub),
+        "S" => Some(Vis::Scoped),
+        "-" => Some(Vis::Private),
+        _ => None,
+    }
+}
+
+fn kind_tag(k: PanicKind) -> &'static str {
+    match k {
+        PanicKind::Hard => "H",
+        PanicKind::Index => "I",
+    }
+}
+
+fn kind_parse(s: &str) -> Option<PanicKind> {
+    match s {
+        "H" => Some(PanicKind::Hard),
+        "I" => Some(PanicKind::Index),
+        _ => None,
+    }
+}
+
+/// Tab/newline/backslash-escapes a field for the TSV format.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fnpass::analyze_file;
+    use crate::parser::parse_file;
+    use crate::rules::token_findings;
+
+    #[test]
+    fn roundtrip_preserves_findings_and_summaries() {
+        let src = "pub fn api(x: Option<u32>) -> u32 {\n\
+                       let v = todo!();\n\
+                       helper(v);\n\
+                       x.unwrap()\n\
+                   }\n\
+                   fn helper(_v: u32) {}\n";
+        let rel = "crates/core/src/x.rs";
+        let ast = parse_file(src);
+        let fa = analyze_file(rel, src, &ast);
+        let mut findings = token_findings(rel, src);
+        findings.extend(fa.findings);
+        let mut cache = Cache::default();
+        cache.put(
+            rel.to_string(),
+            src,
+            CacheEntry {
+                findings: findings.clone(),
+                summaries: fa.summaries.clone(),
+            },
+        );
+        let text = cache.render();
+        let mut reloaded = parse(&text).expect("cache reparses");
+        let entry = reloaded.get(rel, src).expect("content hash matches");
+        assert_eq!(entry.findings.len(), findings.len());
+        assert_eq!(entry.summaries.len(), fa.summaries.len());
+        let (a, b) = (&entry.summaries[0], &fa.summaries[0]);
+        assert_eq!(a.qual, b.qual);
+        assert_eq!(a.panics.len(), b.panics.len());
+        assert_eq!(a.calls.len(), b.calls.len());
+        assert_eq!(a.vis, b.vis);
+    }
+
+    #[test]
+    fn changed_content_misses() {
+        let mut cache = Cache::default();
+        cache.put("a.rs".to_string(), "fn a() {}", CacheEntry::default());
+        assert!(cache.get("a.rs", "fn a() {}").is_some());
+        assert!(cache.get("a.rs", "fn a() { b(); }").is_none());
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+    }
+
+    #[test]
+    fn corrupt_cache_text_is_discarded() {
+        assert!(parse("not a cache").is_none());
+        assert!(parse("rfly-lint-cache\tv2\nZ\tgarbage").is_none());
+    }
+
+    #[test]
+    fn escaping_survives_tabs_and_newlines() {
+        let s = "a\tb\\n\nc";
+        assert_eq!(unesc(&esc(s)), s);
+    }
+}

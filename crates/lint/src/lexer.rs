@@ -33,6 +33,9 @@ pub struct Tok {
     pub text: String,
     /// 1-indexed source line the token starts on.
     pub line: u32,
+    /// 0-indexed char offset of the token start in the source, so the
+    /// parser can tell adjacent punctuation (`>>`) from separated (`> >`).
+    pub pos: usize,
 }
 
 impl Tok {
@@ -143,6 +146,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Literal,
                     text,
                     line,
+                    pos: i,
                 });
                 line += nl;
                 line_has_code = true;
@@ -154,6 +158,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Literal,
                     text,
                     line,
+                    pos: i,
                 });
                 line += nl;
                 line_has_code = true;
@@ -173,6 +178,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokKind::Lifetime,
                         text: b[i..j].iter().collect(),
                         line,
+                        pos: i,
                     });
                     i = j;
                 } else {
@@ -193,6 +199,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokKind::Literal,
                         text: b[i..j].iter().collect(),
                         line,
+                        pos: i,
                     });
                     i = j;
                 }
@@ -233,6 +240,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Number,
                     text: b[i..j].iter().collect(),
                     line,
+                    pos: i,
                 });
                 line_has_code = true;
                 i = j;
@@ -246,6 +254,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Ident,
                     text: b[i..j].iter().collect(),
                     line,
+                    pos: i,
                 });
                 line_has_code = true;
                 i = j;
@@ -255,6 +264,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Punct,
                     text: c.to_string(),
                     line,
+                    pos: i,
                 });
                 line_has_code = true;
                 i += 1;
@@ -284,7 +294,13 @@ fn scan_string(b: &[char], start: usize) -> (String, u32, usize) {
     let mut nl = 0;
     while j < b.len() {
         match b[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // A `\<newline>` continuation still ends a source line.
+                if b.get(j + 1) == Some(&'\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 nl += 1;
                 j += 1;
@@ -450,5 +466,14 @@ mod tests {
     fn float_member_access_is_not_a_decimal() {
         let l = lex("let x = 4f64.sqrt();");
         assert!(l.tokens.iter().any(|t| t.is_ident("sqrt")));
+    }
+
+    #[test]
+    fn backslash_newline_in_string_still_counts_the_line() {
+        // `\<newline>` continuations span source lines; tokens after the
+        // string must not drift upward.
+        let l = lex("let s = \"a\\\n  b\";\nlet after = 1;");
+        let t = l.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(t.line, 3);
     }
 }

@@ -19,15 +19,23 @@
 //!
 //! See DESIGN.md §8 for the rule catalog and the baseline policy.
 
+pub mod ast;
 pub mod baseline;
+pub mod cache;
+pub mod fnpass;
+pub mod index;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 pub use baseline::Baseline;
+pub use cache::Cache;
 pub use rules::{lint_source, Finding, Severity, RULES};
 
 /// Directories never scanned: build output, VCS metadata, and the
@@ -63,18 +71,104 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Where the incremental cache lives when enabled: under `target/`,
+/// which the workspace walk never scans.
+pub fn default_cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("rfly-lint-cache.tsv")
+}
+
+/// Statistics from one workspace lint run, for the CLI's summary line.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LintStats {
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files analyzed cold.
+    pub cache_misses: usize,
+    /// Total files scanned.
+    pub files: usize,
+    /// Functions indexed for the whole-program passes.
+    pub fns_indexed: usize,
+}
+
 /// Lints every workspace file under `root`, returning findings with
-/// workspace-relative paths.
+/// workspace-relative paths. Runs all four stages without a cache.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    lint_workspace_cached(root, None).map(|(f, _)| f)
+}
+
+/// The full v2 pipeline:
+///
+/// 1. per file (cached by content hash): lex → token rules (R1–R8),
+///    parse → function pass (summaries + intra R10/R12);
+/// 2. link all summaries into the [`index::WorkspaceIndex`];
+/// 3. whole-program passes (R9 reachability, R11 taint closure);
+/// 4. per file: apply allow directives to the merged finding set.
+///
+/// `cache_path` enables the incremental cache (loaded before, saved
+/// after). Stages 2–4 always run fresh — they depend on the whole file
+/// set.
+pub fn lint_workspace_cached(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> io::Result<(Vec<Finding>, LintStats)> {
+    let mut cache = cache_path.map(Cache::load).unwrap_or_default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in collect_files(root)? {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(&file)?;
-        findings.extend(lint_source(&rel, &src));
+        sources.push((rel, fs::read_to_string(&file)?));
     }
-    Ok(findings)
+
+    // Stage 1: per-file artifacts, cache-served where content matches.
+    let mut summaries = Vec::new();
+    let mut per_file: HashMap<String, Vec<Finding>> = HashMap::new();
+    for (rel, src) in &sources {
+        let entry = match cache.get(rel, src) {
+            Some(e) => e,
+            None => {
+                let ast = parser::parse_file(src);
+                let fa = fnpass::analyze_file(rel, src, &ast);
+                let mut findings = rules::token_findings(rel, src);
+                findings.extend(fa.findings);
+                let entry = cache::CacheEntry {
+                    findings,
+                    summaries: fa.summaries,
+                };
+                cache.put(rel.clone(), src, entry.clone());
+                entry
+            }
+        };
+        summaries.extend(entry.summaries);
+        per_file.insert(rel.clone(), entry.findings);
+    }
+
+    // Stages 2–3: link and run the whole-program rules.
+    let idx = index::WorkspaceIndex::build(summaries);
+    let stats = LintStats {
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        files: sources.len(),
+        fns_indexed: idx.fns.len(),
+    };
+    for f in semantic::whole_program_findings(&idx) {
+        per_file.entry(f.file.clone()).or_default().push(f);
+    }
+
+    // Stage 4: one allow gate per file, then a stable global order.
+    let mut findings = Vec::new();
+    for (rel, src) in &sources {
+        let pre = per_file.remove(rel).unwrap_or_default();
+        findings.extend(rules::apply_allows(rel, src, pre));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    if let Some(path) = cache_path {
+        let live: Vec<String> = sources.into_iter().map(|(rel, _)| rel).collect();
+        cache.retain_files(&live);
+        cache.save(path);
+    }
+    Ok((findings, stats))
 }

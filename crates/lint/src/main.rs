@@ -4,15 +4,19 @@
 //!
 //! ```text
 //! cargo run -p rfly-lint -- --workspace [--baseline <file>] [--update-baseline]
+//!                           [--json <file|->] [--no-cache]
 //! ```
 //!
 //! Exit codes: 0 = clean (or fully baselined), 1 = new violations or
-//! stale baseline entries, 2 = usage/IO error.
+//! stale baseline entries, 2 = usage/IO error. Advisory
+//! [`Severity::Warning`] findings are printed but never fail the gate
+//! and never enter the baseline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rfly_lint::{lint_workspace, Baseline, RULES};
+use rfly_lint::rules::Severity;
+use rfly_lint::{default_cache_path, lint_workspace_cached, Baseline, Finding, RULES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +24,9 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
     let mut update_baseline = false;
+    let mut json_path: Option<String> = None;
+    let mut use_cache = true;
+    let mut show_advisories = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -34,6 +41,12 @@ fn main() -> ExitCode {
                 None => return usage("--baseline needs a path"),
             },
             "--update-baseline" => update_baseline = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => return usage("--json needs a path (or `-` for stdout)"),
+            },
+            "--no-cache" => use_cache = false,
+            "--advisories" => show_advisories = true,
             "--list-rules" => {
                 for (slug, desc) in RULES {
                     println!("{slug:20} {desc}");
@@ -47,23 +60,39 @@ fn main() -> ExitCode {
         return usage("pass --workspace to scan the workspace");
     }
 
-    let findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    let cache_path = use_cache.then(|| default_cache_path(&root));
+    let (findings, stats) = match lint_workspace_cached(&root, cache_path.as_deref()) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("rfly-lint: IO error: {e}");
             return ExitCode::from(2);
         }
     };
 
+    if let Some(path) = &json_path {
+        let text = render_json(&findings);
+        if path == "-" {
+            println!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("rfly-lint: cannot write JSON to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Warnings are advisory: printed, never baselined, never fatal.
+    let (errors, warnings): (Vec<Finding>, Vec<Finding>) = findings
+        .into_iter()
+        .partition(|f| f.severity == Severity::Error);
+
     if update_baseline {
         let path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.tsv"));
-        if let Err(e) = std::fs::write(&path, Baseline::render(&findings)) {
+        if let Err(e) = std::fs::write(&path, Baseline::render(&errors)) {
             eprintln!("rfly-lint: cannot write baseline: {e}");
             return ExitCode::from(2);
         }
         println!(
             "rfly-lint: wrote {} baseline entries to {}",
-            findings.len(),
+            errors.len(),
             path.display()
         );
         return ExitCode::SUCCESS;
@@ -79,8 +108,13 @@ fn main() -> ExitCode {
         },
         None => Baseline::default(),
     };
-    let (fresh, baselined, stale) = baseline.apply(findings);
+    let (fresh, baselined, stale) = baseline.apply(errors);
 
+    if show_advisories {
+        for f in &warnings {
+            println!("{}:{}: [{}] warning: {}", f.file, f.line, f.rule, f.message);
+        }
+    }
     for f in &fresh {
         println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
     }
@@ -88,10 +122,16 @@ fn main() -> ExitCode {
         println!("stale baseline entry (violation fixed — delete the line): {s}");
     }
     println!(
-        "rfly-lint: {} new violation(s), {} baselined, {} stale baseline entr(ies)",
+        "rfly-lint: {} new violation(s), {} warning(s), {} baselined, {} stale baseline entr(ies); \
+         {} files ({} cached, {} analyzed), {} fns indexed",
         fresh.len(),
+        warnings.len(),
         baselined.len(),
-        stale.len()
+        stale.len(),
+        stats.files,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.fns_indexed,
     );
     if fresh.is_empty() && stale.is_empty() {
         ExitCode::SUCCESS
@@ -100,10 +140,52 @@ fn main() -> ExitCode {
     }
 }
 
+/// Renders findings as a JSON artifact (no external deps, so by hand).
+fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i + 1 == findings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"severity\": {}, \
+             \"message\": {}, \"line_text\": {}}}{sep}\n",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            }),
+            json_str(&f.message),
+            json_str(&f.line_text),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!(
         "rfly-lint: {err}\n\
-         usage: rfly-lint --workspace [--root <dir>] [--baseline <file>] [--update-baseline] [--list-rules]"
+         usage: rfly-lint --workspace [--root <dir>] [--baseline <file>] [--update-baseline]\n\
+         \x20                        [--json <file|->] [--no-cache] [--advisories] [--list-rules]"
     );
     ExitCode::from(2)
 }

@@ -46,7 +46,7 @@ pub struct Finding {
     pub line_text: String,
 }
 
-/// All rule slugs the engine knows, in issue order R1..R8 plus the two
+/// All rule slugs the engine knows, in issue order R1..R12 plus the two
 /// allowlist meta-rules.
 pub const RULES: &[(&str, &str)] = &[
     (
@@ -75,6 +75,22 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     ("no-f32", "R7: no f32 in link-budget/phase math crates"),
     ("no-todo", "R8: no todo!/unimplemented!/dbg! anywhere"),
+    (
+        "transitive-panic",
+        "R9: no panic!/unwrap reachable from public APIs of supervised crates",
+    ),
+    (
+        "unit-dataflow",
+        "R10: no raw f64 arithmetic across unit-newtype boundaries",
+    ),
+    (
+        "determinism-taint",
+        "R11: no nondeterministic values flowing into journals, reports, or checkpoints",
+    ),
+    (
+        "parallel-safety",
+        "R12: no spawn closures mutating captured state or order-sensitive folds",
+    ),
     (
         "allow-justification",
         "allow directives must carry a `-- justification`",
@@ -189,15 +205,24 @@ struct Allow {
     used: std::cell::Cell<bool>,
 }
 
-/// Lints one file's source text. `path` must be workspace-relative; it
+/// Lints one file's source text with the token rules (R1–R8) and
+/// applies allow directives. `path` must be workspace-relative; it
 /// drives the per-crate rule scoping, so tests can synthesize paths to
 /// exercise crate-scoped rules on fixture content.
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    apply_allows(path, src, token_findings(path, src))
+}
+
+/// The token-level findings (R1–R8) for one file, *before* allow
+/// filtering. The workspace pipeline merges these with the semantic
+/// passes' findings and routes everything through [`apply_allows`]
+/// once per file; these pre-allow findings are also what the
+/// incremental cache stores.
+pub fn token_findings(path: &str, src: &str) -> Vec<Finding> {
     let ctx = FileCtx::from_path(path);
     let lexed = lex(src);
     let toks = &lexed.tokens;
     let test_mask = test_mask(toks);
-    let allows = parse_allows(&lexed.comments);
 
     let mut findings = Vec::new();
     let mut push = |rule: &'static str, line: u32, message: String| {
@@ -232,7 +257,23 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
         lint_crate_attrs(&ctx, toks, &mut push);
     }
 
-    // Apply allow directives, then flag unjustified and stale ones.
+    findings
+}
+
+/// Applies this file's `// rfly-lint: allow(...)` directives to a set
+/// of findings (token *and* semantic), flags unjustified/stale/unknown
+/// directives, fills in `line_text` from the source, and sorts. This is
+/// the single allow gate: every finding — whatever stage produced it —
+/// passes through here exactly once.
+pub fn apply_allows(path: &str, src: &str, findings: Vec<Finding>) -> Vec<Finding> {
+    // Fast path: nothing to filter and no directives to audit.
+    if findings.is_empty() && !src.contains("rfly-lint:") {
+        return findings;
+    }
+    let ctx = FileCtx::from_path(path);
+    let lexed = lex(src);
+    let allows = parse_allows(&lexed.comments);
+
     let mut kept: Vec<Finding> = findings
         .into_iter()
         .filter(|f| {

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! R9 conforming twin: the same public API routes the missing-frame
+//! case through `Result` instead of reaching a panic site.
+
+/// Steps the mission by decoding one frame.
+pub fn mission_step(frame: Option<u32>) -> Result<u32, DecodeError> {
+    decode_frame(frame)
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! R9 conforming twin: the helper is fallible; no panic edge exists.
+
+/// Decodes a frame, reporting an absent one as an error.
+pub fn decode_frame(frame: Option<u32>) -> Result<u32, DecodeError> {
+    frame.ok_or(DecodeError::Empty)
+}

@@ -1,0 +1,7 @@
+//! R10 conforming twin: the shift stays inside the `Hertz` newtype and
+//! the sum uses its `Add` impl.
+
+/// Shifts `center` by `shift`, staying in the newtype domain.
+pub fn offset_frequency(center: Hertz, shift: Hertz) -> Hertz {
+    center + shift
+}

@@ -1,0 +1,12 @@
+//! R12 conforming twin: each spawn closure works on its own slot; the
+//! result layout is fixed by index, not by thread interleaving.
+
+pub fn fan_out(xs: &[f64], out: &mut [f64]) {
+    std::thread::scope(|s| {
+        for (slot, x) in out.iter_mut().zip(xs) {
+            s.spawn(move || {
+                *slot = *x * 2.0;
+            });
+        }
+    });
+}

@@ -1,0 +1,8 @@
+//! R11 planted violation: a wall-clock reading flows into a
+//! `Bench::metric` sink — the report would differ on every run.
+
+pub fn record(bench: &mut Bench) {
+    let t0 = Instant::now();
+    let wall = t0.elapsed().as_secs_f64();
+    bench.metric("wall_s", wall);
+}

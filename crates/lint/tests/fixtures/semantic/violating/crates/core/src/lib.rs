@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! R9 planted violation, entry side: a public API of an entry crate
+//! whose call chain reaches an `unwrap()` two crates away.
+
+/// Steps the mission by decoding one frame.
+pub fn mission_step(frame: Option<u32>) -> u32 {
+    decode_frame(frame)
+}

@@ -1,0 +1,7 @@
+//! R10 planted violation: a value unwrapped from `Hertz` mixed with a
+//! raw `f64` in `+` instead of staying in newtype ops.
+
+/// Shifts `center` by a raw scalar — illegally outside the newtype.
+pub fn offset_frequency(center: Hertz, shift: f64) -> f64 {
+    center.as_hz() + shift
+}

@@ -1,0 +1,14 @@
+//! R12 planted violation: a spawn closure mutates captured shared
+//! state — per-thread interleaving decides the final contents.
+
+pub fn fan_out(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        for x in xs {
+            s.spawn(|| {
+                out.push(*x * 2.0);
+            });
+        }
+    });
+    out
+}

@@ -20,8 +20,8 @@ pub struct EnergyModel {
     pub hover_w: f64,
     /// Relay TX chain draw at the reference gain, watts.
     pub tx_w: f64,
-    /// The downlink gain the TX draw is quoted at, dB.
-    pub ref_gain_db: f64,
+    /// The downlink gain the TX draw is quoted at.
+    pub ref_gain: Db,
     /// Extra TX draw per dB of downlink gain above the reference,
     /// watts/dB (linearized PA bias curve; negative gain deltas save).
     pub tx_w_per_db: f64,
@@ -46,7 +46,7 @@ impl Default for EnergyModel {
             capacity_j: 108_000.0,
             hover_w: 72.0,
             tx_w: 3.0,
-            ref_gain_db: 90.0,
+            ref_gain: Db::new(90.0),
             tx_w_per_db: 0.05,
             per_read_j: 0.5,
             charge_w: 90.0,
@@ -59,7 +59,7 @@ impl Default for EnergyModel {
 impl EnergyModel {
     /// TX chain draw at `gain` of downlink gain, watts (floored at 0).
     pub fn tx_draw_w(&self, gain: Db) -> f64 {
-        (self.tx_w + self.tx_w_per_db * (gain.value() - self.ref_gain_db)).max(0.0)
+        (self.tx_w + self.tx_w_per_db * (gain - self.ref_gain).value()).max(0.0)
     }
 
     /// Total draw while serving a cell at `gain`, watts.
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn default_endurance_is_drone_scale() {
         let m = EnergyModel::default();
-        let e = m.endurance(Db::new(m.ref_gain_db)).value();
+        let e = m.endurance(m.ref_gain).value();
         // A Bebop-2-class pack hovers for tens of minutes, not hours.
         assert!((600.0..3600.0).contains(&e), "endurance {e} s");
     }
@@ -145,9 +145,9 @@ mod tests {
     #[test]
     fn tx_draw_scales_with_gain_and_floors_at_zero() {
         let m = EnergyModel::default();
-        let at_ref = m.tx_draw_w(Db::new(m.ref_gain_db));
+        let at_ref = m.tx_draw_w(m.ref_gain);
         assert!((at_ref - m.tx_w).abs() < 1e-12);
-        assert!(m.tx_draw_w(Db::new(m.ref_gain_db + 10.0)) > at_ref);
+        assert!(m.tx_draw_w(m.ref_gain + Db::new(10.0)) > at_ref);
         assert_eq!(m.tx_draw_w(Db::new(-1e6)), 0.0);
     }
 
@@ -155,7 +155,7 @@ mod tests {
     fn drain_and_charge_clamp_to_the_pack() {
         let m = EnergyModel::default();
         let mut b = Battery::full(&m);
-        b.drain_serve(&m, Seconds::new(1e9), Db::new(m.ref_gain_db), 0);
+        b.drain_serve(&m, Seconds::new(1e9), m.ref_gain, 0);
         assert!(b.is_empty());
         assert_eq!(b.frac(&m), 0.0);
         b.charge(&m, Seconds::new(1e9));
@@ -181,8 +181,8 @@ mod tests {
         let m = EnergyModel::default();
         let mut quiet = Battery::full(&m);
         let mut busy = Battery::full(&m);
-        quiet.drain_serve(&m, Seconds::new(60.0), Db::new(m.ref_gain_db), 0);
-        busy.drain_serve(&m, Seconds::new(60.0), Db::new(m.ref_gain_db), 100);
+        quiet.drain_serve(&m, Seconds::new(60.0), m.ref_gain, 0);
+        busy.drain_serve(&m, Seconds::new(60.0), m.ref_gain, 100);
         let extra = quiet.charge_j - busy.charge_j;
         assert!((extra - 100.0 * m.per_read_j).abs() < 1e-9);
     }

@@ -294,7 +294,6 @@ impl Roster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfly_dsp::units::Db;
 
     fn model() -> EnergyModel {
         EnergyModel::default()
@@ -373,7 +372,7 @@ mod tests {
         let mut roster = Roster::new(&m, 3, 2, &[2]).unwrap();
         roster
             .battery_mut(0)
-            .drain_serve(&m, Seconds::new(1e9), Db::new(m.ref_gain_db), 0);
+            .drain_serve(&m, Seconds::new(1e9), m.ref_gain, 0);
         assert!(roster.battery(0).is_empty());
         let cell = roster.mark_dead(0).unwrap();
         let promo = roster.promote(&m, 5, cell, 0, Seconds::new(30.0)).unwrap();

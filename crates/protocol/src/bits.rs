@@ -85,7 +85,7 @@ impl Bits {
     /// Panics if the range is out of bounds (caller validated framing).
     pub fn uint_at(&self, offset: usize, width: usize) -> u64 {
         self.try_uint_at(offset, width)
-            .expect("bit range out of bounds")
+            .expect("bit range out of bounds") // rfly-lint: allow(transitive-panic) -- documented contract: callers validate framing first; try_uint_at is the seam for untrusted frames.
     }
 
     /// Fallible [`Self::uint_at`]: rejects out-of-bounds ranges instead
@@ -109,7 +109,7 @@ impl Bits {
     /// The sub-range `[offset, offset + len)` as a new buffer.
     pub fn slice(&self, offset: usize, len: usize) -> Bits {
         self.try_slice(offset, len)
-            .expect("bit range out of bounds")
+            .expect("bit range out of bounds") // rfly-lint: allow(transitive-panic) -- documented contract: callers validate framing first; try_slice is the seam for untrusted frames.
     }
 
     /// Fallible [`Self::slice`]: rejects out-of-bounds ranges instead of

@@ -75,7 +75,7 @@ pub fn encode_reply(payload: &Bits, trext: bool, samples_per_symbol: usize) -> V
         }
     }
     halves.extend_from_slice(&PREAMBLE_HALVES);
-    let last = *halves.last().expect("preamble non-empty");
+    let last = halves.last().copied().unwrap_or(false);
     halves.extend(encode_data_halves(payload, last));
     halves_to_samples(&halves, samples_per_symbol)
 }

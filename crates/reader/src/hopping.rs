@@ -28,7 +28,7 @@ pub const MAX_DWELL: Seconds = Seconds(0.4);
 /// The center frequency of FCC channel `index`.
 pub fn channel_frequency(index: usize) -> Hertz {
     assert!(index < NUM_CHANNELS, "channel index out of range");
-    Hertz::hz(FIRST_CHANNEL.as_hz() + index as f64 * CHANNEL_SPACING.as_hz())
+    FIRST_CHANNEL + CHANNEL_SPACING * index as f64
 }
 
 /// All channel center frequencies, ascending.

@@ -70,7 +70,7 @@ const CAPTURE_MARGIN_DB: f64 = 6.0;
 /// the floor, crisp failure a few dB below — the rolloff shape behind
 /// Fig. 11.
 pub fn decode_probability(snr: Db, floor: Db) -> f64 {
-    1.0 / (1.0 + (-(snr.value() - floor.value())).exp())
+    1.0 / (1.0 + (floor - snr).value().exp())
 }
 
 /// The reader-side inventory engine.
@@ -171,7 +171,7 @@ impl InventoryController {
                 SlotOutcome::Empty => stats.empty += 1,
                 SlotOutcome::Collision => stats.collisions += 1,
                 SlotOutcome::Single => {
-                    let winner = winner.expect("single has a winner").clone();
+                    let winner = winner.expect("single has a winner").clone(); // rfly-lint: allow(transitive-panic) -- resolve() pairs every Single outcome with its winner by construction.
                     if let Some(rn16) = parse_rn16(&winner.frame) {
                         let ack_obs = medium.transact(&Command::Ack { rn16 });
                         // The acked tag replies alone (others are not in

@@ -174,7 +174,7 @@ impl RelayLink {
         incoherent_power_sum((0..self.relays.len()).filter(|&j| j != s).map(|j| {
             let jm = &self.relays[j].model;
             let coupling = world.one_way(self.relays[j].pos, self.relays[s].pos, jm.f2);
-            let offset = Hertz(jm.f2.as_hz() - sm.f2.as_hz());
+            let offset = jm.f2 - sm.f2;
             let leak = self.relay_output(world, j)
                 + jm.antenna_gain
                 + Db::from_linear(coupling.norm_sq())

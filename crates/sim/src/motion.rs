@@ -34,7 +34,7 @@ pub struct Belt {
 impl Belt {
     /// Whether the belt carries a tag whose initial position is `p`.
     pub fn carries(&self, p: Point2) -> bool {
-        (p.y - self.y.value()).abs() <= CAPTURE_M
+        (Meters::new(p.y) - self.y).abs() <= Meters::new(CAPTURE_M)
             && p.x >= self.x_min.value()
             && p.x <= self.x_max.value()
     }
@@ -42,12 +42,13 @@ impl Belt {
     /// Where a tag initially at `p` sits at mission time `t` seconds.
     /// Pure in `(p, t)`; positions wrap around the belt span.
     pub fn position_at(&self, p: Point2, t: f64) -> Point2 {
-        let span = self.x_max.value() - self.x_min.value();
-        if span <= 0.0 {
+        let span = self.x_max - self.x_min;
+        if span.value() <= 0.0 {
             return p;
         }
-        let x = self.x_min.value() + (p.x - self.x_min.value() + self.speed * t).rem_euclid(span);
-        Point2::new(x, p.y)
+        let from_min = Meters::new(p.x) - self.x_min + Meters::new(self.speed * t);
+        let x = self.x_min + Meters::new(from_min.value().rem_euclid(span.value()));
+        Point2::new(x.value(), p.y)
     }
 }
 

@@ -70,7 +70,7 @@ impl SampleLink {
             ..RelayConfig::default()
         };
         let f1 = config.frequency;
-        let f2 = Hertz::hz(f1.as_hz() + relay_cfg.shift.as_hz());
+        let f2 = f1 + relay_cfg.shift;
         let h1 = env.trace(reader_pos, relay_pos, f1).channel(f1);
         let h2 = env.trace(relay_pos, tag_pos, f2).channel(f2);
         Self {

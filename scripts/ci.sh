@@ -17,10 +17,30 @@ cargo test --offline --workspace -q
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== rfly-lint (workspace invariants; see DESIGN.md §8) =="
+echo "== rfly-lint (workspace invariants; see DESIGN.md §8 + §13) =="
 # Hard gate: any violation not covered by the committed baseline — and
 # any stale baseline entry — fails the build. The baseline only shrinks.
-cargo run --release --offline -p rfly-lint -- --workspace --baseline lint-baseline.tsv
+# The JSON findings file is uploaded as a CI artifact (see ci.yml).
+mkdir -p results/lint
+cargo run --release --offline -p rfly-lint -- --workspace \
+  --baseline lint-baseline.tsv --json results/lint/findings.json
+
+echo "== rfly-lint semantic fixtures (planted trees; see DESIGN.md §13) =="
+# The planted mini-workspace must FAIL (exit 1) with all four semantic
+# rules firing, and its conforming twin must pass clean (exit 0) — this
+# guards the analyzer itself against silently going blind.
+if cargo run --release --offline -p rfly-lint -- --workspace --no-cache \
+    --root crates/lint/tests/fixtures/semantic/violating >/dev/null; then
+  echo "ERROR: planted violations were not detected" >&2
+  exit 1
+fi
+cargo run --release --offline -p rfly-lint -- --workspace --no-cache \
+  --root crates/lint/tests/fixtures/semantic/conforming >/dev/null
+
+echo "== rfly-lint wall-time budget (cold + warm cache) =="
+# Times the full v2 pipeline over the workspace; blows up if the cold
+# pass or the warm-cache pass regresses past its BENCH_report budget.
+cargo run --release --offline -p rfly-bench --bin lint_time | tail -2
 
 echo "== fault matrix (3 seeds) =="
 # The fault_storm example is self-asserting: it exits non-zero on any
