@@ -21,6 +21,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rfly_bench::harness::Bench;
+use rfly_chaos::storage::atomic_write_file;
 use rfly_faults::FaultSchedule;
 use rfly_replay::divergence::verify_replay;
 use rfly_replay::invariant::{Invariant, InvariantHarness};
@@ -114,7 +115,10 @@ fn soak_one(seed: u64, args: &Args, table: &mut Table) -> Result<bool, String> {
     let result = shrink(&harness, &schedule)?;
     let repro = repro_to_text(&scenario, &result);
     let path = args.out.join(format!("repro-seed{seed}.txt"));
-    fs::write(&path, &repro).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    // Write-temp-then-commit: a soak killed mid-write must never leave
+    // a torn repro behind for the next run to trust.
+    atomic_write_file(&path, repro.as_bytes())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
     table.row(&[
         seed.to_string(),
         run.outcome.inventory.unique_tags().to_string(),

@@ -137,6 +137,41 @@ impl fmt::Display for ChannelPlanError {
 
 impl std::error::Error for ChannelPlanError {}
 
+/// Minimum spacing between a relay's transmitted carrier (f₁) and any
+/// active frequency — carrier or listen band — of *another* relay.
+/// The paper's "as little as 1 MHz" Δf is also the floor below which a
+/// neighbor's carrier sits inside a relay's front-end selectivity:
+/// Eq. 3 can declare the mutual loop stable (the loop product stays
+/// below unity) while the neighbor's transmission still parks on top
+/// of the backscatter sidebands and kills the read. [`assign`]
+/// therefore rejects any candidate whose carrier comes closer than
+/// this to an already-assigned relay's carrier or listen band, and two
+/// *listen* bands (f₂↔f₂′) must keep it too: co-channel listen bands
+/// put both relays' tag backscatter in the same window, and the reader
+/// can't separate its own cell's sidebands from the neighbor's.
+pub const MIN_CARRIER_SPACING: Hertz = Hertz(1.0e6);
+
+/// Extra Eq. 3 margin the band-packer aims for beyond the caller's
+/// gate: in-mission degradation — a hot gain-stage drift, the
+/// supervisor's corrective trims — erodes pairwise margins by a few
+/// dB, and a plan packed to the bare gate tips over at the first
+/// fault. [`assign`] packs to the closest channel that keeps this
+/// headroom and settles for the bare gate only when the band is too
+/// full for anything better.
+pub const FAULT_HEADROOM: Db = Db(12.0);
+
+/// Whether every cross-relay frequency pairing — f₁↔f₁′, f₁↔f₂′,
+/// f₂↔f₁′, and f₂↔f₂′ — keeps [`MIN_CARRIER_SPACING`].
+fn carriers_clear_spacing(cand: (Hertz, Hertz), other: (Hertz, Hertz)) -> bool {
+    let floor = MIN_CARRIER_SPACING.as_hz();
+    let (cf1, cf2) = (cand.0.as_hz(), cand.1.as_hz());
+    let (of1, of2) = (other.0.as_hz(), other.1.as_hz());
+    (cf1 - of1).abs() >= floor
+        && (cf1 - of2).abs() >= floor
+        && (cf2 - of1).abs() >= floor
+        && (cf2 - of2).abs() >= floor
+}
+
 /// The worst-case (strongest) inter-relay coupling: free-space loss at
 /// the lower of the two carrier frequencies.
 fn coupling(pos_i: Point2, pos_j: Point2, f: Hertz) -> Db {
@@ -166,7 +201,9 @@ fn pair_margin(
 }
 
 /// Assigns each relay an (f₁ᵢ, Δᵢ) pair from the seed-`seed` FCC
-/// hopping permutation so every pairwise mutual loop clears `margin`.
+/// hopping permutation so every pairwise mutual loop clears `margin`
+/// and every active frequency — carrier and listen band — keeps
+/// [`MIN_CARRIER_SPACING`] from every other relay's.
 ///
 /// Δᵢ = (2 + i) × 500 kHz: distinct per relay, starting at the paper's
 /// "as little as 1 MHz" out-of-band shift.
@@ -184,25 +221,59 @@ pub fn assign(
     let mut used = [false; NUM_CHANNELS];
     for (i, &pos) in positions.iter().enumerate() {
         let shift_ch = 2 + i;
-        let found = order.iter().copied().find(|&c| {
+        let clears = |c: usize, extra: Db| {
             if used[c] || c + shift_ch >= NUM_CHANNELS {
                 return false;
             }
             let cand_f1 = channel_frequency(c);
             let cand_f2 = cand_f1 + Hertz(CHANNEL_SPACING.as_hz() * shift_ch as f64);
             (0..i).all(|j| {
-                pair_margin(
-                    &gains,
-                    pos,
-                    (cand_f1, cand_f2),
-                    positions[j],
-                    (f1[j], f1[j] + shift[j]),
-                    FLEET_PASSBAND,
-                )
-                .value()
-                    >= margin.value()
+                carriers_clear_spacing((cand_f1, cand_f2), (f1[j], f1[j] + shift[j]))
+                    && pair_margin(
+                        &gains,
+                        pos,
+                        (cand_f1, cand_f2),
+                        positions[j],
+                        (f1[j], f1[j] + shift[j]),
+                        FLEET_PASSBAND,
+                    )
+                    .value()
+                        >= (margin + extra).value()
             })
-        });
+        };
+        // Among gate-clearing channels, pack the band: take the one
+        // closest to the carriers already assigned (first-fit ties
+        // broken by permutation position). Spectrum is scarce — a
+        // greedy that flees to the far end of the band on the first
+        // conflict strands no room for the next relay or the FCC
+        // hopper. Packing targets FAULT_HEADROOM above the Eq. 3 gate
+        // so in-mission degradation (gain drift, trims) doesn't eat
+        // the margin to the bone; only when no channel keeps the
+        // headroom does the packer settle for the bare gate. The
+        // first relay has nothing to pack against and takes the
+        // permutation head, which keeps plans seed-varied.
+        let packed = |c: usize| {
+            let cand = channel_frequency(c);
+            f1.iter()
+                .map(|&f: &Hertz| (cand - f).as_hz().abs())
+                .fold(f64::INFINITY, f64::min)
+        };
+        let found = if i == 0 {
+            order.iter().copied().find(|&c| clears(c, Db::new(0.0)))
+        } else {
+            order
+                .iter()
+                .copied()
+                .filter(|&c| clears(c, FAULT_HEADROOM))
+                .min_by(|&a, &b| packed(a).total_cmp(&packed(b)))
+                .or_else(|| {
+                    order
+                        .iter()
+                        .copied()
+                        .filter(|&c| clears(c, Db::new(0.0)))
+                        .min_by(|&a, &b| packed(a).total_cmp(&packed(b)))
+                })
+        };
         let c = found.ok_or(ChannelPlanError::NoFeasibleChannel { relay: i })?;
         used[c] = true;
         f1.push(channel_frequency(c));
@@ -316,6 +387,106 @@ mod tests {
         }
         assert_eq!(plan.margins.len(), 6);
         assert!(plan.min_margin().unwrap().value() >= 10.0);
+    }
+
+    /// Every cross-relay distance the spacing floor governs: each
+    /// relay's carrier and listen band against every other relay's
+    /// carrier and listen band.
+    fn cross_carrier_distances(plan: &ChannelPlan) -> Vec<f64> {
+        let n = plan.f1.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                for a in [plan.f1[i].as_hz(), plan.f2(i).as_hz()] {
+                    for b in [plan.f1[j].as_hz(), plan.f2(j).as_hz()] {
+                        out.push((a - b).abs());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn carriers_keep_one_megahertz_spacing_across_seeds() {
+        for seed in 0..32 {
+            for n in [2usize, 3, 4] {
+                let plan =
+                    assign(&grid(n, 10.0), &paper_budget(), Db::new(10.0), seed).expect("feasible");
+                for d in cross_carrier_distances(&plan) {
+                    assert!(
+                        d >= MIN_CARRIER_SPACING.as_hz(),
+                        "seed {seed}, {n} relays: carriers {d} Hz apart"
+                    );
+                }
+                assert!(plan.min_margin().unwrap().value() >= 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn eq3_alone_admits_the_carrier_collision_the_spacing_gate_pins() {
+        // Regression for the interference-kill case: at seed 10 on a
+        // two-relay grid, the hop permutation offers relay 1 a channel
+        // whose carriers come closer than 1 MHz to relay 0's — down to
+        // an exact collision — and the Eq. 3 mutual-loop gate ACCEPTS
+        // it: the loop product stays below unity because the offenders
+        // sit in different legs of the loop, but a neighbor's carrier
+        // on top of the backscatter sidebands kills the read outright.
+        let positions = grid(2, 10.0);
+        let budget = paper_budget();
+        let margin = Db::new(10.0);
+        let gains = allocate(&budget, margin, Dbm::new(-40.0));
+        let order = HopSequence::new(10, MAX_DWELL).order().to_vec();
+
+        // Relay 0 takes the head of the permutation, as assign() does.
+        let c0 = order[0];
+        let f1_0 = channel_frequency(c0);
+        let pair0 = (f1_0, f1_0 + Hertz(CHANNEL_SPACING.as_hz() * 2.0));
+
+        // Relay 1 selected by the margin gate alone — the pre-gate
+        // behavior this test pins.
+        let margin_only = order
+            .iter()
+            .copied()
+            .find(|&c| {
+                c != c0 && c + 3 < NUM_CHANNELS && {
+                    let cand_f1 = channel_frequency(c);
+                    let cand = (cand_f1, cand_f1 + Hertz(CHANNEL_SPACING.as_hz() * 3.0));
+                    pair_margin(
+                        &gains,
+                        positions[1],
+                        cand,
+                        positions[0],
+                        pair0,
+                        FLEET_PASSBAND,
+                    )
+                    .value()
+                        >= margin.value()
+                }
+            })
+            .expect("margin-only greedy finds a channel");
+        let cand_f1 = channel_frequency(margin_only);
+        let cand = (cand_f1, cand_f1 + Hertz(CHANNEL_SPACING.as_hz() * 3.0));
+        assert!(
+            !carriers_clear_spacing(cand, pair0),
+            "the margin-only pick must violate the spacing floor for \
+             this pin to mean anything: {cand:?} vs {pair0:?}"
+        );
+
+        // The shipped assigner refuses that channel and still finds a
+        // stable plan with every carrier a full megahertz clear.
+        let plan = assign(&positions, &budget, margin, 10).expect("feasible");
+        assert!(
+            plan.f1[1] != cand_f1,
+            "assign() must skip the killer channel"
+        );
+        for d in cross_carrier_distances(&plan) {
+            assert!(d >= MIN_CARRIER_SPACING.as_hz(), "carriers {d} Hz apart");
+        }
     }
 
     #[test]

@@ -356,7 +356,7 @@ pub struct ReachedPanic {
 /// rules compose: R1 proves entries clean locally, R9 proves everything
 /// they call clean transitively.
 pub const ENTRY_CRATES: &[&str] = &[
-    "core", "faults", "fleet", "obs", "ops", "replay", "scenario", "sim",
+    "chaos", "core", "faults", "fleet", "obs", "ops", "replay", "scenario", "sim",
 ];
 
 fn unique_or_same_crate(cands: &[usize], fns: &[FnSummary], crate_name: &str) -> Option<usize> {

@@ -106,7 +106,7 @@ pub const RULES: &[(&str, &str)] = &[
 /// scenario front end whose diagnostics must surface as errors, never
 /// panics.
 const R1_CRATES: &[&str] = &[
-    "core", "faults", "fleet", "obs", "ops", "replay", "scenario", "sim",
+    "chaos", "core", "faults", "fleet", "obs", "ops", "replay", "scenario", "sim",
 ];
 
 /// Path prefixes counted as DSP/relay hot paths for R2.

@@ -20,7 +20,7 @@ use rfly_drone::kinematics::MotionLimits;
 use rfly_dsp::rng::{Rng, StdRng};
 use rfly_dsp::units::{Db, Seconds};
 use rfly_faults::text::fmt_f64;
-use rfly_fleet::channels::assign;
+use rfly_fleet::channels::{assign, ChannelPlan};
 use rfly_fleet::inventory::mission_world;
 use rfly_fleet::partition::partition;
 use rfly_protocol::epc::Epc;
@@ -142,6 +142,267 @@ fn fig9_budget() -> IsolationBudget {
     }
 }
 
+/// Everything one executed tick did — the unit the crash-consistent
+/// campaign log appends per tick, and the unit recovery verifies when
+/// fast-forwarding over already-durable ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRecord {
+    /// The tick index.
+    pub tick: usize,
+    /// Successful tag reads this tick (all serving relays).
+    pub reads: usize,
+    /// Relays that went flat mid-serve this tick.
+    pub deaths: usize,
+    /// Whether the fleet repartitioned around an unfillable hole.
+    pub repartitioned: bool,
+    /// Served-cells / configured-cells after this tick.
+    pub coverage: f64,
+    /// Rotations (promotions + reserve-margin swaps) this tick.
+    pub rotations: Vec<Rotation>,
+    /// EPCs inventoried for the first time this tick, in read order.
+    pub new_tags: Vec<Epc>,
+    /// Per-relay charge in joules after this tick, in relay order.
+    pub charges: Vec<f64>,
+}
+
+/// A campaign in flight: the tick-stepper form of [`run_campaign`].
+///
+/// [`CampaignRun::step`] executes exactly one tick and reports what it
+/// did as a [`TickRecord`] — the unit [`crate::persist`] appends to the
+/// durable campaign log. The stepper is what makes
+/// resume-after-power-loss possible: recovery rebuilds a `CampaignRun`
+/// from a checkpoint and re-drives `step` over the salvaged log.
+#[derive(Debug)]
+pub struct CampaignRun<'s> {
+    pub(crate) scene: &'s Scene,
+    pub(crate) cfg: OpsConfig,
+    pub(crate) limits: MotionLimits,
+    pub(crate) budget: IsolationBudget,
+    pub(crate) transit: Seconds,
+    pub(crate) hover: Vec<Point2>,
+    pub(crate) plan: ChannelPlan,
+    pub(crate) world: PhasorWorld,
+    pub(crate) roster: Roster,
+    pub(crate) seen: BTreeSet<Epc>,
+    pub(crate) report: OpsReport,
+    pub(crate) tick: usize,
+    pub(crate) ticks: usize,
+    pub(crate) halted: bool,
+}
+
+impl<'s> CampaignRun<'s> {
+    /// Builds the opening campaign state over `scene` under `cfg` —
+    /// the same validation and world setup [`run_campaign`] performs.
+    pub fn new(scene: &'s Scene, cfg: &OpsConfig) -> Result<Self, String> {
+        if cfg.n_cells == 0 || cfg.tick.value() <= 0.0 || cfg.inventory_every == 0 {
+            return Err(
+                "campaign needs at least one cell, a positive tick, and a nonzero inventory cadence"
+                    .into(),
+            );
+        }
+        let limits = MotionLimits::indoor_drone();
+        let budget = fig9_budget();
+
+        // Static world: partition, channels, tags — the runner idiom.
+        let part = partition(scene, cfg.n_cells, limits)
+            .map_err(|e| format!("partition failed: {e:?}"))?;
+        let hover: Vec<Point2> = part.cells.iter().map(|c| c.center()).collect();
+        let plan = assign(&hover, &budget, cfg.margin, cfg.seed)
+            .map_err(|e| format!("channel assignment failed: {e:?}"))?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let positions: Vec<Point2> = (0..cfg.n_tags)
+            .map(|_| {
+                let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
+                Point2::new(spot.x + rng.gen_range(-0.5..0.5), spot.y)
+            })
+            .collect();
+        let tags = TagPopulation::generate(cfg.n_tags, &positions, cfg.seed ^ 0xBEEF);
+        let world = mission_world(scene, Point2::new(1.0, 1.0), tags, &plan, &budget, cfg.seed);
+
+        // The roster parks standbys on the scene's docks.
+        let dock_slots: Vec<usize> = scene.docks.iter().map(|d| d.slots).collect();
+        let roster = Roster::new(&cfg.energy, cfg.n_relays, cfg.n_cells, &dock_slots)?;
+
+        // Worst-case transit leg: the floor diagonal at cruise speed.
+        // Swaps resolve within one tick; the leg is costed as energy.
+        let diag =
+            ((scene.max.x - scene.min.x).powi(2) + (scene.max.y - scene.min.y).powi(2)).sqrt();
+        let transit = Seconds::new(diag / limits.max_speed);
+
+        let ticks = (cfg.duration.value() / cfg.tick.value()).ceil() as usize;
+        let report = OpsReport {
+            ticks,
+            sim_seconds: ticks as f64 * cfg.tick.value(),
+            rotations: Vec::new(),
+            deaths: 0,
+            repartitions: 0,
+            min_coverage: 1.0,
+            unique_tags: 0,
+            total_reads: 0,
+            trace: vec![Vec::with_capacity(ticks); cfg.n_relays],
+        };
+        Ok(Self {
+            scene,
+            cfg: cfg.clone(),
+            limits,
+            budget,
+            transit,
+            hover,
+            plan,
+            world,
+            roster,
+            seen: BTreeSet::new(),
+            report,
+            tick: 0,
+            ticks,
+            halted: false,
+        })
+    }
+
+    /// Whether the campaign is over: the clock ran out, or every relay
+    /// died and the floor went dark.
+    pub fn finished(&self) -> bool {
+        self.halted || self.tick >= self.ticks
+    }
+
+    /// The next tick to execute (= ticks executed so far).
+    pub fn tick_index(&self) -> usize {
+        self.tick
+    }
+
+    /// Executes exactly one campaign tick.
+    pub fn step(&mut self) -> Result<TickRecord, String> {
+        let tick = self.tick;
+        let cfg = &self.cfg;
+        let mut rec = TickRecord {
+            tick,
+            reads: 0,
+            deaths: 0,
+            repartitioned: false,
+            coverage: 0.0,
+            rotations: Vec::new(),
+            new_tags: Vec::new(),
+            charges: Vec::new(),
+        };
+
+        // 1. Inventory stops: each serving relay keys the fleet medium
+        // by its *cell* (the channel plan is sized per cell).
+        let mut reads_by_relay = vec![0usize; cfg.n_relays];
+        if tick.is_multiple_of(cfg.inventory_every) {
+            let fleet = self.plan.fleet(&self.budget, &self.hover);
+            for (relay, cell) in self.roster.serving() {
+                let mut controller = InventoryController::new(
+                    self.world.config.clone(),
+                    StdRng::seed_from_u64(cfg.seed ^ (((tick as u64) << 8) | cell as u64)),
+                );
+                let mut medium = FleetMedium::new(&mut self.world, fleet.clone(), cell);
+                let reads = controller.run_until_quiet(&mut medium, cfg.max_rounds);
+                for read in &reads {
+                    if read.epc != PhasorWorld::embedded_epc() {
+                        if self.seen.insert(read.epc) {
+                            rec.new_tags.push(read.epc);
+                        }
+                        reads_by_relay[relay] += 1;
+                    }
+                }
+                self.world.power_cycle_tags();
+            }
+            rec.reads = reads_by_relay.iter().sum::<usize>();
+            self.report.total_reads += rec.reads;
+        }
+
+        // 2. Battery integration: servers drain, docked standbys charge.
+        for (relay, &reads) in reads_by_relay.iter().enumerate() {
+            match self.roster.duty(relay) {
+                Duty::Serving { .. } => self.roster.battery_mut(relay).drain_serve(
+                    &cfg.energy,
+                    cfg.tick,
+                    self.plan.gains.downlink,
+                    reads,
+                ),
+                Duty::Docked { .. } => self.roster.battery_mut(relay).charge(&cfg.energy, cfg.tick),
+                Duty::Dead => {}
+            }
+        }
+
+        // 3. Deaths: a flat server is promoted over, or the survivors
+        // repartition the floor around the hole.
+        let flat: Vec<(usize, usize)> = self
+            .roster
+            .serving()
+            .into_iter()
+            .filter(|&(relay, _)| self.roster.battery(relay).is_empty())
+            .collect();
+        let mut repartition_needed = false;
+        for (relay, cell) in flat {
+            self.report.deaths += 1;
+            rec.deaths += 1;
+            let lost = self.roster.mark_dead(relay);
+            if let Some(cell_lost) = lost {
+                debug_assert_eq!(cell_lost, cell);
+                match self
+                    .roster
+                    .promote(&cfg.energy, tick, cell, relay, self.transit)
+                {
+                    Some(promo) => {
+                        self.report.rotations.push(promo);
+                        rec.rotations.push(promo);
+                    }
+                    None => repartition_needed = true,
+                }
+            }
+        }
+        if repartition_needed {
+            let survivors = self.roster.serving().len();
+            if survivors == 0 {
+                self.report.min_coverage = 0.0;
+                for relay in 0..cfg.n_relays {
+                    let charge = self.roster.battery(relay).charge_j;
+                    self.report.trace[relay].push(charge);
+                    rec.charges.push(charge);
+                }
+                self.halted = true;
+                self.tick += 1;
+                return Ok(rec);
+            }
+            let part = partition(self.scene, survivors, self.limits)
+                .map_err(|e| format!("repartition failed: {e:?}"))?;
+            self.hover = part.cells.iter().map(|c| c.center()).collect();
+            self.plan = assign(&self.hover, &self.budget, cfg.margin, cfg.seed)
+                .map_err(|e| format!("channel reassignment failed: {e:?}"))?;
+            self.roster.renumber_cells();
+            self.report.repartitions += 1;
+            rec.repartitioned = true;
+        }
+
+        // 4. Reserve-margin rotations (make-before-break).
+        let swaps = self.roster.rotate(&cfg.energy, tick, self.transit);
+        self.report.rotations.extend(swaps.iter().copied());
+        rec.rotations.extend(swaps);
+        debug_assert!(self.roster.docks_within_capacity());
+
+        // 5. Coverage and trace bookkeeping.
+        let coverage = self.roster.serving().len() as f64 / cfg.n_cells as f64;
+        rec.coverage = coverage;
+        if coverage < self.report.min_coverage {
+            self.report.min_coverage = coverage;
+        }
+        for relay in 0..cfg.n_relays {
+            let charge = self.roster.battery(relay).charge_j;
+            self.report.trace[relay].push(charge);
+            rec.charges.push(charge);
+        }
+        self.tick += 1;
+        Ok(rec)
+    }
+
+    /// Finishes the campaign and hands back the report.
+    pub fn into_report(mut self) -> OpsReport {
+        self.report.unique_tags = self.seen.len();
+        self.report
+    }
+}
+
 /// Flies a continuous campaign over `scene` under `cfg`.
 ///
 /// The scene must carry enough dock slots
@@ -152,146 +413,11 @@ fn fig9_budget() -> IsolationBudget {
 /// assignment, shrinking the cell count instead of stranding a cell.
 pub fn run_campaign(scene: &Scene, cfg: &OpsConfig) -> Result<OpsReport, String> {
     let _span = rfly_obs::span("ops.run_campaign");
-    if cfg.n_cells == 0 || cfg.tick.value() <= 0.0 || cfg.inventory_every == 0 {
-        return Err(
-            "campaign needs at least one cell, a positive tick, and a nonzero inventory cadence"
-                .into(),
-        );
+    let mut run = CampaignRun::new(scene, cfg)?;
+    while !run.finished() {
+        run.step()?;
     }
-    let limits = MotionLimits::indoor_drone();
-    let budget = fig9_budget();
-
-    // Static world: partition, channels, tags — the runner idiom.
-    let part =
-        partition(scene, cfg.n_cells, limits).map_err(|e| format!("partition failed: {e:?}"))?;
-    let mut hover: Vec<Point2> = part.cells.iter().map(|c| c.center()).collect();
-    let mut plan = assign(&hover, &budget, cfg.margin, cfg.seed)
-        .map_err(|e| format!("channel assignment failed: {e:?}"))?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let positions: Vec<Point2> = (0..cfg.n_tags)
-        .map(|_| {
-            let spot = scene.tag_spots[rng.gen_range(0..scene.tag_spots.len())];
-            Point2::new(spot.x + rng.gen_range(-0.5..0.5), spot.y)
-        })
-        .collect();
-    let tags = TagPopulation::generate(cfg.n_tags, &positions, cfg.seed ^ 0xBEEF);
-    let mut world = mission_world(scene, Point2::new(1.0, 1.0), tags, &plan, &budget, cfg.seed);
-
-    // The roster parks standbys on the scene's docks.
-    let dock_slots: Vec<usize> = scene.docks.iter().map(|d| d.slots).collect();
-    let mut roster = Roster::new(&cfg.energy, cfg.n_relays, cfg.n_cells, &dock_slots)?;
-
-    // Worst-case transit leg: the floor diagonal at cruise speed.
-    // Swaps resolve within one tick; the leg is costed as energy.
-    let diag = ((scene.max.x - scene.min.x).powi(2) + (scene.max.y - scene.min.y).powi(2)).sqrt();
-    let transit = Seconds::new(diag / limits.max_speed);
-
-    let ticks = (cfg.duration.value() / cfg.tick.value()).ceil() as usize;
-    let mut report = OpsReport {
-        ticks,
-        sim_seconds: ticks as f64 * cfg.tick.value(),
-        rotations: Vec::new(),
-        deaths: 0,
-        repartitions: 0,
-        min_coverage: 1.0,
-        unique_tags: 0,
-        total_reads: 0,
-        trace: vec![Vec::with_capacity(ticks); cfg.n_relays],
-    };
-    let mut seen: BTreeSet<Epc> = BTreeSet::new();
-
-    for tick in 0..ticks {
-        // 1. Inventory stops: each serving relay keys the fleet medium
-        // by its *cell* (the channel plan is sized per cell).
-        let mut reads_by_relay = vec![0usize; cfg.n_relays];
-        if tick % cfg.inventory_every == 0 {
-            let fleet = plan.fleet(&budget, &hover);
-            for (relay, cell) in roster.serving() {
-                let mut controller = InventoryController::new(
-                    world.config.clone(),
-                    StdRng::seed_from_u64(cfg.seed ^ (((tick as u64) << 8) | cell as u64)),
-                );
-                let mut medium = FleetMedium::new(&mut world, fleet.clone(), cell);
-                let reads = controller.run_until_quiet(&mut medium, cfg.max_rounds);
-                for read in &reads {
-                    if read.epc != PhasorWorld::embedded_epc() {
-                        seen.insert(read.epc);
-                        reads_by_relay[relay] += 1;
-                    }
-                }
-                world.power_cycle_tags();
-            }
-            report.total_reads += reads_by_relay.iter().sum::<usize>();
-        }
-
-        // 2. Battery integration: servers drain, docked standbys charge.
-        for (relay, &reads) in reads_by_relay.iter().enumerate() {
-            match roster.duty(relay) {
-                Duty::Serving { .. } => roster.battery_mut(relay).drain_serve(
-                    &cfg.energy,
-                    cfg.tick,
-                    plan.gains.downlink,
-                    reads,
-                ),
-                Duty::Docked { .. } => roster.battery_mut(relay).charge(&cfg.energy, cfg.tick),
-                Duty::Dead => {}
-            }
-        }
-
-        // 3. Deaths: a flat server is promoted over, or the survivors
-        // repartition the floor around the hole.
-        let flat: Vec<(usize, usize)> = roster
-            .serving()
-            .into_iter()
-            .filter(|&(relay, _)| roster.battery(relay).is_empty())
-            .collect();
-        let mut repartition_needed = false;
-        for (relay, cell) in flat {
-            report.deaths += 1;
-            let lost = roster.mark_dead(relay);
-            if let Some(cell_lost) = lost {
-                debug_assert_eq!(cell_lost, cell);
-                match roster.promote(&cfg.energy, tick, cell, relay, transit) {
-                    Some(promo) => report.rotations.push(promo),
-                    None => repartition_needed = true,
-                }
-            }
-        }
-        if repartition_needed {
-            let survivors = roster.serving().len();
-            if survivors == 0 {
-                report.min_coverage = 0.0;
-                for relay in 0..cfg.n_relays {
-                    report.trace[relay].push(roster.battery(relay).charge_j);
-                }
-                break;
-            }
-            let part = partition(scene, survivors, limits)
-                .map_err(|e| format!("repartition failed: {e:?}"))?;
-            hover = part.cells.iter().map(|c| c.center()).collect();
-            plan = assign(&hover, &budget, cfg.margin, cfg.seed)
-                .map_err(|e| format!("channel reassignment failed: {e:?}"))?;
-            roster.renumber_cells();
-            report.repartitions += 1;
-        }
-
-        // 4. Reserve-margin rotations (make-before-break).
-        let swaps = roster.rotate(&cfg.energy, tick, transit);
-        report.rotations.extend(swaps);
-        debug_assert!(roster.docks_within_capacity());
-
-        // 5. Coverage and trace bookkeeping.
-        let coverage = roster.serving().len() as f64 / cfg.n_cells as f64;
-        if coverage < report.min_coverage {
-            report.min_coverage = coverage;
-        }
-        for relay in 0..cfg.n_relays {
-            report.trace[relay].push(roster.battery(relay).charge_j);
-        }
-    }
-
-    report.unique_tags = seen.len();
-    Ok(report)
+    Ok(run.into_report())
 }
 
 #[cfg(test)]

@@ -1,0 +1,897 @@
+//! Crash-consistent campaign persistence: resume-after-power-loss for
+//! the continuous-operation loop.
+//!
+//! A long campaign is exactly the workload that meets a power loss —
+//! hours of simulated duty cycles, dock rotations mid-swap, inventory
+//! state accumulated over thousands of ticks. This module makes the
+//! campaign durable with the same protocol `rfly-replay` uses for
+//! missions, over the same injectable [`rfly_chaos::Storage`] trait:
+//!
+//! * an **append-only campaign log** — a header (magic + the full
+//!   config line), one [`TickRecord`] block per executed tick, and a
+//!   seal footer; appends are prefix-durable;
+//! * an **atomically replaced checkpoint** — duty roster, battery
+//!   charges, current cell count, and the world RNG/Gen2 state, written
+//!   with [`rfly_chaos::Storage::write_atomic`] every
+//!   `checkpoint_every` ticks;
+//! * **salvage + verified resume** — [`recover_stored_campaign`]
+//!   truncates the log to its longest complete-block prefix, rebuilds
+//!   the report aggregates from the salvaged blocks, restores the
+//!   roster and world from the checkpoint, and re-drives
+//!   [`CampaignRun::step`], byte-comparing every re-executed tick
+//!   against its durable block before appending anything new. The
+//!   final durable files are bit-identical to an uncrashed campaign's.
+
+use rfly_chaos::{Storage, StorageError};
+use rfly_faults::text::{epc_hex, fmt_f64, parse_epc_hex, Fields, ParseError};
+use rfly_fleet::channels::assign;
+use rfly_fleet::partition::partition;
+use rfly_sim::scene::Scene;
+use rfly_sim::world::{TagSnapshot, WorldSnapshot};
+
+use crate::campaign::{CampaignRun, OpsConfig, OpsReport, TickRecord};
+use crate::rotation::{Duty, Roster, Rotation};
+
+/// Where a stored campaign keeps its two files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignPaths {
+    /// The append-only campaign log.
+    pub log: String,
+    /// The atomically-replaced checkpoint file.
+    pub checkpoint: String,
+}
+
+impl Default for CampaignPaths {
+    fn default() -> Self {
+        Self {
+            log: "campaign.log".to_string(),
+            checkpoint: "campaign.ck".to_string(),
+        }
+    }
+}
+
+/// The one-line config fingerprint embedded in the log header: every
+/// [`OpsConfig`] and [`crate::energy::EnergyModel`] field in
+/// shortest-round-trip form, so a recovery attempt against the wrong
+/// config is caught by a string compare.
+pub fn config_line(cfg: &OpsConfig) -> String {
+    format!(
+        "config relays={} cells={} tags={} tick={} dur={} floor={} margin={} rounds={} inv={} \
+         seed={} cap={} hoverw={} txw={} refgain={} txdb={} readj={} chargew={} reserve={} ready={}",
+        cfg.n_relays,
+        cfg.n_cells,
+        cfg.n_tags,
+        fmt_f64(cfg.tick.value()),
+        fmt_f64(cfg.duration.value()),
+        fmt_f64(cfg.coverage_floor),
+        fmt_f64(cfg.margin.value()),
+        cfg.max_rounds,
+        cfg.inventory_every,
+        cfg.seed,
+        fmt_f64(cfg.energy.capacity_j),
+        fmt_f64(cfg.energy.hover_w),
+        fmt_f64(cfg.energy.tx_w),
+        fmt_f64(cfg.energy.ref_gain.value()),
+        fmt_f64(cfg.energy.tx_w_per_db),
+        fmt_f64(cfg.energy.per_read_j),
+        fmt_f64(cfg.energy.charge_w),
+        fmt_f64(cfg.energy.reserve_frac),
+        fmt_f64(cfg.energy.ready_frac),
+    )
+}
+
+/// The campaign log header: magic line + config line.
+pub fn header_text(cfg: &OpsConfig) -> String {
+    format!("rfly-campaign v1\n{}\n", config_line(cfg))
+}
+
+/// One tick's log block: the `k` summary line, `rot` lines for every
+/// rotation, an `n` line when new tags were inventoried, the `b`
+/// battery line, and the `e` terminator salvage keys on.
+pub fn tick_block(rec: &TickRecord) -> String {
+    let mut s = format!(
+        "k {} reads={} deaths={} repart={} coverage={}\n",
+        rec.tick,
+        rec.reads,
+        rec.deaths,
+        u8::from(rec.repartitioned),
+        fmt_f64(rec.coverage),
+    );
+    for r in &rec.rotations {
+        let dock = match r.dock {
+            Some(d) => d.to_string(),
+            None => "-".to_string(),
+        };
+        s.push_str(&format!(
+            "rot tick={} cell={} incumbent={} standby={} dock={dock}\n",
+            r.tick, r.cell, r.incumbent, r.standby,
+        ));
+    }
+    if !rec.new_tags.is_empty() {
+        s.push('n');
+        for epc in &rec.new_tags {
+            s.push(' ');
+            s.push_str(&epc_hex(*epc));
+        }
+        s.push('\n');
+    }
+    s.push('b');
+    for c in &rec.charges {
+        s.push(' ');
+        s.push_str(&fmt_f64(*c));
+    }
+    s.push('\n');
+    s.push_str("e\n");
+    s
+}
+
+fn parse_opt_dock(f: &mut Fields<'_>) -> Result<Option<usize>, ParseError> {
+    let v = f.kv("dock")?;
+    if v == "-" {
+        return Ok(None);
+    }
+    v.parse()
+        .map(Some)
+        .map_err(|_| f.error(format!("bad dock index {v:?}")))
+}
+
+/// Parses one [`tick_block`] back into a [`TickRecord`].
+pub fn parse_tick_block(text: &str) -> Result<TickRecord, ParseError> {
+    let mut rec: Option<TickRecord> = None;
+    let mut have_b = false;
+    let mut ended = false;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(ParseError::new(n, "records after the `e` terminator"));
+        }
+        let first = line.split_whitespace().next().unwrap_or("");
+        if first == "k" {
+            if rec.is_some() {
+                return Err(ParseError::new(n, "duplicate `k` line in tick block"));
+            }
+            let mut f = Fields::new(line, n);
+            f.expect_tok("k")?;
+            rec = Some(TickRecord {
+                tick: f.usize("tick index")?,
+                reads: f.kv_usize("reads")?,
+                deaths: f.kv_usize("deaths")?,
+                repartitioned: f.kv_usize("repart")? != 0,
+                coverage: f.kv_f64("coverage")?,
+                rotations: Vec::new(),
+                new_tags: Vec::new(),
+                charges: Vec::new(),
+            });
+            f.finish()?;
+            continue;
+        }
+        let Some(rec) = rec.as_mut() else {
+            return Err(ParseError::new(n, format!("{first:?} before the `k` line")));
+        };
+        let mut f = Fields::new(line, n);
+        match first {
+            "rot" => {
+                f.expect_tok("rot")?;
+                rec.rotations.push(Rotation {
+                    tick: f.kv_usize("tick")?,
+                    cell: f.kv_usize("cell")?,
+                    incumbent: f.kv_usize("incumbent")?,
+                    standby: f.kv_usize("standby")?,
+                    dock: parse_opt_dock(&mut f)?,
+                });
+                f.finish()?;
+            }
+            "n" => {
+                f.expect_tok("n")?;
+                while let Some(t) = f.opt_tok() {
+                    rec.new_tags.push(parse_epc_hex(t, n)?);
+                }
+            }
+            "b" => {
+                f.expect_tok("b")?;
+                while let Some(t) = f.opt_tok() {
+                    rec.charges.push(
+                        t.parse()
+                            .map_err(|_| ParseError::new(n, format!("bad charge {t:?}")))?,
+                    );
+                }
+                have_b = true;
+            }
+            "e" => {
+                f.expect_tok("e")?;
+                f.finish()?;
+                ended = true;
+            }
+            other => {
+                return Err(ParseError::new(
+                    n,
+                    format!("unknown campaign log record {other:?}"),
+                ))
+            }
+        }
+    }
+    let rec = rec.ok_or_else(|| ParseError::new(1, "tick block has no `k` line"))?;
+    if !have_b || !ended {
+        return Err(ParseError::new(
+            text.lines().count(),
+            "tick block missing its `b` line or `e` terminator",
+        ));
+    }
+    Ok(rec)
+}
+
+/// What [`salvage_campaign_log`] kept and dropped.
+#[derive(Debug, Clone)]
+pub struct CampaignSalvage {
+    /// The salvaged text: header + complete tick blocks (+ seal).
+    /// Empty when even the header was lost.
+    pub text: String,
+    /// The parsed blocks, in tick order.
+    pub blocks: Vec<TickRecord>,
+    /// The exact text of each kept block — what fast-forward
+    /// verification byte-compares against.
+    pub block_texts: Vec<String>,
+    /// `Some(ticks)` when the seal footer survived.
+    pub sealed: Option<usize>,
+    /// Raw bytes not carried into the salvage.
+    pub dropped_bytes: usize,
+    /// Duplicated tick blocks dropped.
+    pub dropped_duplicates: usize,
+    /// Whether the header (magic + matching config line) survived.
+    pub header_ok: bool,
+    /// The header carried a *different* config line — the log belongs
+    /// to another campaign and must not be resumed under this one.
+    pub foreign_config: bool,
+}
+
+/// Truncates raw campaign-log bytes to the longest valid prefix of
+/// complete tick blocks, dropping a torn tail, a duplicated last
+/// block, and anything after the seal. Never fails: unusable input
+/// salvages empty (the campaign restarts from tick zero).
+pub fn salvage_campaign_log(raw: &[u8], cfg: &OpsConfig) -> CampaignSalvage {
+    let text = String::from_utf8_lossy(raw);
+    let expected_config = config_line(cfg);
+    let mut out = CampaignSalvage {
+        text: String::new(),
+        blocks: Vec::new(),
+        block_texts: Vec::new(),
+        sealed: None,
+        dropped_bytes: raw.len(),
+        dropped_duplicates: 0,
+        header_ok: false,
+        foreign_config: false,
+    };
+    let mut accepted = String::new();
+    let mut pending = String::new();
+    // 0 = expect magic, 1 = expect config line, 2 = blocks.
+    let mut stage = 0u8;
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break; // torn tail line
+        }
+        let trimmed = line.trim();
+        match stage {
+            0 => {
+                if trimmed == "rfly-campaign v1" {
+                    accepted.push_str(line);
+                    stage = 1;
+                } else {
+                    break;
+                }
+            }
+            1 => {
+                if trimmed == expected_config {
+                    accepted.push_str(line);
+                    stage = 2;
+                } else {
+                    out.foreign_config = trimmed.split_whitespace().next() == Some("config");
+                    break;
+                }
+            }
+            _ => {
+                if out.sealed.is_some() {
+                    break; // nothing is valid after the seal
+                }
+                let first = trimmed.split_whitespace().next().unwrap_or("");
+                if pending.is_empty() && first == "end" {
+                    let mut f = Fields::new(trimmed, 1);
+                    let ticks = (|| -> Result<usize, ParseError> {
+                        f.expect_tok("end")?;
+                        let t = f.kv_usize("ticks")?;
+                        f.finish()?;
+                        Ok(t)
+                    })();
+                    match ticks {
+                        Ok(t) if t == out.blocks.len() => {
+                            accepted.push_str(line);
+                            out.sealed = Some(t);
+                            continue;
+                        }
+                        _ => break, // seal disagrees with the blocks — corrupt
+                    }
+                }
+                pending.push_str(line);
+                if first != "e" {
+                    continue;
+                }
+                match parse_tick_block(&pending) {
+                    Ok(rec) if rec.tick == out.blocks.len() => {
+                        accepted.push_str(&pending);
+                        out.block_texts.push(std::mem::take(&mut pending));
+                        out.blocks.push(rec);
+                    }
+                    Ok(rec)
+                        if rec.tick + 1 == out.blocks.len()
+                            && Some(&pending) == out.block_texts.last() =>
+                    {
+                        // A duplicated append landed the last block twice.
+                        out.dropped_duplicates += 1;
+                        pending.clear();
+                    }
+                    _ => break, // torn interior or out-of-sequence block
+                }
+            }
+        }
+    }
+    if stage == 2 {
+        out.header_ok = true;
+        out.text = accepted;
+    } else {
+        out.blocks.clear();
+        out.block_texts.clear();
+        out.sealed = None;
+    }
+    out.dropped_bytes = raw.len().saturating_sub(out.text.len());
+    out
+}
+
+fn rng_hex(words: [u64; 4]) -> String {
+    format!(
+        "{:x},{:x},{:x},{:x}",
+        words[0], words[1], words[2], words[3]
+    )
+}
+
+fn parse_rng_hex(f: &mut Fields<'_>, key: &str) -> Result<[u64; 4], ParseError> {
+    let v = f.kv(key)?;
+    let mut words = [0u64; 4];
+    let mut parts = v.split(',');
+    for w in words.iter_mut() {
+        let p = parts
+            .next()
+            .ok_or_else(|| f.error(format!("{key} needs 4 comma-joined hex words")))?;
+        *w = u64::from_str_radix(p, 16)
+            .map_err(|_| f.error(format!("bad hex word {p:?} in {key}")))?;
+    }
+    if parts.next().is_some() {
+        return Err(f.error(format!("{key} has more than 4 words")));
+    }
+    Ok(words)
+}
+
+/// A campaign checkpoint: everything the resume path cannot rebuild
+/// from `(scene, cfg)` and the salvaged log — the duty roster with
+/// battery charges, the current partition size (it shrinks on
+/// repartitions), the halt flag, and the world RNG/Gen2 state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// The next tick to execute.
+    pub next_tick: usize,
+    /// Current partition size (cells being flown).
+    pub cells: usize,
+    /// Whether the campaign halted (floor went dark).
+    pub halted: bool,
+    /// `(duty, charge)` per relay, in relay order.
+    pub duties: Vec<(Duty, f64)>,
+    /// The world RNG streams and persistent Gen2 flags.
+    pub world: WorldSnapshot,
+}
+
+impl CampaignCheckpoint {
+    /// The full text form.
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("rfly-campaign-ck v1\n");
+        s.push_str(&format!(
+            "tick {} cells={} halted={}\n",
+            self.next_tick,
+            self.cells,
+            u8::from(self.halted),
+        ));
+        for (i, (duty, charge)) in self.duties.iter().enumerate() {
+            let (kind, at) = match duty {
+                Duty::Serving { cell } => ("serving", cell.to_string()),
+                Duty::Docked { dock } => ("docked", dock.to_string()),
+                Duty::Dead => ("dead", "-".to_string()),
+            };
+            s.push_str(&format!(
+                "relay {i} duty={kind} at={at} charge={}\n",
+                fmt_f64(*charge)
+            ));
+        }
+        s.push_str(&format!(
+            "world rng={} embrng={} embflags={:x}\n",
+            rng_hex(self.world.rng),
+            rng_hex(self.world.embedded_rng),
+            self.world.embedded_flags,
+        ));
+        for t in &self.world.tags {
+            s.push_str(&format!(
+                "wtag {} rng={} flags={:x}\n",
+                epc_hex(t.epc),
+                rng_hex(t.rng),
+                t.flags,
+            ));
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parses [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, ParseError> {
+        let mut lines = text.lines().enumerate().map(|(n, l)| (n + 1, l.trim()));
+        let (n, header) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(1, "empty checkpoint text"))?;
+        if header != "rfly-campaign-ck v1" {
+            return Err(ParseError::new(n, format!("bad header {header:?}")));
+        }
+        let mut tick: Option<(usize, usize, bool)> = None;
+        let mut duties: Vec<(Duty, f64)> = Vec::new();
+        let mut world: Option<([u64; 4], [u64; 4], u8)> = None;
+        let mut wtags: Vec<TagSnapshot> = Vec::new();
+        let mut ended = false;
+        for (n, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if line == "end" {
+                ended = true;
+                break;
+            }
+            let mut f = Fields::new(line, n);
+            match f.tok("record tag")? {
+                "tick" => {
+                    tick = Some((
+                        f.usize("next tick")?,
+                        f.kv_usize("cells")?,
+                        f.kv_usize("halted")? != 0,
+                    ));
+                    f.finish()?;
+                }
+                "relay" => {
+                    let i = f.usize("relay index")?;
+                    if i != duties.len() {
+                        return Err(f.error(format!("relay lines out of order at index {i}")));
+                    }
+                    let kind = f.kv("duty")?;
+                    let at = f.kv("at")?;
+                    let duty = match kind {
+                        "serving" => Duty::Serving {
+                            cell: at
+                                .parse()
+                                .map_err(|_| ParseError::new(n, format!("bad cell {at:?}")))?,
+                        },
+                        "docked" => Duty::Docked {
+                            dock: at
+                                .parse()
+                                .map_err(|_| ParseError::new(n, format!("bad dock {at:?}")))?,
+                        },
+                        "dead" => Duty::Dead,
+                        other => return Err(ParseError::new(n, format!("unknown duty {other:?}"))),
+                    };
+                    let charge = f.kv_f64("charge")?;
+                    f.finish()?;
+                    duties.push((duty, charge));
+                }
+                "world" => {
+                    let rng = parse_rng_hex(&mut f, "rng")?;
+                    let embedded_rng = parse_rng_hex(&mut f, "embrng")?;
+                    let flags_v = f.kv("embflags")?;
+                    let embedded_flags = u8::from_str_radix(flags_v, 16)
+                        .map_err(|_| ParseError::new(n, format!("bad embflags {flags_v:?}")))?;
+                    f.finish()?;
+                    world = Some((rng, embedded_rng, embedded_flags));
+                }
+                "wtag" => {
+                    let epc = f.epc("EPC")?;
+                    let rng = parse_rng_hex(&mut f, "rng")?;
+                    let flags_v = f.kv("flags")?;
+                    let flags = u8::from_str_radix(flags_v, 16)
+                        .map_err(|_| ParseError::new(n, format!("bad flags {flags_v:?}")))?;
+                    f.finish()?;
+                    wtags.push(TagSnapshot { epc, rng, flags });
+                }
+                other => {
+                    return Err(ParseError::new(
+                        n,
+                        format!("unknown checkpoint record {other:?}"),
+                    ))
+                }
+            }
+        }
+        if !ended {
+            return Err(ParseError::new(
+                text.lines().count(),
+                "missing `end` footer",
+            ));
+        }
+        let (next_tick, cells, halted) =
+            tick.ok_or_else(|| ParseError::new(0, "missing tick line"))?;
+        let (rng, embedded_rng, embedded_flags) =
+            world.ok_or_else(|| ParseError::new(0, "missing world line"))?;
+        Ok(Self {
+            next_tick,
+            cells,
+            halted,
+            duties,
+            world: WorldSnapshot {
+                rng,
+                embedded_rng,
+                embedded_flags,
+                tags: wtags,
+            },
+        })
+    }
+}
+
+fn io(op: &str, e: StorageError) -> String {
+    format!("{op}: {e}")
+}
+
+fn checkpoint_of(run: &CampaignRun<'_>) -> CampaignCheckpoint {
+    CampaignCheckpoint {
+        next_tick: run.tick,
+        cells: run.hover.len(),
+        halted: run.halted,
+        duties: run.roster.duties(),
+        world: run.world.snapshot(),
+    }
+}
+
+/// Flies a campaign start to finish, persisting through `storage`:
+/// the log as incremental appends (header, one block per tick, seal),
+/// a checkpoint atomically replaced every `checkpoint_every` ticks
+/// (`0` = final checkpoint only), and a final checkpoint.
+pub fn run_stored_campaign(
+    scene: &Scene,
+    cfg: &OpsConfig,
+    storage: &mut dyn Storage,
+    paths: &CampaignPaths,
+    checkpoint_every: usize,
+) -> Result<OpsReport, String> {
+    let _span = rfly_obs::span("ops.run_stored_campaign");
+    let mut run = CampaignRun::new(scene, cfg)?;
+    storage
+        .append(&paths.log, header_text(cfg).as_bytes())
+        .map_err(|e| io("campaign log header append", e))?;
+    while !run.finished() {
+        let rec = run.step()?;
+        storage
+            .append(&paths.log, tick_block(&rec).as_bytes())
+            .map_err(|e| io("campaign tick append", e))?;
+        if checkpoint_every != 0 && (rec.tick + 1).is_multiple_of(checkpoint_every) {
+            storage
+                .write_atomic(&paths.checkpoint, checkpoint_of(&run).to_text().as_bytes())
+                .map_err(|e| io("campaign checkpoint write", e))?;
+        }
+    }
+    storage
+        .append(
+            &paths.log,
+            format!("end ticks={}\n", run.tick_index()).as_bytes(),
+        )
+        .map_err(|e| io("campaign seal append", e))?;
+    storage
+        .write_atomic(&paths.checkpoint, checkpoint_of(&run).to_text().as_bytes())
+        .map_err(|e| io("final campaign checkpoint write", e))?;
+    Ok(run.into_report())
+}
+
+/// Folds an already-durable tick's record into a freshly restored
+/// run's aggregates — the bookkeeping [`CampaignRun::step`] would have
+/// done when it originally executed the tick.
+fn apply_salvaged_tick(run: &mut CampaignRun<'_>, rec: &TickRecord) {
+    for epc in &rec.new_tags {
+        run.seen.insert(*epc);
+    }
+    run.report.total_reads += rec.reads;
+    run.report.deaths += rec.deaths;
+    if rec.repartitioned {
+        run.report.repartitions += 1;
+    }
+    run.report.rotations.extend(rec.rotations.iter().copied());
+    if rec.coverage < run.report.min_coverage {
+        run.report.min_coverage = rec.coverage;
+    }
+    for (relay, &charge) in rec.charges.iter().enumerate() {
+        if let Some(row) = run.report.trace.get_mut(relay) {
+            row.push(charge);
+        }
+    }
+}
+
+/// Rebuilds a [`CampaignRun`] at a checkpoint: fresh static state from
+/// `(scene, cfg)`, the partition re-derived at the checkpointed cell
+/// count, roster and world restored verbatim.
+fn restore_run<'s>(
+    scene: &'s Scene,
+    cfg: &OpsConfig,
+    ck: &CampaignCheckpoint,
+) -> Result<CampaignRun<'s>, String> {
+    let mut run = CampaignRun::new(scene, cfg)?;
+    if ck.duties.len() != cfg.n_relays {
+        return Err(format!(
+            "checkpoint has {} relays, config has {}",
+            ck.duties.len(),
+            cfg.n_relays
+        ));
+    }
+    if ck.cells == 0 || ck.cells > cfg.n_cells {
+        return Err(format!(
+            "checkpoint cell count {} out of range (config {})",
+            ck.cells, cfg.n_cells
+        ));
+    }
+    if ck.cells != run.hover.len() {
+        // The campaign had repartitioned; re-derive the shrunken
+        // partition and channel plan exactly as the live loop did.
+        let part = partition(scene, ck.cells, run.limits)
+            .map_err(|e| format!("repartition during restore failed: {e:?}"))?;
+        run.hover = part.cells.iter().map(|c| c.center()).collect();
+        run.plan = assign(&run.hover, &run.budget, cfg.margin, cfg.seed)
+            .map_err(|e| format!("channel reassignment during restore failed: {e:?}"))?;
+    }
+    let dock_slots: Vec<usize> = scene.docks.iter().map(|d| d.slots).collect();
+    run.roster = Roster::from_duties(&ck.duties, &dock_slots)?;
+    run.world
+        .restore(&ck.world)
+        .map_err(|e| format!("world restore failed: {e}"))?;
+    run.tick = ck.next_tick;
+    run.halted = ck.halted;
+    Ok(run)
+}
+
+/// Recovers a crashed [`run_stored_campaign`] from whatever `storage`
+/// holds and flies it to completion, leaving the durable files
+/// bit-identical to an uncrashed campaign's.
+///
+/// Protocol: salvage the log, truncate the durable file to the
+/// salvaged prefix, rebuild the report aggregates from the salvaged
+/// blocks, restore from the checkpoint when it is at or before the
+/// salvage point (otherwise restart from tick zero), byte-compare
+/// every re-executed tick against its durable block, and append
+/// everything past the salvage point live. A mismatch between a
+/// re-executed tick and its durable block is real corruption and is
+/// reported as `Err`.
+pub fn recover_stored_campaign(
+    scene: &Scene,
+    cfg: &OpsConfig,
+    storage: &mut dyn Storage,
+    paths: &CampaignPaths,
+    checkpoint_every: usize,
+) -> Result<OpsReport, String> {
+    let _span = rfly_obs::span("ops.recover_stored_campaign");
+    rfly_obs::counter_add("ops.campaign_recoveries", 1);
+    let raw = match storage.read(&paths.log) {
+        Ok(bytes) => bytes,
+        Err(StorageError::NotFound(_)) => Vec::new(),
+        Err(e) => return Err(io("campaign log read", e)),
+    };
+    let salv = salvage_campaign_log(&raw, cfg);
+    if salv.foreign_config {
+        return Err("campaign log belongs to a different config; refusing to resume".into());
+    }
+    rfly_obs::counter_add("ops.salvaged_ticks", salv.blocks.len() as u64);
+
+    // Physically truncate the durable log (or restart it at the
+    // header) so the torn tail is gone even if we crash again.
+    let base_text = if salv.header_ok {
+        salv.text.clone()
+    } else {
+        header_text(cfg)
+    };
+    storage
+        .write_atomic(&paths.log, base_text.as_bytes())
+        .map_err(|e| io("campaign log truncate", e))?;
+
+    // A checkpoint ahead of the salvage point lost its covering
+    // blocks; discard it and replay from tick zero instead.
+    let ck = match storage.read(&paths.checkpoint) {
+        Ok(bytes) => String::from_utf8(bytes)
+            .ok()
+            .and_then(|t| CampaignCheckpoint::from_text(&t).ok())
+            .filter(|c| c.next_tick <= salv.blocks.len()),
+        Err(_) => None,
+    };
+    let mut run = match &ck {
+        Some(ck) => restore_run(scene, cfg, ck)?,
+        None => CampaignRun::new(scene, cfg)?,
+    };
+    for rec in salv.blocks.iter().take(run.tick) {
+        apply_salvaged_tick(&mut run, rec);
+    }
+
+    while !run.finished() {
+        let tick = run.tick_index();
+        let rec = run.step()?;
+        let block = tick_block(&rec);
+        if let Some(durable) = salv.block_texts.get(tick) {
+            // Fast-forward: this tick is already durable; verify the
+            // re-execution against it instead of re-appending.
+            if block != *durable {
+                return Err(format!(
+                    "campaign recovery diverged from durable log at tick {tick}"
+                ));
+            }
+        } else {
+            storage
+                .append(&paths.log, block.as_bytes())
+                .map_err(|e| io("campaign tick append", e))?;
+        }
+        if checkpoint_every != 0 && (tick + 1).is_multiple_of(checkpoint_every) {
+            storage
+                .write_atomic(&paths.checkpoint, checkpoint_of(&run).to_text().as_bytes())
+                .map_err(|e| io("campaign checkpoint write", e))?;
+        }
+    }
+    match salv.sealed {
+        Some(ticks) => {
+            if ticks != run.tick_index() {
+                return Err(format!(
+                    "salvaged seal says {ticks} ticks but recovery executed {}",
+                    run.tick_index()
+                ));
+            }
+        }
+        None => {
+            storage
+                .append(
+                    &paths.log,
+                    format!("end ticks={}\n", run.tick_index()).as_bytes(),
+                )
+                .map_err(|e| io("campaign seal append", e))?;
+        }
+    }
+    storage
+        .write_atomic(&paths.checkpoint, checkpoint_of(&run).to_text().as_bytes())
+        .map_err(|e| io("final campaign checkpoint write", e))?;
+    Ok(run.into_report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfly_channel::geometry::Point2;
+    use rfly_chaos::MemStorage;
+    use rfly_dsp::units::Seconds;
+
+    fn docked_scene() -> Scene {
+        let mut scene = Scene::warehouse(16.0, 12.0, 2);
+        scene.add_dock(Point2::new(1.0, 11.0), 2);
+        scene
+    }
+
+    fn short_cfg(seed: u64) -> OpsConfig {
+        let mut cfg = OpsConfig::small(seed);
+        // A 2-hour horizon: long enough for deaths and a repartition
+        // on this roster, short enough for the matrix.
+        cfg.duration = Seconds::new(7200.0);
+        cfg
+    }
+
+    fn reference(seed: u64, every: usize) -> (MemStorage, OpsReport) {
+        let scene = docked_scene();
+        let cfg = short_cfg(seed);
+        let mut store = MemStorage::new();
+        let report =
+            run_stored_campaign(&scene, &cfg, &mut store, &CampaignPaths::default(), every)
+                .expect("stored campaign completes");
+        (store, report)
+    }
+
+    #[test]
+    fn stored_campaign_matches_run_campaign() {
+        let scene = docked_scene();
+        let cfg = short_cfg(11);
+        let plain = crate::campaign::run_campaign(&scene, &cfg).expect("runs");
+        let (_, stored) = reference(11, 4);
+        assert_eq!(stored.trace_text(), plain.trace_text());
+        assert_eq!(stored.rotations, plain.rotations);
+        assert_eq!(stored.deaths, plain.deaths);
+        assert_eq!(stored.repartitions, plain.repartitions);
+        assert_eq!(stored.unique_tags, plain.unique_tags);
+        assert_eq!(stored.total_reads, plain.total_reads);
+        assert_eq!(stored.min_coverage, plain.min_coverage);
+    }
+
+    #[test]
+    fn tick_blocks_round_trip() {
+        let scene = docked_scene();
+        let cfg = short_cfg(11);
+        let mut run = CampaignRun::new(&scene, &cfg).expect("builds");
+        while !run.finished() {
+            let rec = run.step().expect("steps");
+            let text = tick_block(&rec);
+            let back = parse_tick_block(&text).expect("parses");
+            assert_eq!(back, rec);
+            assert_eq!(tick_block(&back), text, "re-serialization is byte-stable");
+        }
+    }
+
+    #[test]
+    fn campaign_checkpoint_round_trips() {
+        let scene = docked_scene();
+        let cfg = short_cfg(11);
+        let mut run = CampaignRun::new(&scene, &cfg).expect("builds");
+        for _ in 0..5 {
+            run.step().expect("steps");
+        }
+        let ck = checkpoint_of(&run);
+        let text = ck.to_text();
+        let back = CampaignCheckpoint::from_text(&text).expect("parses");
+        assert_eq!(back, ck);
+        assert_eq!(back.to_text(), text, "re-serialization is byte-stable");
+        assert!(CampaignCheckpoint::from_text("").is_err());
+        assert!(CampaignCheckpoint::from_text("rfly-campaign-ck v2\nend\n").is_err());
+    }
+
+    #[test]
+    fn salvage_truncates_torn_campaign_log() {
+        let (store, _) = reference(11, 4);
+        let cfg = short_cfg(11);
+        let raw = store.read("campaign.log").expect("log exists");
+        let full = salvage_campaign_log(&raw, &cfg);
+        assert!(full.header_ok);
+        assert!(full.sealed.is_some());
+        assert_eq!(full.dropped_bytes, 0);
+        // Tear inside the last block's battery line.
+        let text = String::from_utf8(raw.clone()).expect("utf8");
+        let cut = text.rfind("\nb ").expect("has a battery line") + 3;
+        let torn = salvage_campaign_log(&raw[..cut], &cfg);
+        assert!(torn.header_ok);
+        assert_eq!(torn.sealed, None);
+        assert!(torn.blocks.len() < full.blocks.len());
+        assert!(torn.dropped_bytes > 0);
+        // A foreign config is refused, not resumed.
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        let foreign = salvage_campaign_log(&raw, &other);
+        assert!(!foreign.header_ok && foreign.foreign_config);
+    }
+
+    #[test]
+    fn recovery_from_torn_log_is_bit_identical() {
+        let (reference_store, report) = reference(11, 4);
+        let scene = docked_scene();
+        let cfg = short_cfg(11);
+        let paths = CampaignPaths::default();
+        let raw = reference_store.read(&paths.log).expect("log exists");
+        // Crash with half the log durable and no checkpoint.
+        let mut crashed = MemStorage::new();
+        crashed
+            .append(&paths.log, &raw[..raw.len() / 2])
+            .expect("seed torn log");
+        let recovered = recover_stored_campaign(&scene, &cfg, &mut crashed, &paths, 4)
+            .expect("recovery completes");
+        assert_eq!(crashed, reference_store, "storage is bit-identical");
+        assert_eq!(recovered.trace_text(), report.trace_text());
+        assert_eq!(recovered.rotations, report.rotations);
+        assert_eq!(recovered.unique_tags, report.unique_tags);
+        assert_eq!(recovered.min_coverage, report.min_coverage);
+    }
+
+    #[test]
+    fn recovery_refuses_a_foreign_log() {
+        let (mut store, _) = reference(11, 4);
+        let scene = docked_scene();
+        let mut cfg = short_cfg(11);
+        cfg.seed = 12;
+        let err = recover_stored_campaign(&scene, &cfg, &mut store, &CampaignPaths::default(), 4)
+            .expect_err("foreign config must be refused");
+        assert!(err.contains("different config"), "{err}");
+    }
+}

@@ -115,6 +115,43 @@ impl Roster {
         })
     }
 
+    /// Rebuilds a roster from checkpointed `(duty, charge)` pairs —
+    /// the campaign-recovery path. Validates that dock indices exist
+    /// and occupancy fits capacity; duties and charges are otherwise
+    /// restored verbatim.
+    pub fn from_duties(duties: &[(Duty, f64)], dock_slots: &[usize]) -> Result<Self, String> {
+        let mut occupancy = vec![0usize; dock_slots.len()];
+        let mut relays = Vec::with_capacity(duties.len());
+        for &(duty, charge_j) in duties {
+            if let Duty::Docked { dock } = duty {
+                let cap = dock_slots
+                    .get(dock)
+                    .ok_or_else(|| format!("checkpoint docks relay on unknown dock {dock}"))?;
+                occupancy[dock] += 1;
+                if occupancy[dock] > *cap {
+                    return Err(format!("checkpoint overflows dock {dock} ({cap} slots)"));
+                }
+            }
+            relays.push(RosterRelay {
+                battery: Battery { charge_j },
+                duty,
+            });
+        }
+        Ok(Self {
+            relays,
+            slots: dock_slots.to_vec(),
+        })
+    }
+
+    /// Checkpointable `(duty, charge)` pairs, in relay order — the
+    /// inverse of [`Self::from_duties`].
+    pub fn duties(&self) -> Vec<(Duty, f64)> {
+        self.relays
+            .iter()
+            .map(|s| (s.duty, s.battery.charge_j))
+            .collect()
+    }
+
     /// Number of relays on the roster (any duty).
     pub fn len(&self) -> usize {
         self.relays.len()

@@ -81,18 +81,12 @@ impl Journal {
 
     /// The full text form.
     pub fn to_text(&self) -> String {
-        let mut s = String::from("rfly-journal v1\n");
-        s.push_str(&self.scenario.to_line());
-        s.push('\n');
+        let mut s = header_text(&self.scenario);
         for rec in &self.steps {
-            s.push_str(&step_to_text(rec));
+            s.push_str(&step_block(rec));
         }
         if let Some(seal) = self.sealed {
-            s.push_str(&format!(
-                "end steps={} duration={}\n",
-                seal.steps,
-                fmt_f64(seal.duration_s)
-            ));
+            s.push_str(&seal_text(&seal));
         }
         s
     }
@@ -182,7 +176,28 @@ impl Journal {
     }
 }
 
-fn step_to_text(rec: &StepRecord) -> String {
+/// The journal header: the version line plus the scenario line —
+/// exactly the prefix an incremental writer appends before any step.
+pub fn header_text(scenario: &Scenario) -> String {
+    let mut s = String::from("rfly-journal v1\n");
+    s.push_str(&scenario.to_line());
+    s.push('\n');
+    s
+}
+
+/// The seal footer line a completed mission appends last.
+pub fn seal_text(seal: &Seal) -> String {
+    format!(
+        "end steps={} duration={}\n",
+        seal.steps,
+        fmt_f64(seal.duration_s)
+    )
+}
+
+/// One step block's text form — the unit an incremental journal writer
+/// appends per executed step (and the unit crash salvage keeps or
+/// drops whole: a block missing its `e` terminator is torn).
+pub fn step_block(rec: &StepRecord) -> String {
     let mut s = format!("s {}\n", rec.step);
     for f in &rec.faults {
         s.push_str(&f.to_line());

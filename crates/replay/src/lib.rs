@@ -30,6 +30,11 @@
 //!   identical mission from one line of text, plus the
 //!   [`runner::run_full`] / [`runner::run_killed`] /
 //!   [`runner::resume`] drivers.
+//! * [`store`] — **crash-consistent persistence**: the journal and
+//!   checkpoint writers routed through the injectable
+//!   [`rfly_chaos::Storage`] trait, torn-tail journal salvage, and the
+//!   [`store::recover_stored`] driver that resumes a mission killed at
+//!   any storage operation bit-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +45,7 @@ pub mod invariant;
 pub mod journal;
 pub mod runner;
 pub mod shrink;
+pub mod store;
 
 pub use checkpoint::Checkpoint;
 pub use divergence::{first_divergence, verify_replay, Divergence};
@@ -47,3 +53,4 @@ pub use invariant::{Invariant, InvariantHarness, Violation};
 pub use journal::{Journal, Seal};
 pub use runner::{resume, run_full, run_killed, Mission, Run, Scenario};
 pub use shrink::{repro_to_text, shrink, ShrinkResult};
+pub use store::{recover_stored, run_stored, salvage_journal, SalvagedJournal, StorePaths};

@@ -91,4 +91,13 @@ echo "== soak-and-shrink smoke (3 seeds, bounded steps) =="
 cargo run --release --offline -p rfly-bench --bin soak -- \
   --seeds 3 --steps 10 --events 12 --out results/repros
 
+echo "== crash matrix (every storage op x every fault mode; DESIGN.md §14) =="
+# Crashes every storage operation of the journaled mission and the
+# stored campaign in every fault mode (torn / lost-acked / duplicated /
+# clean) over bounded seeds, and requires every crash point to recover
+# bit-identical. Exits 2 on any unrecoverable point, 1 if the planted
+# truncation bug slips past the matrix. The per-workload point counts
+# land in results/bench/crash_matrix.json (uploaded as a CI artifact).
+cargo run --release --offline -p rfly-bench --bin crash_matrix -- --seeds 2
+
 echo "CI green."

@@ -70,12 +70,14 @@ pub mod error;
 pub use error::RflyError;
 
 pub use rfly_channel as channel;
+pub use rfly_chaos as chaos;
 pub use rfly_core as core;
 pub use rfly_drone as drone;
 pub use rfly_dsp as dsp;
 pub use rfly_faults as faults;
 pub use rfly_fleet as fleet;
 pub use rfly_obs as obs;
+pub use rfly_ops as ops;
 pub use rfly_protocol as protocol;
 pub use rfly_reader as reader;
 pub use rfly_replay as replay;
