@@ -1,30 +1,28 @@
-//! Extension — fleet scaling: aggregate inventory throughput vs fleet
-//! size, 1 → 8 relays over the paper's warehouse floor.
+//! Extension — fleet scaling: multi-warehouse campaigns, 32 → 128
+//! relays, ≥10k tags per row, on the deterministic work pool.
 //!
 //! The paper flies one relay; this sweep asks how inventory scales
-//! when the floor is split across N relays on distinct (f₁, Δ)
-//! channel pairs. Expected shape: mission time falls roughly as 1/N
-//! (each drone flies a 1/N-width strip of the floor) while the
-//! deduplicated read rate holds, so tags-per-second rises with fleet
-//! size — until either the strip partition becomes infeasible or the
-//! Δf assigner runs out of mutually stable channel pairs.
+//! when the *operation* grows past one warehouse. FCC Part 15 caps a
+//! single site's fleet well below 32 relays (every relay needs a
+//! distinct channel pair with ≥1 MHz carrier spacing inside one band),
+//! so large fleets are campaigns: `n / 8` independent warehouse sites,
+//! each flying the 8-relay paper-building mission over its own tag
+//! population and seed. Sites share no state, which makes them exactly
+//! the indexed-task shape `rfly_sim::pool::Pool` runs: the sweep fans
+//! sites out over the pool and merges rows in site order.
 //!
-//! Each row reports the fleet's tightest pairwise Eq. 3 mutual-loop
-//! margin; the assigner enforces margin ≥ 10 dB, so every printed
-//! fleet is stable by construction.
+//! Every row is flown twice — once at 1 worker, once at the full
+//! width (`RFLY_THREADS` or available parallelism) — and the rows are
+//! asserted **bit-identical** before printing: worker count may only
+//! change wall-clock, never bytes. The serial/parallel ratio lands in
+//! `BENCH_report.json` as `parallel_speedup` and is a hard CI gate on
+//! machines with ≥4 cores: below `SPEEDUP_BUDGET` the binary exits 2,
+//! the same shape as the lint wall-time budget.
 //!
-//! The sweep's fleet sizes are independent missions over independent
-//! worlds, so they run on scoped threads — and because every mission is
-//! a pure function of its seed, the parallel sweep must produce
-//! **bit-identical rows** to the serial one, which this binary asserts
-//! before printing (the serial/parallel wall-clock ratio lands in the
-//! bench report as `parallel_speedup`).
-//!
-//! Thread spawn/join overhead can exceed the win on small sweeps, so
-//! the binary times *both* paths, reports whichever was faster as the
-//! default (`default_path_serial`), and raises `parallel_regression`
-//! in `BENCH_report.json` whenever `parallel_speedup < 1.0` — a
-//! sub-1.0 "speedup" must be impossible to miss.
+//! Feasibility (partition + channel assignment) is pre-flighted
+//! serially per row before any mission spawns, so an infeasible row
+//! stops the sweep without burning worker time; a worker panic
+//! surfaces as that row's `Err` note, never as a process abort.
 
 use std::time::Instant;
 
@@ -32,84 +30,145 @@ use rfly_bench::prelude::*;
 use rfly_channel::geometry::Point2;
 use rfly_drone::kinematics::MotionLimits;
 use rfly_dsp::units::{Db, Meters};
+use rfly_fleet::channels::ChannelPlan;
 use rfly_fleet::inventory::{mission_world, run_mission, MissionConfig};
+use rfly_fleet::partition::Partition;
 use rfly_fleet::{assign, partition};
+use rfly_sim::pool::{global_workers, set_global_workers, Pool};
 use rfly_sim::scene::Scene;
 
-const N_TAGS: usize = 200;
 const MARGIN: Db = Db(10.0);
 const SEED: u64 = 7;
-const MAX_FLEET: usize = 8;
+/// One warehouse site's fleet: the largest size the band fits with
+/// 1 MHz carrier spacing and the 12 dB fault headroom.
+const SITE_RELAYS: usize = 8;
+/// Tags inventoried by every row of the sweep (≥ 10k, split evenly
+/// across the row's sites).
+const ROW_TAGS: usize = 10_240;
+/// Campaign fleet sizes: 4, 8, and 16 warehouse sites.
+const FLEETS: [usize; 3] = [32, 64, 128];
+/// Per-site mission cap: enough flight for three inventory stops per
+/// cell, which bounds the sweep's wall-clock without changing its
+/// scaling shape.
+const TIME_BUDGET_S: f64 = 8.0;
+/// The hard floor on `parallel_speedup`, gated on machines with at
+/// least [`GATE_MIN_CORES`] cores (below that the pool cannot win).
+const SPEEDUP_BUDGET: f64 = 2.0;
+/// Cores needed before the speedup budget is enforced.
+const GATE_MIN_CORES: usize = 4;
 
-/// One fleet size's row, or the reason the sweep stops there.
-fn sweep_row(scene: &Scene, n: usize, cfg: &MissionConfig) -> Result<Vec<String>, String> {
+/// One warehouse site's flown outcome.
+struct SiteOutcome {
+    duration_s: f64,
+    steps: usize,
+    unique: usize,
+    handoffs: usize,
+    min_margin: Option<Db>,
+}
+
+/// A pre-flighted site: partition + channel plan proven feasible
+/// before any mission work spawns.
+struct SitePlan {
+    cells: Partition,
+    plan: ChannelPlan,
+    seed: u64,
+    tags: usize,
+}
+
+/// Pre-flights one row serially: partitioning and channel assignment
+/// are cheap, and failing here stops the sweep before a single mission
+/// runs. Sites are separate warehouses, so they reuse one partition
+/// and one channel plan (geographic spectrum reuse) while each flies
+/// its own world and tag population from its own seed.
+fn preflight_row(scene: &Scene, n: usize) -> Result<Vec<SitePlan>, String> {
     let budget = paper_budget();
-    let cells = partition(scene, n, MotionLimits::indoor_drone())
-        .map_err(|e| format!("{n} relays: partition infeasible ({e})"))?;
+    let sites = n / SITE_RELAYS;
+    let site_tags = ROW_TAGS / sites;
+    let cells = partition(scene, SITE_RELAYS, MotionLimits::indoor_drone())
+        .map_err(|e| format!("{n} relays: site partition infeasible ({e})"))?;
     let hover: Vec<Point2> = cells.cells.iter().map(|c| c.center()).collect();
     let plan = assign(&hover, &budget, MARGIN, SEED)
         .map_err(|e| format!("{n} relays: no stable channel plan ({e})"))?;
+    Ok((0..sites)
+        .map(|site| SitePlan {
+            cells: cells.clone(),
+            plan: plan.clone(),
+            seed: SEED ^ ((n as u64) << 32) ^ site as u64,
+            tags: site_tags,
+        })
+        .collect())
+}
+
+/// Flies one pre-flighted warehouse site end to end.
+fn fly_site(scene: &Scene, site: &SitePlan) -> SiteOutcome {
+    let budget = paper_budget();
+    let cfg = MissionConfig {
+        sample_interval_s: 4.0,
+        max_rounds: 1,
+        seed: site.seed,
+        time_budget_s: Some(TIME_BUDGET_S),
+    };
     let mut world = mission_world(
         scene,
         Point2::new(1.0, 1.0),
-        shelf_items(scene, N_TAGS, SEED, Some(Meters::new(0.5))),
-        &plan,
+        shelf_items(scene, site.tags, site.seed, Some(Meters::new(0.5))),
+        &site.plan,
         &budget,
         cfg.seed,
     );
-    let outcome = run_mission(&mut world, &plan, &cells, &budget, cfg);
-    let read = outcome.inventory.unique_tags();
-    let rate = 100.0 * outcome.inventory.read_rate(N_TAGS);
-    let per_min = read as f64 / (outcome.duration_s / 60.0);
-    let margin = plan
-        .min_margin()
+    let outcome = run_mission(&mut world, &site.plan, &site.cells, &budget, &cfg);
+    SiteOutcome {
+        duration_s: outcome.duration_s,
+        steps: outcome.steps,
+        unique: outcome.inventory.unique_tags(),
+        handoffs: outcome.inventory.handoffs(),
+        min_margin: site.plan.min_margin(),
+    }
+}
+
+/// One campaign row: pre-flight, fan the sites out over `pool`, merge
+/// in site order. A worker panic becomes this row's `Err` note.
+fn sweep_row(scene: &Scene, n: usize, pool: Pool) -> Result<Vec<String>, String> {
+    let sites = preflight_row(scene, n)?;
+    let outcomes = pool
+        .run(sites.len(), |i| fly_site(scene, &sites[i]))
+        .map_err(|e| format!("{n} relays: {e}"))?;
+
+    // Sites fly concurrently in the field too, so the campaign lasts
+    // as long as its slowest site.
+    let duration = outcomes.iter().map(|o| o.duration_s).fold(0.0, f64::max);
+    let steps = outcomes.iter().map(|o| o.steps).max().unwrap_or(0);
+    let unique: usize = outcomes.iter().map(|o| o.unique).sum();
+    let handoffs: usize = outcomes.iter().map(|o| o.handoffs).sum();
+    let margin = outcomes
+        .iter()
+        .filter_map(|o| o.min_margin)
+        .reduce(Db::min)
         .map(|m| format!("{:.1}", m.value()))
         .unwrap_or_else(|| "n/a".into());
+    let rate = 100.0 * unique as f64 / ROW_TAGS as f64;
+    let per_min = unique as f64 / (duration / 60.0);
     Ok(vec![
         n.to_string(),
-        format!("{:.0}", outcome.duration_s),
-        outcome.steps.to_string(),
-        read.to_string(),
+        outcomes.len().to_string(),
+        ROW_TAGS.to_string(),
+        format!("{duration:.0}"),
+        steps.to_string(),
+        unique.to_string(),
         format!("{rate:.1}"),
-        format!("{per_min:.1}"),
-        outcome.inventory.handoffs().to_string(),
+        format!("{per_min:.0}"),
+        handoffs.to_string(),
         margin,
     ])
 }
 
-/// The whole sweep serially, preserving the historic stop-at-first-
-/// infeasible semantics.
-fn sweep_serial(scene: &Scene, cfg: &MissionConfig) -> (Vec<Vec<String>>, Vec<String>) {
+/// The whole sweep at one pool width, stopping at the first infeasible
+/// row (later rows never spawn work).
+fn sweep(scene: &Scene, pool: Pool) -> (Vec<Vec<String>>, Vec<String>) {
     let mut rows = Vec::new();
     let mut notes = Vec::new();
-    for n in 1..=MAX_FLEET {
-        match sweep_row(scene, n, cfg) {
-            Ok(row) => rows.push(row),
-            Err(note) => {
-                notes.push(format!("{note}; stopping sweep"));
-                break;
-            }
-        }
-    }
-    (rows, notes)
-}
-
-/// The same sweep with one scoped thread per fleet size, truncated at
-/// the first infeasible size to match the serial semantics.
-fn sweep_parallel(scene: &Scene, cfg: &MissionConfig) -> (Vec<Vec<String>>, Vec<String>) {
-    let results: Vec<Result<Vec<String>, String>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (1..=MAX_FLEET)
-            .map(|n| s.spawn(move || sweep_row(scene, n, cfg)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    let mut rows = Vec::new();
-    let mut notes = Vec::new();
-    for r in results {
-        match r {
+    for n in FLEETS {
+        match sweep_row(scene, n, pool) {
             Ok(row) => rows.push(row),
             Err(note) => {
                 notes.push(format!("{note}; stopping sweep"));
@@ -123,19 +182,19 @@ fn sweep_parallel(scene: &Scene, cfg: &MissionConfig) -> (Vec<Vec<String>>, Vec<
 fn main() {
     let mut bench = Bench::new("ext_fleet_scaling", SEED);
     let scene = Scene::paper_building();
-    let cfg = MissionConfig {
-        sample_interval_s: 4.0,
-        max_rounds: 2,
-        seed: SEED,
-        time_budget_s: None,
-    };
+    let workers = global_workers();
 
+    // Serial pass: 1 worker everywhere, including the per-step RF
+    // traces inside the missions.
+    set_global_workers(1);
     let t0 = Instant::now();
-    let (serial_rows, serial_notes) = sweep_serial(&scene, &cfg);
+    let (serial_rows, serial_notes) = sweep(&scene, Pool::serial());
     let serial_s = t0.elapsed().as_secs_f64();
 
+    // Parallel pass: full width everywhere. Identical bytes required.
+    set_global_workers(workers);
     let t1 = Instant::now();
-    let (parallel_rows, parallel_notes) = sweep_parallel(&scene, &cfg);
+    let (parallel_rows, parallel_notes) = sweep(&scene, Pool::new(workers));
     let parallel_s = t1.elapsed().as_secs_f64();
 
     assert_eq!(
@@ -145,9 +204,11 @@ fn main() {
     assert_eq!(serial_notes, parallel_notes);
 
     let mut table = Table::new(
-        "ext — fleet scaling, 30x40 m warehouse, 200 tags",
+        "ext — fleet scaling, multi-warehouse campaigns (8-relay sites), 10240 tags/row",
         &[
             "relays",
+            "sites",
+            "tags",
             "mission (s)",
             "stops",
             "tags read",
@@ -157,47 +218,47 @@ fn main() {
             "min margin (dB)",
         ],
     );
-    // Rows are bit-identical, so "which path" only decides wall-clock;
-    // report whichever was actually faster as the default.
-    let serial_is_default = serial_s <= parallel_s;
-    let (rows, notes) = if serial_is_default {
-        (&serial_rows, &serial_notes)
-    } else {
-        (&parallel_rows, &parallel_notes)
-    };
-    for row in rows {
+    for row in &serial_rows {
         table.row(row);
     }
-    for note in notes {
+    for note in &serial_notes {
         println!("{note}");
     }
     bench.table("main", table, true);
 
     let speedup = serial_s / parallel_s;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let gated = cores >= GATE_MIN_CORES;
     println!(
-        "\nsweep wall-clock: serial {serial_s:.2} s, parallel {parallel_s:.2} s \
-         ({speedup:.2}x, rows bit-identical); default path: {}",
-        if serial_is_default {
-            "serial"
-        } else {
-            "parallel"
-        }
+        "\nsweep wall-clock: serial {serial_s:.2} s, 1 worker; parallel {parallel_s:.2} s, \
+         {workers} worker(s) ({speedup:.2}x, rows bit-identical; RFLY_THREADS overrides the width \
+         — results are identical at any value)"
     );
-    let regression = speedup < 1.0;
-    if regression {
-        println!(
-            "WARNING: parallel sweep is SLOWER than serial ({speedup:.2}x < 1.00x) — \
-             thread overhead exceeds the win at this sweep size; \
-             `parallel_regression` raised in BENCH_report.json"
-        );
-    }
     bench.metric("serial_s", serial_s); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
     bench.metric("parallel_s", parallel_s); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
     bench.metric("parallel_speedup", speedup); // rfly-lint: allow(determinism-taint) -- wall-time IS the measurement here; the report tolerates jitter in these fields.
-    bench.metric(
-        "default_path_serial",
-        if serial_is_default { 1.0 } else { 0.0 },
-    );
-    bench.metric("parallel_regression", if regression { 1.0 } else { 0.0 });
+    bench.metric("parallel_speedup_budget", SPEEDUP_BUDGET);
+    bench.metric("workers", workers as f64);
+    bench.metric("speedup_gate_enforced", if gated { 1.0 } else { 0.0 });
     bench.finish();
+
+    // The hard gate (the PR 6 `parallel_regression` shame-flag,
+    // promoted): on a machine with enough cores, parallel must beat
+    // serial by the budget or the build fails — same shape as the
+    // lint wall-time budget, exit code 2 like a golden-metric drift.
+    if gated && speedup < SPEEDUP_BUDGET {
+        eprintln!(
+            "FAIL: parallel_speedup {speedup:.2}x < budget {SPEEDUP_BUDGET:.2}x \
+             on {cores} cores — the work pool is not paying for itself"
+        );
+        std::process::exit(2);
+    }
+    if !gated {
+        println!(
+            "speedup budget ({SPEEDUP_BUDGET:.2}x) not enforced: only {cores} core(s) available \
+             (needs ≥{GATE_MIN_CORES})"
+        );
+    }
 }

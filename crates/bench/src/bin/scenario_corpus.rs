@@ -22,6 +22,7 @@ use rfly_faults::supervisor::run_supervised;
 use rfly_faults::SupervisorConfig;
 use rfly_fleet::inventory::run_mission_with_motion;
 use rfly_scenario::{compile, load};
+use rfly_sim::pool::Pool;
 
 const BENCH_NAME: &str = "scenario_corpus";
 
@@ -133,9 +134,14 @@ fn main() {
             "handoffs",
         ],
     );
+    // Every scenario compiles its own world from its own file, so the
+    // corpus is the pool's indexed-task shape: fan the flights out,
+    // merge in file order — golden metrics are byte-identical at any
+    // worker count.
+    let flown: Vec<(String, Outcome)> = Pool::global().map(files.len(), |i| fly(&files[i]));
+
     let mut fresh: BTreeMap<String, f64> = BTreeMap::new();
-    for path in &files {
-        let (name, o) = fly(path);
+    for (name, o) in flown {
         table.row(&[
             name.clone(),
             o.unique_tags.to_string(),

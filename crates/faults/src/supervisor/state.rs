@@ -434,12 +434,14 @@ impl MissionState {
             // re-programming the VGA chain back to its allocation.
             if sup.is_some()
                 && self.health[relay].gain_drift_db > 0.0
-                && !FleetMedium::new(world, fleet.clone(), s_idx).stable()
+                && !FleetMedium::probe_stability(world, &fleet[s_idx])
             {
                 let base = RelayModel::from_budget(self.f1[relay], self.shift[relay], &env.budget);
-                let mut pristine = fleet.clone();
-                pristine[s_idx].model = base;
-                if FleetMedium::new(world, pristine, s_idx).stable() {
+                let pristine = FleetRelay {
+                    model: base,
+                    pos: fleet[s_idx].pos,
+                };
+                if FleetMedium::probe_stability(world, &pristine) {
                     if let Some(trigger) = self.health[relay].last_gain_fault {
                         let trimmed = self.health[relay].gain_drift_db;
                         self.health[relay].gain_drift_db = 0.0;

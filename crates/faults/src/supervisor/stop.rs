@@ -9,6 +9,7 @@ use rfly_dsp::rng::StdRng;
 use rfly_reader::inventory::{InventoryController, TagRead};
 use rfly_reader::medium::{MediumExt, ObsLayer};
 use rfly_sim::fleet::{FleetMedium, FleetRelay};
+use rfly_sim::medium::FleetRf;
 use rfly_sim::world::PhasorWorld;
 
 use crate::inject::{FaultLayer, RelayHealth};
@@ -27,10 +28,15 @@ pub(super) fn inventory_stop(
     seed: u64,
     max_rounds: usize,
 ) -> Vec<TagRead> {
+    // The stop's fleet RF is pure geometry, shared by the main rounds
+    // and the coherence probe below (fault injection wraps `transact`,
+    // not propagation, so both media see identical RF) — the trace
+    // itself fans out over the work pool.
+    let rf = FleetRf::trace(world, fleet.to_vec());
     let mut controller =
         InventoryController::new(world.config.clone(), StdRng::seed_from_u64(seed));
     let mut reads = {
-        let mut faulty = FleetMedium::new(world, fleet.to_vec(), serving)
+        let mut faulty = FleetMedium::fleet_planned(world, &rf, serving)
             .layer(FaultLayer::new(health, seed))
             .layer(ObsLayer::new());
         controller.run_until_quiet(&mut faulty, max_rounds)
@@ -40,7 +46,7 @@ pub(super) fn inventory_stop(
     let mut probe =
         InventoryController::new(world.config.clone(), StdRng::seed_from_u64(seed ^ 0xC0_44));
     let probe_reads = {
-        let mut faulty = FleetMedium::new(world, fleet.to_vec(), serving)
+        let mut faulty = FleetMedium::fleet_planned(world, &rf, serving)
             .layer(FaultLayer::new(health, seed ^ 0xC0_45));
         probe.run_until_quiet(&mut faulty, 1)
     };

@@ -17,6 +17,7 @@ use rfly_protocol::epc::Epc;
 use rfly_reader::config::ReaderConfig;
 use rfly_reader::inventory::{InventoryController, TagRead};
 use rfly_sim::fleet::{FleetMedium, FleetRelay};
+use rfly_sim::medium::FleetRf;
 use rfly_sim::motion::TagMotion;
 use rfly_sim::world::PhasorWorld;
 use rfly_tag::population::TagPopulation;
@@ -263,12 +264,23 @@ pub fn run_mission_with_motion(
             .collect();
         let fleet: Vec<FleetRelay> = plan.fleet(budget, &positions);
 
+        // Plan: trace the step's fleet RF once — reader channels,
+        // EIRPs, per-tag incident power, every relay→tag channel —
+        // fanned out over the work pool (pure physics, tag-ordered
+        // merge, byte-identical at any worker count). The old loop
+        // re-traced all of it from scratch for every TDM serving.
+        let rf = FleetRf::trace(scene_world, fleet);
+
+        // Execute + merge: the TDM serving sweep stays in its fixed
+        // serial order — tag protocol state, the world's noise RNG,
+        // and the inventory dedup/handoff bookkeeping all mutate here,
+        // so this order *is* the determinism contract.
         for serving in 0..n {
             let mut controller = InventoryController::new(
                 scene_world.config.clone(),
                 StdRng::seed_from_u64(cfg.seed ^ (((step as u64) << 8) | serving as u64)),
             );
-            let mut medium = FleetMedium::new(scene_world, fleet.clone(), serving);
+            let mut medium = FleetMedium::fleet_planned(scene_world, &rf, serving);
             let reads = controller.run_until_quiet(&mut medium, cfg.max_rounds);
             for read in &reads {
                 if read.epc != PhasorWorld::embedded_epc() {

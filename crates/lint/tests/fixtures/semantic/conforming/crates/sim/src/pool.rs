@@ -1,12 +1,39 @@
-//! R12 conforming twin: each spawn closure works on its own slot; the
-//! result layout is fixed by index, not by thread interleaving.
+//! R12 conforming twin, mirroring the real `rfly_sim::pool` shape:
+//! workers self-schedule task indices off an atomic counter, push
+//! results into a **closure-local** buffer, and the parent merges the
+//! joined buffers into index-ordered slots. No spawn closure mutates
+//! captured state; the merge order is fixed by task index, not by
+//! thread interleaving.
 
-pub fn fan_out(xs: &[f64], out: &mut [f64]) {
-    std::thread::scope(|s| {
-        for (slot, x) in out.iter_mut().zip(xs) {
-            s.spawn(move || {
-                *slot = *x * 2.0;
-            });
-        }
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn fan_out(xs: &[f64], workers: usize) -> Vec<f64> {
+    let next = AtomicUsize::new(0);
+    let next_ref = &next;
+    let per_worker: Vec<Vec<(usize, f64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= xs.len() {
+                            break;
+                        }
+                        mine.push((i, xs[i] * 2.0));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().ok())
+            .collect()
     });
+    let mut slots = vec![0.0; xs.len()];
+    for (i, y) in per_worker.into_iter().flatten() {
+        slots[i] = y;
+    }
+    slots
 }

@@ -40,7 +40,7 @@ pub mod record;
 pub mod report;
 
 pub use record::{
-    counter_add, event, install, is_active, observe_db, observe_m, observe_s, span, take, Event,
-    Histogram, Recorder, SpanGuard, Value,
+    absorb, counter_add, event, fork, install, is_active, observe_db, observe_m, observe_s, span,
+    take, Event, Histogram, Recorder, SpanGuard, Value,
 };
 pub use report::Report;

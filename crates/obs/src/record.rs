@@ -107,6 +107,14 @@ pub struct Recorder {
     pub counters: BTreeMap<&'static str, u64>,
     /// Unit-typed histograms.
     pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Child mode ([`fork`]): histogram samples are journaled verbatim
+    /// instead of folded, so [`Recorder::absorb`] can replay them into
+    /// the parent in the exact order a serial run would have observed
+    /// them — folding per-child partial sums first would reassociate
+    /// the f64 additions and break bit-identity of the obs report.
+    child: bool,
+    /// The verbatim `(name, unit, sample)` journal of a child.
+    samples: Vec<(&'static str, &'static str, f64)>,
 }
 
 impl Recorder {
@@ -119,6 +127,38 @@ impl Recorder {
             events: Vec::new(),
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            child: false,
+            samples: Vec::new(),
+        }
+    }
+
+    /// A child recorder for one pool task: inherits the mission label
+    /// and the current span path so worker-side records land exactly
+    /// where inline records would, but journals its samples for
+    /// order-preserving [`Self::absorb`].
+    fn fork_child(&self) -> Self {
+        let mut c = Self::new(&self.mission);
+        c.stack = self.stack.clone();
+        c.child = true;
+        c
+    }
+
+    /// Folds a child recorder (from [`fork`]) into this one, in call
+    /// order: events are re-sequenced onto this recorder's stream,
+    /// counters add, and the child's journaled histogram samples are
+    /// replayed one by one. Absorbing children in task-index order
+    /// reproduces the serial record stream byte-for-byte — merge order
+    /// is what pins determinism.
+    pub fn absorb(&mut self, chd: Recorder) {
+        for e in chd.events {
+            let seq = self.next_seq();
+            self.events.push(Event { seq, ..e });
+        }
+        for (name, delta) in chd.counters {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, unit, v) in chd.samples {
+            self.observe(name, unit, v);
         }
     }
 
@@ -148,6 +188,10 @@ impl Recorder {
     }
 
     fn observe(&mut self, name: &'static str, unit: &'static str, v: f64) {
+        if self.child {
+            self.samples.push((name, unit, v));
+            return;
+        }
         self.histograms
             .entry(name)
             .or_insert_with(|| Histogram::new(unit))
@@ -173,6 +217,21 @@ pub fn take() -> Option<Recorder> {
 /// Whether a recorder is installed on this thread.
 pub fn is_active() -> bool {
     RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// A child recorder for one pool task, inheriting this thread's
+/// mission label and span path — `None` when no recorder is installed
+/// (workers then run uninstrumented, exactly like the calling thread).
+/// Install it on the worker, run the task, [`take`] it back, and
+/// [`Recorder::absorb`] the children in task-index order.
+pub fn fork() -> Option<Recorder> {
+    RECORDER.with(|r| r.borrow().as_ref().map(Recorder::fork_child))
+}
+
+/// Folds a child recorder (from [`fork`]) into this thread's sink.
+/// No-op (the child is discarded) when nothing is installed.
+pub fn absorb(chd: Recorder) {
+    with(|r| r.absorb(chd));
 }
 
 fn with(f: impl FnOnce(&mut Recorder)) {

@@ -21,6 +21,7 @@ pub mod fleet;
 pub mod medium;
 pub mod metrics;
 pub mod motion;
+pub mod pool;
 pub mod report;
 pub mod sample_link;
 pub mod scene;
@@ -29,6 +30,7 @@ pub mod world;
 
 pub use endtoend::{Scenario, ScenarioBuilder, ScenarioOutcome};
 pub use fleet::{FleetMedium, FleetRelay};
-pub use medium::WorldMedium;
+pub use medium::{FleetRf, WorldMedium};
+pub use pool::{global_workers, set_global_workers, Pool, PoolError};
 pub use scene::Scene;
 pub use world::PhasorWorld;

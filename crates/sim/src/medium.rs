@@ -57,6 +57,15 @@ pub struct FleetRelay {
 /// (saves an environment trace per relay per tag per transaction).
 const INCIDENT_CULL_M: f64 = 25.0;
 
+/// Tag counts below this stay on the serial trace path: per-tag work
+/// is too small to amortize spawning pool workers (the lesson from the
+/// first, bench-level parallelization attempt that lost to serial).
+const PAR_MIN_TAGS: usize = 64;
+
+/// Tags per pool task on the parallel trace path: large enough to
+/// amortize the per-task claim, small enough to load-balance.
+const PAR_CHUNK: usize = 32;
+
 /// The fleet-summed incident power (mW) at one point: groups the relay
 /// fields by tag-side frequency, sums each group coherently, then adds
 /// group powers incoherently.
@@ -103,43 +112,102 @@ struct RelayLink {
     leakage_mw: f64,
 }
 
+/// Relay `i`'s PA-capped downlink output power at its tag-side port.
+/// Pure in `(world state, relays, h1)` — shared by the live link and
+/// the [`FleetRf`] plan so both compute bit-identical values.
+fn relay_output_of(world: &PhasorWorld, relays: &[FleetRelay], h1: &[Complex], i: usize) -> Dbm {
+    let r = &relays[i].model;
+    let p_in = world.config.tx_power
+        + world.config.antenna_gain
+        + Db::from_linear(h1[i].norm_sq())
+        + r.antenna_gain;
+    let amplified = p_in + r.gains.downlink;
+    Dbm::new(amplified.value().min(r.pa_limit.value()))
+}
+
+/// Radiated downlink EIRP of every relay (output + antenna gain).
+fn fleet_eirps(world: &PhasorWorld, relays: &[FleetRelay], h1: &[Complex]) -> Vec<Dbm> {
+    (0..relays.len())
+        .map(|i| relay_output_of(world, relays, h1, i) + relays[i].model.antenna_gain)
+        .collect()
+}
+
+/// Interference power reaching the reader through the serving relay's
+/// uplink from every other relay's downlink carrier, attenuated by the
+/// chain filters' Δf rejection. Linear milliwatts.
+fn fleet_leakage_mw(
+    world: &PhasorWorld,
+    relays: &[FleetRelay],
+    h1: &[Complex],
+    serving: usize,
+    passband: Hertz,
+) -> f64 {
+    let s = serving;
+    let sm = &relays[s].model;
+    let reader_side = Db::from_linear(h1[s].norm_sq()) + world.config.antenna_gain;
+    incoherent_power_sum((0..relays.len()).filter(|&j| j != s).map(|j| {
+        let jm = &relays[j].model;
+        let coupling = world.one_way(relays[j].pos, relays[s].pos, jm.f2);
+        let offset = jm.f2 - sm.f2;
+        let leak = relay_output_of(world, relays, h1, j)
+            + jm.antenna_gain
+            + Db::from_linear(coupling.norm_sq())
+            + sm.antenna_gain
+            + sm.gains.uplink
+            - offset_rejection(offset, passband)
+            + reader_side;
+        leak.milliwatts()
+    }))
+}
+
+/// Traces one serving relay's per-tag RF rows (fleet-summed incident
+/// power, serving→tag channel), fanning the pure per-tag traces out
+/// over the work pool when the tag count is worth it. Each row is a
+/// pure function of frozen geometry, and [`crate::pool::Pool`] merges
+/// in tag order, so the result is byte-identical at any worker count.
+fn trace_tag_rf(
+    world: &PhasorWorld,
+    relays: &[FleetRelay],
+    eirps: &[Dbm],
+    serving: usize,
+    positions: &[Point2],
+) -> Vec<(Dbm, Complex)> {
+    let serving_pos = relays[serving].pos;
+    let f2_s = relays[serving].model.f2;
+    let row = |&p: &Point2| {
+        let incident = Dbm::from_milliwatts(fleet_incident_mw(relays, eirps, p, |pos, f| {
+            world.one_way(pos, p, f)
+        }));
+        let h2 = world.one_way(serving_pos, p, f2_s);
+        (incident, h2)
+    };
+    if positions.len() < PAR_MIN_TAGS {
+        positions.iter().map(row).collect()
+    } else {
+        crate::pool::Pool::global().map_chunked(positions.len(), PAR_CHUNK, |range| {
+            positions[range].iter().map(row).collect()
+        })
+    }
+}
+
 impl RelayLink {
     /// Re-traces the per-stop caches (tag incident power, serving tag
     /// channels, fleet leakage).
     fn refresh(&mut self, world: &PhasorWorld) {
-        let eirps = self.eirps(world);
-        let serving_pos = self.relays[self.serving].pos;
-        let f2_s = self.relays[self.serving].model.f2;
+        let eirps = fleet_eirps(world, &self.relays, &self.h1);
         let positions: Vec<Point2> = world.tags.tags().iter().map(|t| t.position()).collect();
-        self.tag_rf = positions
-            .iter()
-            .map(|&p| {
-                let incident =
-                    Dbm::from_milliwatts(fleet_incident_mw(&self.relays, &eirps, p, |pos, f| {
-                        world.one_way(pos, p, f)
-                    }));
-                let h2 = world.one_way(serving_pos, p, f2_s);
-                (incident, h2)
-            })
-            .collect();
+        self.tag_rf = trace_tag_rf(world, &self.relays, &eirps, self.serving, &positions);
         self.leakage_mw = self.interference_mw(world);
     }
 
     /// The serving relay's Eq. 3 stability gate.
     fn stable(&self) -> bool {
-        let loss = -Db::from_linear(self.h1[self.serving].norm_sq()).value();
-        loss <= self.relays[self.serving].model.stability_isolation.value()
+        stability_probe(&self.relays[self.serving], self.h1[self.serving])
     }
 
     /// Relay `i`'s PA-capped downlink output power at its tag-side port.
     fn relay_output(&self, world: &PhasorWorld, i: usize) -> Dbm {
-        let r = &self.relays[i].model;
-        let p_in = world.config.tx_power
-            + world.config.antenna_gain
-            + Db::from_linear(self.h1[i].norm_sq())
-            + r.antenna_gain;
-        let amplified = p_in + r.gains.downlink;
-        Dbm::new(amplified.value().min(r.pa_limit.value()))
+        relay_output_of(world, &self.relays, &self.h1, i)
     }
 
     /// Relay `i`'s effective downlink amplitude gain after the PA cap.
@@ -159,31 +227,118 @@ impl RelayLink {
 
     /// Radiated downlink EIRP of every relay (output + antenna gain).
     fn eirps(&self, world: &PhasorWorld) -> Vec<Dbm> {
-        (0..self.relays.len())
-            .map(|i| self.relay_output(world, i) + self.relays[i].model.antenna_gain)
-            .collect()
+        fleet_eirps(world, &self.relays, &self.h1)
     }
 
     /// Interference power reaching the reader through the serving
     /// relay's uplink from every other relay's downlink carrier,
     /// attenuated by the chain's Δf rejection. Linear milliwatts.
     fn interference_mw(&self, world: &PhasorWorld) -> f64 {
-        let s = self.serving;
-        let sm = &self.relays[s].model;
-        let reader_side = Db::from_linear(self.h1[s].norm_sq()) + world.config.antenna_gain;
-        incoherent_power_sum((0..self.relays.len()).filter(|&j| j != s).map(|j| {
-            let jm = &self.relays[j].model;
-            let coupling = world.one_way(self.relays[j].pos, self.relays[s].pos, jm.f2);
-            let offset = jm.f2 - sm.f2;
-            let leak = self.relay_output(world, j)
-                + jm.antenna_gain
-                + Db::from_linear(coupling.norm_sq())
-                + sm.antenna_gain
-                + sm.gains.uplink
-                - offset_rejection(offset, self.passband)
-                + reader_side;
-            leak.milliwatts()
-        }))
+        fleet_leakage_mw(world, &self.relays, &self.h1, self.serving, self.passband)
+    }
+}
+
+/// The serving relay's Eq. 3 stability gate, from its already-traced
+/// reader channel: path loss at or below the relay's self-interference
+/// isolation.
+fn stability_probe(relay: &FleetRelay, h1: Complex) -> bool {
+    let loss = -Db::from_linear(h1.norm_sq()).value();
+    loss <= relay.model.stability_isolation.value()
+}
+
+/// A step's fleet RF plan: every *pure* propagation quantity a mission
+/// stop needs — reader→relay channels, PA-capped EIRPs, per-tag
+/// fleet-summed incident power, every relay→tag channel, and the
+/// per-candidate-serving uplink leakage — traced **once** per step and
+/// shared across all of the step's TDM servings.
+///
+/// This is the plan half of the mission engine's
+/// plan → parallel-execute → ordered-merge contract: the plan is a
+/// pure function of frozen geometry, so its per-tag rows fan out over
+/// the [`crate::pool::Pool`] (merged in tag order), while everything
+/// stateful — tag protocol machines, RNG draws, inventory merges —
+/// stays on the caller's thread in the original serial order. The
+/// serving loop then builds one [`WorldMedium::fleet_planned`] per
+/// serving without re-tracing, which also removes the old
+/// `n_servings × n_tags` re-trace inside a step.
+///
+/// The plan freezes geometry: it must be re-traced after tags or
+/// drones move (`run_mission` re-plans every step).
+#[derive(Debug, Clone)]
+pub struct FleetRf {
+    relays: Vec<FleetRelay>,
+    /// One-way reader→relay channel at each relay's f₁.
+    h1: Vec<Complex>,
+    /// Per-tag fleet-summed incident power (serving-independent:
+    /// powering is fleet-wide).
+    incident: Vec<Dbm>,
+    /// `h2[tag][relay]`: relay→tag one-way channel at that relay's f₂.
+    h2: Vec<Vec<Complex>>,
+    /// Fleet leakage into the uplink for each candidate serving, mW.
+    leakage_mw: Vec<f64>,
+}
+
+impl FleetRf {
+    /// Traces the full plan for `relays` over the world's current tag
+    /// field. Byte-identical at any pool worker count.
+    pub fn trace(world: &PhasorWorld, relays: Vec<FleetRelay>) -> Self {
+        let h1: Vec<Complex> = relays
+            .iter()
+            .map(|r| world.one_way(world.reader_pos, r.pos, r.model.f1))
+            .collect();
+        let eirps = fleet_eirps(world, &relays, &h1);
+        let positions: Vec<Point2> = world.tags.tags().iter().map(|t| t.position()).collect();
+        let row = |&p: &Point2| {
+            let incident = Dbm::from_milliwatts(fleet_incident_mw(&relays, &eirps, p, |pos, f| {
+                world.one_way(pos, p, f)
+            }));
+            let h2 = relays
+                .iter()
+                .map(|r| world.one_way(r.pos, p, r.model.f2))
+                .collect::<Vec<Complex>>();
+            (incident, h2)
+        };
+        let rows: Vec<(Dbm, Vec<Complex>)> = if positions.len() < PAR_MIN_TAGS {
+            positions.iter().map(row).collect()
+        } else {
+            crate::pool::Pool::global().map_chunked(positions.len(), PAR_CHUNK, |range| {
+                positions[range].iter().map(row).collect()
+            })
+        };
+        let leakage_mw = (0..relays.len())
+            .map(|s| fleet_leakage_mw(world, &relays, &h1, s, FLEET_PASSBAND))
+            .collect();
+        let (incident, h2) = rows.into_iter().unzip();
+        Self {
+            relays,
+            h1,
+            incident,
+            h2,
+            leakage_mw,
+        }
+    }
+
+    /// The fleet the plan was traced for.
+    pub fn relays(&self) -> &[FleetRelay] {
+        &self.relays
+    }
+
+    /// Fleet size.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// True for an empty fleet.
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// The Eq. 3 stability gate for candidate serving `s`, from the
+    /// plan's already-traced reader channel — exactly the value
+    /// [`WorldMedium::stable`] would compute, without building a
+    /// medium.
+    pub fn stable(&self, s: usize) -> bool {
+        stability_probe(&self.relays[s], self.h1[s])
     }
 }
 
@@ -255,6 +410,47 @@ impl<'a> WorldMedium<'a> {
     /// signature): identical to [`Self::fleet`].
     pub fn new(world: &'a mut PhasorWorld, relays: Vec<FleetRelay>, serving: usize) -> Self {
         Self::fleet(world, relays, serving)
+    }
+
+    /// Reader ↔ `rf.relays()[serving]` ↔ tags from an already-traced
+    /// [`FleetRf`] plan: no propagation runs here, the link is
+    /// assembled from the plan's rows and is bit-identical to
+    /// [`Self::fleet`] over the same frozen geometry. The world's tag
+    /// field must not have moved since [`FleetRf::trace`].
+    pub fn fleet_planned(world: &'a mut PhasorWorld, rf: &FleetRf, serving: usize) -> Self {
+        assert!(serving < rf.relays.len(), "serving index out of range");
+        assert_eq!(
+            rf.incident.len(),
+            world.tags.tags().len(),
+            "fleet RF plan is stale: tag field changed since trace"
+        );
+        let tag_rf = rf
+            .incident
+            .iter()
+            .zip(&rf.h2)
+            .map(|(&incident, row)| (incident, row[serving]))
+            .collect();
+        let link = RelayLink {
+            relays: rf.relays.clone(),
+            serving,
+            h1: rf.h1.clone(),
+            passband: FLEET_PASSBAND,
+            tag_rf,
+            leakage_mw: rf.leakage_mw[serving],
+        };
+        Self {
+            world,
+            link: Link::Relayed(link),
+        }
+    }
+
+    /// The Eq. 3 stability gate for one candidate relay, without
+    /// building a medium: traces only that relay's reader channel —
+    /// exactly the value `Self::fleet(world, …, s).stable()` computes,
+    /// minus the full per-tag RF refresh the constructor would run.
+    pub fn probe_stability(world: &PhasorWorld, relay: &FleetRelay) -> bool {
+        let h1 = world.one_way(world.reader_pos, relay.pos, relay.model.f1);
+        stability_probe(relay, h1)
     }
 
     /// Overrides the filter passband used for Δf rejection (no effect
@@ -441,6 +637,143 @@ impl Medium for WorldMedium<'_> {
         match &mut self.link {
             Link::Direct => direct_transact(world, cmd),
             Link::Relayed(link) => fleet_transact(world, link, cmd),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::RelayModel;
+    use rfly_channel::environment::Environment;
+    use rfly_dsp::rng::StdRng;
+    use rfly_protocol::epc::Epc;
+    use rfly_reader::config::ReaderConfig;
+    use rfly_reader::inventory::InventoryController;
+    use rfly_tag::population::TagPopulation;
+    use rfly_tag::tag::PassiveTag;
+
+    fn world_with_tags(n_tags: usize, seed: u64) -> PhasorWorld {
+        let mut tags = TagPopulation::new();
+        for i in 0..n_tags {
+            let pos = Point2::new(44.0 + (i % 10) as f64, (i / 10) as f64 - 3.0);
+            tags.add(
+                PassiveTag::new(Epc::from_index(i as u64 + 1), 7, pos),
+                "test".into(),
+            );
+        }
+        PhasorWorld::new(
+            Environment::free_space(),
+            Point2::ORIGIN,
+            ReaderConfig::usrp_default(),
+            tags,
+            RelayModel::prototype(Hertz::mhz(915.0)),
+            seed,
+        )
+    }
+
+    fn fleet_of_three() -> Vec<FleetRelay> {
+        [
+            (915.0, Point2::new(48.0, 0.0)),
+            (920.0, Point2::new(48.0, 6.0)),
+            (925.0, Point2::new(48.0, -6.0)),
+        ]
+        .into_iter()
+        .map(|(mhz, pos)| {
+            let mut model = RelayModel::prototype(Hertz::mhz(mhz));
+            model.f2 = model.f1 + Hertz::mhz(1.0);
+            FleetRelay { model, pos }
+        })
+        .collect()
+    }
+
+    /// The planned constructor must assemble the exact link a fresh
+    /// trace would: identical cached RF, identical mission
+    /// observations (including the shared-RNG draws in transact).
+    #[test]
+    fn planned_link_matches_fresh_construction() {
+        let fleet = fleet_of_three();
+        for serving in 0..fleet.len() {
+            let run = |planned: bool| {
+                let mut w = world_with_tags(12, 9);
+                let mut m = if planned {
+                    let rf = FleetRf::trace(&w, fleet.clone());
+                    WorldMedium::fleet_planned(&mut w, &rf, serving)
+                } else {
+                    WorldMedium::fleet(&mut w, fleet.clone(), serving)
+                };
+                let mut c = InventoryController::new(
+                    ReaderConfig::usrp_default(),
+                    StdRng::seed_from_u64(11),
+                );
+                format!("{:?}", c.run_until_quiet(&mut m, 6))
+            };
+            assert_eq!(run(false), run(true), "serving {serving}");
+        }
+    }
+
+    /// The cached link internals agree row-for-row, bit-for-bit.
+    #[test]
+    fn planned_rf_rows_are_bit_identical() {
+        let fleet = fleet_of_three();
+        let mut w = world_with_tags(12, 9);
+        let rf = FleetRf::trace(&w, fleet.clone());
+        for serving in 0..fleet.len() {
+            let fresh = match WorldMedium::fleet(&mut w, fleet.clone(), serving).link {
+                Link::Relayed(link) => link,
+                Link::Direct => panic!("fleet constructor built a direct link"),
+            };
+            let planned: Vec<(Dbm, Complex)> = rf
+                .incident
+                .iter()
+                .zip(&rf.h2)
+                .map(|(&incident, row)| (incident, row[serving]))
+                .collect();
+            assert_eq!(format!("{:?}", fresh.tag_rf), format!("{planned:?}"));
+            assert_eq!(
+                fresh.leakage_mw.to_bits(),
+                rf.leakage_mw[serving].to_bits(),
+                "serving {serving}"
+            );
+            assert_eq!(format!("{:?}", fresh.h1), format!("{:?}", rf.h1));
+        }
+    }
+
+    /// Tracing is byte-identical at any pool worker count, including
+    /// past the parallel threshold.
+    #[test]
+    fn trace_is_worker_count_invariant() {
+        let _guard = crate::pool::TEST_WIDTH_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let fleet = fleet_of_three();
+        let w = world_with_tags(PAR_MIN_TAGS + 33, 13);
+        let reference = {
+            crate::pool::set_global_workers(1);
+            format!("{:?}", FleetRf::trace(&w, fleet.clone()))
+        };
+        for workers in [2, 8] {
+            crate::pool::set_global_workers(workers);
+            let got = format!("{:?}", FleetRf::trace(&w, fleet.clone()));
+            assert_eq!(got, reference, "{workers} workers");
+        }
+        crate::pool::reset_global_workers();
+    }
+
+    /// The h1-only probe agrees with the full medium's gate in both a
+    /// stable and an unstable geometry.
+    #[test]
+    fn probe_agrees_with_full_medium_stability() {
+        let fleet = fleet_of_three();
+        for (reader, expect_stable) in [(Point2::ORIGIN, true), (Point2::new(-350.0, 0.0), false)] {
+            let mut w = world_with_tags(4, 17);
+            w.reader_pos = reader;
+            let probe = WorldMedium::probe_stability(&w, &fleet[0]);
+            let plan = FleetRf::trace(&w, fleet.clone()).stable(0);
+            let full = WorldMedium::fleet(&mut w, fleet.clone(), 0).stable();
+            assert_eq!(probe, full);
+            assert_eq!(plan, full);
+            assert_eq!(full, expect_stable, "reader at {reader:?}");
         }
     }
 }

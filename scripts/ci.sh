@@ -91,6 +91,14 @@ echo "== soak-and-shrink smoke (3 seeds, bounded steps) =="
 cargo run --release --offline -p rfly-bench --bin soak -- \
   --seeds 3 --steps 10 --events 12 --out results/repros
 
+echo "== fleet scaling sweep (work-pool determinism + speedup gate; DESIGN.md §15) =="
+# Flies the 32/64/128-relay multi-warehouse campaigns (10240 tags/row)
+# twice — 1 worker, then full width — and asserts the rows bit-identical.
+# On machines with >=4 cores, parallel_speedup >= 2.0 is a hard gate
+# (exit 2); on smaller runners the sweep still enforces bit-identity
+# and records the metrics in results/bench/BENCH_report.json.
+cargo run --release --offline -p rfly-bench --bin ext_fleet_scaling | tail -3
+
 echo "== crash matrix (every storage op x every fault mode; DESIGN.md §14) =="
 # Crashes every storage operation of the journaled mission and the
 # stored campaign in every fault mode (torn / lost-acked / duplicated /
